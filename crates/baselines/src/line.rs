@@ -1,0 +1,174 @@
+//! LINE \[41\] with second-order proximity: edge sampling + negative
+//! sampling over the type-blind network.
+//!
+//! Each step samples an edge proportionally to its weight (alias table),
+//! treats one endpoint as the center and the other as its context, and
+//! performs the usual SGNS update against a unigram^0.75 noise
+//! distribution built from weighted degrees.
+
+use crate::method::EmbeddingMethod;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transn_graph::{AliasTable, HetNet, NodeEmbeddings};
+use transn_sgns::{fast_sigmoid, NoiseTable};
+
+/// LINE (2nd order) configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Line {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Total edge samples as a multiple of `|E|`.
+    pub samples_per_edge: usize,
+    /// Negative samples per positive.
+    pub negatives: usize,
+    /// Initial learning rate (paper setting 0.025).
+    pub lr0: f32,
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Line {
+            dim: 64,
+            samples_per_edge: 20,
+            negatives: 5,
+            lr0: 0.025,
+        }
+    }
+}
+
+impl EmbeddingMethod for Line {
+    fn name(&self) -> &'static str {
+        "LINE"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, net: &HetNet, seed: u64) -> NodeEmbeddings {
+        let n = net.num_nodes();
+        let dim = self.dim;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Vertex (input) and context (output) tables.
+        let half = 0.5 / dim as f32;
+        let mut vert: Vec<f32> = (0..n * dim).map(|_| rng.random_range(-half..half)).collect();
+        let mut ctx: Vec<f32> = vec![0.0; n * dim];
+
+        if net.num_edges() == 0 {
+            return NodeEmbeddings::from_flat(n, dim, vert);
+        }
+
+        // Edge alias table over weights; noise over weighted degrees^0.75.
+        let edge_weights: Vec<f32> = net.edges().iter().map(|e| e.weight).collect();
+        let edge_table = AliasTable::new(&edge_weights);
+        let degree_freq: Vec<u64> = (0..n)
+            .map(|i| (net.global_adj().weight_sum(i).max(0.0) * 100.0) as u64)
+            .collect();
+        let noise = NoiseTable::from_frequencies(&degree_freq);
+
+        let total = net.num_edges() * self.samples_per_edge;
+        let mut grad_c = vec![0.0f32; dim];
+        for step in 0..total {
+            let lr = self.lr0 * (1.0 - step as f32 / total as f32).max(1e-3);
+            let e = &net.edges()[edge_table.sample(&mut rng) as usize];
+            // Undirected edge: train both directions alternately.
+            let (center, pos) = if step % 2 == 0 {
+                (e.u.0, e.v.0)
+            } else {
+                (e.v.0, e.u.0)
+            };
+            let c = center as usize * dim;
+            grad_c.fill(0.0);
+            for k in 0..=self.negatives {
+                let (target, label) = if k == 0 {
+                    (pos, 1.0f32)
+                } else {
+                    (noise.sample_excluding(pos, &mut rng), 0.0)
+                };
+                let o = target as usize * dim;
+                let mut dot = 0.0f32;
+                for j in 0..dim {
+                    dot += vert[c + j] * ctx[o + j];
+                }
+                let g = (fast_sigmoid(dot) - label) * lr;
+                for j in 0..dim {
+                    grad_c[j] += g * ctx[o + j];
+                    ctx[o + j] -= g * vert[c + j];
+                }
+            }
+            for (j, g) in grad_c.iter().enumerate() {
+                vert[c + j] -= g;
+            }
+        }
+        NodeEmbeddings::from_flat(n, dim, vert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::intra_inter_cosine;
+    use transn_graph::{HetNetBuilder, NodeId};
+
+    /// Two 5-cliques with one bridge, single node/edge type.
+    fn two_cliques() -> HetNet {
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let e = b.add_edge_type("tt", t, t);
+        let nodes = b.add_nodes(t, 10);
+        for c in 0..2 {
+            for x in 0..5 {
+                for y in (x + 1)..5 {
+                    b.add_edge(nodes[c * 5 + x], nodes[c * 5 + y], e, 1.0).unwrap();
+                }
+            }
+        }
+        b.add_edge(nodes[4], nodes[5], e, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn communities_separate() {
+        let net = two_cliques();
+        let line = Line {
+            dim: 16,
+            samples_per_edge: 400,
+            ..Default::default()
+        };
+        let emb = line.embed(&net, 7);
+        let groups: Vec<(NodeId, usize)> =
+            (0..10u32).map(|i| (NodeId(i), (i / 5) as usize)).collect();
+        let (intra, inter) = intra_inter_cosine(&emb, &groups);
+        assert!(intra > inter + 0.1, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let net = two_cliques();
+        let line = Line {
+            samples_per_edge: 10,
+            ..Default::default()
+        };
+        assert_eq!(line.embed(&net, 3), line.embed(&net, 3));
+        assert_ne!(line.embed(&net, 3), line.embed(&net, 4));
+    }
+
+    #[test]
+    fn edgeless_network_returns_init() {
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let _e = b.add_edge_type("tt", t, t);
+        b.add_nodes(t, 3);
+        let net = b.build().unwrap();
+        let emb = Line::default().embed(&net, 0);
+        assert_eq!(emb.num_nodes(), 3);
+    }
+
+    #[test]
+    fn name_and_dim() {
+        let l = Line::default();
+        assert_eq!(l.name(), "LINE");
+        assert_eq!(l.dim(), 64);
+    }
+}

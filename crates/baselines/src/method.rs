@@ -1,0 +1,43 @@
+//! The uniform interface all embedding methods implement.
+
+use transn_graph::{HetNet, NodeEmbeddings};
+
+/// An unsupervised network-embedding method: given a heterogeneous network
+/// and a seed, produce a `|V| × d` embedding table.
+pub trait EmbeddingMethod {
+    /// Display name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The output dimension `d`.
+    fn dim(&self) -> usize;
+
+    /// Learn embeddings (deterministic in `seed`).
+    fn embed(&self, net: &HetNet, seed: u64) -> NodeEmbeddings;
+}
+
+/// Mean cosine similarity between same-group and cross-group node pairs —
+/// shared test helper for the baseline crates' planted-community checks.
+#[doc(hidden)]
+pub fn intra_inter_cosine(
+    emb: &NodeEmbeddings,
+    groups: &[(transn_graph::NodeId, usize)],
+) -> (f32, f32) {
+    let mut intra = (0.0f32, 0usize);
+    let mut inter = (0.0f32, 0usize);
+    for a in 0..groups.len() {
+        for b in (a + 1)..groups.len() {
+            let c = emb.cosine(groups[a].0, groups[b].0);
+            if groups[a].1 == groups[b].1 {
+                intra.0 += c;
+                intra.1 += 1;
+            } else {
+                inter.0 += c;
+                inter.1 += 1;
+            }
+        }
+    }
+    (
+        intra.0 / intra.1.max(1) as f32,
+        inter.0 / inter.1.max(1) as f32,
+    )
+}

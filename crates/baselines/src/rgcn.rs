@@ -1,0 +1,332 @@
+//! R-GCN \[37\] as an unsupervised link-prediction autoencoder: a
+//! relational graph-convolution encoder with learnable input embeddings
+//! and a DistMult decoder trained with negative sampling — the
+//! configuration the original paper uses for link prediction, which is the
+//! right fit for TransN's unsupervised comparison (§IV-A2). Edge weights
+//! are ignored, as the TransN paper notes for the KG baselines.
+//!
+//! Encoder (one layer, mean aggregation):
+//! `H = relu(E·W₀ + Σ_r Â_r·E·W_r)`, with `Â_r` the row-normalized
+//! adjacency of relation `r`.
+//! Decoder: `s(u, r, v) = Σ_k H_u[k]·R_r[k]·H_v[k]` with logistic loss.
+
+use crate::method::EmbeddingMethod;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transn_graph::{HetNet, NodeEmbeddings};
+use transn_nn::{init, AdamConfig, Matrix, Param};
+use transn_sgns::fast_sigmoid;
+
+/// R-GCN configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Rgcn {
+    /// Embedding (and hidden) dimension.
+    pub dim: usize,
+    /// Training epochs (full pass over all edges as positives).
+    pub epochs: usize,
+    /// Negative triples per positive.
+    pub negatives: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for Rgcn {
+    fn default() -> Self {
+        Rgcn {
+            dim: 64,
+            epochs: 25,
+            negatives: 1,
+            lr: 0.01,
+            weight_decay: 1e-4,
+        }
+    }
+}
+
+/// Per-relation sparse structure: arcs (both directions) plus 1/deg
+/// normalizers.
+struct RelAdj {
+    /// `(dst, src)` arcs: messages flow src → dst.
+    arcs: Vec<(u32, u32)>,
+    /// `1 / |N_r(dst)|` aligned with `arcs`.
+    inv_deg: Vec<f32>,
+}
+
+impl RelAdj {
+    fn build(net: &HetNet) -> Vec<RelAdj> {
+        let n = net.num_nodes();
+        let n_rel = net.schema().num_edge_types();
+        let mut rels: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_rel];
+        for e in net.edges() {
+            rels[e.etype.index()].push((e.u.0, e.v.0));
+            rels[e.etype.index()].push((e.v.0, e.u.0));
+        }
+        rels.into_iter()
+            .map(|arcs| {
+                let mut deg = vec![0u32; n];
+                for &(dst, _) in &arcs {
+                    deg[dst as usize] += 1;
+                }
+                let inv_deg = arcs
+                    .iter()
+                    .map(|&(dst, _)| 1.0 / deg[dst as usize] as f32)
+                    .collect();
+                RelAdj { arcs, inv_deg }
+            })
+            .collect()
+    }
+
+    /// `out += Â_r · x` (mean aggregation).
+    fn aggregate(&self, x: &Matrix, out: &mut Matrix) {
+        out.fill_zero();
+        for (&(dst, src), &w) in self.arcs.iter().zip(&self.inv_deg) {
+            let src_off = src as usize * x.cols();
+            let dst_off = dst as usize * x.cols();
+            let (xs, os) = (x.data(), out.data_mut());
+            for k in 0..x.cols() {
+                os[dst_off + k] += w * xs[src_off + k];
+            }
+        }
+    }
+
+    /// `out += Â_rᵀ · g` (the backward of [`RelAdj::aggregate`]).
+    fn aggregate_transpose(&self, g: &Matrix, out: &mut Matrix) {
+        for (&(dst, src), &w) in self.arcs.iter().zip(&self.inv_deg) {
+            let src_off = src as usize * g.cols();
+            let dst_off = dst as usize * g.cols();
+            let (gs, os) = (g.data(), out.data_mut());
+            for k in 0..g.cols() {
+                os[src_off + k] += w * gs[dst_off + k];
+            }
+        }
+    }
+}
+
+impl EmbeddingMethod for Rgcn {
+    fn name(&self) -> &'static str {
+        "R-GCN"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, net: &HetNet, seed: u64) -> NodeEmbeddings {
+        let n = net.num_nodes();
+        let d = self.dim;
+        let n_rel = net.schema().num_edge_types();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let rel_adj = RelAdj::build(net);
+        let mut e = Param::new(init::xavier(n, d, &mut rng));
+        let mut w0 = Param::new(init::xavier(d, d, &mut rng));
+        let mut w_r: Vec<Param> = (0..n_rel)
+            .map(|_| Param::new(init::xavier(d, d, &mut rng)))
+            .collect();
+        let mut r_diag = Param::new(init::xavier(n_rel.max(1), d, &mut rng));
+
+        let adam = AdamConfig {
+            lr: self.lr,
+            weight_decay: self.weight_decay,
+            ..AdamConfig::default()
+        };
+
+        let mut h = Matrix::zeros(n, d);
+        if net.num_edges() == 0 {
+            return NodeEmbeddings::from_flat(n, d, e.value().data().to_vec());
+        }
+
+        for epoch in 0..self.epochs {
+            // ---- Forward. ----
+            // M_r = Â_r·E (cached for the backward pass), Z = E·W₀ + Σ M_r·W_r.
+            let mut z = e.value().matmul(w0.value());
+            let mut m_r: Vec<Matrix> = Vec::with_capacity(n_rel);
+            let mut scratch = Matrix::zeros(n, d);
+            for (r, ra) in rel_adj.iter().enumerate() {
+                ra.aggregate(e.value(), &mut scratch);
+                let mw = scratch.matmul(w_r[r].value());
+                z.add_assign(&mw);
+                m_r.push(scratch.clone());
+            }
+            h = z.clone();
+            h.relu_inplace();
+
+            // ---- Decoder loss & gradient into dH, dR. ----
+            let mut d_h = Matrix::zeros(n, d);
+            let mut erng = StdRng::seed_from_u64(seed ^ 0xD15 ^ (epoch as u64));
+            for edge in net.edges() {
+                for k in 0..=self.negatives {
+                    let (u, v, label) = if k == 0 {
+                        (edge.u.0, edge.v.0, 1.0f32)
+                    } else if erng.random::<bool>() {
+                        (edge.u.0, erng.random_range(0..n as u32), 0.0)
+                    } else {
+                        (erng.random_range(0..n as u32), edge.v.0, 0.0)
+                    };
+                    let r = edge.etype.index();
+                    let (uo, vo) = (u as usize * d, v as usize * d);
+                    let hd = h.data();
+                    let rrow: Vec<f32> = r_diag.value().row(r).to_vec();
+                    let mut s = 0.0f32;
+                    for k2 in 0..d {
+                        s += hd[uo + k2] * rrow[k2] * hd[vo + k2];
+                    }
+                    let g = fast_sigmoid(s) - label;
+                    let dh = d_h.data_mut();
+                    let drg = r_diag.grad_mut().data_mut();
+                    for k2 in 0..d {
+                        let (hu, hv, rr) = (hd[uo + k2], hd[vo + k2], rrow[k2]);
+                        dh[uo + k2] += g * rr * hv;
+                        dh[vo + k2] += g * rr * hu;
+                        drg[r * d + k2] += g * hu * hv;
+                    }
+                }
+            }
+
+            // ---- Backward through the encoder. ----
+            // dZ = dH ⊙ 1[Z > 0].
+            let mut d_z = d_h;
+            for (gz, &zv) in d_z.data_mut().iter_mut().zip(z.data()) {
+                if zv <= 0.0 {
+                    *gz = 0.0;
+                }
+            }
+            // dW₀ += Eᵀ·dZ; dE += dZ·W₀ᵀ.
+            w0.grad_mut().add_assign(&e.value().matmul_ta(&d_z));
+            let mut d_e = d_z.matmul_tb(w0.value());
+            for (r, ra) in rel_adj.iter().enumerate() {
+                // dW_r += M_rᵀ·dZ; dM_r = dZ·W_rᵀ; dE += Â_rᵀ·dM_r.
+                w_r[r].grad_mut().add_assign(&m_r[r].matmul_ta(&d_z));
+                let d_m = d_z.matmul_tb(w_r[r].value());
+                ra.aggregate_transpose(&d_m, &mut d_e);
+            }
+            e.grad_mut().add_assign(&d_e);
+
+            // ---- Step. ----
+            e.step_adam(&adam);
+            w0.step_adam(&adam);
+            for w in &mut w_r {
+                w.step_adam(&adam);
+            }
+            r_diag.step_adam(&adam);
+        }
+
+        NodeEmbeddings::from_flat(n, d, h.data().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transn_graph::{HetNetBuilder, NodeId};
+
+    fn two_blocks() -> HetNet {
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let s = b.add_node_type("s");
+        let tt = b.add_edge_type("tt", t, t);
+        let ts = b.add_edge_type("ts", t, s);
+        let xs = b.add_nodes(t, 8);
+        let ys = b.add_nodes(s, 4);
+        for c in 0..2usize {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(xs[c * 4 + i], xs[c * 4 + j], tt, 1.0).unwrap();
+                }
+                b.add_edge(xs[c * 4 + i], ys[c * 2], ts, 1.0).unwrap();
+                b.add_edge(xs[c * 4 + i], ys[c * 2 + 1], ts, 1.0).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn blocks_separate() {
+        let net = two_blocks();
+        let rgcn = Rgcn {
+            dim: 16,
+            epochs: 60,
+            lr: 0.02,
+            ..Default::default()
+        };
+        let emb = rgcn.embed(&net, 1);
+        let groups: Vec<(NodeId, usize)> =
+            (0..8u32).map(|i| (NodeId(i), (i / 4) as usize)).collect();
+        let (intra, inter) = crate::method::intra_inter_cosine(&emb, &groups);
+        assert!(intra > inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn scores_trained_edges_above_random_pairs() {
+        let net = two_blocks();
+        let rgcn = Rgcn {
+            dim: 16,
+            epochs: 60,
+            lr: 0.02,
+            ..Default::default()
+        };
+        let emb = rgcn.embed(&net, 2);
+        // Mean dot over actual edges vs over non-edges.
+        let mut pos = 0.0f32;
+        let mut npos = 0;
+        for e in net.edges() {
+            pos += emb.dot(e.u, e.v);
+            npos += 1;
+        }
+        pos /= npos as f32;
+        let mut neg = 0.0f32;
+        let mut nneg = 0;
+        for u in 0..12u32 {
+            for v in (u + 1)..12u32 {
+                if !net.global_adj().contains(u as usize, v) {
+                    neg += emb.dot(NodeId(u), NodeId(v));
+                    nneg += 1;
+                }
+            }
+        }
+        neg /= nneg as f32;
+        assert!(pos > neg, "edge score {pos} vs non-edge {neg}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let net = two_blocks();
+        let rgcn = Rgcn {
+            dim: 8,
+            epochs: 3,
+            ..Default::default()
+        };
+        assert_eq!(rgcn.embed(&net, 4), rgcn.embed(&net, 4));
+    }
+
+    #[test]
+    fn aggregate_is_mean_over_neighbors() {
+        let net = two_blocks();
+        let rels = RelAdj::build(&net);
+        let n = net.num_nodes();
+        let x = Matrix::from_fn(n, 1, |r, _| r as f32);
+        let mut out = Matrix::zeros(n, 1);
+        rels[0].aggregate(&x, &mut out);
+        // Node 0's tt-neighbours are 1, 2, 3 → mean 2.
+        assert!((out.get(0, 0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregate_transpose_is_adjoint() {
+        // ⟨Âx, y⟩ == ⟨x, Âᵀy⟩ for random vectors.
+        let net = two_blocks();
+        let rels = RelAdj::build(&net);
+        let n = net.num_nodes();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Matrix::from_fn(n, 3, |_, _| rng.random_range(-1.0f32..1.0));
+        let y = Matrix::from_fn(n, 3, |_, _| rng.random_range(-1.0f32..1.0));
+        let mut ax = Matrix::zeros(n, 3);
+        rels[0].aggregate(&x, &mut ax);
+        let mut aty = Matrix::zeros(n, 3);
+        rels[0].aggregate_transpose(&y, &mut aty);
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

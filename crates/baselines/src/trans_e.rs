@@ -1,0 +1,225 @@
+//! TransE \[3\] — **extension beyond the paper's comparison set**.
+//!
+//! The TransN paper's related-work section (§V) discusses the TransE
+//! family as the origin of translation-based KG embeddings; we include it
+//! (and RotatE) so the harness can also contrast TransN against the
+//! *classic* translational models, not only the two KG methods of
+//! Tables III/IV.
+//!
+//! Score `‖h + r − t‖₂` trained with margin ranking against corrupted
+//! triples; entity vectors re-projected onto the unit ball every epoch as
+//! in the original paper. Undirected edges train both orientations.
+
+use crate::method::EmbeddingMethod;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transn_graph::{HetNet, NodeEmbeddings};
+
+/// TransE configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TransE {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Epochs over the edge set.
+    pub epochs: usize,
+    /// Ranking margin γ.
+    pub margin: f32,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Default for TransE {
+    fn default() -> Self {
+        TransE {
+            dim: 64,
+            epochs: 40,
+            margin: 1.0,
+            lr: 0.01,
+        }
+    }
+}
+
+impl EmbeddingMethod for TransE {
+    fn name(&self) -> &'static str {
+        "TransE"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, net: &HetNet, seed: u64) -> NodeEmbeddings {
+        let n = net.num_nodes();
+        let d = self.dim;
+        let n_rel = net.schema().num_edge_types().max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = 6.0 / (d as f32).sqrt();
+        let mut ent: Vec<f32> = (0..n * d).map(|_| rng.random_range(-bound..bound)).collect();
+        let mut rel: Vec<f32> = (0..n_rel * d).map(|_| rng.random_range(-bound..bound)).collect();
+        normalize_rows(&mut rel, d);
+
+        let edges = net.edges();
+        if edges.is_empty() {
+            return NodeEmbeddings::from_flat(n, d, ent);
+        }
+        for epoch in 0..self.epochs {
+            normalize_rows(&mut ent, d);
+            let mut erng = StdRng::seed_from_u64(seed ^ (epoch as u64 + 1));
+            for edge in edges {
+                for &(h, t) in &[(edge.u.0, edge.v.0), (edge.v.0, edge.u.0)] {
+                    // Corrupt head or tail.
+                    let (ch, ct) = if erng.random::<bool>() {
+                        (erng.random_range(0..n as u32), t)
+                    } else {
+                        (h, erng.random_range(0..n as u32))
+                    };
+                    self.margin_step(&mut ent, &mut rel, d, h, edge.etype.index(), t, ch, ct);
+                }
+            }
+        }
+        NodeEmbeddings::from_flat(n, d, ent)
+    }
+}
+
+impl TransE {
+    /// One margin-ranking SGD step on (positive, corrupted) triples.
+    #[allow(clippy::too_many_arguments)]
+    fn margin_step(
+        &self,
+        ent: &mut [f32],
+        rel: &mut [f32],
+        d: usize,
+        h: u32,
+        r: usize,
+        t: u32,
+        ch: u32,
+        ct: u32,
+    ) {
+        let (ho, to, ro) = (h as usize * d, t as usize * d, r * d);
+        let (cho, cto) = (ch as usize * d, ct as usize * d);
+        let mut pos = 0.0f32;
+        let mut neg = 0.0f32;
+        for k in 0..d {
+            let dp = ent[ho + k] + rel[ro + k] - ent[to + k];
+            let dn = ent[cho + k] + rel[ro + k] - ent[cto + k];
+            pos += dp * dp;
+            neg += dn * dn;
+        }
+        let (pos, neg) = (pos.sqrt().max(1e-6), neg.sqrt().max(1e-6));
+        if pos + self.margin <= neg {
+            return; // margin satisfied, zero gradient
+        }
+        // d‖v‖/dv = v/‖v‖; descend on pos, ascend on neg.
+        for k in 0..d {
+            let dp = (ent[ho + k] + rel[ro + k] - ent[to + k]) / pos;
+            let dn = (ent[cho + k] + rel[ro + k] - ent[cto + k]) / neg;
+            let g = self.lr;
+            ent[ho + k] -= g * dp;
+            ent[to + k] += g * dp;
+            rel[ro + k] -= g * (dp - dn);
+            ent[cho + k] += g * dn;
+            ent[cto + k] -= g * dn;
+        }
+    }
+}
+
+/// Project every `d`-row onto the unit ball (norm ≤ 1).
+fn normalize_rows(table: &mut [f32], d: usize) {
+    for row in table.chunks_mut(d) {
+        let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1.0 {
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transn_graph::{HetNetBuilder, NodeId};
+
+    fn two_clusters() -> HetNet {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = HetNetBuilder::new();
+        let ty = b.add_node_type("t");
+        let e = b.add_edge_type("tt", ty, ty);
+        let nodes = b.add_nodes(ty, 24);
+        for c in 0..2usize {
+            for i in 0..12 {
+                for j in (i + 1)..12 {
+                    if rng.random::<f64>() < 0.35 {
+                        b.add_edge(nodes[c * 12 + i], nodes[c * 12 + j], e, 1.0).unwrap();
+                    }
+                }
+            }
+        }
+        b.add_edge(nodes[0], nodes[12], e, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn connected_pairs_are_closer_than_random() {
+        let net = two_clusters();
+        let model = TransE {
+            dim: 16,
+            epochs: 80,
+            ..Default::default()
+        };
+        let emb = model.embed(&net, 1);
+        let dist = |a: NodeId, b: NodeId| {
+            emb.get(a)
+                .iter()
+                .zip(emb.get(b))
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let mut pos = 0.0;
+        for e in net.edges() {
+            pos += dist(e.u, e.v);
+        }
+        pos /= net.num_edges() as f32;
+        let mut neg = 0.0;
+        let mut count = 0;
+        for u in 0..24u32 {
+            for v in (u + 1)..24u32 {
+                if !net.global_adj().contains(u as usize, v) {
+                    neg += dist(NodeId(u), NodeId(v));
+                    count += 1;
+                }
+            }
+        }
+        neg /= count as f32;
+        assert!(pos < neg, "edge dist {pos} vs non-edge {neg}");
+    }
+
+    #[test]
+    fn entities_stay_in_unit_ball_after_projection() {
+        let net = two_clusters();
+        let emb = TransE {
+            dim: 8,
+            epochs: 3,
+            ..Default::default()
+        }
+        .embed(&net, 2);
+        for node in net.nodes() {
+            let norm: f32 = emb.get(node).iter().map(|x| x * x).sum::<f32>().sqrt();
+            // One epoch of updates after the last projection can exceed 1
+            // slightly, but not wildly.
+            assert!(norm < 1.5, "node {node} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let net = two_clusters();
+        let m = TransE {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        };
+        assert_eq!(m.embed(&net, 3), m.embed(&net, 3));
+    }
+}

@@ -1,0 +1,46 @@
+//! End-to-end benchmarks: full Algorithm-1 iterations on a tiny
+//! heterogeneous network, per ablation variant, plus the downstream
+//! evaluation protocols — the wall-clock composition behind every table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use transn::{TransN, TransNConfig, Variant};
+use transn_eval::{classification_scores, ClassifyProtocol, LinkPredSplit};
+use transn_synth::{aminer_like, AminerConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let ds = aminer_like(&AminerConfig::tiny(), 9);
+
+    let cfg = TransNConfig {
+        dim: 32,
+        iterations: 1,
+        ..TransNConfig::for_tests()
+    };
+
+    let mut group = c.benchmark_group("transn_one_iteration");
+    group.sample_size(10);
+    for variant in [Variant::Full, Variant::WithoutCrossView, Variant::SimpleWalk] {
+        group.bench_function(format!("{variant:?}"), |b| {
+            let cfg = cfg.with_variant(variant);
+            b.iter(|| TransN::new(&ds.net, cfg).train());
+        });
+    }
+    group.finish();
+
+    let emb = TransN::new(&ds.net, cfg).train();
+    let mut group = c.benchmark_group("evaluation_protocols");
+    group.sample_size(10);
+    group.bench_function("classification_3x", |b| {
+        let protocol = ClassifyProtocol {
+            repeats: 3,
+            ..Default::default()
+        };
+        b.iter(|| classification_scores(&emb, &ds.labels, &protocol));
+    });
+    group.bench_function("linkpred_split", |b| {
+        b.iter(|| LinkPredSplit::new(&ds.net, 0.4, 3));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

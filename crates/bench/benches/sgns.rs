@@ -1,0 +1,48 @@
+//! Skip-gram trainer microbenchmarks: negative sampling vs hierarchical
+//! softmax (the `d` vs `d·log₂ μ` terms of Theorem 1), across embedding
+//! dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transn_sgns::{HsModel, NoiseTable, SgnsModel};
+
+fn bench_sgns(c: &mut Criterion) {
+    let n = 4096usize;
+    let freqs: Vec<u64> = (0..n as u64).map(|i| 1 + i % 50).collect();
+    let noise = NoiseTable::from_frequencies(&freqs);
+
+    let mut group = c.benchmark_group("train_pair_by_dim");
+    for dim in [32usize, 64, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("negative_sampling", dim),
+            &dim,
+            |b, &d| {
+                let mut rng = StdRng::seed_from_u64(0);
+                let mut model = SgnsModel::new(n, d, &mut rng);
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = (i + 1) % (n as u32 - 1);
+                    model.train_pair(i, i + 1, &noise, 5, 0.025, &mut rng)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical_softmax", dim),
+            &dim,
+            |b, &d| {
+                let mut rng = StdRng::seed_from_u64(0);
+                let mut model = HsModel::new(&freqs, d, &mut rng);
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = (i + 1) % (n as u32 - 1);
+                    model.train_pair(i, i + 1, 0.025)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgns);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Translator microbenchmarks: forward+backward cost of the encoder stack
+//! versus `H` (number of encoders — linear per Theorem 1) and `|λ|` (path
+//! length — the `ρ²·d` self-attention term), plus the Table-V
+//! simple-translator ablation and the three loss variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transn_nn::{FeedForward, LossKind, Matrix, Translator};
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0f32..1.0))
+}
+
+fn bench_translator(c: &mut Criterion) {
+    let d = 64usize;
+
+    let mut group = c.benchmark_group("translator_fwd_bwd_by_H");
+    for h in [1usize, 2, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut t = Translator::near_identity(h, 8, &mut rng);
+            let a = rand_matrix(8, d, 1);
+            let g = rand_matrix(8, d, 2);
+            b.iter(|| {
+                let (_, cache) = t.forward(&a);
+                let d_in = t.backward(&cache, &g);
+                t.zero_grad();
+                d_in
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("translator_fwd_bwd_by_len");
+    for len in [4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut t = Translator::near_identity(2, len, &mut rng);
+            let a = rand_matrix(len, d, 1);
+            let g = rand_matrix(len, d, 2);
+            b.iter(|| {
+                let (_, cache) = t.forward(&a);
+                let d_in = t.backward(&cache, &g);
+                t.zero_grad();
+                d_in
+            });
+        });
+    }
+    group.finish();
+
+    // Table V ablation: full stack vs single feed-forward layer.
+    let mut group = c.benchmark_group("translator_vs_simple_ff");
+    group.bench_function("stack_h6", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Translator::near_identity(6, 8, &mut rng);
+        let a = rand_matrix(8, d, 1);
+        b.iter(|| t.forward(&a));
+    });
+    group.bench_function("single_ff", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ff = FeedForward::near_identity(8, &mut rng);
+        let a = rand_matrix(8, d, 1);
+        b.iter(|| ff.forward(&a));
+    });
+    group.finish();
+
+    // Loss variants (DESIGN.md §4.2).
+    let mut group = c.benchmark_group("pair_loss");
+    let x = rand_matrix(8, d, 3);
+    let t = rand_matrix(8, d, 4);
+    for kind in [LossKind::NegDot, LossKind::Cosine, LossKind::Mse] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| kind.eval(&x, &t));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translator);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Walk-engine microbenchmarks: cost of TransN's biased correlated walks
+//! (Eq. 4) versus the simple-walk ablation and the baselines' walkers —
+//! the `O(δ)`-per-step claim of Theorem 1's proof.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transn_synth::{blog_like, BlogConfig};
+use transn_walks::{CorrelatedWalker, Node2VecWalker, SimpleWalker, WalkConfig};
+
+fn bench_walkers(c: &mut Criterion) {
+    let ds = blog_like(&BlogConfig::tiny(), 5);
+    let views = ds.net.views();
+    let uk = &views[1]; // heter-view → π₂ active
+    let cfg = WalkConfig {
+        length: 80,
+        threads: 1,
+        ..WalkConfig::default()
+    };
+
+    let mut group = c.benchmark_group("walk_from_80");
+    group.bench_function("correlated_heter_view", |b| {
+        let w = CorrelatedWalker::new(uk, cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| w.walk_from(0, &mut rng));
+    });
+    group.bench_function("simple_uniform", |b| {
+        let w = SimpleWalker::new(uk, cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| w.walk_from(0, &mut rng));
+    });
+    group.bench_function("node2vec_p05_q2", |b| {
+        let w = Node2VecWalker::new(ds.net.global_adj(), 0.5, 2.0, cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| w.walk_from(0, &mut rng));
+    });
+    group.finish();
+
+    // Corpus generation scaling in walk length ρ (Theorem 1: linear).
+    let mut group = c.benchmark_group("corpus_by_length");
+    for length in [20usize, 40, 80] {
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, &len| {
+            let cfg = WalkConfig {
+                length: len,
+                min_walks_per_node: 2,
+                max_walks_per_node: 4,
+                threads: 2,
+                seed: 3,
+            };
+            let w = CorrelatedWalker::new(uk, cfg);
+            b.iter(|| w.generate());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walkers);
+criterion_main!(benches);

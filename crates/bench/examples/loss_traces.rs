@@ -1,0 +1,24 @@
+//! Diagnostic: print per-iteration single-view and cross-view loss traces
+//! of a full TransN run on the AMiner analogue.
+//!
+//! ```text
+//! cargo run --release -p transn-bench --example loss_traces
+//! ```
+
+use transn::TransN;
+use transn_bench::harness::transn_config;
+use transn_bench::ExperimentScale;
+
+fn main() {
+    let ds = transn_synth::aminer_like(&transn_synth::AminerConfig::full(), 42);
+    let cfg = transn_config(ExperimentScale::Full);
+    let (_, stats) = TransN::new(&ds.net, cfg).train_with_stats();
+    println!("single-view mean pair loss per iteration, per view:");
+    for (i, row) in stats.single_losses.iter().enumerate() {
+        println!("  iter {i}: {row:?}");
+    }
+    println!("cross-view mean segment loss per iteration, per view-pair:");
+    for (i, row) in stats.cross_losses.iter().enumerate() {
+        println!("  iter {i}: {row:?}");
+    }
+}

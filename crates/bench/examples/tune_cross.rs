@@ -1,0 +1,62 @@
+//! Calibration sweep for the cross-view algorithm: how do the embedding
+//! learning rate and the loss interpretation affect (a) the final
+//! cross-view loss and (b) the classification gap between full TransN and
+//! the Without-Cross-View ablation?
+//!
+//! ```text
+//! cargo run --release -p transn-bench --example tune_cross [dataset]
+//! ```
+
+use transn::{TransN, Variant};
+use transn_bench::harness::transn_config;
+use transn_bench::ExperimentScale;
+use transn_eval::{classification_scores, ClassifyProtocol};
+use transn_nn::LossKind;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "aminer".into());
+    let ds = match which.as_str() {
+        "aminer" => transn_synth::aminer_like(&transn_synth::AminerConfig::full(), 42),
+        "app-daily" => transn_synth::app_like(&transn_synth::AppConfig::daily(), 42 ^ 0xDA11),
+        other => panic!("unknown dataset {other}"),
+    };
+    let protocol = ClassifyProtocol {
+        repeats: 3,
+        ..ClassifyProtocol::default()
+    };
+
+    // Reference: no cross-view at all.
+    let base_cfg = transn_config(ExperimentScale::Full).with_seed(7);
+    let no_cross = base_cfg.with_variant(Variant::WithoutCrossView);
+    let emb = TransN::new(&ds.net, no_cross).train();
+    let f = classification_scores(&emb, &ds.labels, &protocol);
+    println!("without-cross-view reference: macro {:.4}", f.macro_f1);
+
+    for loss in [LossKind::Cosine, LossKind::NegDot, LossKind::Mse] {
+        for lr_emb in [0.2f32, 0.5, 1.0, 2.0] {
+            let mut cfg = base_cfg;
+            cfg.loss = loss;
+            cfg.lr_cross_emb = if loss == LossKind::NegDot {
+                // NegDot gradients already carry the target's norm.
+                lr_emb * 0.1
+            } else {
+                lr_emb
+            };
+            let t0 = std::time::Instant::now();
+            let (emb, stats) = TransN::new(&ds.net, cfg).train_with_stats();
+            let f = classification_scores(&emb, &ds.labels, &protocol);
+            let first_cross = mean(&stats.cross_losses[0]);
+            let last_cross = mean(stats.cross_losses.last().unwrap());
+            println!(
+                "{loss:?} lr_emb {:<4} macro {:.4}  cross loss {first_cross:.3} -> {last_cross:.3}  ({:?})",
+                cfg.lr_cross_emb,
+                f.macro_f1,
+                t0.elapsed()
+            );
+        }
+    }
+}
+
+fn mean(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() / xs.len().max(1) as f32
+}

@@ -1,0 +1,53 @@
+//! Calibration sweep for the knowledge-graph baselines (R-GCN, SimplE) on
+//! the AMiner analogue: classification macro-F1 across epoch/lr settings.
+//!
+//! ```text
+//! cargo run --release -p transn-bench --example tune_kg
+//! ```
+
+use transn_baselines::{EmbeddingMethod, Rgcn, SimplE};
+use transn_eval::{classification_scores, ClassifyProtocol};
+
+fn main() {
+    let ds = transn_synth::aminer_like(&transn_synth::AminerConfig::full(), 42);
+    let protocol = ClassifyProtocol {
+        repeats: 3,
+        ..ClassifyProtocol::default()
+    };
+    println!("R-GCN sweeps:");
+    for (epochs, lr) in [(25, 0.01), (50, 0.01), (50, 0.02), (100, 0.02)] {
+        let t0 = std::time::Instant::now();
+        let emb = Rgcn {
+            dim: 64,
+            epochs,
+            lr,
+            ..Default::default()
+        }
+        .embed(&ds.net, 7);
+        let f1 = classification_scores(&emb, &ds.labels, &protocol);
+        println!(
+            "  epochs {epochs:>3} lr {lr:.3}: macro {:.4} micro {:.4} ({:?})",
+            f1.macro_f1,
+            f1.micro_f1,
+            t0.elapsed()
+        );
+    }
+    println!("SimplE sweeps:");
+    for (epochs, lr0) in [(60, 0.05f32), (120, 0.05), (120, 0.1), (240, 0.1)] {
+        let t0 = std::time::Instant::now();
+        let emb = SimplE {
+            dim: 64,
+            epochs,
+            lr0,
+            ..Default::default()
+        }
+        .embed(&ds.net, 7);
+        let f1 = classification_scores(&emb, &ds.labels, &protocol);
+        println!(
+            "  epochs {epochs:>3} lr {lr0:.2}: macro {:.4} micro {:.4} ({:?})",
+            f1.macro_f1,
+            f1.micro_f1,
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Experiment driver: regenerates every table and figure of the TransN
+//! paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p transn-bench --bin expt -- <experiment> [--smoke]
+//!
+//! experiments:
+//!   table2    dataset statistics (Table II)
+//!   table3    node classification (Table III)
+//!   table4    link prediction (Table IV)
+//!   table5    ablation study (Table V)
+//!   fig6      t-SNE case study (Figure 6)
+//!   scaling   Theorem 1 empirical scaling
+//!   all       everything above, in order
+//! ```
+//!
+//! `--smoke` runs on tiny datasets with tiny budgets (seconds, for CI);
+//! the default is the full experiment scale of DESIGN.md §3.
+
+use transn_bench::experiments;
+use transn_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = if smoke {
+        ExperimentScale::Smoke
+    } else {
+        ExperimentScale::Full
+    };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let t0 = std::time::Instant::now();
+    match what {
+        "table2" => experiments::table2(scale),
+        "table3" => {
+            experiments::table3(scale);
+        }
+        "table4" => {
+            experiments::table4(scale);
+        }
+        "table5" => {
+            experiments::table5(scale);
+        }
+        "fig6" => experiments::fig6(scale),
+        "scaling" => experiments::scaling(),
+        "all" => {
+            experiments::table2(scale);
+            experiments::table3(scale);
+            experiments::table4(scale);
+            experiments::table5(scale);
+            experiments::fig6(scale);
+            experiments::scaling();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment {other:?}; expected one of: table2 table3 table4 \
+                 table5 fig6 scaling all (optionally --smoke)"
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[expt] {what} finished in {:?}", t0.elapsed());
+}

@@ -1,0 +1,64 @@
+//! Calibration probe: run the Table III + Table IV protocols for a single
+//! dataset (fast iteration while tuning generators and budgets).
+//!
+//! ```text
+//! cargo run --release -p transn-bench --bin probe -- <aminer|blog|app-daily|app-weekly> [method-substring]
+//! ```
+
+use std::time::Instant;
+use transn_bench::harness::ablation_methods;
+use transn_bench::{default_methods, ExperimentScale};
+use transn_eval::{
+    auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let which = positional.first().map(|s| s.as_str()).unwrap_or("aminer");
+    let filter = positional.get(1).map(|s| s.to_string()).unwrap_or_default();
+    let ds = match which {
+        "aminer" => transn_synth::aminer_like(&transn_synth::AminerConfig::full(), 42),
+        "blog" => transn_synth::blog_like(&transn_synth::BlogConfig::full(), 42 ^ 0xB10C),
+        "app-daily" => transn_synth::app_like(&transn_synth::AppConfig::daily(), 42 ^ 0xDA11),
+        "app-weekly" => transn_synth::app_like(&transn_synth::AppConfig::weekly(), 42 ^ 0x3EE7),
+        other => panic!("unknown dataset {other}"),
+    };
+    println!("{}", ds.stats());
+
+    let protocol = ClassifyProtocol {
+        repeats: 3,
+        ..ClassifyProtocol::default()
+    };
+    let methods = if args.iter().any(|a| a == "--ablation") {
+        ablation_methods()
+    } else {
+        default_methods()
+    };
+    let split = LinkPredSplit::new(&ds.net, 0.4, 99);
+    for m in methods {
+        if !filter.is_empty() && !m.name().to_lowercase().contains(&filter.to_lowercase()) {
+            continue;
+        }
+        let normalize = args.iter().any(|a| a == "--normalize");
+        let t0 = Instant::now();
+        let emb = m.embed(&ds, &ds.net, ExperimentScale::Full, 7);
+        let f1 = classification_scores(&emb, &ds.labels, &protocol);
+        let t_cls = t0.elapsed();
+        let t0 = Instant::now();
+        let mut emb_lp = m.embed(&ds, &split.train_net, ExperimentScale::Full, 7);
+        if normalize {
+            emb_lp.normalize_rows();
+        }
+        let auc = auc_for_embeddings(&split, &emb_lp);
+        println!(
+            "{:<14} macro {:.4}  micro {:.4}  auc {:.4}   ({:.1?} + {:.1?})",
+            m.name(),
+            f1.macro_f1,
+            f1.micro_f1,
+            auc,
+            t_cls,
+            t0.elapsed()
+        );
+    }
+}

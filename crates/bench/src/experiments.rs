@@ -1,0 +1,334 @@
+//! The experiments of §IV, one function per table/figure.
+
+use crate::harness::{ablation_methods, default_methods, ExperimentScale, MethodSpec};
+use crate::paper;
+use crate::report::{write_json, Cell, Grid};
+use serde::Serialize;
+use std::time::Instant;
+use transn_eval::{
+    auc_for_embeddings, classification_scores, silhouette_score, tsne, ClassifyProtocol,
+    LinkPredSplit, TsneConfig,
+};
+use transn_graph::NodeId;
+use transn_synth::Dataset;
+
+/// Build the four datasets at the requested scale.
+pub fn datasets(scale: ExperimentScale) -> Vec<Dataset> {
+    match scale {
+        ExperimentScale::Smoke => transn_synth::all_datasets_tiny(42),
+        ExperimentScale::Full => transn_synth::all_datasets(42),
+    }
+}
+
+fn protocol(scale: ExperimentScale) -> ClassifyProtocol {
+    ClassifyProtocol {
+        // The paper repeats the 90/10 split ten times; five keeps the
+        // single-core harness affordable with a standard error well below
+        // the effects the tables report (EXPERIMENTS.md).
+        repeats: if scale == ExperimentScale::Smoke { 2 } else { 5 },
+        ..ClassifyProtocol::default()
+    }
+}
+
+/// Table II: dataset statistics, ours vs the paper's (with the documented
+/// scale factor).
+pub fn table2(scale: ExperimentScale) {
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        nodes: usize,
+        edges: usize,
+        labeled: usize,
+        paper_nodes: usize,
+        paper_edges: usize,
+        paper_labeled: usize,
+        scale: f64,
+        detail: String,
+    }
+    let mut rows = Vec::new();
+    println!("== Table II — dataset statistics (synthetic analogues) ==");
+    for (i, ds) in datasets(scale).iter().enumerate() {
+        let s = ds.stats();
+        println!("{s}");
+        let (pn, pe, pl) = paper::TABLE2[i];
+        println!(
+            "    paper: {pn} nodes, {pe} edges, {pl} labeled (our scale ≈ {})",
+            paper::SCALE[i]
+        );
+        rows.push(Row {
+            name: s.name.clone(),
+            nodes: s.num_nodes,
+            edges: s.num_edges,
+            labeled: s.num_labeled,
+            paper_nodes: pn,
+            paper_edges: pe,
+            paper_labeled: pl,
+            scale: paper::SCALE[i],
+            detail: s.to_string(),
+        });
+    }
+    write_json("table2", &rows);
+}
+
+/// Table III: node classification over all methods × datasets.
+pub fn table3(scale: ExperimentScale) -> Grid {
+    let ds = datasets(scale);
+    let methods = default_methods();
+    let mut grid = Grid::new(
+        "Table III — node classification (macro/micro-F1)",
+        ds.iter().map(|d| d.name.clone()).collect(),
+        methods.iter().map(|m| m.name().to_string()).collect(),
+    );
+    for (ci, d) in ds.iter().enumerate() {
+        for (ri, m) in methods.iter().enumerate() {
+            let t0 = Instant::now();
+            let emb = m.embed(d, &d.net, scale, 7);
+            let f = classification_scores(&emb, &d.labels, &protocol(scale));
+            eprintln!(
+                "[table3] {:<38} {:<12} macro {:.4} micro {:.4} ({:?})",
+                m.name(),
+                d.name,
+                f.macro_f1,
+                f.micro_f1,
+                t0.elapsed()
+            );
+            let (pm, pmi) = paper::TABLE3[ri][ci];
+            grid.push(ri, ci, Cell { metric: "macro-F1", ours: f.macro_f1, paper: pm });
+            grid.push(ri, ci, Cell { metric: "micro-F1", ours: f.micro_f1, paper: pmi });
+        }
+    }
+    println!("{}", grid.render());
+    summarize_wins(&grid, "macro-F1");
+    write_json("table3", &grid);
+    grid
+}
+
+/// Table IV: link prediction AUC over all methods × datasets.
+pub fn table4(scale: ExperimentScale) -> Grid {
+    let ds = datasets(scale);
+    let methods = default_methods();
+    let mut grid = Grid::new(
+        "Table IV — link prediction (AUC)",
+        ds.iter().map(|d| d.name.clone()).collect(),
+        methods.iter().map(|m| m.name().to_string()).collect(),
+    );
+    for (ci, d) in ds.iter().enumerate() {
+        let split = LinkPredSplit::new(&d.net, 0.4, 99);
+        for (ri, m) in methods.iter().enumerate() {
+            let t0 = Instant::now();
+            let emb = m.embed(d, &split.train_net, scale, 7);
+            let auc = auc_for_embeddings(&split, &emb);
+            eprintln!(
+                "[table4] {:<38} {:<12} auc {:.4} ({:?})",
+                m.name(),
+                d.name,
+                auc,
+                t0.elapsed()
+            );
+            grid.push(ri, ci, Cell { metric: "AUC", ours: auc, paper: paper::TABLE4[ri][ci] });
+        }
+    }
+    println!("{}", grid.render());
+    summarize_wins(&grid, "AUC");
+    write_json("table4", &grid);
+    grid
+}
+
+/// Table V: the ablation study (node classification, TransN variants).
+pub fn table5(scale: ExperimentScale) -> Grid {
+    let ds = datasets(scale);
+    let methods = ablation_methods();
+    let mut grid = Grid::new(
+        "Table V — ablation study (macro/micro-F1)",
+        ds.iter().map(|d| d.name.clone()).collect(),
+        methods.iter().map(|m| m.name().to_string()).collect(),
+    );
+    for (ci, d) in ds.iter().enumerate() {
+        for (ri, m) in methods.iter().enumerate() {
+            let t0 = Instant::now();
+            let emb = m.embed(d, &d.net, scale, 7);
+            let f = classification_scores(&emb, &d.labels, &protocol(scale));
+            eprintln!(
+                "[table5] {:<38} {:<12} macro {:.4} micro {:.4} ({:?})",
+                m.name(),
+                d.name,
+                f.macro_f1,
+                f.micro_f1,
+                t0.elapsed()
+            );
+            let (pm, pmi) = paper::TABLE5[ri][ci];
+            grid.push(ri, ci, Cell { metric: "macro-F1", ours: f.macro_f1, paper: pm });
+            grid.push(ri, ci, Cell { metric: "micro-F1", ours: f.micro_f1, paper: pmi });
+        }
+    }
+    println!("{}", grid.render());
+    summarize_wins(&grid, "macro-F1");
+    write_json("table5", &grid);
+    grid
+}
+
+/// Figure 6: t-SNE case study — 10 labeled applets per category from
+/// App-Daily, embedded by HIN2VEC, SimplE, and TransN; CSV coordinates plus
+/// a silhouette-score table quantifying "more separated".
+pub fn fig6(scale: ExperimentScale) {
+    let all = datasets(scale);
+    let d = &all[2]; // App-Daily
+    assert_eq!(d.name, "App-Daily");
+
+    // 10 applets per category (fewer at smoke scale), deterministic order.
+    let per_cat = if scale == ExperimentScale::Smoke { 4 } else { 10 };
+    let mut chosen: Vec<(NodeId, u32)> = Vec::new();
+    let mut counts = vec![0usize; d.labels.num_classes()];
+    for (n, c) in d.labels.labeled() {
+        if counts[c as usize] < per_cat {
+            counts[c as usize] += 1;
+            chosen.push((n, c));
+        }
+    }
+    println!(
+        "== Figure 6 — t-SNE case study: {} applets across {} categories ==",
+        chosen.len(),
+        counts.iter().filter(|&&c| c > 0).count()
+    );
+
+    #[derive(Serialize)]
+    struct Fig6Result {
+        method: &'static str,
+        silhouette: f64,
+        points: Vec<(f64, f64, u32)>,
+    }
+    let methods = [
+        MethodSpec::Hin2Vec,
+        MethodSpec::SimplE,
+        MethodSpec::TransN(transn::Variant::Full),
+    ];
+    let mut results = Vec::new();
+    for m in &methods {
+        let emb = m.embed(d, &d.net, scale, 7);
+        let rows: Vec<&[f32]> = chosen.iter().map(|&(n, _)| emb.get(n)).collect();
+        let labels: Vec<usize> = chosen.iter().map(|&(_, c)| c as usize).collect();
+        let coords = tsne(
+            &rows,
+            &TsneConfig {
+                perplexity: 12.0,
+                iterations: if scale == ExperimentScale::Smoke { 150 } else { 600 },
+                ..Default::default()
+            },
+        );
+        // Silhouette in the 2-D t-SNE space, like the visual judgment the
+        // paper makes.
+        let coord_rows: Vec<Vec<f32>> = coords
+            .iter()
+            .map(|c| vec![c[0] as f32, c[1] as f32])
+            .collect();
+        let coord_refs: Vec<&[f32]> = coord_rows.iter().map(|c| c.as_slice()).collect();
+        let sil = silhouette_score(&coord_refs, &labels);
+        println!("{:<12} silhouette (2-D) = {sil:+.4}", m.name());
+
+        // CSV artifact.
+        let mut csv = String::from("x\ty\tcategory\n");
+        let mut points = Vec::new();
+        for (c, &(_, cat)) in coords.iter().zip(&chosen) {
+            csv.push_str(&format!("{}\t{}\t{}\n", c[0], c[1], cat));
+            points.push((c[0], c[1], cat));
+        }
+        let path = crate::report::artifact_dir().join(format!(
+            "fig6_{}.csv",
+            m.name().to_lowercase().replace('-', "_")
+        ));
+        std::fs::write(&path, csv).expect("write fig6 csv");
+        println!("[artifact] {}", path.display());
+        results.push(Fig6Result {
+            method: m.name(),
+            silhouette: sil,
+            points,
+        });
+    }
+    println!(
+        "paper's qualitative claim: TransN's clusters are more separated than \
+         HIN2VEC's and SimplE's — compare the silhouettes above."
+    );
+    write_json("fig6", &results);
+}
+
+/// Theorem 1 scaling check: wall time of the single-view and cross-view
+/// algorithms under parameter sweeps (T, ρ, d, H).
+pub fn scaling() {
+    use transn::{TransN, TransNConfig};
+    use transn_synth::{blog_like, BlogConfig};
+
+    #[derive(Serialize)]
+    struct Point {
+        param: &'static str,
+        value: usize,
+        millis: u128,
+    }
+    let mut points = Vec::new();
+    let ds = blog_like(&BlogConfig::tiny(), 7);
+
+    let base = || TransNConfig {
+        dim: 32,
+        iterations: 1,
+        cross_paths: 100,
+        ..TransNConfig::for_tests()
+    };
+
+    println!("== Theorem 1 — empirical scaling of one Algorithm-1 iteration ==");
+    let time_cfg = |cfg: TransNConfig| {
+        let t0 = Instant::now();
+        let _ = TransN::new(&ds.net, cfg).train();
+        t0.elapsed().as_millis()
+    };
+
+    for (param, values) in [
+        ("walk length ρ", vec![20usize, 40, 80]),
+        ("dimension d", vec![16, 32, 64, 128]),
+        ("encoders H", vec![1, 2, 4, 8]),
+    ] {
+        println!("-- sweep {param} --");
+        for &v in &values {
+            let mut cfg = base();
+            match param {
+                "walk length ρ" => cfg.walk.length = v,
+                "dimension d" => cfg.dim = v,
+                "encoders H" => cfg.encoders = v,
+                _ => unreachable!(),
+            }
+            let ms = time_cfg(cfg);
+            println!("   {param} = {v:>4}: {ms:>6} ms");
+            points.push(Point { param: match param {
+                "walk length ρ" => "rho",
+                "dimension d" => "d",
+                _ => "H",
+            }, value: v, millis: ms });
+        }
+    }
+    println!(
+        "expected shape (Eq. 16): roughly linear in ρ (plus a ρ² cross-view \
+         term), linear in d, linear in H."
+    );
+    write_json("scaling", &points);
+}
+
+fn summarize_wins(grid: &Grid, metric: &str) {
+    let transn_row = grid.rows.iter().position(|r| r == "TransN").unwrap();
+    let wins = grid.wins_of(transn_row, metric);
+    println!(
+        "[shape] TransN wins {wins}/{} datasets on {metric} (paper: {}/{})\n",
+        grid.columns.len(),
+        grid.columns.len(),
+        grid.columns.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_datasets_have_all_four() {
+        let ds = datasets(ExperimentScale::Smoke);
+        let names: Vec<&str> = ds.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["AMiner", "BLOG", "App-Daily", "App-Weekly"]);
+    }
+}

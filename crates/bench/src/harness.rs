@@ -1,0 +1,219 @@
+//! Method dispatch: every compared method behind one interface, with
+//! experiment-scale hyper-parameters.
+
+use transn::{TransN, TransNConfig, Variant};
+use transn_baselines::{
+    EmbeddingMethod, Hin2Vec, Line, Metapath2Vec, Mve, Node2Vec, Rgcn, SimplE,
+};
+use transn_graph::{HetNet, NodeEmbeddings};
+use transn_synth::Dataset;
+use transn_walks::WalkConfig;
+
+/// How big the experiment run is; `Smoke` exists so the harness itself can
+/// be integration-tested in seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Tiny datasets, tiny budgets; minutes for the whole suite.
+    Smoke,
+    /// The experiment scale documented in DESIGN.md §3.
+    Full,
+}
+
+/// One method of Tables III/IV, with its experiment configuration.
+#[derive(Clone, Debug)]
+pub enum MethodSpec {
+    /// LINE (2nd order) \[41\].
+    Line,
+    /// Node2Vec \[13\].
+    Node2Vec,
+    /// Metapath2Vec \[8\] (meta-path comes from the dataset, §IV-A3).
+    Metapath2Vec,
+    /// HIN2Vec \[10\].
+    Hin2Vec,
+    /// MVE \[34\], unsupervised variant.
+    Mve,
+    /// R-GCN \[37\].
+    Rgcn,
+    /// SimplE \[17\].
+    SimplE,
+    /// TransN, or one of its Table-V ablation variants.
+    TransN(Variant),
+}
+
+/// Embedding dimension used by every method in the harness (scaled from
+/// the paper's 128; see DESIGN.md §4.4).
+pub const DIM: usize = 64;
+
+impl MethodSpec {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodSpec::Line => "LINE",
+            MethodSpec::Node2Vec => "Node2Vec",
+            MethodSpec::Metapath2Vec => "Metapath2Vec",
+            MethodSpec::Hin2Vec => "HIN2VEC",
+            MethodSpec::Mve => "MVE",
+            MethodSpec::Rgcn => "R-GCN",
+            MethodSpec::SimplE => "SimplE",
+            MethodSpec::TransN(v) => v.label(),
+        }
+    }
+
+    /// Train this method on `net` (using `ds` only for metadata such as
+    /// the meta-path), returning global embeddings.
+    ///
+    /// `net` is passed separately from `ds` because the link-prediction
+    /// protocol trains on a residual network while keeping the dataset's
+    /// metadata.
+    pub fn embed(
+        &self,
+        ds: &Dataset,
+        net: &HetNet,
+        scale: ExperimentScale,
+        seed: u64,
+    ) -> NodeEmbeddings {
+        let smoke = scale == ExperimentScale::Smoke;
+        match self {
+            MethodSpec::Line => Line {
+                dim: DIM,
+                samples_per_edge: if smoke { 5 } else { 150 },
+                ..Default::default()
+            }
+            .embed(net, seed),
+            MethodSpec::Node2Vec => Node2Vec {
+                dim: DIM,
+                walks_per_node: if smoke { 3 } else { 10 },
+                walk_length: if smoke { 10 } else { 40 },
+                epochs: if smoke { 1 } else { 2 },
+                ..Default::default()
+            }
+            .embed(net, seed),
+            MethodSpec::Metapath2Vec => Metapath2Vec {
+                dim: DIM,
+                walks_per_node: if smoke { 3 } else { 10 },
+                walk_length: if smoke { 11 } else { 41 },
+                epochs: if smoke { 1 } else { 2 },
+                ..Metapath2Vec::with_metapath(ds.metapath.clone())
+            }
+            .embed(net, seed),
+            MethodSpec::Hin2Vec => Hin2Vec {
+                dim: DIM,
+                walks_per_node: if smoke { 2 } else { 6 },
+                walk_length: if smoke { 8 } else { 30 },
+                epochs: if smoke { 1 } else { 2 },
+                ..Default::default()
+            }
+            .embed(net, seed),
+            MethodSpec::Mve => Mve {
+                dim: DIM,
+                walks_per_node: if smoke { 2 } else { 6 },
+                walk_length: if smoke { 10 } else { 40 },
+                epochs: if smoke { 1 } else { 2 },
+                ..Default::default()
+            }
+            .embed(net, seed),
+            MethodSpec::Rgcn => Rgcn {
+                dim: DIM,
+                epochs: if smoke { 5 } else { 40 },
+                lr: 0.02,
+                ..Default::default()
+            }
+            .embed(net, seed),
+            MethodSpec::SimplE => SimplE {
+                dim: DIM,
+                epochs: if smoke { 3 } else { 60 },
+                ..Default::default()
+            }
+            .embed(net, seed),
+            MethodSpec::TransN(variant) => {
+                let cfg = transn_config(scale)
+                    .with_variant(*variant)
+                    .with_seed(seed);
+                TransN::new(net, cfg).train()
+            }
+        }
+    }
+}
+
+/// The TransN configuration used by the harness at each scale.
+pub fn transn_config(scale: ExperimentScale) -> TransNConfig {
+    match scale {
+        ExperimentScale::Smoke => TransNConfig {
+            dim: DIM,
+            iterations: 2,
+            walk: WalkConfig {
+                length: 10,
+                min_walks_per_node: 2,
+                max_walks_per_node: 4,
+                seed: 42,
+                threads: 4,
+            },
+            cross_len: 4,
+            cross_paths: 30,
+            encoders: 1,
+            ..TransNConfig::default()
+        },
+        ExperimentScale::Full => TransNConfig {
+            dim: DIM,
+            iterations: 5,
+            walk: WalkConfig {
+                length: 40,
+                min_walks_per_node: 4,
+                max_walks_per_node: 12,
+                seed: 42,
+                threads: 4,
+            },
+            cross_len: 8,
+            cross_paths: 400,
+            encoders: 2,
+            ..TransNConfig::default()
+        },
+    }
+}
+
+/// The eight methods of Tables III and IV, in paper row order.
+pub fn default_methods() -> Vec<MethodSpec> {
+    vec![
+        MethodSpec::Line,
+        MethodSpec::Node2Vec,
+        MethodSpec::Metapath2Vec,
+        MethodSpec::Hin2Vec,
+        MethodSpec::Mve,
+        MethodSpec::Rgcn,
+        MethodSpec::SimplE,
+        MethodSpec::TransN(Variant::Full),
+    ]
+}
+
+/// The six Table V rows.
+pub fn ablation_methods() -> Vec<MethodSpec> {
+    Variant::all().into_iter().map(MethodSpec::TransN).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transn_synth::{aminer_like, AminerConfig};
+
+    #[test]
+    fn every_method_embeds_the_tiny_dataset() {
+        let ds = aminer_like(&AminerConfig::tiny(), 3);
+        for spec in default_methods() {
+            let emb = spec.embed(&ds, &ds.net, ExperimentScale::Smoke, 1);
+            assert_eq!(emb.num_nodes(), ds.net.num_nodes(), "{}", spec.name());
+            assert_eq!(emb.dim(), DIM);
+        }
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        let names: Vec<&str> = default_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(names, crate::paper::METHODS.to_vec());
+    }
+
+    #[test]
+    fn ablation_names_match_table5() {
+        let names: Vec<&str> = ablation_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(names, crate::paper::TABLE5_VARIANTS.to_vec());
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness for the TransN reproduction: regenerates every table
+//! and figure of the paper's evaluation section (§IV) on the synthetic
+//! dataset analogues, printing our numbers side-by-side with the paper's.
+//!
+//! Entry point: the `expt` binary (`cargo run --release -p transn-bench
+//! --bin expt -- <experiment>`); see [`experiments`] for the available
+//! experiments. Machine-readable results land in `target/expt/*.json`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod paper;
+pub mod report;
+
+pub use harness::{default_methods, ExperimentScale, MethodSpec};

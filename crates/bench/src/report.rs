@@ -1,0 +1,168 @@
+//! Table rendering and JSON result artifacts.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A generic result grid: rows (methods) × columns (datasets), each cell a
+/// list of named values (e.g. macro-F1 + micro-F1), each with a paper
+/// reference.
+#[derive(Clone, Debug, Serialize)]
+pub struct Grid {
+    /// Experiment title (e.g. "Table III — node classification").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// `cells[row][col]` = list of `(metric name, ours, paper)`.
+    pub cells: Vec<Vec<Vec<Cell>>>,
+}
+
+/// One measured value with its paper reference.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Cell {
+    /// Metric name ("macro", "micro", "auc", …).
+    pub metric: &'static str,
+    /// Our measured value.
+    pub ours: f64,
+    /// The paper's reported value.
+    pub paper: f64,
+}
+
+impl Grid {
+    /// Empty grid with the given shape.
+    pub fn new(title: impl Into<String>, columns: Vec<String>, rows: Vec<String>) -> Self {
+        let cells = vec![vec![Vec::new(); columns.len()]; rows.len()];
+        Grid {
+            title: title.into(),
+            columns,
+            rows,
+            cells,
+        }
+    }
+
+    /// Append a measured cell value.
+    pub fn push(&mut self, row: usize, col: usize, cell: Cell) {
+        self.cells[row][col].push(cell);
+    }
+
+    /// Render as an aligned text table, one line per (row, metric), with
+    /// `ours (paper)` cells.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let metrics: Vec<&'static str> = self
+            .cells
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|c| c.metric)
+            .fold(Vec::new(), |mut acc, m| {
+                if !acc.contains(&m) {
+                    acc.push(m);
+                }
+                acc
+            });
+        for metric in metrics {
+            let _ = writeln!(out, "-- {metric} (ours / paper) --");
+            let _ = write!(out, "{:<38}", "method");
+            for c in &self.columns {
+                let _ = write!(out, "{c:>22}");
+            }
+            let _ = writeln!(out);
+            for (r, row_label) in self.rows.iter().enumerate() {
+                let _ = write!(out, "{row_label:<38}");
+                for c in 0..self.columns.len() {
+                    match self.cells[r][c].iter().find(|cl| cl.metric == metric) {
+                        Some(cell) => {
+                            let _ = write!(
+                                out,
+                                "{:>22}",
+                                format!("{:.4} ({:.4})", cell.ours, cell.paper)
+                            );
+                        }
+                        None => {
+                            let _ = write!(out, "{:>22}", "-");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+
+    /// Check a *shape* property: in how many columns does the given row
+    /// beat every other row on the given metric? (Used by EXPERIMENTS.md
+    /// to report where "TransN wins" holds.)
+    pub fn wins_of(&self, row: usize, metric: &str) -> usize {
+        let mut wins = 0;
+        for c in 0..self.columns.len() {
+            let get = |r: usize| {
+                self.cells[r][c]
+                    .iter()
+                    .find(|cell| cell.metric == metric)
+                    .map(|cell| cell.ours)
+            };
+            if let Some(v) = get(row) {
+                if (0..self.rows.len())
+                    .filter(|&r| r != row)
+                    .all(|r| get(r).map(|o| v > o).unwrap_or(true))
+                {
+                    wins += 1;
+                }
+            }
+        }
+        wins
+    }
+}
+
+/// Where JSON artifacts go.
+pub fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from("target/expt");
+    std::fs::create_dir_all(&dir).expect("create target/expt");
+    dir
+}
+
+/// Dump any serializable result as pretty JSON under `target/expt/`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = artifact_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write artifact");
+    println!("[artifact] {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Grid {
+        let mut g = Grid::new(
+            "test",
+            vec!["D1".into(), "D2".into()],
+            vec!["A".into(), "B".into()],
+        );
+        g.push(0, 0, Cell { metric: "auc", ours: 0.9, paper: 0.8 });
+        g.push(0, 1, Cell { metric: "auc", ours: 0.4, paper: 0.8 });
+        g.push(1, 0, Cell { metric: "auc", ours: 0.5, paper: 0.7 });
+        g.push(1, 1, Cell { metric: "auc", ours: 0.6, paper: 0.7 });
+        g
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let s = sample().render();
+        assert!(s.contains("0.9000 (0.8000)"));
+        assert!(s.contains("test"));
+        assert!(s.contains("D2"));
+    }
+
+    #[test]
+    fn wins_counts_strict_victories() {
+        let g = sample();
+        assert_eq!(g.wins_of(0, "auc"), 1); // A wins D1, loses D2
+        assert_eq!(g.wins_of(1, "auc"), 1);
+        assert_eq!(g.wins_of(0, "nope"), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal flag parser: `--name value` pairs plus positional arguments.
+//! (No external CLI dependency — the workspace's dependency policy keeps
+//! the allowed set small; see DESIGN.md §5.)
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals in order, `--key value` options, and
+/// bare `--flag`s.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse `argv` (without the program name). `--key value` becomes an
+    /// option; a `--key` followed by another `--...` or nothing becomes a
+    /// flag.
+    pub fn parse(argv: &[String]) -> Args {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    out.options.insert(name.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    out.flags.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Positional argument by index.
+    pub fn pos(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// String option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    /// Parsed option with default.
+    pub fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: {raw:?}")),
+        }
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse("train --net g.tsv --dim 32 extra");
+        assert_eq!(a.pos(0), Some("train"));
+        assert_eq!(a.pos(1), Some("extra"));
+        assert_eq!(a.get("net"), Some("g.tsv"));
+        assert_eq!(a.get_parse("dim", 64usize).unwrap(), 32);
+        assert_eq!(a.get_parse("iterations", 5usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let a = parse("generate aminer --tiny --out dir");
+        assert!(a.flag("tiny"));
+        assert!(!a.flag("huge"));
+        assert_eq!(a.get("out"), Some("dir"));
+    }
+
+    #[test]
+    fn missing_required_reports_name() {
+        let a = parse("train");
+        let err = a.require("net").unwrap_err();
+        assert!(err.contains("--net"));
+    }
+
+    #[test]
+    fn bad_parse_reports_value() {
+        let a = parse("x --dim banana");
+        let err = a.get_parse::<usize>("dim", 1).unwrap_err();
+        assert!(err.contains("banana"));
+    }
+}

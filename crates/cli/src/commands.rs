@@ -1,0 +1,256 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use transn::{TransN, TransNConfig, Variant};
+use transn_eval::{
+    auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit,
+};
+use transn_graph::io;
+use transn_graph::{NodeEmbeddings, NodeId};
+
+const USAGE: &str = "usage:
+  transn generate <aminer|blog|app-daily|app-weekly> --out DIR [--seed N] [--tiny]
+  transn train --net FILE --out FILE [--dim N] [--iterations N] [--seed N] [--variant NAME]
+  transn classify --embeddings FILE --labels FILE [--repeats N]
+  transn linkpred --net FILE [--dim N] [--remove FRAC] [--seed N]
+  transn stats --net FILE [--labels FILE]
+  transn neighbors --embeddings FILE --node ID [--top K]";
+
+/// Dispatch a parsed command line.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    match args.pos(0) {
+        Some("generate") => generate(&args),
+        Some("train") => train(&args),
+        Some("classify") => classify(&args),
+        Some("linkpred") => linkpred(&args),
+        Some("stats") => stats(&args),
+        Some("neighbors") => neighbors(&args),
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let which = args.pos(1).ok_or_else(|| format!("missing dataset\n{USAGE}"))?;
+    let out = std::path::PathBuf::from(args.require("out")?);
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let tiny = args.flag("tiny");
+
+    use transn_synth::*;
+    let ds = match (which, tiny) {
+        ("aminer", false) => aminer_like(&AminerConfig::full(), seed),
+        ("aminer", true) => aminer_like(&AminerConfig::tiny(), seed),
+        ("blog", false) => blog_like(&BlogConfig::full(), seed),
+        ("blog", true) => blog_like(&BlogConfig::tiny(), seed),
+        ("app-daily", false) => app_like(&AppConfig::daily(), seed),
+        ("app-daily", true) => app_like(&AppConfig::daily_tiny(), seed),
+        ("app-weekly", false) => app_like(&AppConfig::weekly(), seed),
+        ("app-weekly", true) => app_like(&AppConfig::weekly_tiny(), seed),
+        (other, _) => return Err(format!("unknown dataset {other:?}")),
+    };
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let net_path = out.join("network.tsv");
+    let label_path = out.join("labels.tsv");
+    io::save_network(&ds.net, &net_path).map_err(|e| e.to_string())?;
+    io::write_labels(
+        &ds.labels,
+        std::fs::File::create(&label_path).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{}", ds.stats());
+    println!("wrote {} and {}", net_path.display(), label_path.display());
+    Ok(())
+}
+
+fn parse_variant(name: &str) -> Result<Variant, String> {
+    if name.eq_ignore_ascii_case("full") {
+        return Ok(Variant::Full);
+    }
+    Variant::all()
+        .into_iter()
+        .find(|v| v.label().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let all: Vec<&str> = Variant::all().iter().map(|v| v.label()).collect();
+            format!("unknown variant {name:?}; one of \"full\" or {all:?}")
+        })
+}
+
+fn train(args: &Args) -> Result<(), String> {
+    let net = io::load_network(args.require("net")?).map_err(|e| e.to_string())?;
+    let out = args.require("out")?;
+    let mut cfg = TransNConfig {
+        dim: args.get_parse("dim", 64)?,
+        iterations: args.get_parse("iterations", 5)?,
+        ..TransNConfig::default()
+    }
+    .with_seed(args.get_parse("seed", 1234u64)?);
+    if let Some(v) = args.get("variant") {
+        cfg.variant = parse_variant(v)?;
+    }
+    let t0 = std::time::Instant::now();
+    let trainer = TransN::new(&net, cfg);
+    println!(
+        "training on {} nodes / {} edges, {} views, {} view-pairs…",
+        net.num_nodes(),
+        net.num_edges(),
+        trainer.num_views(),
+        trainer.num_pairs()
+    );
+    let emb = trainer.train();
+    emb.write_tsv(std::fs::File::create(out).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} embeddings (d = {}) to {out} in {:?}",
+        emb.num_nodes(),
+        emb.dim(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn classify(args: &Args) -> Result<(), String> {
+    let emb = NodeEmbeddings::read_tsv(
+        std::fs::File::open(args.require("embeddings")?).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let labels = io::read_labels(
+        std::fs::File::open(args.require("labels")?).map_err(|e| e.to_string())?,
+        emb.num_nodes(),
+    )
+    .map_err(|e| e.to_string())?;
+    let protocol = ClassifyProtocol {
+        repeats: args.get_parse("repeats", 10)?,
+        ..Default::default()
+    };
+    let f1 = classification_scores(&emb, &labels, &protocol);
+    println!("macro-F1 {:.4}  micro-F1 {:.4}", f1.macro_f1, f1.micro_f1);
+    Ok(())
+}
+
+fn linkpred(args: &Args) -> Result<(), String> {
+    let net = io::load_network(args.require("net")?).map_err(|e| e.to_string())?;
+    let remove: f64 = args.get_parse("remove", 0.4)?;
+    let seed: u64 = args.get_parse("seed", 1234)?;
+    let split = LinkPredSplit::new(&net, remove, seed);
+    let cfg = TransNConfig {
+        dim: args.get_parse("dim", 64)?,
+        ..TransNConfig::default()
+    }
+    .with_seed(seed);
+    let emb = TransN::new(&split.train_net, cfg).train();
+    let auc = auc_for_embeddings(&split, &emb);
+    println!(
+        "link prediction AUC {auc:.4} ({} positives, {} negatives, {:.0}% removed)",
+        split.positives.len(),
+        split.negatives.len(),
+        remove * 100.0
+    );
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let net = io::load_network(args.require("net")?).map_err(|e| e.to_string())?;
+    let labels = match args.get("labels") {
+        Some(path) => Some(
+            io::read_labels(
+                std::fs::File::open(path).map_err(|e| e.to_string())?,
+                net.num_nodes(),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        None => None,
+    };
+    let stats = transn_graph::NetworkStats::compute("network", &net, labels.as_ref());
+    println!("{stats}");
+    let views = net.views();
+    for v in &views {
+        println!(
+            "view {:<12} {:?}: {} nodes, {} edges",
+            net.schema().edge_type_name(v.etype()),
+            v.kind(),
+            v.num_nodes(),
+            v.num_edges()
+        );
+    }
+    println!("view-pairs: {}", net.view_pairs(&views).len());
+    Ok(())
+}
+
+fn neighbors(args: &Args) -> Result<(), String> {
+    let emb = NodeEmbeddings::read_tsv(
+        std::fs::File::open(args.require("embeddings")?).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let node: u32 = args.get_parse("node", 0)?;
+    let top: usize = args.get_parse("top", 10)?;
+    if node as usize >= emb.num_nodes() {
+        return Err(format!("node {node} out of range (0..{})", emb.num_nodes()));
+    }
+    let mut sims: Vec<(u32, f32)> = (0..emb.num_nodes() as u32)
+        .filter(|&i| i != node)
+        .map(|i| (i, emb.cosine(NodeId(node), NodeId(i))))
+        .collect();
+    sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("nearest neighbours of node {node} (cosine):");
+    for (i, s) in sims.into_iter().take(top) {
+        println!("  {i:>8}  {s:+.4}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(cmd: &str) -> Result<(), String> {
+        run(&cmd.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = run_str("frobnicate").unwrap_err();
+        assert!(err.contains("usage"));
+    }
+
+    #[test]
+    fn empty_invocation_shows_usage() {
+        let err = run(&[]).unwrap_err();
+        assert!(err.contains("usage"));
+    }
+
+    #[test]
+    fn generate_train_classify_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("transn-cli-test-{}", std::process::id()));
+        let dirs = dir.display();
+        run_str(&format!("generate aminer --tiny --out {dirs} --seed 3")).unwrap();
+        run_str(&format!(
+            "train --net {dirs}/network.tsv --out {dirs}/emb.tsv --dim 16 --iterations 1"
+        ))
+        .unwrap();
+        run_str(&format!(
+            "classify --embeddings {dirs}/emb.tsv --labels {dirs}/labels.tsv --repeats 1"
+        ))
+        .unwrap();
+        run_str(&format!("stats --net {dirs}/network.tsv --labels {dirs}/labels.tsv")).unwrap();
+        run_str(&format!("neighbors --embeddings {dirs}/emb.tsv --node 0 --top 3")).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn variant_parsing() {
+        assert_eq!(parse_variant("TransN").unwrap(), Variant::Full);
+        assert_eq!(parse_variant("full").unwrap(), Variant::Full);
+        assert_eq!(
+            parse_variant("TransN-Without-Cross-View").unwrap(),
+            Variant::WithoutCrossView
+        );
+        assert!(parse_variant("bogus").is_err());
+    }
+
+    #[test]
+    fn bad_dataset_rejected() {
+        let err = run_str("generate nope --out /tmp/x").unwrap_err();
+        assert!(err.contains("unknown dataset"));
+    }
+}

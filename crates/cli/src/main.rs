@@ -1,0 +1,26 @@
+//! `transn` — command-line front end for the TransN reproduction.
+//!
+//! ```text
+//! transn generate <aminer|blog|app-daily|app-weekly> --out DIR [--seed N] [--tiny]
+//! transn train --net FILE --out FILE [--dim N] [--iterations N] [--seed N] [--variant NAME]
+//! transn classify --embeddings FILE --labels FILE [--repeats N]
+//! transn linkpred --net FILE [--dim N] [--remove FRAC] [--seed N]
+//! transn stats --net FILE [--labels FILE]
+//! transn neighbors --embeddings FILE --node ID [--top K]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

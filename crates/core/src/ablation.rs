@@ -1,0 +1,122 @@
+//! The degenerate TransN variants of the Table V ablation study.
+
+use serde::{Deserialize, Serialize};
+
+/// Which variant of TransN to train. `Full` is the complete framework;
+/// the rest remove one component each, matching Table V of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// The complete framework.
+    Full,
+    /// `TransN-Without-Cross-View`: Algorithm 1 without lines 8–12 (no
+    /// information transfer between views).
+    WithoutCrossView,
+    /// `TransN-With-Simple-Walk`: uniform weight-blind walks with random
+    /// starts feed the single-view algorithm.
+    SimpleWalk,
+    /// `TransN-With-Simple-Translator`: each translator is a single
+    /// feed-forward layer (no self-attention, no stacking).
+    SimpleTranslator,
+    /// `TransN-Without-Translation-Tasks`: only reconstruction losses
+    /// (Eqs. 13–14) in the cross-view algorithm.
+    WithoutTranslationTasks,
+    /// `TransN-Without-Reconstruction-Tasks`: only translation losses
+    /// (Eqs. 11–12) in the cross-view algorithm.
+    WithoutReconstructionTasks,
+}
+
+impl Variant {
+    /// All six variants in Table V order.
+    pub fn all() -> [Variant; 6] {
+        [
+            Variant::WithoutCrossView,
+            Variant::SimpleWalk,
+            Variant::SimpleTranslator,
+            Variant::WithoutTranslationTasks,
+            Variant::WithoutReconstructionTasks,
+            Variant::Full,
+        ]
+    }
+
+    /// The row label used in Table V.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Full => "TransN",
+            Variant::WithoutCrossView => "TransN-Without-Cross-View",
+            Variant::SimpleWalk => "TransN-With-Simple-Walk",
+            Variant::SimpleTranslator => "TransN-With-Simple-Translator",
+            Variant::WithoutTranslationTasks => "TransN-Without-Translation-Tasks",
+            Variant::WithoutReconstructionTasks => "TransN-Without-Reconstruction-Tasks",
+        }
+    }
+
+    /// Whether this variant runs the cross-view algorithm at all.
+    pub fn uses_cross_view(self) -> bool {
+        self != Variant::WithoutCrossView
+    }
+
+    /// Whether single-view walks are the biased correlated walks (Eq. 4)
+    /// or plain uniform walks.
+    pub fn uses_biased_walks(self) -> bool {
+        self != Variant::SimpleWalk
+    }
+
+    /// Whether translators are full encoder stacks or a single
+    /// feed-forward layer.
+    pub fn uses_full_translator(self) -> bool {
+        self != Variant::SimpleTranslator
+    }
+
+    /// Whether the translation tasks T1/T2 contribute to `L_cross`.
+    pub fn uses_translation_tasks(self) -> bool {
+        self != Variant::WithoutTranslationTasks
+    }
+
+    /// Whether the reconstruction tasks R1/R2 contribute to `L_cross`.
+    pub fn uses_reconstruction_tasks(self) -> bool {
+        self != Variant::WithoutReconstructionTasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_uses_everything() {
+        let v = Variant::Full;
+        assert!(v.uses_cross_view());
+        assert!(v.uses_biased_walks());
+        assert!(v.uses_full_translator());
+        assert!(v.uses_translation_tasks());
+        assert!(v.uses_reconstruction_tasks());
+    }
+
+    #[test]
+    fn each_ablation_removes_exactly_one_component() {
+        for v in Variant::all() {
+            let removed = [
+                !v.uses_cross_view(),
+                !v.uses_biased_walks(),
+                !v.uses_full_translator(),
+                !v.uses_translation_tasks(),
+                !v.uses_reconstruction_tasks(),
+            ]
+            .iter()
+            .filter(|&&x| x)
+            .count();
+            let expect = if v == Variant::Full { 0 } else { 1 };
+            assert_eq!(removed, expect, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn labels_match_table_v() {
+        assert_eq!(Variant::Full.label(), "TransN");
+        assert_eq!(
+            Variant::WithoutCrossView.label(),
+            "TransN-Without-Cross-View"
+        );
+        assert_eq!(Variant::all().len(), 6);
+    }
+}

@@ -1,0 +1,196 @@
+//! TransN hyper-parameters.
+
+use crate::ablation::Variant;
+use transn_nn::LossKind;
+use transn_walks::WalkConfig;
+
+/// Full configuration of the TransN training loop (Algorithm 1).
+#[derive(Clone, Copy, Debug)]
+pub struct TransNConfig {
+    /// Embedding dimension `d` (the paper uses 128).
+    pub dim: usize,
+    /// Outer iterations `K` of Algorithm 1.
+    pub iterations: usize,
+    /// Walk parameters for the single-view algorithm (length `ρ`,
+    /// degree-clamped walk counts, seed, threads).
+    pub walk: WalkConfig,
+    /// Negative samples per skip-gram pair (Eq. 3 estimator).
+    pub negatives: usize,
+    /// Single-view learning rate `γ_single` (paper: 0.025).
+    pub lr_single: f32,
+    /// Cross-view learning rate `γ_cross` for the translator parameters
+    /// (Adam α).
+    pub lr_cross: f32,
+    /// SGD rate for the common-node embedding rows updated by the
+    /// cross-view losses (`Θ_cross` in Algorithm 1). Cosine-loss row
+    /// gradients are `O(1/(|λ|·‖x‖))`, two orders of magnitude below the
+    /// skip-gram updates, so this rate is much larger than `lr_cross` to
+    /// make the information transfer material (cf. Table V).
+    pub lr_cross_emb: f32,
+    /// Encoders per translator, `H` (the paper uses 6 following \[44\]).
+    pub encoders: usize,
+    /// Fixed cross-view path length `|λ|` after filtering to common nodes;
+    /// filtered paths are chunked into segments of exactly this length
+    /// (DESIGN.md §4.3).
+    pub cross_len: usize,
+    /// Path *pairs* sampled per view-pair per iteration (`T` in
+    /// Algorithm 1 line 9).
+    pub cross_paths: usize,
+    /// Interpretation of the translation/reconstruction losses
+    /// (DESIGN.md §4.2).
+    pub loss: LossKind,
+    /// Weight decay on translator parameters (needed to bound norms under
+    /// `LossKind::NegDot`).
+    pub weight_decay: f32,
+    /// Which (ablation) variant to train — [`Variant::Full`] is TransN.
+    pub variant: Variant,
+    /// Master seed for model initialization; walk seeds derive from
+    /// `walk.seed`.
+    pub seed: u64,
+}
+
+impl Default for TransNConfig {
+    /// Scaled defaults used by the experiment harness: paper protocol,
+    /// smaller budget (see DESIGN.md §4.4).
+    fn default() -> Self {
+        TransNConfig {
+            dim: 64,
+            iterations: 5,
+            walk: WalkConfig {
+                length: 40,
+                min_walks_per_node: 4,
+                max_walks_per_node: 12,
+                seed: 42,
+                threads: 4,
+            },
+            negatives: 5,
+            lr_single: 0.025,
+            lr_cross: 0.01,
+            lr_cross_emb: 0.5,
+            encoders: 2,
+            cross_len: 8,
+            cross_paths: 200,
+            loss: LossKind::Cosine,
+            weight_decay: 1e-4,
+            variant: Variant::Full,
+            seed: 1234,
+        }
+    }
+}
+
+impl TransNConfig {
+    /// The paper's §IV-A3 settings: d = 128, walk length 80, walks per
+    /// node `clamp(deg, 10, 32)`, H = 6 encoders, initial rate 0.025.
+    pub fn paper() -> Self {
+        TransNConfig {
+            dim: 128,
+            iterations: 10,
+            walk: WalkConfig::default(),
+            negatives: 5,
+            lr_single: 0.025,
+            lr_cross: 0.0025,
+            lr_cross_emb: 0.5,
+            encoders: 6,
+            cross_len: 8,
+            cross_paths: 1000,
+            loss: LossKind::Cosine,
+            weight_decay: 1e-4,
+            variant: Variant::Full,
+            seed: 1234,
+        }
+    }
+
+    /// Tiny settings for unit tests.
+    pub fn for_tests() -> Self {
+        TransNConfig {
+            dim: 16,
+            iterations: 2,
+            walk: WalkConfig::for_tests(),
+            negatives: 3,
+            lr_single: 0.05,
+            lr_cross: 0.01,
+            lr_cross_emb: 0.5,
+            encoders: 1,
+            cross_len: 4,
+            cross_paths: 20,
+            loss: LossKind::Cosine,
+            weight_decay: 1e-4,
+            variant: Variant::Full,
+            seed: 7,
+        }
+    }
+
+    /// Derive the same config with a different variant (ablation sweeps).
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Derive the same config with a different seed (repeated runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.walk.seed = seed ^ 0xDEAD_BEEF;
+        self
+    }
+
+    /// Basic sanity checks; called by the trainer.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 {
+            return Err("dim must be positive".into());
+        }
+        if self.cross_len < 2 {
+            return Err("cross_len must be at least 2".into());
+        }
+        if self.encoders == 0 {
+            return Err("encoders must be at least 1".into());
+        }
+        if self.walk.length < 2 {
+            return Err("walk length must be at least 2".into());
+        }
+        if !(self.lr_single > 0.0 && self.lr_cross > 0.0 && self.lr_cross_emb > 0.0) {
+            return Err("learning rates must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_settings_match_section_4a3() {
+        let c = TransNConfig::paper();
+        assert_eq!(c.dim, 128);
+        assert_eq!(c.walk.length, 80);
+        assert_eq!(c.walk.min_walks_per_node, 10);
+        assert_eq!(c.walk.max_walks_per_node, 32);
+        assert_eq!(c.encoders, 6);
+        assert_eq!(c.lr_single, 0.025);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        assert!(TransNConfig::default().validate().is_ok());
+        let mut c = TransNConfig::for_tests();
+        c.dim = 0;
+        assert!(c.validate().is_err());
+        let mut c = TransNConfig::for_tests();
+        c.cross_len = 1;
+        assert!(c.validate().is_err());
+        let mut c = TransNConfig::for_tests();
+        c.encoders = 0;
+        assert!(c.validate().is_err());
+        let mut c = TransNConfig::for_tests();
+        c.lr_cross = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_seed_changes_walk_seed_too() {
+        let a = TransNConfig::for_tests().with_seed(1);
+        let b = TransNConfig::for_tests().with_seed(2);
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(a.walk.seed, b.walk.seed);
+    }
+}

@@ -1,0 +1,82 @@
+//! Final embedding fusion (§III-C): "the final embedding of each node is
+//! the average of its view-specific embeddings" (views weighted equally,
+//! since TransN targets general downstream tasks).
+
+use crate::single_view::SingleView;
+use transn_graph::{HetNet, NodeEmbeddings, NodeId};
+
+/// Average each node's view-specific embeddings into the final table
+/// (Algorithm 1 lines 13–14). Nodes belonging to no view (no incident
+/// edges of any type) keep the zero vector.
+pub fn fuse(net: &HetNet, views: &[SingleView], dim: usize) -> NodeEmbeddings {
+    let mut out = NodeEmbeddings::zeros(net.num_nodes(), dim);
+    let mut counts = vec![0u32; net.num_nodes()];
+    for sv in views {
+        for l in 0..sv.view.num_nodes() as u32 {
+            let g = sv.view.global(l);
+            let emb = sv.model.embedding(l);
+            let row = out.get_mut(g);
+            for (o, &e) in row.iter_mut().zip(emb) {
+                *o += e;
+            }
+            counts[g.index()] += 1;
+        }
+    }
+    for (n, &c) in counts.iter().enumerate() {
+        if c > 1 {
+            let row = out.get_mut(NodeId::from_index(n));
+            let inv = 1.0 / c as f32;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransNConfig;
+    use transn_graph::HetNetBuilder;
+
+    #[test]
+    fn fusion_averages_across_views() {
+        // Node 0 appears in two views; node 2 only in one; node 3 in none.
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let e1 = b.add_edge_type("e1", t, t);
+        let e2 = b.add_edge_type("e2", t, t);
+        let n: Vec<_> = (0..4).map(|_| b.add_node(t)).collect();
+        b.add_edge(n[0], n[1], e1, 1.0).unwrap();
+        b.add_edge(n[0], n[2], e2, 1.0).unwrap();
+        let net = b.build().unwrap();
+        let views = net.views();
+        let cfg = TransNConfig::for_tests();
+        let mut svs: Vec<SingleView> = views
+            .iter()
+            .enumerate()
+            .map(|(i, v)| SingleView::new(v.clone(), &cfg, i))
+            .collect();
+
+        // Overwrite embeddings with known values.
+        for sv in &mut svs {
+            for l in 0..sv.view.num_nodes() as u32 {
+                let g = sv.view.global(l);
+                let fill = (g.0 + 1) as f32 * if sv.view.etype().0 == 0 { 1.0 } else { 10.0 };
+                for v in sv.model.embedding_mut(l) {
+                    *v = fill;
+                }
+            }
+        }
+        let fused = fuse(&net, &svs, cfg.dim);
+        // Node 0: (1 + 10) / 2 = 5.5.
+        assert!((fused.get(n[0])[0] - 5.5).abs() < 1e-6);
+        // Node 1: only view e1 → 2.0.
+        assert!((fused.get(n[1])[0] - 2.0).abs() < 1e-6);
+        // Node 2: only view e2 → 30.0.
+        assert!((fused.get(n[2])[0] - 30.0).abs() < 1e-6);
+        // Node 3: isolated → zero.
+        assert_eq!(fused.get(n[3]), vec![0.0; cfg.dim].as_slice());
+    }
+}

@@ -1,0 +1,52 @@
+//! **TransN** — Heterogeneous Network Representation Learning by
+//! Translating Node Embeddings (ICDE 2020), reproduced in pure Rust.
+//!
+//! TransN is an unsupervised multi-view embedding framework for
+//! heterogeneous networks. It separates the network into one view per
+//! *edge type* (so views never contain isolated nodes), learns
+//! view-specific embeddings inside each view with a biased correlated
+//! random walk + skip-gram objective (§III-A), and transfers information
+//! across views by *translating* the embeddings of common nodes through
+//! trainable encoder stacks, trained with dual-learning translation and
+//! reconstruction tasks (§III-B). The final embedding of a node is the
+//! average of its view-specific embeddings.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use transn_graph::HetNetBuilder;
+//! use transn::{TransN, TransNConfig};
+//!
+//! // A toy academic network: authors write papers, papers cite papers.
+//! let mut b = HetNetBuilder::new();
+//! let author = b.add_node_type("author");
+//! let paper = b.add_node_type("paper");
+//! let writes = b.add_edge_type("writes", author, paper);
+//! let cites = b.add_edge_type("cites", paper, paper);
+//! let a: Vec<_> = (0..4).map(|_| b.add_node(author)).collect();
+//! let p: Vec<_> = (0..4).map(|_| b.add_node(paper)).collect();
+//! for i in 0..4 {
+//!     b.add_edge(a[i], p[i], writes, 1.0).unwrap();
+//!     b.add_edge(a[i], p[(i + 1) % 4], writes, 1.0).unwrap();
+//! }
+//! b.add_edge(p[0], p[1], cites, 1.0).unwrap();
+//! b.add_edge(p[2], p[3], cites, 1.0).unwrap();
+//! let net = b.build().unwrap();
+//!
+//! let cfg = TransNConfig::for_tests();
+//! let embeddings = TransN::new(&net, cfg).train();
+//! assert_eq!(embeddings.num_nodes(), net.num_nodes());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod config;
+pub mod cross_view;
+pub mod fusion;
+pub mod single_view;
+pub mod trainer;
+
+pub use ablation::Variant;
+pub use config::TransNConfig;
+pub use trainer::{TrainStats, TransN};

@@ -1,0 +1,320 @@
+//! The TransN training loop — Algorithm 1 of the paper.
+
+use crate::config::TransNConfig;
+use crate::cross_view::CrossPair;
+use crate::fusion::fuse;
+use crate::single_view::SingleView;
+use transn_graph::{HetNet, NodeEmbeddings};
+
+/// Per-iteration loss traces, for monitoring and tests.
+#[derive(Clone, Debug, Default)]
+pub struct TrainStats {
+    /// `single_losses[iter][view]`: mean skip-gram loss.
+    pub single_losses: Vec<Vec<f32>>,
+    /// `cross_losses[iter][pair]`: mean translation+reconstruction loss.
+    pub cross_losses: Vec<Vec<f32>>,
+}
+
+/// The TransN trainer: owns the views, their embedding models, and the
+/// per-view-pair translators.
+///
+/// Construction separates the network into views (Definition 2), pairs up
+/// views sharing nodes (Definition 3), and reduces each pair to its
+/// paired-subviews (Definition 5). [`TransN::train`] then runs Algorithm 1:
+/// per iteration, one single-view pass per view (lines 3–7, parallel
+/// across views) and one cross-view pass per view-pair (lines 8–12),
+/// finishing with view-average fusion (lines 13–14).
+pub struct TransN<'a> {
+    net: &'a HetNet,
+    cfg: TransNConfig,
+    views: Vec<SingleView>,
+    pairs: Vec<CrossPair>,
+}
+
+impl<'a> TransN<'a> {
+    /// Set up views, view-pairs, models, and translators.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid
+    /// (see [`TransNConfig::validate`]).
+    pub fn new(net: &'a HetNet, cfg: TransNConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid TransN configuration: {e}");
+        }
+        let raw_views = net.views();
+        let pairs = if cfg.variant.uses_cross_view() {
+            net.view_pairs(&raw_views)
+                .iter()
+                .map(|p| {
+                    let i = p.vi.etype().index();
+                    let j = p.vj.etype().index();
+                    CrossPair::new(p, i, j, &cfg)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let views = raw_views
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| SingleView::new(v, &cfg, i))
+            .collect();
+        TransN {
+            net,
+            cfg,
+            views,
+            pairs,
+        }
+    }
+
+    /// Number of (possibly empty) views, `z = |C_E|`.
+    pub fn num_views(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Number of view-pairs, `z'`.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TransNConfig {
+        &self.cfg
+    }
+
+    /// Run Algorithm 1 and return the fused embeddings.
+    pub fn train(self) -> NodeEmbeddings {
+        self.train_with_stats().0
+    }
+
+    /// Run Algorithm 1, also returning per-iteration loss traces.
+    pub fn train_with_stats(mut self) -> (NodeEmbeddings, TrainStats) {
+        let mut stats = TrainStats::default();
+        for iter in 0..self.cfg.iterations {
+            stats.single_losses.push(self.single_view_pass(iter));
+            stats.cross_losses.push(self.cross_view_pass(iter));
+        }
+        let emb = fuse(self.net, &self.views, self.cfg.dim);
+        (emb, stats)
+    }
+
+    /// Lines 3–7: one single-view iteration per view, in parallel (views
+    /// own disjoint models, so this is safely data-race-free).
+    fn single_view_pass(&mut self, iter: usize) -> Vec<f32> {
+        let cfg = &self.cfg;
+        let mut losses = vec![0.0f32; self.views.len()];
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.views.len());
+            for (sv, slot) in self.views.iter_mut().zip(losses.iter_mut()) {
+                handles.push(scope.spawn(move |_| {
+                    *slot = sv.train_iteration(cfg, iter);
+                }));
+            }
+            for h in handles {
+                h.join().expect("single-view worker panicked");
+            }
+        })
+        .expect("single-view scope failed");
+        losses
+    }
+
+    /// Lines 8–12: one cross-view iteration per view-pair. Pairs may share
+    /// a view, so they run sequentially (z' is small: at most
+    /// `|C_E|·(|C_E|−1)/2`).
+    fn cross_view_pass(&mut self, iter: usize) -> Vec<f32> {
+        let cfg = self.cfg;
+        let mut losses = Vec::with_capacity(self.pairs.len());
+        for pair in &mut self.pairs {
+            let (i, j) = (pair.i, pair.j);
+            let (vi, vj) = two_mut(&mut self.views, i, j);
+            losses.push(pair.train_iteration(vi, vj, &cfg, iter));
+        }
+        losses
+    }
+}
+
+/// Disjoint mutable borrows of two vector elements.
+fn two_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert!(i != j, "view-pair must reference two distinct views");
+    if i < j {
+        let (lo, hi) = v.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ablation::Variant;
+    use transn_graph::{HetNetBuilder, NodeId};
+
+    /// Two-cluster network with three edge types (friend UU, uses UK,
+    /// related KK), BLOG-shaped.
+    fn blog_like_toy() -> transn_graph::HetNet {
+        let mut b = HetNetBuilder::new();
+        let user = b.add_node_type("user");
+        let kw = b.add_node_type("keyword");
+        let uu = b.add_edge_type("friend", user, user);
+        let uk = b.add_edge_type("uses", user, kw);
+        let kk = b.add_edge_type("related", kw, kw);
+        let users: Vec<_> = (0..10).map(|_| b.add_node(user)).collect();
+        let kws: Vec<_> = (0..6).map(|_| b.add_node(kw)).collect();
+        for c in 0..2 {
+            let base = c * 5;
+            for x in 0..5 {
+                for y in (x + 1)..5 {
+                    if (x + y) % 2 == 0 {
+                        b.add_edge(users[base + x], users[base + y], uu, 1.0).unwrap();
+                    }
+                }
+                for k in 0..3 {
+                    b.add_edge(users[base + x], kws[c * 3 + k], uk, 1.0 + k as f32).unwrap();
+                }
+            }
+        }
+        b.add_edge(users[4], users[5], uu, 1.0).unwrap();
+        b.add_edge(kws[0], kws[1], kk, 1.0).unwrap();
+        b.add_edge(kws[2], kws[3], kk, 1.0).unwrap();
+        b.add_edge(kws[4], kws[5], kk, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn setup_counts_views_and_pairs() {
+        let net = blog_like_toy();
+        let t = TransN::new(&net, TransNConfig::for_tests());
+        assert_eq!(t.num_views(), 3);
+        // friend∩uses share users; uses∩related share keywords;
+        // friend∩related share nothing.
+        assert_eq!(t.num_pairs(), 2);
+    }
+
+    #[test]
+    fn training_returns_full_embedding_table() {
+        let net = blog_like_toy();
+        let emb = TransN::new(&net, TransNConfig::for_tests()).train();
+        assert_eq!(emb.num_nodes(), net.num_nodes());
+        assert_eq!(emb.dim(), TransNConfig::for_tests().dim);
+        // Every node participates in some view → non-zero embedding.
+        for n in net.nodes() {
+            let norm: f32 = emb.get(n).iter().map(|x| x * x).sum();
+            assert!(norm > 0.0, "node {n} has a zero embedding");
+        }
+    }
+
+    #[test]
+    fn stats_have_expected_shape() {
+        let net = blog_like_toy();
+        let cfg = TransNConfig::for_tests();
+        let (_, stats) = TransN::new(&net, cfg).train_with_stats();
+        assert_eq!(stats.single_losses.len(), cfg.iterations);
+        assert_eq!(stats.cross_losses.len(), cfg.iterations);
+        assert_eq!(stats.single_losses[0].len(), 3);
+        assert_eq!(stats.cross_losses[0].len(), 2);
+        for row in &stats.single_losses {
+            for &l in row {
+                assert!(l.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn without_cross_view_skips_pairs() {
+        let net = blog_like_toy();
+        let cfg = TransNConfig::for_tests().with_variant(Variant::WithoutCrossView);
+        let t = TransN::new(&net, cfg);
+        assert_eq!(t.num_pairs(), 0);
+        let (_, stats) = t.train_with_stats();
+        assert!(stats.cross_losses.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed() {
+        let net = blog_like_toy();
+        let cfg = TransNConfig::for_tests();
+        let a = TransN::new(&net, cfg).train();
+        let b = TransN::new(&net, cfg).train();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_embeddings() {
+        let net = blog_like_toy();
+        let a = TransN::new(&net, TransNConfig::for_tests().with_seed(1)).train();
+        let b = TransN::new(&net, TransNConfig::for_tests().with_seed(2)).train();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cluster_structure_survives_fusion() {
+        let net = blog_like_toy();
+        let mut cfg = TransNConfig::for_tests();
+        cfg.iterations = 4;
+        cfg.dim = 16;
+        let emb = TransN::new(&net, cfg).train();
+        // Same-cluster users closer than cross-cluster on average.
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let mut n_intra = 0;
+        let mut n_inter = 0;
+        for x in 0..10u32 {
+            for y in (x + 1)..10u32 {
+                let c = emb.cosine(NodeId(x), NodeId(y));
+                if (x < 5) == (y < 5) {
+                    intra += c;
+                    n_intra += 1;
+                } else {
+                    inter += c;
+                    n_inter += 1;
+                }
+            }
+        }
+        intra /= n_intra as f32;
+        inter /= n_inter as f32;
+        assert!(
+            intra > inter,
+            "intra-cluster cosine {intra} must beat inter {inter}"
+        );
+    }
+
+    #[test]
+    fn all_variants_train_end_to_end() {
+        let net = blog_like_toy();
+        for variant in Variant::all() {
+            let cfg = TransNConfig::for_tests().with_variant(variant);
+            let emb = TransN::new(&net, cfg).train();
+            assert_eq!(emb.num_nodes(), net.num_nodes(), "{variant:?}");
+            for v in emb.get(NodeId(0)) {
+                assert!(v.is_finite(), "{variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TransN configuration")]
+    fn invalid_config_panics() {
+        let net = blog_like_toy();
+        let mut cfg = TransNConfig::for_tests();
+        cfg.dim = 0;
+        let _ = TransN::new(&net, cfg);
+    }
+
+    #[test]
+    fn two_mut_returns_disjoint_elements() {
+        let mut v = vec![1, 2, 3, 4];
+        let (a, b) = two_mut(&mut v, 3, 1);
+        *a += 10;
+        *b += 20;
+        assert_eq!(v, vec![1, 22, 3, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct views")]
+    fn two_mut_rejects_equal_indices() {
+        let mut v = vec![1, 2];
+        let _ = two_mut(&mut v, 1, 1);
+    }
+}

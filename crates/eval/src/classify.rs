@@ -1,0 +1,172 @@
+//! The node-classification protocol of §IV-B1: train a logistic-regression
+//! classifier on the embeddings of 90% of the labeled nodes, predict the
+//! remaining 10%, repeat ten times, report mean macro/micro-F1.
+
+use crate::logreg::{LogRegConfig, LogisticRegression};
+use crate::metrics::f1_scores;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transn_graph::{Labels, NodeEmbeddings, NodeId};
+
+/// Mean F1 scores over the protocol's repetitions.
+#[derive(Clone, Copy, Debug)]
+pub struct F1Scores {
+    /// Mean macro-F1.
+    pub macro_f1: f64,
+    /// Mean micro-F1.
+    pub micro_f1: f64,
+}
+
+/// Protocol knobs (§IV-B1 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct ClassifyProtocol {
+    /// Fraction of labeled nodes used for training (paper: 0.9).
+    pub train_fraction: f64,
+    /// Repetitions to average over (paper: 10).
+    pub repeats: usize,
+    /// Split seed.
+    pub seed: u64,
+    /// Classifier configuration.
+    pub logreg: LogRegConfig,
+}
+
+impl Default for ClassifyProtocol {
+    fn default() -> Self {
+        ClassifyProtocol {
+            train_fraction: 0.9,
+            repeats: 10,
+            seed: 2024,
+            logreg: LogRegConfig::default(),
+        }
+    }
+}
+
+/// Run the protocol: returns mean macro/micro-F1 over the repeats.
+///
+/// # Panics
+/// Panics if fewer than two labeled nodes exist or `train_fraction`
+/// leaves an empty side.
+pub fn classification_scores(
+    embeddings: &NodeEmbeddings,
+    labels: &Labels,
+    protocol: &ClassifyProtocol,
+) -> F1Scores {
+    let labeled: Vec<(NodeId, u32)> = labels.labeled().collect();
+    assert!(labeled.len() >= 2, "need at least two labeled nodes");
+    let n_train = ((labeled.len() as f64) * protocol.train_fraction).round() as usize;
+    assert!(
+        n_train > 0 && n_train < labeled.len(),
+        "degenerate train/test split"
+    );
+    let classes = labels.num_classes();
+
+    let mut macro_sum = 0.0f64;
+    let mut micro_sum = 0.0f64;
+    for rep in 0..protocol.repeats {
+        let mut rng = StdRng::seed_from_u64(protocol.seed ^ (rep as u64).wrapping_mul(0x9E37));
+        let mut order: Vec<usize> = (0..labeled.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let (train_idx, test_idx) = order.split_at(n_train);
+
+        let train_x: Vec<&[f32]> = train_idx
+            .iter()
+            .map(|&i| embeddings.get(labeled[i].0))
+            .collect();
+        let train_y: Vec<u32> = train_idx.iter().map(|&i| labeled[i].1).collect();
+        let mut lr_cfg = protocol.logreg;
+        lr_cfg.seed = protocol.seed ^ rep as u64;
+        let model = LogisticRegression::fit(&train_x, &train_y, classes, &lr_cfg);
+
+        let truth: Vec<u32> = test_idx.iter().map(|&i| labeled[i].1).collect();
+        let pred: Vec<u32> = test_idx
+            .iter()
+            .map(|&i| model.predict(embeddings.get(labeled[i].0)))
+            .collect();
+        let f = f1_scores(&truth, &pred, classes);
+        macro_sum += f.macro_f1;
+        micro_sum += f.micro_f1;
+    }
+    F1Scores {
+        macro_f1: macro_sum / protocol.repeats as f64,
+        micro_f1: micro_sum / protocol.repeats as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Embeddings that perfectly encode the label vs pure noise.
+    fn synthetic(n: usize, informative: bool, seed: u64) -> (NodeEmbeddings, Labels) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut emb = NodeEmbeddings::zeros(n, 4);
+        let mut labels = Labels::new(n);
+        for c in 0..3 {
+            labels.add_class(format!("c{c}"));
+        }
+        for i in 0..n {
+            let c = (i % 3) as u32;
+            labels.set(NodeId::from_index(i), c);
+            let mut row = vec![0.0f32; 4];
+            if informative {
+                row[c as usize] = 1.0 + rng.random_range(-0.1..0.1);
+                row[3] = rng.random_range(-0.1..0.1);
+            } else {
+                for v in row.iter_mut() {
+                    *v = rng.random_range(-1.0..1.0);
+                }
+            }
+            emb.set(NodeId::from_index(i), &row);
+        }
+        (emb, labels)
+    }
+
+    #[test]
+    fn informative_embeddings_score_high() {
+        let (emb, labels) = synthetic(120, true, 0);
+        let protocol = ClassifyProtocol {
+            repeats: 3,
+            ..Default::default()
+        };
+        let f = classification_scores(&emb, &labels, &protocol);
+        assert!(f.macro_f1 > 0.95, "macro {}", f.macro_f1);
+        assert!(f.micro_f1 > 0.95, "micro {}", f.micro_f1);
+    }
+
+    #[test]
+    fn noise_embeddings_score_near_chance() {
+        let (emb, labels) = synthetic(150, false, 1);
+        let protocol = ClassifyProtocol {
+            repeats: 5,
+            ..Default::default()
+        };
+        let f = classification_scores(&emb, &labels, &protocol);
+        assert!(f.micro_f1 < 0.6, "micro {}", f.micro_f1);
+    }
+
+    #[test]
+    fn protocol_is_deterministic() {
+        let (emb, labels) = synthetic(60, true, 2);
+        let protocol = ClassifyProtocol {
+            repeats: 2,
+            ..Default::default()
+        };
+        let a = classification_scores(&emb, &labels, &protocol);
+        let b = classification_scores(&emb, &labels, &protocol);
+        assert_eq!(a.macro_f1, b.macro_f1);
+        assert_eq!(a.micro_f1, b.micro_f1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two labeled")]
+    fn too_few_labels_rejected() {
+        let emb = NodeEmbeddings::zeros(3, 2);
+        let mut labels = Labels::new(3);
+        labels.add_class("only");
+        labels.set(NodeId(0), 0);
+        let _ = classification_scores(&emb, &labels, &ClassifyProtocol::default());
+    }
+}

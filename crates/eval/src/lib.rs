@@ -1,0 +1,31 @@
+//! Evaluation stack for the TransN reproduction (§IV-B, §IV-D).
+//!
+//! - [`logreg`]: multinomial (softmax) logistic regression, the downstream
+//!   classifier of §IV-B1 (the paper uses scikit-learn's default logistic
+//!   regression \[28\], \[32\]).
+//! - [`metrics`]: micro/macro-F1 and rank-based AUC.
+//! - [`classify`]: the node-classification protocol — 90% train / 10% test,
+//!   repeated ten times, averaged.
+//! - [`linkpred`]: the link-prediction protocol — remove 40% of edges,
+//!   learn on the residual network, score candidate pairs by embedding
+//!   inner product, report AUC.
+//! - [`mod@tsne`]: exact-gradient t-SNE \[25\] with PCA initialization, for the
+//!   Figure 6 case study.
+//! - [`silhouette`]: silhouette score to quantify "more separated"
+//!   clusterings.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod linkpred;
+pub mod logreg;
+pub mod metrics;
+pub mod silhouette;
+pub mod tsne;
+
+pub use classify::{classification_scores, ClassifyProtocol, F1Scores};
+pub use linkpred::{auc_for_embeddings, LinkPredSplit};
+pub use logreg::LogisticRegression;
+pub use metrics::{auc, f1_scores};
+pub use silhouette::silhouette_score;
+pub use tsne::{tsne, TsneConfig};

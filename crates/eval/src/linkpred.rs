@@ -1,0 +1,198 @@
+//! The link-prediction protocol of §IV-B2: remove 40% of the edges,
+//! sample an equal number of non-adjacent node pairs as negatives, learn
+//! embeddings on the residual network, score every candidate pair by the
+//! inner product of its endpoint embeddings, and report AUC.
+
+use crate::metrics::auc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transn_graph::{HetNet, HetNetBuilder, NodeEmbeddings, NodeId};
+
+/// A link-prediction split: the residual training network plus the
+/// positive (removed edges) and negative (non-adjacent pairs) test sets.
+#[derive(Clone, Debug)]
+pub struct LinkPredSplit {
+    /// The network with the test edges removed (same nodes and schema).
+    pub train_net: HetNet,
+    /// Endpoints of the removed edges.
+    pub positives: Vec<(NodeId, NodeId)>,
+    /// Sampled non-adjacent pairs, same count as `positives`.
+    pub negatives: Vec<(NodeId, NodeId)>,
+}
+
+impl LinkPredSplit {
+    /// Build a split removing `remove_fraction` of the edges (paper: 0.4).
+    ///
+    /// Negative pairs are sampled uniformly over node pairs non-adjacent
+    /// in the *full* network (any edge type), as in §IV-B2.
+    ///
+    /// # Panics
+    /// Panics if the fraction is outside `(0, 1)` or the network has no
+    /// edges.
+    pub fn new(net: &HetNet, remove_fraction: f64, seed: u64) -> Self {
+        assert!(
+            remove_fraction > 0.0 && remove_fraction < 1.0,
+            "remove_fraction must be in (0, 1)"
+        );
+        assert!(net.num_edges() > 0, "network has no edges");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Shuffle edge indices; first chunk becomes the test set.
+        let mut order: Vec<usize> = (0..net.num_edges()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let n_remove = ((net.num_edges() as f64) * remove_fraction).round() as usize;
+        let n_remove = n_remove.clamp(1, net.num_edges() - 1);
+        let removed: std::collections::HashSet<usize> =
+            order[..n_remove].iter().copied().collect();
+
+        let mut b = HetNetBuilder::with_schema(net.schema().clone());
+        for n in net.nodes() {
+            b.add_node(net.node_type(n));
+        }
+        let mut positives = Vec::with_capacity(n_remove);
+        for (i, e) in net.edges().iter().enumerate() {
+            if removed.contains(&i) {
+                positives.push((e.u, e.v));
+            } else {
+                b.add_edge(e.u, e.v, e.etype, e.weight)
+                    .expect("re-adding a valid edge");
+            }
+        }
+        let train_net = b.build().expect("residual network still valid");
+
+        // Negatives: uniformly random non-adjacent distinct pairs.
+        let n = net.num_nodes() as u32;
+        let mut negatives = Vec::with_capacity(positives.len());
+        let adj = net.global_adj();
+        while negatives.len() < positives.len() {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u == v || adj.contains(u as usize, v) {
+                continue;
+            }
+            negatives.push((NodeId(u), NodeId(v)));
+        }
+        LinkPredSplit {
+            train_net,
+            positives,
+            negatives,
+        }
+    }
+}
+
+/// Score the split with inner products of the given embeddings and return
+/// the AUC.
+pub fn auc_for_embeddings(split: &LinkPredSplit, emb: &NodeEmbeddings) -> f64 {
+    let pos: Vec<f32> = split
+        .positives
+        .iter()
+        .map(|&(u, v)| emb.dot(u, v))
+        .collect();
+    let neg: Vec<f32> = split
+        .negatives
+        .iter()
+        .map(|&(u, v)| emb.dot(u, v))
+        .collect();
+    auc(&pos, &neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transn_graph::HetNetBuilder;
+
+    fn ring(n: usize) -> HetNet {
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let e = b.add_edge_type("tt", t, t);
+        let nodes = b.add_nodes(t, n);
+        for i in 0..n {
+            b.add_edge(nodes[i], nodes[(i + 1) % n], e, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn split_sizes_match_fraction() {
+        let net = ring(50);
+        let split = LinkPredSplit::new(&net, 0.4, 1);
+        assert_eq!(split.positives.len(), 20);
+        assert_eq!(split.negatives.len(), 20);
+        assert_eq!(split.train_net.num_edges(), 30);
+        assert_eq!(split.train_net.num_nodes(), 50);
+    }
+
+    #[test]
+    fn negatives_are_nonadjacent_in_full_network() {
+        let net = ring(30);
+        let split = LinkPredSplit::new(&net, 0.3, 2);
+        for &(u, v) in &split.negatives {
+            assert_ne!(u, v);
+            assert!(!net.global_adj().contains(u.index(), v.0));
+        }
+    }
+
+    #[test]
+    fn oracle_embeddings_get_perfect_auc() {
+        // Score pairs using an embedding that encodes ring position, so
+        // removed (adjacent) pairs always out-score random non-adjacent
+        // ones.
+        let n = 40;
+        let net = ring(n);
+        let split = LinkPredSplit::new(&net, 0.4, 3);
+        let mut emb = NodeEmbeddings::zeros(n, 2);
+        for i in 0..n {
+            let theta = std::f32::consts::TAU * i as f32 / n as f32;
+            emb.set(NodeId::from_index(i), &[theta.cos(), theta.sin()]);
+        }
+        // Ring neighbours have the highest inner product on the circle;
+        // negatives are ≥2 hops apart.
+        let a = auc_for_embeddings(&split, &emb);
+        assert!(a > 0.95, "AUC {a}");
+    }
+
+    #[test]
+    fn random_embeddings_are_near_chance() {
+        let n = 60;
+        let net = ring(n);
+        let split = LinkPredSplit::new(&net, 0.4, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut emb = NodeEmbeddings::zeros(n, 8);
+        for i in 0..n {
+            let row: Vec<f32> = (0..8).map(|_| rng.random_range(-1.0..1.0)).collect();
+            emb.set(NodeId::from_index(i), &row);
+        }
+        let a = auc_for_embeddings(&split, &emb);
+        assert!((a - 0.5).abs() < 0.25, "AUC {a}");
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let net = ring(30);
+        let a = LinkPredSplit::new(&net, 0.4, 9);
+        let b = LinkPredSplit::new(&net, 0.4, 9);
+        assert_eq!(a.positives, b.positives);
+        assert_eq!(a.negatives, b.negatives);
+    }
+
+    #[test]
+    fn schema_is_preserved() {
+        let net = ring(10);
+        let split = LinkPredSplit::new(&net, 0.5, 0);
+        assert_eq!(split.train_net.schema().num_edge_types(), 1);
+        assert_eq!(
+            split.train_net.schema().edge_type_name(transn_graph::EdgeTypeId(0)),
+            "tt"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "remove_fraction")]
+    fn bad_fraction_rejected() {
+        let net = ring(10);
+        let _ = LinkPredSplit::new(&net, 1.5, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Multinomial (softmax) logistic regression with L2 regularization,
+//! trained by full-batch gradient descent with Adam-style adaptive steps.
+//!
+//! Stands in for scikit-learn's default `LogisticRegression` (§IV-B1): the
+//! same model family, same `C = 1` regularization default, and enough
+//! optimizer budget to converge on the small feature matrices produced by
+//! the protocols in this crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A trained softmax classifier: `W ∈ R^{C×d}`, `b ∈ R^C`.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    classes: usize,
+    dim: usize,
+    w: Vec<f32>,
+    b: Vec<f32>,
+}
+
+/// Training hyper-parameters (defaults mirror scikit-learn's:
+/// `C = 1` ⇒ `l2 = 1/C/n` per-sample, 400 iterations).
+#[derive(Clone, Copy, Debug)]
+pub struct LogRegConfig {
+    /// Inverse regularization strength `C` (scikit-learn convention).
+    pub c: f32,
+    /// Full-batch iterations.
+    pub iterations: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig {
+            c: 1.0,
+            iterations: 400,
+            lr: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+impl LogisticRegression {
+    /// Fit on rows `x[i]` (all of equal length) with class labels `y[i]`.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty, rows have unequal lengths, or a label is
+    /// `>= classes`.
+    pub fn fit(x: &[&[f32]], y: &[u32], classes: usize, cfg: &LogRegConfig) -> Self {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len());
+        let dim = x[0].len();
+        assert!(x.iter().all(|r| r.len() == dim), "ragged feature rows");
+        assert!(y.iter().all(|&c| (c as usize) < classes), "label out of range");
+
+        let n = x.len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut w: Vec<f32> = (0..classes * dim)
+            .map(|_| rng.random_range(-0.01..0.01))
+            .collect();
+        let mut b = vec![0.0f32; classes];
+        // Adam state.
+        let mut mw = vec![0.0f32; w.len()];
+        let mut vw = vec![0.0f32; w.len()];
+        let mut mb = vec![0.0f32; classes];
+        let mut vb = vec![0.0f32; classes];
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let lambda = 1.0 / cfg.c / n as f32;
+
+        let mut probs = vec![0.0f32; classes];
+        let mut gw = vec![0.0f32; w.len()];
+        let mut gb = vec![0.0f32; classes];
+        for t in 1..=cfg.iterations {
+            gw.fill(0.0);
+            gb.fill(0.0);
+            for (row, &label) in x.iter().zip(y) {
+                softmax_logits(&w, &b, row, dim, &mut probs);
+                for c in 0..classes {
+                    let err = probs[c] - f32::from(c as u32 == label);
+                    gb[c] += err;
+                    let wrow = &mut gw[c * dim..(c + 1) * dim];
+                    for (g, &xv) in wrow.iter_mut().zip(*row) {
+                        *g += err * xv;
+                    }
+                }
+            }
+            let inv_n = 1.0 / n as f32;
+            for g in gw.iter_mut() {
+                *g *= inv_n;
+            }
+            for g in gb.iter_mut() {
+                *g *= inv_n;
+            }
+            // L2 on weights only (like scikit-learn).
+            for (g, &wv) in gw.iter_mut().zip(&w) {
+                *g += lambda * wv;
+            }
+            let bc1 = 1.0 - b1.powi(t as i32);
+            let bc2 = 1.0 - b2.powi(t as i32);
+            for i in 0..w.len() {
+                mw[i] = b1 * mw[i] + (1.0 - b1) * gw[i];
+                vw[i] = b2 * vw[i] + (1.0 - b2) * gw[i] * gw[i];
+                w[i] -= cfg.lr * (mw[i] / bc1) / ((vw[i] / bc2).sqrt() + eps);
+            }
+            for i in 0..classes {
+                mb[i] = b1 * mb[i] + (1.0 - b1) * gb[i];
+                vb[i] = b2 * vb[i] + (1.0 - b2) * gb[i] * gb[i];
+                b[i] -= cfg.lr * (mb[i] / bc1) / ((vb[i] / bc2).sqrt() + eps);
+            }
+        }
+        LogisticRegression {
+            classes,
+            dim,
+            w,
+            b,
+        }
+    }
+
+    /// Predicted class of one feature row.
+    pub fn predict(&self, x: &[f32]) -> u32 {
+        assert_eq!(x.len(), self.dim);
+        let mut probs = vec![0.0f32; self.classes];
+        softmax_logits(&self.w, &self.b, x, self.dim, &mut probs);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i as u32)
+            .unwrap()
+    }
+
+    /// Class probabilities of one feature row.
+    pub fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
+        let mut probs = vec![0.0f32; self.classes];
+        softmax_logits(&self.w, &self.b, x, self.dim, &mut probs);
+        probs
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+/// `probs ← softmax(W·x + b)`, numerically stable.
+fn softmax_logits(w: &[f32], b: &[f32], x: &[f32], dim: usize, probs: &mut [f32]) {
+    let classes = probs.len();
+    let mut mx = f32::NEG_INFINITY;
+    for c in 0..classes {
+        let mut z = b[c];
+        let wrow = &w[c * dim..(c + 1) * dim];
+        for (wv, xv) in wrow.iter().zip(x) {
+            z += wv * xv;
+        }
+        probs[c] = z;
+        mx = mx.max(z);
+    }
+    let mut sum = 0.0f32;
+    for p in probs.iter_mut() {
+        *p = (*p - mx).exp();
+        sum += *p;
+    }
+    let inv = 1.0 / sum;
+    for p in probs.iter_mut() {
+        *p *= inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly-separable 3-class blobs.
+    fn blobs(n_per: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [[2.0f32, 0.0], [-2.0, 2.0], [-2.0, -2.0]];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                xs.push(vec![
+                    center[0] + rng.random_range(-0.5..0.5),
+                    center[1] + rng.random_range(-0.5..0.5),
+                ]);
+                ys.push(c as u32);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn separable_blobs_reach_high_accuracy() {
+        let (xs, ys) = blobs(40, 0);
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let model = LogisticRegression::fit(&rows, &ys, 3, &LogRegConfig::default());
+        let correct = rows
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert!(correct as f64 / rows.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (xs, ys) = blobs(10, 1);
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let model = LogisticRegression::fit(&rows, &ys, 3, &LogRegConfig::default());
+        let p = model.predict_proba(&xs[0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let (xs, ys) = blobs(30, 2);
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let loose = LogisticRegression::fit(
+            &rows,
+            &ys,
+            3,
+            &LogRegConfig {
+                c: 100.0,
+                ..Default::default()
+            },
+        );
+        let tight = LogisticRegression::fit(
+            &rows,
+            &ys,
+            3,
+            &LogRegConfig {
+                c: 0.001,
+                ..Default::default()
+            },
+        );
+        let norm = |m: &LogisticRegression| m.w.iter().map(|x| x * x).sum::<f32>();
+        assert!(norm(&tight) < norm(&loose));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_labels_rejected() {
+        let xs = [vec![0.0f32, 1.0]];
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let _ = LogisticRegression::fit(&rows, &[5], 3, &LogRegConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_input_rejected() {
+        let rows: Vec<&[f32]> = Vec::new();
+        let _ = LogisticRegression::fit(&rows, &[], 3, &LogRegConfig::default());
+    }
+}

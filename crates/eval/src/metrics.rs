@@ -1,0 +1,169 @@
+//! Classification and ranking metrics: micro/macro-F1 \[13\], \[41\] and the
+//! rank-based AUC \[9\] used by the link-prediction task.
+
+/// Per-task F1 aggregates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct F1 {
+    /// Macro-averaged F1: unweighted mean of per-class F1.
+    pub macro_f1: f64,
+    /// Micro-averaged F1: F1 of the pooled confusion counts (equals
+    /// accuracy for single-label classification).
+    pub micro_f1: f64,
+}
+
+/// Compute micro- and macro-F1 of single-label predictions over `classes`
+/// classes. Classes absent from both truth and prediction contribute an F1
+/// of 0 to the macro average only if they appear in the ground truth of
+/// the evaluation universe (scikit-learn's `labels=present classes`
+/// behaviour: we average over classes present in `truth`).
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn f1_scores(truth: &[u32], pred: &[u32], classes: usize) -> F1 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty(), "empty evaluation set");
+    let mut tp = vec![0u64; classes];
+    let mut fp = vec![0u64; classes];
+    let mut fnn = vec![0u64; classes];
+    let mut present = vec![false; classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        present[t as usize] = true;
+        if t == p {
+            tp[t as usize] += 1;
+        } else {
+            fp[p as usize] += 1;
+            fnn[t as usize] += 1;
+        }
+    }
+    let mut macro_sum = 0.0f64;
+    let mut n_present = 0usize;
+    for c in 0..classes {
+        if !present[c] {
+            continue;
+        }
+        n_present += 1;
+        let denom = 2 * tp[c] + fp[c] + fnn[c];
+        if denom > 0 {
+            macro_sum += 2.0 * tp[c] as f64 / denom as f64;
+        }
+    }
+    let tp_total: u64 = tp.iter().sum();
+    let fp_total: u64 = fp.iter().sum();
+    let fn_total: u64 = fnn.iter().sum();
+    let micro = if tp_total + fp_total + fn_total == 0 {
+        0.0
+    } else {
+        2.0 * tp_total as f64 / (2 * tp_total + fp_total + fn_total) as f64
+    };
+    F1 {
+        macro_f1: macro_sum / n_present.max(1) as f64,
+        micro_f1: micro,
+    }
+}
+
+/// Area under the ROC curve via the Mann–Whitney U statistic: the
+/// probability that a random positive scores above a random negative (ties
+/// count half).
+///
+/// # Panics
+/// Panics if either class is empty.
+pub fn auc(pos_scores: &[f32], neg_scores: &[f32]) -> f64 {
+    assert!(
+        !pos_scores.is_empty() && !neg_scores.is_empty(),
+        "AUC needs both classes"
+    );
+    // Rank-sum approach: sort all scores, assign average ranks to ties.
+    let mut all: Vec<(f32, bool)> = pos_scores
+        .iter()
+        .map(|&s| (s, true))
+        .chain(neg_scores.iter().map(|&s| (s, false)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN score"));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < all.len() {
+        let mut j = i;
+        while j + 1 < all.len() && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        // Average rank of the tie group (1-based ranks).
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in &all[i..=j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos = pos_scores.len() as f64;
+    let n_neg = neg_scores.len() as f64;
+    (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let t = [0u32, 1, 2, 1];
+        let f = f1_scores(&t, &t, 3);
+        assert_eq!(f.macro_f1, 1.0);
+        assert_eq!(f.micro_f1, 1.0);
+    }
+
+    #[test]
+    fn micro_equals_accuracy_single_label() {
+        let truth = [0u32, 0, 1, 1, 2, 2];
+        let pred = [0u32, 1, 1, 1, 2, 0];
+        let f = f1_scores(&truth, &pred, 3);
+        assert!((f.micro_f1 - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_averages_per_class() {
+        // Class 0: tp=1 fp=1 fn=1 → F1 = 0.5; class 1: tp=1 fp=1 fn=1 →
+        // 0.5; macro = 0.5.
+        let truth = [0u32, 0, 1, 1];
+        let pred = [0u32, 1, 1, 0];
+        let f = f1_scores(&truth, &pred, 2);
+        assert!((f.macro_f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_ignored_in_macro() {
+        // Class 2 never appears in truth; macro over classes {0, 1} only.
+        let truth = [0u32, 1];
+        let pred = [0u32, 1];
+        let f = f1_scores(&truth, &pred, 3);
+        assert_eq!(f.macro_f1, 1.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        assert_eq!(auc(&[0.9, 0.8], &[0.1, 0.2]), 1.0);
+        assert_eq!(auc(&[0.1, 0.2], &[0.9, 0.8]), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let scores: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        // Interleave positives and negatives evenly.
+        let pos: Vec<f32> = scores.iter().step_by(2).copied().collect();
+        let neg: Vec<f32> = scores.iter().skip(1).step_by(2).copied().collect();
+        let a = auc(&pos, &neg);
+        assert!((a - 0.5).abs() < 0.02, "{a}");
+    }
+
+    #[test]
+    fn auc_handles_ties() {
+        // All equal scores → AUC exactly 0.5.
+        assert_eq!(auc(&[1.0, 1.0], &[1.0, 1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn auc_empty_class_rejected() {
+        let _ = auc(&[], &[0.5]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Silhouette score: quantifies the "more separated from each other"
+//! observation of the Figure 6 case study as a single number.
+
+/// Mean silhouette coefficient of labeled points under Euclidean distance.
+///
+/// For each point: `s = (b − a) / max(a, b)` where `a` is the mean
+/// distance to its own cluster and `b` the smallest mean distance to
+/// another cluster. Points in singleton clusters score 0 (scikit-learn
+/// convention).
+///
+/// # Panics
+/// Panics if fewer than 2 points or fewer than 2 distinct clusters.
+pub fn silhouette_score(points: &[&[f32]], labels: &[usize]) -> f64 {
+    let n = points.len();
+    assert_eq!(n, labels.len());
+    assert!(n >= 2, "need at least two points");
+    let clusters: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+    assert!(clusters.len() >= 2, "need at least two clusters");
+
+    // Pairwise distances.
+    let dist = |i: usize, j: usize| -> f64 {
+        points[i]
+            .iter()
+            .zip(points[j])
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let own = labels[i];
+        let own_size = labels.iter().filter(|&&l| l == own).count();
+        if own_size <= 1 {
+            continue; // s = 0
+        }
+        let mut a = 0.0f64;
+        let mut b = f64::INFINITY;
+        for &c in &clusters {
+            if c == own {
+                let sum: f64 = (0..n)
+                    .filter(|&j| j != i && labels[j] == own)
+                    .map(|j| dist(i, j))
+                    .sum();
+                a = sum / (own_size - 1) as f64;
+            } else {
+                let size = labels.iter().filter(|&&l| l == c).count();
+                if size == 0 {
+                    continue;
+                }
+                let sum: f64 = (0..n)
+                    .filter(|&j| labels[j] == c)
+                    .map(|j| dist(i, j))
+                    .sum();
+                b = b.min(sum / size as f64);
+            }
+        }
+        total += (b - a) / a.max(b);
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let pts: Vec<Vec<f32>> = (0..10)
+            .map(|i| {
+                if i < 5 {
+                    vec![0.0 + i as f32 * 0.01, 0.0]
+                } else {
+                    vec![100.0 + i as f32 * 0.01, 0.0]
+                }
+            })
+            .collect();
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let labels: Vec<usize> = (0..10).map(|i| usize::from(i >= 5)).collect();
+        let s = silhouette_score(&rows, &labels);
+        assert!(s > 0.95, "{s}");
+    }
+
+    #[test]
+    fn shuffled_labels_score_low() {
+        let pts: Vec<Vec<f32>> = (0..10)
+            .map(|i| {
+                if i < 5 {
+                    vec![0.0 + i as f32 * 0.01, 0.0]
+                } else {
+                    vec![100.0 + i as f32 * 0.01, 0.0]
+                }
+            })
+            .collect();
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        // Alternate labels — maximally wrong.
+        let labels: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        let s = silhouette_score(&rows, &labels);
+        assert!(s < 0.1, "{s}");
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let pts = [vec![0.0f32], vec![0.1f32], vec![10.0f32]];
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let s = silhouette_score(&rows, &[0, 0, 1]);
+        assert!(s.is_finite());
+        assert!(s > 0.5); // the two-point cluster is tight, singleton adds 0
+    }
+
+    #[test]
+    #[should_panic(expected = "two clusters")]
+    fn single_cluster_rejected() {
+        let pts = [vec![0.0f32], vec![1.0f32]];
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let _ = silhouette_score(&rows, &[0, 0]);
+    }
+}

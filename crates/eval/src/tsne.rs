@@ -1,0 +1,392 @@
+//! Exact t-SNE \[25\] for the Figure 6 case study.
+//!
+//! The case study embeds 90 points, so the exact O(n²) algorithm — the
+//! reference implementation of van der Maaten & Hinton — is the right
+//! tool: per-point perplexity calibration by binary search, early
+//! exaggeration, momentum schedule, and PCA initialization (top-2
+//! principal components by power iteration).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity (the effective number of neighbours).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate η.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the
+    /// iterations.
+    pub exaggeration: f64,
+    /// RNG seed (PCA fallback jitter).
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 15.0,
+            iterations: 600,
+            learning_rate: 100.0,
+            exaggeration: 12.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Embed `points` (rows of equal dimension) into 2-D.
+///
+/// Returns one `[x, y]` pair per input row.
+///
+/// # Panics
+/// Panics if fewer than 4 points are given or rows are ragged.
+pub fn tsne(points: &[&[f32]], cfg: &TsneConfig) -> Vec<[f64; 2]> {
+    let n = points.len();
+    assert!(n >= 4, "t-SNE needs at least 4 points");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged rows");
+
+    // --- Pairwise squared distances in high-dimensional space. ---
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0f64;
+            for (&a, &b) in points[i].iter().zip(points[j]) {
+                let diff = (a - b) as f64;
+                s += diff * diff;
+            }
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+
+    // --- Per-point sigma by binary search on perplexity. ---
+    let target_entropy = cfg.perplexity.min((n - 1) as f64 * 0.9).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut lo, mut hi) = (1e-20f64, 1e20f64);
+        let mut beta = 1.0f64; // 1/(2σ²)
+        for _ in 0..64 {
+            let mut sum = 0.0f64;
+            let mut sum_dp = 0.0f64;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let e = (-beta * d2[i * n + j]).exp();
+                sum += e;
+                sum_dp += e * d2[i * n + j];
+            }
+            if sum <= 0.0 {
+                beta /= 2.0;
+                continue;
+            }
+            // Shannon entropy of the conditional distribution.
+            let h = sum.ln() + beta * sum_dp / sum;
+            if (h - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if h > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e19 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = if lo <= 1e-19 { beta / 2.0 } else { (beta + lo) / 2.0 };
+            }
+        }
+        let mut sum = 0.0f64;
+        for j in 0..n {
+            if j != i {
+                let e = (-beta * d2[i * n + j]).exp();
+                p[i * n + j] = e;
+                sum += e;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+
+    // --- Symmetrize. ---
+    let mut pj = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pj[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // --- Initialize with PCA (top-2 components), tiny scale. ---
+    let mut y = pca2(points, cfg.seed);
+    let scale = 1e-4
+        / y.iter()
+            .map(|v| v[0].abs().max(v[1].abs()))
+            .fold(f64::MIN_POSITIVE, f64::max);
+    for v in y.iter_mut() {
+        v[0] *= scale;
+        v[1] *= scale;
+    }
+
+    // --- Gradient descent with momentum and early exaggeration. ---
+    let mut velocity = vec![[0.0f64; 2]; n];
+    let mut gains = vec![[1.0f64; 2]; n];
+    let exag_until = cfg.iterations / 4;
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+        let momentum = if iter < cfg.iterations / 3 { 0.5 } else { 0.8 };
+
+        // Student-t affinities.
+        let mut qnum = vec![0.0f64; n * n];
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                qnum[i * n + j] = q;
+                qnum[j * n + i] = q;
+                qsum += 2.0 * q;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+
+        for i in 0..n {
+            let mut g = [0.0f64; 2];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let qn = qnum[i * n + j];
+                let mult = (exag * pj[i * n + j] - qn / qsum) * qn;
+                g[0] += 4.0 * mult * (y[i][0] - y[j][0]);
+                g[1] += 4.0 * mult * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                // Jacobs-style adaptive gains.
+                gains[i][k] = if (g[k] > 0.0) == (velocity[i][k] > 0.0) {
+                    (gains[i][k] * 0.8).max(0.01)
+                } else {
+                    gains[i][k] + 0.2
+                };
+                velocity[i][k] =
+                    momentum * velocity[i][k] - cfg.learning_rate * gains[i][k] * g[k];
+            }
+        }
+        for i in 0..n {
+            y[i][0] += velocity[i][0];
+            y[i][1] += velocity[i][1];
+        }
+        // Recenter to keep coordinates bounded.
+        let (mut cx, mut cy) = (0.0f64, 0.0f64);
+        for v in &y {
+            cx += v[0];
+            cy += v[1];
+        }
+        cx /= n as f64;
+        cy /= n as f64;
+        for v in y.iter_mut() {
+            v[0] -= cx;
+            v[1] -= cy;
+        }
+    }
+    y
+}
+
+/// Top-2 principal components by power iteration with deflation.
+fn pca2(points: &[&[f32]], seed: u64) -> Vec<[f64; 2]> {
+    let n = points.len();
+    let dim = points[0].len();
+    // Center.
+    let mut mean = vec![0.0f64; dim];
+    for p in points {
+        for (m, &v) in mean.iter_mut().zip(*p) {
+            *m += v as f64;
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n as f64;
+    }
+    let centered: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| p.iter().zip(&mean).map(|(&v, &m)| v as f64 - m).collect())
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut components: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..2 {
+        let mut v: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+        normalize(&mut v);
+        for _ in 0..100 {
+            // w = Cᵀ(C v) without materializing the covariance.
+            let proj: Vec<f64> = centered.iter().map(|row| dot(row, &v)).collect();
+            let mut w = vec![0.0f64; dim];
+            for (row, &pr) in centered.iter().zip(&proj) {
+                for (wk, &rk) in w.iter_mut().zip(row) {
+                    *wk += pr * rk;
+                }
+            }
+            // Deflate previously-found components.
+            for c in &components {
+                let a = dot(&w, c);
+                for (wk, &ck) in w.iter_mut().zip(c) {
+                    *wk -= a * ck;
+                }
+            }
+            if normalize(&mut w) < 1e-12 {
+                break;
+            }
+            v = w;
+        }
+        // Ensure orthogonality even when the data has lower rank than the
+        // number of requested components (power iteration then stalls on
+        // an arbitrary direction).
+        for c in &components {
+            let a = dot(&v, c);
+            for (vk, &ck) in v.iter_mut().zip(c) {
+                *vk -= a * ck;
+            }
+        }
+        if normalize(&mut v) < 1e-12 {
+            v = vec![0.0; dim];
+        }
+        components.push(v);
+    }
+    centered
+        .iter()
+        .map(|row| [dot(row, &components[0]), dot(row, &components[1])])
+        .collect()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian blobs in 10-D.
+    fn blobs(per: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for _ in 0..per {
+                let mut p = vec![0.0f32; 10];
+                p[c] = 10.0;
+                for v in p.iter_mut() {
+                    *v += rng.random_range(-0.5..0.5);
+                }
+                pts.push(p);
+                labels.push(c);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn blobs_stay_separated_in_2d() {
+        let (pts, labels) = blobs(15, 0);
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let y = tsne(
+            &rows,
+            &TsneConfig {
+                iterations: 400,
+                ..Default::default()
+            },
+        );
+        // Mean intra-cluster distance must be well below inter-cluster.
+        let dist = |a: [f64; 2], b: [f64; 2]| {
+            ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
+        };
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let (mut ni, mut nx) = (0usize, 0usize);
+        for i in 0..y.len() {
+            for j in (i + 1)..y.len() {
+                if labels[i] == labels[j] {
+                    intra += dist(y[i], y[j]);
+                    ni += 1;
+                } else {
+                    inter += dist(y[i], y[j]);
+                    nx += 1;
+                }
+            }
+        }
+        intra /= ni as f64;
+        inter /= nx as f64;
+        assert!(
+            inter > 2.0 * intra,
+            "inter {inter} should dwarf intra {intra}"
+        );
+    }
+
+    #[test]
+    fn output_is_finite_and_centered() {
+        let (pts, _) = blobs(8, 1);
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let y = tsne(
+            &rows,
+            &TsneConfig {
+                iterations: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(y.len(), 24);
+        let mut cx = 0.0;
+        for v in &y {
+            assert!(v[0].is_finite() && v[1].is_finite());
+            cx += v[0];
+        }
+        assert!((cx / y.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (pts, _) = blobs(6, 2);
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..Default::default()
+        };
+        assert_eq!(tsne(&rows, &cfg), tsne(&rows, &cfg));
+    }
+
+    #[test]
+    fn pca_projects_onto_principal_axes() {
+        // Points on a line in 5-D: first PC captures nearly everything.
+        let pts: Vec<Vec<f32>> = (0..20)
+            .map(|i| {
+                let t = i as f32;
+                vec![3.0 * t, -t, 0.5 * t, 0.0, 0.0]
+            })
+            .collect();
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let y = pca2(&rows, 0);
+        let var1: f64 = y.iter().map(|v| v[0] * v[0]).sum();
+        let var2: f64 = y.iter().map(|v| v[1] * v[1]).sum();
+        assert!(var1 > 100.0 * var2.max(1e-9), "var1 {var1} var2 {var2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 points")]
+    fn too_few_points_rejected() {
+        let pts = [vec![0.0f32; 3], vec![1.0f32; 3]];
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let _ = tsne(&rows, &TsneConfig::default());
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use transn_eval::{auc, f1_scores, silhouette_score};
+
+proptest! {
+    /// AUC is bounded in [0, 1] and anti-symmetric under class swap.
+    #[test]
+    fn auc_bounds_and_antisymmetry(
+        pos in proptest::collection::vec(-100.0f32..100.0, 1..40),
+        neg in proptest::collection::vec(-100.0f32..100.0, 1..40),
+    ) {
+        let a = auc(&pos, &neg);
+        prop_assert!((0.0..=1.0).contains(&a));
+        let swapped = auc(&neg, &pos);
+        prop_assert!((a + swapped - 1.0).abs() < 1e-9, "{a} + {swapped}");
+    }
+
+    /// AUC is invariant under any strictly monotone score transform.
+    #[test]
+    fn auc_rank_invariance(
+        pos in proptest::collection::vec(-10.0f32..10.0, 1..30),
+        neg in proptest::collection::vec(-10.0f32..10.0, 1..30),
+    ) {
+        let a = auc(&pos, &neg);
+        let f = |v: f32| (v * 0.3).exp(); // strictly increasing
+        let pos2: Vec<f32> = pos.iter().map(|&v| f(v)).collect();
+        let neg2: Vec<f32> = neg.iter().map(|&v| f(v)).collect();
+        prop_assert!((a - auc(&pos2, &neg2)).abs() < 1e-6);
+    }
+
+    /// F1 scores are bounded; perfect predictions score 1.
+    #[test]
+    fn f1_bounds(
+        truth in proptest::collection::vec(0u32..4, 2..50),
+    ) {
+        prop_assume!(!truth.is_empty());
+        let f = f1_scores(&truth, &truth, 4);
+        prop_assert_eq!(f.macro_f1, 1.0);
+        prop_assert_eq!(f.micro_f1, 1.0);
+        // Constant predictor stays within bounds.
+        let pred = vec![0u32; truth.len()];
+        let f = f1_scores(&truth, &pred, 4);
+        prop_assert!((0.0..=1.0).contains(&f.macro_f1));
+        prop_assert!((0.0..=1.0).contains(&f.micro_f1));
+    }
+
+    /// Micro-F1 equals accuracy for single-label data.
+    #[test]
+    fn micro_is_accuracy(
+        pairs in proptest::collection::vec((0u32..3, 0u32..3), 1..60),
+    ) {
+        let truth: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let pred: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        let f = f1_scores(&truth, &pred, 3);
+        let acc = truth.iter().zip(&pred).filter(|(a, b)| a == b).count() as f64
+            / truth.len() as f64;
+        prop_assert!((f.micro_f1 - acc).abs() < 1e-12);
+    }
+
+    /// Silhouette is bounded in [-1, 1].
+    #[test]
+    fn silhouette_bounds(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 3),
+            4..20,
+        ),
+    ) {
+        let labels: Vec<usize> = (0..points.len()).map(|i| i % 2).collect();
+        let rows: Vec<&[f32]> = points.iter().map(|p| p.as_slice()).collect();
+        let s = silhouette_score(&rows, &labels);
+        prop_assert!((-1.0..=1.0).contains(&s), "{s}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Walker's alias method (Vose's variant) for O(1) sampling from a discrete
+//! distribution.
+//!
+//! Used by the walk engines for degree-biased start-node selection
+//! (§III-A: "nodes with higher degrees are more likely to be sampled") and
+//! for per-node neighbour sampling on homo-views where only `π₁` applies.
+
+/// Precomputed alias table over `n` outcomes.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f32>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights. Weights need not be normalized.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "alias table over empty support");
+        let mut total = 0.0f64;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "bad alias weight {w}");
+            total += w as f64;
+        }
+        assert!(total > 0.0, "alias weights sum to zero");
+
+        let n = weights.len();
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| w as f64 * n as f64 / total)
+            .collect();
+        let mut prob = vec![0.0f32; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize] as f32;
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &l in &large {
+            prob[l as usize] = 1.0;
+        }
+        for &s in &small {
+            // Can only be left over through floating-point round-off.
+            prob[s as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw an outcome index in O(1).
+    #[inline]
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f32>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn empirical(weights: &[f32], draws: usize) -> Vec<f64> {
+        let t = AliasTable::new(weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_distribution() {
+        let freqs = empirical(&[1.0, 1.0, 1.0, 1.0], 100_000);
+        for f in freqs {
+            assert!((f - 0.25).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let freqs = empirical(&[1.0, 2.0, 7.0], 200_000);
+        let expect = [0.1, 0.2, 0.7];
+        for (f, e) in freqs.iter().zip(expect) {
+            assert!((f - e).abs() < 0.01, "{f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let freqs = empirical(&[0.0, 1.0, 0.0, 3.0], 50_000);
+        assert_eq!(freqs[0], 0.0);
+        assert_eq!(freqs[2], 0.0);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad alias weight")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+}

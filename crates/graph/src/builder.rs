@@ -1,0 +1,256 @@
+//! Construction of validated heterogeneous networks.
+
+use crate::csr::Csr;
+use crate::error::GraphError;
+use crate::ids::{EdgeTypeId, NodeId, NodeTypeId};
+use crate::network::{Edge, HetNet};
+use crate::schema::Schema;
+
+/// Incremental builder for a [`HetNet`].
+///
+/// Validates, per edge:
+/// - both endpoints exist,
+/// - the edge type was declared and the endpoint node types match its
+///   signature (Definition 1),
+/// - the weight is finite and positive,
+/// - no self-loops.
+///
+/// Duplicate edges are allowed at this layer (the synthetic generators
+/// deduplicate where the datasets require it); they become parallel arcs in
+/// the adjacency, i.e. their weights add for sampling purposes.
+#[derive(Clone, Debug, Default)]
+pub struct HetNetBuilder {
+    schema: Schema,
+    node_types: Vec<NodeTypeId>,
+    edges: Vec<Edge>,
+}
+
+impl HetNetBuilder {
+    /// A builder with an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder starting from an existing schema (e.g. when re-building a
+    /// network with some edges removed, as in the link-prediction protocol).
+    pub fn with_schema(schema: Schema) -> Self {
+        HetNetBuilder {
+            schema,
+            node_types: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Declare a node type.
+    pub fn add_node_type(&mut self, name: impl Into<String>) -> NodeTypeId {
+        self.schema.add_node_type(name)
+    }
+
+    /// Declare an edge type with endpoint signature `(a, b)`.
+    pub fn add_edge_type(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeTypeId,
+        b: NodeTypeId,
+    ) -> EdgeTypeId {
+        self.schema.add_edge_type(name, a, b)
+    }
+
+    /// Add a node of the given type; returns its dense id.
+    pub fn add_node(&mut self, t: NodeTypeId) -> NodeId {
+        let id = NodeId::from_index(self.node_types.len());
+        self.node_types.push(t);
+        id
+    }
+
+    /// Add `count` nodes of the given type; returns their ids.
+    pub fn add_nodes(&mut self, t: NodeTypeId, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node(t)).collect()
+    }
+
+    /// Add an undirected edge after validating it.
+    pub fn add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        etype: EdgeTypeId,
+        weight: f32,
+    ) -> Result<(), GraphError> {
+        if u.index() >= self.node_types.len() {
+            return Err(GraphError::UnknownNode(u));
+        }
+        if v.index() >= self.node_types.len() {
+            return Err(GraphError::UnknownNode(v));
+        }
+        if etype.index() >= self.schema.num_edge_types() {
+            return Err(GraphError::UnknownEdgeType(etype));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(GraphError::BadWeight { weight });
+        }
+        let (tu, tv) = (self.node_types[u.index()], self.node_types[v.index()]);
+        if !self.schema.matches(etype, tu, tv) {
+            return Err(GraphError::SignatureMismatch {
+                edge_type: etype,
+                expected: self.schema.signature(etype),
+                found: (tu, tv),
+            });
+        }
+        self.edges.push(Edge {
+            u,
+            v,
+            etype,
+            weight,
+        });
+        Ok(())
+    }
+
+    /// Current number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Current number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The schema under construction.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Finish construction.
+    ///
+    /// Fails with [`GraphError::NotHeterogeneous`] if
+    /// `|C_V| + |C_E| <= 1` (Definition 1).
+    pub fn build(self) -> Result<HetNet, GraphError> {
+        if self.schema.num_node_types() + self.schema.num_edge_types() <= 1 {
+            return Err(GraphError::NotHeterogeneous);
+        }
+        let n = self.node_types.len();
+        let adj = Csr::from_undirected(
+            n,
+            self.edges.iter().map(|e| (e.u.0, e.v.0, e.weight)),
+        );
+        Ok(HetNet {
+            schema: self.schema,
+            node_types: self.node_types,
+            edges: self.edges,
+            adj,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> (HetNetBuilder, NodeTypeId, NodeTypeId, EdgeTypeId) {
+        let mut b = HetNetBuilder::new();
+        let a = b.add_node_type("a");
+        let p = b.add_node_type("p");
+        let e = b.add_edge_type("ap", a, p);
+        (b, a, p, e)
+    }
+
+    #[test]
+    fn valid_build() {
+        let (mut b, a, p, e) = base();
+        let n0 = b.add_node(a);
+        let n1 = b.add_node(p);
+        b.add_edge(n0, n1, e, 0.5).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let (mut b, a, _p, e) = base();
+        let n0 = b.add_node(a);
+        let err = b.add_edge(n0, NodeId(99), e, 1.0).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode(NodeId(99))));
+    }
+
+    #[test]
+    fn rejects_unknown_edge_type() {
+        let (mut b, a, p, _e) = base();
+        let n0 = b.add_node(a);
+        let n1 = b.add_node(p);
+        let err = b.add_edge(n0, n1, EdgeTypeId(7), 1.0).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownEdgeType(_)));
+    }
+
+    #[test]
+    fn rejects_signature_mismatch() {
+        let (mut b, a, _p, e) = base();
+        let n0 = b.add_node(a);
+        let n1 = b.add_node(a);
+        let err = b.add_edge(n0, n1, e, 1.0).unwrap_err();
+        assert!(matches!(err, GraphError::SignatureMismatch { .. }));
+    }
+
+    #[test]
+    fn signature_accepts_either_order() {
+        let (mut b, a, p, e) = base();
+        let n0 = b.add_node(a);
+        let n1 = b.add_node(p);
+        b.add_edge(n1, n0, e, 1.0).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let (mut b, a, p, e) = base();
+        let n0 = b.add_node(a);
+        let n1 = b.add_node(p);
+        for w in [0.0, -1.0, f32::NAN, f32::INFINITY] {
+            let err = b.add_edge(n0, n1, e, w).unwrap_err();
+            assert!(matches!(err, GraphError::BadWeight { .. }), "weight {w}");
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let e = b.add_edge_type("tt", t, t);
+        let n = b.add_node(t);
+        let err = b.add_edge(n, n, e, 1.0).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop(_)));
+    }
+
+    #[test]
+    fn rejects_degenerate_schema() {
+        // One node type, zero edge types: |C_V| + |C_E| = 1.
+        let mut b = HetNetBuilder::new();
+        b.add_node_type("only");
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, GraphError::NotHeterogeneous));
+    }
+
+    #[test]
+    fn homogeneous_with_one_edge_type_is_allowed() {
+        // |C_V| = 1, |C_E| = 1 → sum 2 > 1: a homogeneous network is a
+        // degenerate-but-legal heterogeneous network per Definition 1.
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let e = b.add_edge_type("tt", t, t);
+        let n0 = b.add_node(t);
+        let n1 = b.add_node(t);
+        b.add_edge(n0, n1, e, 1.0).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let (mut b, a, _, _) = base();
+        let ids = b.add_nodes(a, 5);
+        assert_eq!(ids.len(), 5);
+        assert_eq!(b.num_nodes(), 5);
+        assert_eq!(ids[4], NodeId(4));
+    }
+}

@@ -1,0 +1,245 @@
+//! Compressed sparse row adjacency with weights.
+//!
+//! Both the global adjacency of a [`crate::HetNet`] and the per-view local
+//! adjacency use this structure. Neighbour lists are sorted by neighbour id,
+//! enabling binary-search membership tests, and each node's weights carry a
+//! prefix-sum so weighted neighbour sampling is O(log δ) without any
+//! auxiliary table (the walk engines additionally build
+//! [`crate::AliasTable`]s for O(1) sampling where profitable).
+
+use serde::{Deserialize, Serialize};
+
+/// Weighted CSR adjacency over `n` nodes indexed `0..n`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Csr {
+    /// `offsets[i]..offsets[i+1]` is node `i`'s slice in `neighbors`/`weights`.
+    offsets: Vec<u32>,
+    /// Flattened neighbour ids, sorted within each node's slice.
+    neighbors: Vec<u32>,
+    /// Weight of the edge to the corresponding neighbour.
+    weights: Vec<f32>,
+    /// Per-node inclusive prefix sums of `weights`, aligned with `neighbors`.
+    weight_prefix: Vec<f32>,
+}
+
+impl Csr {
+    /// Build from an undirected edge list over `n` nodes. Every `(u, v, w)`
+    /// contributes entries to both `u`'s and `v`'s neighbour lists.
+    pub fn from_undirected(n: usize, edges: impl IntoIterator<Item = (u32, u32, f32)>) -> Self {
+        let mut pairs: Vec<(u32, u32, f32)> = Vec::new();
+        for (u, v, w) in edges {
+            debug_assert!(u < n as u32 && v < n as u32, "edge endpoint out of range");
+            pairs.push((u, v, w));
+            pairs.push((v, u, w));
+        }
+        Self::from_directed_pairs(n, pairs)
+    }
+
+    /// Build from explicit directed arcs (each `(src, dst, w)` appears only
+    /// in `src`'s list).
+    pub fn from_directed_pairs(n: usize, mut arcs: Vec<(u32, u32, f32)>) -> Self {
+        arcs.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut offsets = vec![0u32; n + 1];
+        for &(src, _, _) in &arcs {
+            offsets[src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut neighbors = Vec::with_capacity(arcs.len());
+        let mut weights = Vec::with_capacity(arcs.len());
+        for &(_, dst, w) in &arcs {
+            neighbors.push(dst);
+            weights.push(w);
+        }
+        let mut weight_prefix = Vec::with_capacity(weights.len());
+        for i in 0..n {
+            let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
+            let mut acc = 0.0f32;
+            for &w in &weights[s..e] {
+                acc += w;
+                weight_prefix.push(acc);
+            }
+        }
+        Csr {
+            offsets,
+            neighbors,
+            weights,
+            weight_prefix,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of stored arcs (2× the undirected edge count).
+    pub fn num_arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree of node `i`.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Neighbour ids of node `i`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        let (s, e) = self.range(i);
+        &self.neighbors[s..e]
+    }
+
+    /// Weights aligned with [`Csr::neighbors`].
+    #[inline]
+    pub fn weights(&self, i: usize) -> &[f32] {
+        let (s, e) = self.range(i);
+        &self.weights[s..e]
+    }
+
+    /// Sum of the weights of node `i`'s incident edges.
+    #[inline]
+    pub fn weight_sum(&self, i: usize) -> f32 {
+        let (s, e) = self.range(i);
+        if s == e {
+            0.0
+        } else {
+            self.weight_prefix[e - 1]
+        }
+    }
+
+    /// Whether nodes `i` and `j` are adjacent (binary search).
+    #[inline]
+    pub fn contains(&self, i: usize, j: u32) -> bool {
+        self.neighbors(i).binary_search(&j).is_ok()
+    }
+
+    /// The weight of the arc `i → j`, if present.
+    pub fn weight_of(&self, i: usize, j: u32) -> Option<f32> {
+        let (s, _) = self.range(i);
+        self.neighbors(i)
+            .binary_search(&j)
+            .ok()
+            .map(|k| self.weights[s + k])
+    }
+
+    /// Sample a neighbour of `i` proportionally to edge weight, using the
+    /// per-node prefix sums (O(log δ)). Returns `None` for isolated nodes.
+    ///
+    /// This realizes `π₁` of Equation (6).
+    pub fn sample_neighbor<R: rand::Rng + ?Sized>(&self, i: usize, rng: &mut R) -> Option<u32> {
+        let (s, e) = self.range(i);
+        if s == e {
+            return None;
+        }
+        let total = self.weight_prefix[e - 1];
+        let x: f32 = rng.random::<f32>() * total;
+        let slice = &self.weight_prefix[s..e];
+        let k = slice.partition_point(|&p| p <= x).min(slice.len() - 1);
+        Some(self.neighbors[s + k])
+    }
+
+    /// Min and max incident weight of node `i` — the ingredients of `Δ` in
+    /// Equation (5). Returns `None` for isolated nodes.
+    pub fn weight_min_max(&self, i: usize) -> Option<(f32, f32)> {
+        let ws = self.weights(i);
+        if ws.is_empty() {
+            return None;
+        }
+        let mut mn = f32::INFINITY;
+        let mut mx = f32::NEG_INFINITY;
+        for &w in ws {
+            mn = mn.min(w);
+            mx = mx.max(w);
+        }
+        Some((mn, mx))
+    }
+
+    #[inline]
+    fn range(&self, i: usize) -> (usize, usize) {
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn path3() -> Csr {
+        // 0 -1.0- 1 -3.0- 2
+        Csr::from_undirected(3, [(0, 1, 1.0), (1, 2, 3.0)])
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let c = path3();
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.num_arcs(), 4);
+        assert_eq!(c.degree(0), 1);
+        assert_eq!(c.degree(1), 2);
+        assert_eq!(c.neighbors(1), &[0, 2]);
+        assert_eq!(c.weights(1), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn membership_and_weight_lookup() {
+        let c = path3();
+        assert!(c.contains(0, 1));
+        assert!(!c.contains(0, 2));
+        assert_eq!(c.weight_of(1, 2), Some(3.0));
+        assert_eq!(c.weight_of(0, 2), None);
+    }
+
+    #[test]
+    fn weight_sums() {
+        let c = path3();
+        assert_eq!(c.weight_sum(1), 4.0);
+        assert_eq!(c.weight_sum(0), 1.0);
+    }
+
+    #[test]
+    fn isolated_node_handled() {
+        let c = Csr::from_undirected(3, [(0, 1, 1.0)]);
+        assert_eq!(c.degree(2), 0);
+        assert_eq!(c.weight_sum(2), 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(c.sample_neighbor(2, &mut rng), None);
+        assert_eq!(c.weight_min_max(2), None);
+    }
+
+    #[test]
+    fn sampling_follows_weights() {
+        let c = path3();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            let nb = c.sample_neighbor(1, &mut rng).unwrap();
+            counts[nb as usize] += 1;
+        }
+        // Expect node 2 sampled ~3x as often as node 0.
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!(
+            (ratio - 3.0).abs() < 0.25,
+            "ratio {ratio} too far from 3.0 ({counts:?})"
+        );
+    }
+
+    #[test]
+    fn min_max_weights() {
+        let c = path3();
+        assert_eq!(c.weight_min_max(1), Some((1.0, 3.0)));
+        assert_eq!(c.weight_min_max(0), Some((1.0, 1.0)));
+    }
+
+    #[test]
+    fn parallel_arcs_are_preserved() {
+        // Two distinct edges between 0 and 1 (can arise when a multigraph is
+        // flattened); both must be kept so weight mass is not lost.
+        let c = Csr::from_undirected(2, [(0, 1, 1.0), (0, 1, 2.0)]);
+        assert_eq!(c.degree(0), 2);
+        assert_eq!(c.weight_sum(0), 3.0);
+    }
+}

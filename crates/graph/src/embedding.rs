@@ -1,0 +1,219 @@
+//! The exchange type of the whole workspace: a dense table of d-dimensional
+//! node embeddings keyed by global [`NodeId`] — the output of the problem
+//! definition in §II ("represent each node n by a d-dimensional vector").
+
+use crate::error::GraphError;
+use crate::ids::NodeId;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// A dense `|V| × d` embedding table over global node ids.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeEmbeddings {
+    num_nodes: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl NodeEmbeddings {
+    /// Zero-initialized table.
+    pub fn zeros(num_nodes: usize, dim: usize) -> Self {
+        NodeEmbeddings {
+            num_nodes,
+            dim,
+            data: vec![0.0; num_nodes * dim],
+        }
+    }
+
+    /// Wrap a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not `num_nodes * dim`.
+    pub fn from_flat(num_nodes: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), num_nodes * dim, "embedding buffer mismatch");
+        NodeEmbeddings {
+            num_nodes,
+            dim,
+            data,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Embedding dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding of node `n`.
+    #[inline]
+    pub fn get(&self, n: NodeId) -> &[f32] {
+        &self.data[n.index() * self.dim..(n.index() + 1) * self.dim]
+    }
+
+    /// Mutable embedding of node `n`.
+    #[inline]
+    pub fn get_mut(&mut self, n: NodeId) -> &mut [f32] {
+        &mut self.data[n.index() * self.dim..(n.index() + 1) * self.dim]
+    }
+
+    /// Overwrite the embedding of node `n`.
+    pub fn set(&mut self, n: NodeId, values: &[f32]) {
+        assert_eq!(values.len(), self.dim);
+        self.get_mut(n).copy_from_slice(values);
+    }
+
+    /// Inner product of two nodes' embeddings — the link-prediction score
+    /// of §IV-B2.
+    pub fn dot(&self, a: NodeId, b: NodeId) -> f32 {
+        self.get(a)
+            .iter()
+            .zip(self.get(b))
+            .map(|(x, y)| x * y)
+            .sum()
+    }
+
+    /// Cosine similarity of two nodes' embeddings.
+    pub fn cosine(&self, a: NodeId, b: NodeId) -> f32 {
+        let (va, vb) = (self.get(a), self.get(b));
+        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// L2-normalize every row in place (rows of all zeros are left as-is).
+    pub fn normalize_rows(&mut self) {
+        for r in 0..self.num_nodes {
+            let row = &mut self.data[r * self.dim..(r + 1) * self.dim];
+            let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+    }
+
+    /// Write as TSV: `node_id \t v0 \t v1 …`.
+    pub fn write_tsv<W: Write>(&self, out: W) -> Result<(), GraphError> {
+        let mut w = BufWriter::new(out);
+        writeln!(w, "# transn embeddings v1 nodes={} dim={}", self.num_nodes, self.dim)?;
+        for n in 0..self.num_nodes {
+            write!(w, "{n}")?;
+            for v in &self.data[n * self.dim..(n + 1) * self.dim] {
+                write!(w, "\t{v}")?;
+            }
+            writeln!(w)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Read the TSV format back.
+    pub fn read_tsv<R: Read>(input: R) -> Result<Self, GraphError> {
+        let reader = BufReader::new(input);
+        let mut rows: Vec<(usize, Vec<f32>)> = Vec::new();
+        let mut dim = None;
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split('\t');
+            let parse_err = |msg: String| GraphError::Parse {
+                line: lineno + 1,
+                msg,
+            };
+            let id: usize = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| parse_err("bad node id".into()))?;
+            let values: Result<Vec<f32>, _> = fields.map(|f| f.parse::<f32>()).collect();
+            let values = values.map_err(|e| parse_err(format!("bad value: {e}")))?;
+            match dim {
+                None => dim = Some(values.len()),
+                Some(d) if d != values.len() => {
+                    return Err(parse_err(format!(
+                        "row has {} values, expected {d}",
+                        values.len()
+                    )))
+                }
+                _ => {}
+            }
+            rows.push((id, values));
+        }
+        let dim = dim.unwrap_or(0);
+        let n = rows.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
+        let mut table = NodeEmbeddings::zeros(n, dim);
+        for (id, values) in rows {
+            table.set(NodeId::from_index(id), &values);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut e = NodeEmbeddings::zeros(3, 2);
+        e.set(NodeId(1), &[1.0, 2.0]);
+        assert_eq!(e.get(NodeId(1)), &[1.0, 2.0]);
+        assert_eq!(e.get(NodeId(0)), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_and_cosine() {
+        let mut e = NodeEmbeddings::zeros(3, 2);
+        e.set(NodeId(0), &[1.0, 0.0]);
+        e.set(NodeId(1), &[3.0, 4.0]);
+        assert_eq!(e.dot(NodeId(0), NodeId(1)), 3.0);
+        assert!((e.cosine(NodeId(0), NodeId(1)) - 0.6).abs() < 1e-6);
+        // Zero vector → cosine 0, not NaN.
+        assert_eq!(e.cosine(NodeId(0), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn normalize_rows_unit_length() {
+        let mut e = NodeEmbeddings::zeros(2, 2);
+        e.set(NodeId(0), &[3.0, 4.0]);
+        e.normalize_rows();
+        let r = e.get(NodeId(0));
+        assert!((r[0] - 0.6).abs() < 1e-6 && (r[1] - 0.8).abs() < 1e-6);
+        // Zero row untouched.
+        assert_eq!(e.get(NodeId(1)), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut e = NodeEmbeddings::zeros(2, 3);
+        e.set(NodeId(0), &[0.25, -1.5, 3.0]);
+        e.set(NodeId(1), &[1.0, 2.0, -0.125]);
+        let mut buf = Vec::new();
+        e.write_tsv(&mut buf).unwrap();
+        let e2 = NodeEmbeddings::read_tsv(&buf[..]).unwrap();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn inconsistent_dims_rejected() {
+        let text = "0\t1.0\t2.0\n1\t3.0\n";
+        assert!(NodeEmbeddings::read_tsv(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer mismatch")]
+    fn bad_flat_buffer_panics() {
+        let _ = NodeEmbeddings::from_flat(2, 3, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type for network construction and I/O.
+
+use crate::ids::{EdgeTypeId, NodeId, NodeTypeId};
+use std::fmt;
+
+/// Errors produced while building or loading a heterogeneous network.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id that was never added.
+    UnknownNode(NodeId),
+    /// An edge referenced an edge type that was never declared.
+    UnknownEdgeType(EdgeTypeId),
+    /// A node referenced a node type that was never declared.
+    UnknownNodeType(NodeTypeId),
+    /// An edge's endpoints do not match the declared signature of its type.
+    ///
+    /// Definition 1 ties every edge type to an (unordered) pair of endpoint
+    /// node types; violating it would let a "view" contain three or more node
+    /// types, which Definition 4 rules out.
+    SignatureMismatch {
+        /// The offending edge type.
+        edge_type: EdgeTypeId,
+        /// Declared endpoint types.
+        expected: (NodeTypeId, NodeTypeId),
+        /// Actual endpoint types of the rejected edge.
+        found: (NodeTypeId, NodeTypeId),
+    },
+    /// An edge weight was non-finite or non-positive.
+    BadWeight {
+        /// The rejected weight.
+        weight: f32,
+    },
+    /// A self-loop was supplied; the paper's networks are simple graphs.
+    SelfLoop(NodeId),
+    /// The finished network violates `|C_V| + |C_E| > 1` (Definition 1).
+    NotHeterogeneous,
+    /// A parse failure while reading an edge list or label file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        msg: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node id {n}"),
+            GraphError::UnknownEdgeType(t) => write!(f, "unknown edge type id {t}"),
+            GraphError::UnknownNodeType(t) => write!(f, "unknown node type id {t}"),
+            GraphError::SignatureMismatch {
+                edge_type,
+                expected,
+                found,
+            } => write!(
+                f,
+                "edge type {edge_type} connects node types ({}, {}), got ({}, {})",
+                expected.0, expected.1, found.0, found.1
+            ),
+            GraphError::BadWeight { weight } => {
+                write!(f, "edge weight must be finite and > 0, got {weight}")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::NotHeterogeneous => write!(
+                f,
+                "network must satisfy |C_V| + |C_E| > 1 (Definition 1): declare at least \
+                 one node type and one edge type, totalling more than one"
+            ),
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::SignatureMismatch {
+            edge_type: EdgeTypeId(1),
+            expected: (NodeTypeId(0), NodeTypeId(1)),
+            found: (NodeTypeId(2), NodeTypeId(2)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("edge type 1"));
+        assert!(s.contains("(0, 1)"));
+        assert!(s.contains("(2, 2)"));
+    }
+
+    #[test]
+    fn io_error_is_chained() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "nope"));
+        assert!(e.source().is_some());
+    }
+}

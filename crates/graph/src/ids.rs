@@ -1,0 +1,98 @@
+//! Strongly-typed identifiers for nodes, node types, and edge types.
+//!
+//! All three are thin `u32` newtypes: networks in this workspace stay well
+//! under `u32::MAX` nodes, and 32-bit ids halve the memory traffic of the
+//! adjacency structures relative to `usize`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`crate::HetNet`].
+///
+/// Node ids are dense: a network with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a node *type* (an element of `C_V` in Definition 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeTypeId(pub u32);
+
+/// Identifier of an edge *type* (an element of `C_E` in Definition 1).
+///
+/// Views are indexed by edge type: view `i` of a network contains exactly
+/// the edges of type `EdgeTypeId(i)` (Definition 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeTypeId(pub u32);
+
+macro_rules! impl_id {
+    ($t:ty, $tag:literal) => {
+        impl $t {
+            /// The id as a `usize`, for indexing.
+            #[inline(always)]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(u32::try_from(i).expect(concat!($tag, " index overflows u32")))
+            }
+        }
+
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<u32> for $t {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+impl_id!(NodeId, "NodeId");
+impl_id!(NodeTypeId, "NodeTypeId");
+impl_id!(EdgeTypeId, "EdgeTypeId");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeTypeId(0) < EdgeTypeId(3));
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(NodeId(7).to_string(), "7");
+        assert_eq!(format!("{:?}", NodeTypeId(3)), "NodeTypeId(3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

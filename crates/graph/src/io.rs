@@ -1,0 +1,277 @@
+//! Plain-text persistence for heterogeneous networks and labels.
+//!
+//! The on-disk format is a self-describing TSV:
+//!
+//! ```text
+//! # transn heterogeneous edge list v1
+//! nodetype <id> <name>
+//! edgetype <id> <name> <src-nodetype> <dst-nodetype>
+//! node <id> <nodetype>
+//! edge <u> <v> <edgetype> <weight>
+//! ```
+//!
+//! Label files are `node <id> <class-name>` lines with a
+//! `class <id> <name>` preamble.
+
+use crate::builder::HetNetBuilder;
+use crate::error::GraphError;
+use crate::ids::{EdgeTypeId, NodeId, NodeTypeId};
+use crate::labels::Labels;
+use crate::network::HetNet;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Serialize a network to the TSV format.
+pub fn write_edge_list<W: Write>(net: &HetNet, out: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "# transn heterogeneous edge list v1")?;
+    let s = net.schema();
+    for t in s.node_types() {
+        writeln!(w, "nodetype\t{}\t{}", t.0, s.node_type_name(t))?;
+    }
+    for t in s.edge_types() {
+        let (a, b) = s.signature(t);
+        writeln!(w, "edgetype\t{}\t{}\t{}\t{}", t.0, s.edge_type_name(t), a.0, b.0)?;
+    }
+    for n in net.nodes() {
+        writeln!(w, "node\t{}\t{}", n.0, net.node_type(n).0)?;
+    }
+    for e in net.edges() {
+        writeln!(w, "edge\t{}\t{}\t{}\t{}", e.u.0, e.v.0, e.etype.0, e.weight)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Parse a network from the TSV format.
+pub fn read_edge_list<R: Read>(input: R) -> Result<HetNet, GraphError> {
+    let reader = BufReader::new(input);
+    let mut b = HetNetBuilder::new();
+    // The format stores explicit ids; the builder assigns dense ids in
+    // declaration order, so we verify they agree.
+    let mut next_node: u32 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split('\t');
+        let kind = f.next().unwrap_or("");
+        let err = |msg: &str| GraphError::Parse {
+            line: lineno,
+            msg: msg.to_string(),
+        };
+        match kind {
+            "nodetype" => {
+                let id: u32 = parse_field(f.next(), lineno, "nodetype id")?;
+                let name = f.next().ok_or_else(|| err("missing nodetype name"))?;
+                let got = b.add_node_type(name);
+                if got.0 != id {
+                    return Err(err("nodetype ids must be dense and in order"));
+                }
+            }
+            "edgetype" => {
+                let id: u32 = parse_field(f.next(), lineno, "edgetype id")?;
+                let name = f
+                    .next()
+                    .ok_or_else(|| err("missing edgetype name"))?
+                    .to_string();
+                let a: u32 = parse_field(f.next(), lineno, "edgetype src type")?;
+                let c: u32 = parse_field(f.next(), lineno, "edgetype dst type")?;
+                let got = b.add_edge_type(name, NodeTypeId(a), NodeTypeId(c));
+                if got.0 != id {
+                    return Err(err("edgetype ids must be dense and in order"));
+                }
+            }
+            "node" => {
+                let id: u32 = parse_field(f.next(), lineno, "node id")?;
+                let t: u32 = parse_field(f.next(), lineno, "node type")?;
+                if id != next_node {
+                    return Err(err("node ids must be dense and in order"));
+                }
+                next_node += 1;
+                b.add_node(NodeTypeId(t));
+            }
+            "edge" => {
+                let u: u32 = parse_field(f.next(), lineno, "edge u")?;
+                let v: u32 = parse_field(f.next(), lineno, "edge v")?;
+                let t: u32 = parse_field(f.next(), lineno, "edge type")?;
+                let w: f32 = parse_field(f.next(), lineno, "edge weight")?;
+                b.add_edge(NodeId(u), NodeId(v), EdgeTypeId(t), w)?;
+            }
+            other => {
+                return Err(err(&format!("unknown record kind {other:?}")));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Serialize labels.
+pub fn write_labels<W: Write>(labels: &Labels, out: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "# transn labels v1")?;
+    for c in 0..labels.num_classes() as u32 {
+        writeln!(w, "class\t{}\t{}", c, labels.class_name(c))?;
+    }
+    for (n, c) in labels.labeled() {
+        writeln!(w, "node\t{}\t{}", n.0, c)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Parse labels for a network with `num_nodes` nodes.
+pub fn read_labels<R: Read>(input: R, num_nodes: usize) -> Result<Labels, GraphError> {
+    let reader = BufReader::new(input);
+    let mut labels = Labels::new(num_nodes);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split('\t');
+        match f.next().unwrap_or("") {
+            "class" => {
+                let id: u32 = parse_field(f.next(), lineno, "class id")?;
+                let name = f.next().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    msg: "missing class name".into(),
+                })?;
+                let got = labels.add_class(name);
+                if got != id {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        msg: "class ids must be dense and in order".into(),
+                    });
+                }
+            }
+            "node" => {
+                let n: u32 = parse_field(f.next(), lineno, "node id")?;
+                let c: u32 = parse_field(f.next(), lineno, "class id")?;
+                if n as usize >= num_nodes {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        msg: format!("node id {n} out of range"),
+                    });
+                }
+                labels.set(NodeId(n), c);
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    msg: format!("unknown record kind {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(labels)
+}
+
+/// Convenience: write a network to a file path.
+pub fn save_network(net: &HetNet, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    write_edge_list(net, std::fs::File::create(path)?)
+}
+
+/// Convenience: read a network from a file path.
+pub fn load_network(path: impl AsRef<Path>) -> Result<HetNet, GraphError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    let raw = field.ok_or_else(|| GraphError::Parse {
+        line,
+        msg: format!("missing {what}"),
+    })?;
+    raw.parse().map_err(|_| GraphError::Parse {
+        line,
+        msg: format!("bad {what}: {raw:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HetNetBuilder;
+
+    fn sample() -> HetNet {
+        let mut b = HetNetBuilder::new();
+        let a = b.add_node_type("author");
+        let p = b.add_node_type("paper");
+        let ap = b.add_edge_type("writes", a, p);
+        let pp = b.add_edge_type("cites", p, p);
+        let n0 = b.add_node(a);
+        let n1 = b.add_node(p);
+        let n2 = b.add_node(p);
+        b.add_edge(n0, n1, ap, 1.5).unwrap();
+        b.add_edge(n1, n2, pp, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn network_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.schema().num_edge_types(), 2);
+        assert_eq!(
+            g2.edge_weight(NodeId(0), NodeId(1), EdgeTypeId(0)),
+            Some(1.5)
+        );
+        assert_eq!(g2.schema().edge_type_name(EdgeTypeId(1)), "cites");
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut l = Labels::new(3);
+        let c0 = l.add_class("ml");
+        let c1 = l.add_class("db");
+        l.set(NodeId(1), c0);
+        l.set(NodeId(2), c1);
+        let mut buf = Vec::new();
+        write_labels(&l, &mut buf).unwrap();
+        let l2 = read_labels(&buf[..], 3).unwrap();
+        assert_eq!(l2.get(NodeId(0)), None);
+        assert_eq!(l2.get(NodeId(1)), Some(c0));
+        assert_eq!(l2.get(NodeId(2)), Some(c1));
+        assert_eq!(l2.class_name(c1), "db");
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let text = "# transn heterogeneous edge list v1\nnodetype\t0\ta\nbogus\tline\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_label_rejected() {
+        let text = "class\t0\tx\nnode\t9\t0\n";
+        let err = read_labels(text.as_bytes(), 3).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("\n\n# trailing comment\n");
+        assert!(read_edge_list(text.as_bytes()).is_ok());
+    }
+}

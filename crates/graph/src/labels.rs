@@ -1,0 +1,139 @@
+//! Node labels for the supervised evaluation tasks.
+//!
+//! The paper's datasets label a subset of nodes (papers in AMiner, users in
+//! BLOG, applets in the App networks) with a class used by the node
+//! classification task (§IV-B1). Labels are stored sparsely: most nodes are
+//! unlabeled.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Sparse class labels over the nodes of a network.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Labels {
+    /// `slots[n] == u32::MAX` means node `n` is unlabeled.
+    slots: Vec<u32>,
+    /// Human-readable class names; class ids index into this.
+    class_names: Vec<String>,
+    num_labeled: usize,
+}
+
+const UNLABELED: u32 = u32::MAX;
+
+impl Labels {
+    /// Empty label set over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Labels {
+            slots: vec![UNLABELED; num_nodes],
+            class_names: Vec::new(),
+            num_labeled: 0,
+        }
+    }
+
+    /// Declare a class; returns its id.
+    pub fn add_class(&mut self, name: impl Into<String>) -> u32 {
+        let id = self.class_names.len() as u32;
+        assert!(id < UNLABELED, "too many classes");
+        self.class_names.push(name.into());
+        id
+    }
+
+    /// Assign a class to a node.
+    ///
+    /// # Panics
+    /// Panics if the class id was not declared.
+    pub fn set(&mut self, n: NodeId, class: u32) {
+        assert!(
+            (class as usize) < self.class_names.len(),
+            "class {class} not declared"
+        );
+        if self.slots[n.index()] == UNLABELED {
+            self.num_labeled += 1;
+        }
+        self.slots[n.index()] = class;
+    }
+
+    /// The class of a node, if labeled.
+    #[inline]
+    pub fn get(&self, n: NodeId) -> Option<u32> {
+        let c = self.slots[n.index()];
+        (c != UNLABELED).then_some(c)
+    }
+
+    /// Number of labeled nodes.
+    pub fn num_labeled(&self) -> usize {
+        self.num_labeled
+    }
+
+    /// Number of declared classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// The name of a class.
+    pub fn class_name(&self, class: u32) -> &str {
+        &self.class_names[class as usize]
+    }
+
+    /// Iterate over `(node, class)` for every labeled node, in node order.
+    pub fn labeled(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != UNLABELED)
+            .map(|(i, &c)| (NodeId::from_index(i), c))
+    }
+
+    /// Total node count the label set covers (labeled + unlabeled).
+    pub fn num_nodes(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut l = Labels::new(4);
+        let c0 = l.add_class("catering");
+        let c1 = l.add_class("game");
+        l.set(NodeId(0), c0);
+        l.set(NodeId(2), c1);
+        assert_eq!(l.get(NodeId(0)), Some(c0));
+        assert_eq!(l.get(NodeId(1)), None);
+        assert_eq!(l.get(NodeId(2)), Some(c1));
+        assert_eq!(l.num_labeled(), 2);
+        assert_eq!(l.num_classes(), 2);
+        assert_eq!(l.class_name(c1), "game");
+    }
+
+    #[test]
+    fn relabeling_does_not_double_count() {
+        let mut l = Labels::new(2);
+        let c0 = l.add_class("a");
+        let c1 = l.add_class("b");
+        l.set(NodeId(0), c0);
+        l.set(NodeId(0), c1);
+        assert_eq!(l.num_labeled(), 1);
+        assert_eq!(l.get(NodeId(0)), Some(c1));
+    }
+
+    #[test]
+    fn labeled_iterates_in_node_order() {
+        let mut l = Labels::new(5);
+        let c = l.add_class("x");
+        l.set(NodeId(3), c);
+        l.set(NodeId(1), c);
+        let got: Vec<_> = l.labeled().map(|(n, _)| n).collect();
+        assert_eq!(got, vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn undeclared_class_panics() {
+        let mut l = Labels::new(1);
+        l.set(NodeId(0), 0);
+    }
+}

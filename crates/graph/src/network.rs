@@ -1,0 +1,254 @@
+//! The heterogeneous network `G = {V, E, C_V, C_E}` (Definition 1).
+
+use crate::csr::Csr;
+use crate::ids::{EdgeTypeId, NodeId, NodeTypeId};
+use crate::schema::Schema;
+use crate::view::{View, ViewPair};
+use serde::{Deserialize, Serialize};
+
+/// An undirected, typed, weighted edge.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Edge type (determines which view the edge belongs to, Definition 2).
+    pub etype: EdgeTypeId,
+    /// Positive, finite weight. Unit-weight networks use `1.0`.
+    pub weight: f32,
+}
+
+/// An immutable heterogeneous network (Definition 1).
+///
+/// Built via [`crate::HetNetBuilder`], which validates edge-type signatures
+/// and weights. After construction the network exposes:
+///
+/// - global typed node/edge storage,
+/// - a global CSR adjacency over *all* edges (used by baselines that ignore
+///   types, e.g. LINE and Node2Vec),
+/// - [`HetNet::views`]: the edge-type-induced views of Definition 2, and
+/// - [`HetNet::view_pairs`]: every pair of views sharing a node
+///   (Definition 3).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HetNet {
+    pub(crate) schema: Schema,
+    pub(crate) node_types: Vec<NodeTypeId>,
+    pub(crate) edges: Vec<Edge>,
+    /// Global adjacency over all edge types (both directions of each edge).
+    pub(crate) adj: Csr,
+}
+
+impl HetNet {
+    /// The network's type system.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The type of a node, `ζ(v)`.
+    #[inline]
+    pub fn node_type(&self, n: NodeId) -> NodeTypeId {
+        self.node_types[n.index()]
+    }
+
+    /// All edges, in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_types.len()).map(NodeId::from_index)
+    }
+
+    /// Iterate over the nodes of one type.
+    pub fn nodes_of_type(&self, t: NodeTypeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_types
+            .iter()
+            .enumerate()
+            .filter(move |(_, &nt)| nt == t)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Number of nodes of one type.
+    pub fn count_nodes_of_type(&self, t: NodeTypeId) -> usize {
+        self.node_types.iter().filter(|&&nt| nt == t).count()
+    }
+
+    /// Number of edges of one type.
+    pub fn count_edges_of_type(&self, t: EdgeTypeId) -> usize {
+        self.edges.iter().filter(|e| e.etype == t).count()
+    }
+
+    /// The type-blind global adjacency (all views merged), as used by the
+    /// homogeneous baselines.
+    pub fn global_adj(&self) -> &Csr {
+        &self.adj
+    }
+
+    /// Degree of `n` counting edges of every type.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj.degree(n.index())
+    }
+
+    /// Average degree `δ` over all nodes (2|E| / |V|), the quantity in
+    /// Theorem 1.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / self.num_nodes() as f64
+    }
+
+    /// Separate the network into its `|C_E|` views (Definition 2).
+    ///
+    /// View `i` contains exactly the edges of type `i` and their end-nodes.
+    /// The returned vector is indexed by edge type, so `views()[t.index()]`
+    /// is the view of edge type `t`. Views of edge types with no edges are
+    /// still returned (empty), preserving the indexing; they are skipped by
+    /// [`HetNet::view_pairs`].
+    pub fn views(&self) -> Vec<View> {
+        (0..self.schema.num_edge_types())
+            .map(|i| View::from_network(self, EdgeTypeId::from_index(i)))
+            .collect()
+    }
+
+    /// Enumerate every view-pair (Definition 3): unordered pairs of
+    /// non-empty views whose node sets intersect.
+    pub fn view_pairs<'a>(&self, views: &'a [View]) -> Vec<ViewPair<'a>> {
+        let mut pairs = Vec::new();
+        for i in 0..views.len() {
+            if views[i].num_nodes() == 0 {
+                continue;
+            }
+            for j in (i + 1)..views.len() {
+                if views[j].num_nodes() == 0 {
+                    continue;
+                }
+                if let Some(pair) = ViewPair::new(&views[i], &views[j]) {
+                    pairs.push(pair);
+                }
+            }
+        }
+        pairs
+    }
+
+    /// The weight of the edge of type `t` between `u` and `v`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId, t: EdgeTypeId) -> Option<f32> {
+        self.edges
+            .iter()
+            .find(|e| {
+                e.etype == t && ((e.u == u && e.v == v) || (e.u == v && e.v == u))
+            })
+            .map(|e| e.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HetNetBuilder;
+
+    /// The academic network of Figure 2(a): universities, authors, papers;
+    /// affiliation, authorship, citation edges.
+    pub(crate) fn figure2a() -> HetNet {
+        let mut b = HetNetBuilder::new();
+        let uni = b.add_node_type("university");
+        let author = b.add_node_type("author");
+        let paper = b.add_node_type("paper");
+        let affil = b.add_edge_type("affiliation", uni, author);
+        let auth = b.add_edge_type("authorship", author, paper);
+        let cite = b.add_edge_type("citation", paper, paper);
+
+        let u1 = b.add_node(uni);
+        let a = [b.add_node(author), b.add_node(author), b.add_node(author)];
+        let p = [b.add_node(paper), b.add_node(paper)];
+
+        for &ai in &a {
+            b.add_edge(u1, ai, affil, 1.0).unwrap();
+        }
+        // A1 writes P1; A2, A3 write P2.
+        b.add_edge(a[0], p[0], auth, 1.0).unwrap();
+        b.add_edge(a[1], p[1], auth, 1.0).unwrap();
+        b.add_edge(a[2], p[1], auth, 1.0).unwrap();
+        b.add_edge(p[0], p[1], cite, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_match_figure2a() {
+        let g = figure2a();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 7);
+        let s = g.schema();
+        assert_eq!(g.count_nodes_of_type(s.node_type_by_name("author").unwrap()), 3);
+        assert_eq!(g.count_edges_of_type(s.edge_type_by_name("affiliation").unwrap()), 3);
+        assert_eq!(g.count_edges_of_type(s.edge_type_by_name("citation").unwrap()), 1);
+    }
+
+    #[test]
+    fn views_partition_edges() {
+        // Equation (1): views are edge-disjoint and their union is E.
+        let g = figure2a();
+        let views = g.views();
+        let total: usize = views.iter().map(|v| v.num_edges()).sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn view_pairs_share_nodes() {
+        let g = figure2a();
+        let views = g.views();
+        let pairs = g.view_pairs(&views);
+        // affiliation∩authorship share authors; authorship∩citation share
+        // papers; affiliation∩citation share nothing.
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = figure2a();
+        let d = g.average_degree();
+        assert!((d - 2.0 * 7.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_weight_lookup_is_symmetric() {
+        let g = figure2a();
+        let cite = g.schema().edge_type_by_name("citation").unwrap();
+        let p1 = NodeId(4);
+        let p2 = NodeId(5);
+        assert_eq!(g.edge_weight(p1, p2, cite), Some(1.0));
+        assert_eq!(g.edge_weight(p2, p1, cite), Some(1.0));
+        let affil = g.schema().edge_type_by_name("affiliation").unwrap();
+        assert_eq!(g.edge_weight(p1, p2, affil), None);
+    }
+
+    #[test]
+    fn degree_counts_all_edge_types() {
+        let g = figure2a();
+        // A1 (node 1): affiliation + 1 authorship = 2.
+        assert_eq!(g.degree(NodeId(1)), 2);
+        // P2 (node 5): 2 authorships + 1 citation = 3.
+        assert_eq!(g.degree(NodeId(5)), 3);
+    }
+
+    #[test]
+    fn nodes_of_type_enumerates_correctly() {
+        let g = figure2a();
+        let author = g.schema().node_type_by_name("author").unwrap();
+        let authors: Vec<_> = g.nodes_of_type(author).collect();
+        assert_eq!(authors, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

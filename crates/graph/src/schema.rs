@@ -1,0 +1,176 @@
+//! The type system of a heterogeneous network: `C_V`, `C_E`, and the
+//! endpoint-type signature of every edge type.
+
+use crate::ids::{EdgeTypeId, NodeTypeId};
+use serde::{Deserialize, Serialize};
+
+/// Declares the node types `C_V` and edge types `C_E` of a network
+/// (Definition 1), plus the endpoint signature of each edge type.
+///
+/// The signature is what makes Definition 4 hold: because an edge type fixes
+/// its endpoints' node types, every view is either a homo-view (signature
+/// `(t, t)`) or a heter-view (signature `(s, t)` with `s != t`) — never a
+/// mixture of three or more node types.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Schema {
+    node_type_names: Vec<String>,
+    edge_type_names: Vec<String>,
+    /// `signatures[e]` is the unordered endpoint-type pair of edge type `e`,
+    /// stored with the smaller id first.
+    signatures: Vec<(NodeTypeId, NodeTypeId)>,
+}
+
+impl Schema {
+    /// An empty schema with no types declared.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a node type; returns its id.
+    pub fn add_node_type(&mut self, name: impl Into<String>) -> NodeTypeId {
+        let id = NodeTypeId::from_index(self.node_type_names.len());
+        self.node_type_names.push(name.into());
+        id
+    }
+
+    /// Declare an edge type connecting node types `a` and `b`; returns its id.
+    ///
+    /// The pair is unordered: `(a, b)` and `(b, a)` declare the same
+    /// signature.
+    pub fn add_edge_type(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeTypeId,
+        b: NodeTypeId,
+    ) -> EdgeTypeId {
+        let id = EdgeTypeId::from_index(self.edge_type_names.len());
+        self.edge_type_names.push(name.into());
+        self.signatures.push(Self::normalize(a, b));
+        id
+    }
+
+    #[inline]
+    fn normalize(a: NodeTypeId, b: NodeTypeId) -> (NodeTypeId, NodeTypeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Number of node types, `|C_V|`.
+    pub fn num_node_types(&self) -> usize {
+        self.node_type_names.len()
+    }
+
+    /// Number of edge types, `|C_E|` — and therefore the number of views.
+    pub fn num_edge_types(&self) -> usize {
+        self.edge_type_names.len()
+    }
+
+    /// Name of a node type.
+    pub fn node_type_name(&self, t: NodeTypeId) -> &str {
+        &self.node_type_names[t.index()]
+    }
+
+    /// Name of an edge type.
+    pub fn edge_type_name(&self, t: EdgeTypeId) -> &str {
+        &self.edge_type_names[t.index()]
+    }
+
+    /// The (normalized, smaller-id-first) endpoint signature of an edge type.
+    pub fn signature(&self, t: EdgeTypeId) -> (NodeTypeId, NodeTypeId) {
+        self.signatures[t.index()]
+    }
+
+    /// Whether the given endpoint types match the signature of `t`,
+    /// in either order.
+    pub fn matches(&self, t: EdgeTypeId, a: NodeTypeId, b: NodeTypeId) -> bool {
+        self.signatures[t.index()] == Self::normalize(a, b)
+    }
+
+    /// Whether edge type `t` connects a single node type (so its view is a
+    /// homo-view, Definition 4).
+    pub fn is_homo(&self, t: EdgeTypeId) -> bool {
+        let (a, b) = self.signatures[t.index()];
+        a == b
+    }
+
+    /// Look up a node type id by name.
+    pub fn node_type_by_name(&self, name: &str) -> Option<NodeTypeId> {
+        self.node_type_names
+            .iter()
+            .position(|n| n == name)
+            .map(NodeTypeId::from_index)
+    }
+
+    /// Look up an edge type id by name.
+    pub fn edge_type_by_name(&self, name: &str) -> Option<EdgeTypeId> {
+        self.edge_type_names
+            .iter()
+            .position(|n| n == name)
+            .map(EdgeTypeId::from_index)
+    }
+
+    /// Iterate over all node type ids.
+    pub fn node_types(&self) -> impl Iterator<Item = NodeTypeId> + '_ {
+        (0..self.node_type_names.len()).map(NodeTypeId::from_index)
+    }
+
+    /// Iterate over all edge type ids.
+    pub fn edge_types(&self) -> impl Iterator<Item = EdgeTypeId> + '_ {
+        (0..self.edge_type_names.len()).map(EdgeTypeId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> (Schema, NodeTypeId, NodeTypeId) {
+        let mut s = Schema::new();
+        let a = s.add_node_type("author");
+        let p = s.add_node_type("paper");
+        (s, a, p)
+    }
+
+    #[test]
+    fn signatures_are_unordered() {
+        let (mut s, a, p) = abc();
+        let e1 = s.add_edge_type("writes", a, p);
+        let e2 = s.add_edge_type("written-by", p, a);
+        assert_eq!(s.signature(e1), s.signature(e2));
+        assert!(s.matches(e1, p, a));
+        assert!(s.matches(e1, a, p));
+    }
+
+    #[test]
+    fn homo_detection() {
+        let (mut s, a, p) = abc();
+        let co = s.add_edge_type("coauthor", a, a);
+        let wr = s.add_edge_type("writes", a, p);
+        assert!(s.is_homo(co));
+        assert!(!s.is_homo(wr));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (mut s, a, p) = abc();
+        let e = s.add_edge_type("writes", a, p);
+        assert_eq!(s.node_type_by_name("paper"), Some(p));
+        assert_eq!(s.edge_type_by_name("writes"), Some(e));
+        assert_eq!(s.node_type_by_name("venue"), None);
+        assert_eq!(s.node_type_name(a), "author");
+        assert_eq!(s.edge_type_name(e), "writes");
+    }
+
+    #[test]
+    fn counts() {
+        let (mut s, a, p) = abc();
+        s.add_edge_type("writes", a, p);
+        assert_eq!(s.num_node_types(), 2);
+        assert_eq!(s.num_edge_types(), 1);
+        assert_eq!(s.node_types().count(), 2);
+        assert_eq!(s.edge_types().count(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Network statistics in the shape of Table II of the paper.
+
+use crate::labels::Labels;
+use crate::network::HetNet;
+use serde::Serialize;
+use std::fmt;
+
+/// Summary statistics of a heterogeneous network, mirroring the columns of
+/// Table II ("Statistic of Heterogeneous Network Datasets").
+#[derive(Clone, Debug, Serialize)]
+pub struct NetworkStats {
+    /// Dataset name (caller-supplied).
+    pub name: String,
+    /// `|V|`.
+    pub num_nodes: usize,
+    /// `|E|`.
+    pub num_edges: usize,
+    /// `(type name, node count)` per node type.
+    pub nodes_per_type: Vec<(String, usize)>,
+    /// `(type name, edge count)` per edge type.
+    pub edges_per_type: Vec<(String, usize)>,
+    /// Number of labeled nodes (0 when labels are absent).
+    pub num_labeled: usize,
+    /// Edge density `2|E| / (|V|(|V|-1))`.
+    pub density: f64,
+    /// Average degree `δ` (Theorem 1).
+    pub average_degree: f64,
+}
+
+impl NetworkStats {
+    /// Compute statistics for a network, optionally with labels.
+    pub fn compute(name: impl Into<String>, net: &HetNet, labels: Option<&Labels>) -> Self {
+        let s = net.schema();
+        let nodes_per_type = s
+            .node_types()
+            .map(|t| (s.node_type_name(t).to_string(), net.count_nodes_of_type(t)))
+            .collect();
+        let edges_per_type = s
+            .edge_types()
+            .map(|t| (s.edge_type_name(t).to_string(), net.count_edges_of_type(t)))
+            .collect();
+        let n = net.num_nodes();
+        let density = if n > 1 {
+            2.0 * net.num_edges() as f64 / (n as f64 * (n as f64 - 1.0))
+        } else {
+            0.0
+        };
+        NetworkStats {
+            name: name.into(),
+            num_nodes: n,
+            num_edges: net.num_edges(),
+            nodes_per_type,
+            edges_per_type,
+            num_labeled: labels.map_or(0, |l| l.num_labeled()),
+            density,
+            average_degree: net.average_degree(),
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_pairs = |pairs: &[(String, usize)]| {
+            pairs
+                .iter()
+                .map(|(n, c)| format!("{n}({c})"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        write!(
+            f,
+            "{:<12} | {:>8} nodes | {:>9} edges | labeled {:>6} | {} | {}",
+            self.name,
+            self.num_nodes,
+            self.num_edges,
+            self.num_labeled,
+            fmt_pairs(&self.nodes_per_type),
+            fmt_pairs(&self.edges_per_type),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HetNetBuilder;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn stats_match_structure() {
+        let mut b = HetNetBuilder::new();
+        let a = b.add_node_type("author");
+        let p = b.add_node_type("paper");
+        let ap = b.add_edge_type("AP", a, p);
+        let n0 = b.add_node(a);
+        let n1 = b.add_node(p);
+        let n2 = b.add_node(p);
+        b.add_edge(n0, n1, ap, 1.0).unwrap();
+        b.add_edge(n0, n2, ap, 1.0).unwrap();
+        let g = b.build().unwrap();
+
+        let mut labels = Labels::new(3);
+        let c = labels.add_class("ml");
+        labels.set(NodeId(1), c);
+
+        let st = NetworkStats::compute("toy", &g, Some(&labels));
+        assert_eq!(st.num_nodes, 3);
+        assert_eq!(st.num_edges, 2);
+        assert_eq!(st.nodes_per_type, vec![("author".into(), 1), ("paper".into(), 2)]);
+        assert_eq!(st.edges_per_type, vec![("AP".into(), 2)]);
+        assert_eq!(st.num_labeled, 1);
+        assert!((st.density - 2.0 * 2.0 / (3.0 * 2.0)).abs() < 1e-12);
+        assert!((st.average_degree - 4.0 / 3.0).abs() < 1e-12);
+        let line = st.to_string();
+        assert!(line.contains("author(1)"));
+        assert!(line.contains("AP(2)"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Paired-subviews (Definition 5): the reduction of a view-pair's views to
+//! the common nodes and their neighbours.
+
+use crate::csr::Csr;
+use crate::ids::NodeId;
+use crate::view::{View, ViewPair};
+
+/// The paired-subview `φ'_i` of a view `φ_i` with respect to a view-pair
+/// `η_{i,j}` (Definition 5): the subnetwork of `φ_i` induced by the common
+/// nodes `M_{ij}` together with their `φ_i`-neighbours `A_{ij}`, plus a
+/// per-node mask marking which subview nodes are common.
+///
+/// *Note on the paper text*: Definition 5 literally writes the node set as
+/// `M_{ij} ∩ A_{ij}`, but the surrounding prose — "we focus on the common
+/// nodes *(and their neighbor nodes)*" (§II) and "we remove the nodes which
+/// are not shared between the paired-subviews" from the sampled paths
+/// (§III-B1, a no-op under ∩) — requires the union. We implement `M ∪ A` and
+/// treat the ∩ as a typo; see DESIGN.md §4.1.
+#[derive(Clone, Debug)]
+pub struct PairedSubview {
+    /// The induced subnetwork, re-indexed as a standalone [`View`].
+    view: View,
+    /// `is_common[l]` ⇔ subview-local node `l` is in `M_{ij}`.
+    is_common: Vec<bool>,
+    /// Number of `true` entries in `is_common`.
+    num_common: usize,
+}
+
+impl PairedSubview {
+    /// Build both paired-subviews `(φ'_i, φ'_j)` of a view-pair.
+    pub fn from_pair(pair: &ViewPair<'_>) -> (PairedSubview, PairedSubview) {
+        (
+            Self::reduce(pair.vi, pair),
+            Self::reduce(pair.vj, pair),
+        )
+    }
+
+    /// Reduce one view of the pair to its paired-subview.
+    fn reduce(view: &View, pair: &ViewPair<'_>) -> PairedSubview {
+        // Keep set (subview node set, in view-local indices): common nodes
+        // present in this view, plus every view-neighbour of a common node.
+        let n = view.num_nodes();
+        let mut keep = vec![false; n];
+        for &g in pair.common_nodes() {
+            if let Some(l) = view.local(g) {
+                keep[l as usize] = true;
+                for &nb in view.adj().neighbors(l as usize) {
+                    keep[nb as usize] = true;
+                }
+            }
+        }
+
+        // Map kept view-local indices to dense subview-local indices.
+        let mut sub_of_view = vec![u32::MAX; n];
+        let mut globals: Vec<NodeId> = Vec::new();
+        let mut node_types = Vec::new();
+        for (l, &k) in keep.iter().enumerate() {
+            if k {
+                sub_of_view[l] = globals.len() as u32;
+                globals.push(view.global(l as u32));
+                node_types.push(view.node_type(l as u32));
+            }
+        }
+
+        // Induced edges: both endpoints kept. Iterate arcs once (u < v to
+        // avoid duplicating the undirected edge).
+        let mut edges = Vec::new();
+        for l in 0..n {
+            if !keep[l] {
+                continue;
+            }
+            let nbs = view.adj().neighbors(l);
+            let ws = view.adj().weights(l);
+            for (&nb, &w) in nbs.iter().zip(ws) {
+                if (nb as usize) > l && keep[nb as usize] {
+                    edges.push((sub_of_view[l], sub_of_view[nb as usize], w));
+                }
+            }
+        }
+        let num_edges = edges.len();
+        let adj = Csr::from_undirected(globals.len(), edges);
+        let is_common: Vec<bool> = globals.iter().map(|&g| pair.is_common(g)).collect();
+        let num_common = is_common.iter().filter(|&&c| c).count();
+
+        PairedSubview {
+            view: View::from_parts(
+                view.etype(),
+                view.kind(),
+                globals,
+                node_types,
+                adj,
+                num_edges,
+            ),
+            is_common,
+            num_common,
+        }
+    }
+
+    /// The subview as a standalone [`View`] (walkable like any view).
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Whether subview-local node `l` is a common node of the view-pair.
+    #[inline]
+    pub fn is_common(&self, l: u32) -> bool {
+        self.is_common[l as usize]
+    }
+
+    /// `|M_{ij} ∩ V'|`: how many subview nodes are common nodes.
+    pub fn num_common(&self) -> usize {
+        self.num_common
+    }
+
+    /// Filter a subview-local path down to its common nodes, preserving
+    /// order — the path reduction of §III-B1 ("we remove the nodes which are
+    /// not shared between the paired-subviews").
+    pub fn filter_to_common(&self, path: &[u32]) -> Vec<u32> {
+        path.iter().copied().filter(|&l| self.is_common(l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HetNetBuilder;
+    use crate::network::HetNet;
+
+    /// Figure 2(a)-style network: 1 university, 3 authors, 2 papers.
+    fn figure2a() -> HetNet {
+        let mut b = HetNetBuilder::new();
+        let uni = b.add_node_type("university");
+        let author = b.add_node_type("author");
+        let paper = b.add_node_type("paper");
+        let affil = b.add_edge_type("affiliation", uni, author);
+        let auth = b.add_edge_type("authorship", author, paper);
+        let cite = b.add_edge_type("citation", paper, paper);
+        let u = b.add_node(uni);
+        let a: Vec<_> = (0..3).map(|_| b.add_node(author)).collect();
+        let p: Vec<_> = (0..2).map(|_| b.add_node(paper)).collect();
+        for &ai in &a {
+            b.add_edge(u, ai, affil, 1.0).unwrap();
+        }
+        b.add_edge(a[0], p[0], auth, 1.0).unwrap();
+        b.add_edge(a[1], p[1], auth, 1.0).unwrap();
+        b.add_edge(a[2], p[1], auth, 1.0).unwrap();
+        b.add_edge(p[0], p[1], cite, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn subviews_keep_common_nodes_and_neighbors() {
+        let g = figure2a();
+        let views = g.views();
+        // affiliation view (u, a0..a2) × authorship view (a0..a2, p0, p1):
+        // common nodes = the three authors.
+        let pair = ViewPair::new(&views[0], &views[1]).unwrap();
+        assert_eq!(pair.common_nodes().len(), 3);
+        let (si, sj) = PairedSubview::from_pair(&pair);
+        // φ'_affiliation keeps authors + university.
+        assert_eq!(si.view().num_nodes(), 4);
+        assert_eq!(si.num_common(), 3);
+        // φ'_authorship keeps authors + both papers.
+        assert_eq!(sj.view().num_nodes(), 5);
+        assert_eq!(sj.num_common(), 3);
+    }
+
+    #[test]
+    fn subview_edges_are_induced() {
+        let g = figure2a();
+        let views = g.views();
+        let pair = ViewPair::new(&views[0], &views[1]).unwrap();
+        let (si, sj) = PairedSubview::from_pair(&pair);
+        assert_eq!(si.view().num_edges(), 3); // all affiliation edges
+        assert_eq!(sj.view().num_edges(), 3); // all authorship edges
+    }
+
+    #[test]
+    fn nodes_far_from_common_are_dropped() {
+        // Chain in one view: c - x - y, where only c is common with the
+        // other view. y is two hops from the common node and must drop out.
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let s = b.add_node_type("s");
+        let e1 = b.add_edge_type("e1", t, t);
+        let e2 = b.add_edge_type("e2", t, s);
+        let c = b.add_node(t);
+        let x = b.add_node(t);
+        let y = b.add_node(t);
+        let z = b.add_node(s);
+        b.add_edge(c, x, e1, 1.0).unwrap();
+        b.add_edge(x, y, e1, 1.0).unwrap();
+        b.add_edge(c, z, e2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let views = g.views();
+        let pair = ViewPair::new(&views[0], &views[1]).unwrap();
+        assert_eq!(pair.common_nodes(), &[c]);
+        let (s1, _) = PairedSubview::from_pair(&pair);
+        // φ'_e1 keeps c and x (neighbour of c) but not y.
+        assert_eq!(s1.view().num_nodes(), 2);
+        assert!(s1.view().local(y).is_none());
+        // The c–x edge survives, the x–y edge does not.
+        assert_eq!(s1.view().num_edges(), 1);
+    }
+
+    #[test]
+    fn filter_to_common_preserves_order() {
+        let g = figure2a();
+        let views = g.views();
+        let pair = ViewPair::new(&views[0], &views[1]).unwrap();
+        let (si, _) = PairedSubview::from_pair(&pair);
+        // Build a path over all subview nodes and filter it.
+        let path: Vec<u32> = (0..si.view().num_nodes() as u32).collect();
+        let filtered = si.filter_to_common(&path);
+        assert_eq!(filtered.len(), 3);
+        for w in filtered.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn subview_has_no_isolated_nodes_in_fig2a() {
+        let g = figure2a();
+        let views = g.views();
+        for pair in g.view_pairs(&views) {
+            let (si, sj) = PairedSubview::from_pair(&pair);
+            for sv in [&si, &sj] {
+                for l in 0..sv.view().num_nodes() as u32 {
+                    assert!(sv.view().degree(l) > 0);
+                }
+            }
+        }
+    }
+}

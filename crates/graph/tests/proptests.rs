@@ -1,0 +1,150 @@
+//! Property-based tests for the graph substrate's structural invariants.
+
+use proptest::prelude::*;
+use transn_graph::{AliasTable, Csr, HetNetBuilder, NodeId, PairedSubview, ViewKind};
+
+/// Strategy: a random small heterogeneous network with 2 node types and up
+/// to 3 edge types (one homo per type + one cross type).
+fn arb_network() -> impl Strategy<Value = transn_graph::HetNet> {
+    // (n_a, n_b, edges as (u, v, etype in 0..3, weight))
+    (2usize..12, 2usize..12).prop_flat_map(|(na, nb)| {
+        let n = na + nb;
+        let edges = proptest::collection::vec(
+            (0..n, 0..n, 0u32..3, 1u32..100),
+            1..40,
+        );
+        (Just(na), Just(nb), edges).prop_map(|(na, nb, raw)| {
+            let mut b = HetNetBuilder::new();
+            let ta = b.add_node_type("a");
+            let tb = b.add_node_type("b");
+            let ea = b.add_edge_type("aa", ta, ta);
+            let eb = b.add_edge_type("bb", tb, tb);
+            let ex = b.add_edge_type("ab", ta, tb);
+            let nodes_a = b.add_nodes(ta, na);
+            let nodes_b = b.add_nodes(tb, nb);
+            let all: Vec<NodeId> = nodes_a.iter().chain(&nodes_b).copied().collect();
+            for (u, v, et, w) in raw {
+                if u == v {
+                    continue;
+                }
+                let (nu, nv) = (all[u], all[v]);
+                let ua = u < na;
+                let va = v < na;
+                // Pick the edge type compatible with the endpoints, steered
+                // by `et` when several would fit.
+                let etype = match (ua, va) {
+                    (true, true) => ea,
+                    (false, false) => eb,
+                    _ => ex,
+                };
+                let _ = et;
+                b.add_edge(nu, nv, etype, w as f32).unwrap();
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+proptest! {
+    /// Equation (1): views partition the edge set.
+    #[test]
+    fn views_partition_edges(net in arb_network()) {
+        let views = net.views();
+        let total: usize = views.iter().map(|v| v.num_edges()).sum();
+        prop_assert_eq!(total, net.num_edges());
+    }
+
+    /// Definition 2: no view contains an isolated node.
+    #[test]
+    fn views_have_no_isolated_nodes(net in arb_network()) {
+        for v in net.views() {
+            for l in 0..v.num_nodes() as u32 {
+                prop_assert!(v.degree(l) > 0);
+            }
+        }
+    }
+
+    /// View local/global index maps are inverse bijections.
+    #[test]
+    fn view_index_maps_are_bijective(net in arb_network()) {
+        for v in net.views() {
+            for l in 0..v.num_nodes() as u32 {
+                prop_assert_eq!(v.local(v.global(l)), Some(l));
+            }
+        }
+    }
+
+    /// Definition 4: homo-views have one node type, heter-views exactly two.
+    #[test]
+    fn view_kind_matches_node_types(net in arb_network()) {
+        for v in net.views() {
+            if v.num_nodes() == 0 { continue; }
+            let mut types = std::collections::HashSet::new();
+            for l in 0..v.num_nodes() as u32 {
+                types.insert(v.node_type(l));
+            }
+            match v.kind() {
+                ViewKind::Homo => prop_assert_eq!(types.len(), 1),
+                ViewKind::Heter => prop_assert!(types.len() <= 2),
+            }
+        }
+    }
+
+    /// Definition 5: every node of a paired-subview is a common node or
+    /// adjacent (in the original view) to a common node; common nodes of the
+    /// subview are exactly `M ∩ V(subview)`.
+    #[test]
+    fn paired_subviews_are_common_plus_neighbors(net in arb_network()) {
+        let views = net.views();
+        for pair in net.view_pairs(&views) {
+            let (si, sj) = PairedSubview::from_pair(&pair);
+            for (sv, orig) in [(&si, pair.vi), (&sj, pair.vj)] {
+                for l in 0..sv.view().num_nodes() as u32 {
+                    let g = sv.view().global(l);
+                    prop_assert_eq!(sv.is_common(l), pair.is_common(g));
+                    if !sv.is_common(l) {
+                        // Must neighbour a common node in the original view.
+                        let ol = orig.local(g).unwrap();
+                        let has_common_nb = orig
+                            .adj()
+                            .neighbors(ol as usize)
+                            .iter()
+                            .any(|&nb| pair.is_common(orig.global(nb)));
+                        prop_assert!(has_common_nb);
+                    }
+                }
+            }
+        }
+    }
+
+    /// CSR round-trip: degrees sum to twice the edge count, and every edge
+    /// is visible from both endpoints.
+    #[test]
+    fn csr_degree_sum(edges in proptest::collection::vec((0u32..20, 0u32..20, 1u32..10), 0..60)) {
+        let clean: Vec<(u32, u32, f32)> = edges
+            .into_iter()
+            .filter(|(u, v, _)| u != v)
+            .map(|(u, v, w)| (u, v, w as f32))
+            .collect();
+        let csr = Csr::from_undirected(20, clean.clone());
+        let degree_sum: usize = (0..20).map(|i| csr.degree(i)).sum();
+        prop_assert_eq!(degree_sum, 2 * clean.len());
+        for (u, v, _) in &clean {
+            prop_assert!(csr.contains(*u as usize, *v));
+            prop_assert!(csr.contains(*v as usize, *u));
+        }
+    }
+
+    /// Alias sampling only ever returns indices with positive weight.
+    #[test]
+    fn alias_respects_support(weights in proptest::collection::vec(0u32..5, 1..20)) {
+        prop_assume!(weights.iter().any(|&w| w > 0));
+        let w: Vec<f32> = weights.iter().map(|&x| x as f32).collect();
+        let t = AliasTable::new(&w);
+        let mut rng = rand::rng();
+        for _ in 0..200 {
+            let i = t.sample(&mut rng) as usize;
+            prop_assert!(w[i] > 0.0, "sampled zero-weight outcome {}", i);
+        }
+    }
+}

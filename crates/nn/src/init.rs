@@ -1,0 +1,124 @@
+//! Parameter initialization.
+//!
+//! Provides a Box–Muller standard-normal sampler (avoiding a `rand_distr`
+//! dependency; see DESIGN.md §5) and Xavier/Glorot initialization for layer
+//! weights and embedding tables.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Standard-normal sampler via the Box–Muller transform.
+///
+/// Generates pairs and caches the spare value, so amortized cost is one
+/// `ln` + one `sqrt` + one `sin/cos` pair per two samples.
+#[derive(Clone, Debug, Default)]
+pub struct GaussianSampler {
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// A fresh sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draw one `N(0, 1)` sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Reject u1 == 0 to keep ln finite.
+        let mut u1: f64 = rng.random();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.random();
+        }
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draw one `N(mean, std²)` sample.
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std: f64) -> f64 {
+        mean + std * self.sample(rng)
+    }
+}
+
+/// Xavier/Glorot-normal initialization: `N(0, 2/(fan_in + fan_out))`.
+pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let std = (2.0 / (rows + cols) as f64).sqrt();
+    let mut g = GaussianSampler::new();
+    Matrix::from_fn(rows, cols, |_, _| g.sample_with(rng, 0.0, std) as f32)
+}
+
+/// Small-uniform initialization `U(-0.5/cols, 0.5/cols)`, the word2vec
+/// convention for embedding tables.
+pub fn embedding_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let half = 0.5 / cols as f32;
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-half..half))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = GaussianSampler::new();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_mean_std_shift() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = GaussianSampler::new();
+        let n = 100_000;
+        let mean_target = 3.0;
+        let std_target = 0.5;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| g.sample_with(&mut rng, mean_target, std_target))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - mean_target).abs() < 0.01);
+    }
+
+    #[test]
+    fn xavier_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = xavier(64, 64, &mut rng);
+        let std_expect = (2.0 / 128.0f64).sqrt();
+        let var: f32 =
+            m.data().iter().map(|x| x * x).sum::<f32>() / (m.rows() * m.cols()) as f32;
+        assert!(
+            ((var as f64).sqrt() - std_expect).abs() < 0.02,
+            "std {} vs {}",
+            (var as f64).sqrt(),
+            std_expect
+        );
+    }
+
+    #[test]
+    fn embedding_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = embedding_uniform(10, 8, &mut rng);
+        let half = 0.5 / 8.0;
+        for &v in m.data() {
+            assert!(v >= -half && v < half);
+        }
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = xavier(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

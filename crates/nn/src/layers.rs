@@ -1,0 +1,531 @@
+//! The translator architecture of §III-B2: self-attention (Eq. 8),
+//! feed-forward (Eq. 9), and the encoder stack (Eq. 10), with hand-derived
+//! reverse-mode gradients.
+//!
+//! Shapes: the input is the embedding matrix `A ∈ R^{L×d}` of a sampled
+//! path of fixed length `L = |λ|` with embedding dimension `d`. The
+//! feed-forward weight `W` is `L×L` — it mixes *path positions*, exactly as
+//! Eq. (9) writes it — and the bias `b` is `L×1`, broadcast across the `d`
+//! columns.
+
+use crate::init;
+use crate::matrix::Matrix;
+use crate::optim::AdamConfig;
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The parameter-free self-attention layer of Eq. (8):
+/// `S(A) = softmax_rows(A·Aᵀ/√d)·A`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SelfAttention;
+
+/// Forward cache of one self-attention application.
+#[derive(Clone, Debug)]
+pub struct AttnCache {
+    /// The layer input `A`.
+    input: Matrix,
+    /// Row-softmaxed attention matrix `P = ζ(A·Aᵀ/√d)`.
+    probs: Matrix,
+}
+
+impl SelfAttention {
+    /// Forward pass; returns the output and the cache needed by
+    /// [`SelfAttention::backward`].
+    pub fn forward(a: &Matrix) -> (Matrix, AttnCache) {
+        let d = a.cols();
+        let mut z = a.matmul_tb(a);
+        z.scale(1.0 / (d as f32).sqrt());
+        z.softmax_rows_inplace();
+        let out = z.matmul(a);
+        (
+            out,
+            AttnCache {
+                input: a.clone(),
+                probs: z,
+            },
+        )
+    }
+
+    /// Backward pass: gradient of the loss w.r.t. the layer input, given
+    /// the gradient w.r.t. the layer output.
+    ///
+    /// Derivation (with `s = 1/√d`, `P = ζ(Z)`, `Z = s·A·Aᵀ`, `Y = P·A`):
+    /// `dP = dY·Aᵀ`, `dA ← Pᵀ·dY` (product rule on `P·A`),
+    /// `dZ_r = P_r ⊙ (dP_r − ⟨dP_r, P_r⟩)` (row softmax Jacobian),
+    /// `dA ← dA + s·(dZ·A + dZᵀ·A)` (product rule on `A·Aᵀ`).
+    pub fn backward(cache: &AttnCache, d_out: &Matrix) -> Matrix {
+        let a = &cache.input;
+        let p = &cache.probs;
+        let s = 1.0 / (a.cols() as f32).sqrt();
+
+        // dP = dY · Aᵀ
+        let d_p = d_out.matmul_tb(a);
+        // dA (first term) = Pᵀ · dY
+        let mut d_a = p.matmul_ta(d_out);
+        // Row-wise softmax backward.
+        let l = p.rows();
+        let mut d_z = Matrix::zeros(l, l);
+        for r in 0..l {
+            let p_row = p.row(r);
+            let dp_row = d_p.row(r);
+            let dot: f32 = p_row.iter().zip(dp_row).map(|(x, y)| x * y).sum();
+            let dz_row = d_z.row_mut(r);
+            for c in 0..l {
+                dz_row[c] = p_row[c] * (dp_row[c] - dot);
+            }
+        }
+        // dA += s · (dZ·A + dZᵀ·A)
+        let t1 = d_z.matmul(a);
+        let t2 = d_z.matmul_ta(a);
+        d_a.add_scaled(&t1, s);
+        d_a.add_scaled(&t2, s);
+        d_a
+    }
+}
+
+/// The feed-forward layer of Eq. (9): `F(A) = relu(W·A + b·1ᵀ)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeedForward {
+    /// `W ∈ R^{L×L}`.
+    pub w: Param,
+    /// `b ∈ R^{L×1}` broadcast across columns.
+    pub b: Param,
+}
+
+/// Forward cache of one feed-forward application.
+#[derive(Clone, Debug)]
+pub struct FfCache {
+    input: Matrix,
+    /// Post-activation output (the ReLU mask is `out > 0`).
+    output: Matrix,
+}
+
+impl FeedForward {
+    /// Xavier-initialized layer for path length `len`.
+    pub fn new<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        FeedForward {
+            w: Param::new(init::xavier(len, len, rng)),
+            b: Param::new(Matrix::zeros(len, 1)),
+        }
+    }
+
+    /// Near-identity initialization: `W = I + 0.02·N`, `b = 0.1`.
+    ///
+    /// Starts the translator close to the identity map (modulo ReLU), so
+    /// the reconstruction tasks R1/R2 are nearly satisfied at step 0 and
+    /// training spends its budget on the translation tasks. The small
+    /// positive bias keeps units from starting dead. See DESIGN.md §4.
+    pub fn near_identity<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        let mut w = init::xavier(len, len, rng);
+        w.scale(0.1);
+        for i in 0..len {
+            let v = w.get(i, i);
+            w.set(i, i, v + 1.0);
+        }
+        let b = Matrix::from_fn(len, 1, |_, _| 0.1);
+        FeedForward {
+            w: Param::new(w),
+            b: Param::new(b),
+        }
+    }
+
+    /// Path length `|λ|` this layer is sized for.
+    pub fn path_len(&self) -> usize {
+        self.w.value().rows()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, a: &Matrix) -> (Matrix, FfCache) {
+        let mut h = self.w.value().matmul(a);
+        let l = h.rows();
+        for r in 0..l {
+            let bias = self.b.value().get(r, 0);
+            for v in h.row_mut(r) {
+                *v += bias;
+            }
+        }
+        h.relu_inplace();
+        let cache = FfCache {
+            input: a.clone(),
+            output: h.clone(),
+        };
+        (h, cache)
+    }
+
+    /// Backward pass: accumulates `dW`, `db` into the parameter gradients
+    /// and returns the gradient w.r.t. the input.
+    pub fn backward(&mut self, cache: &FfCache, d_out: &Matrix) -> Matrix {
+        // dH = dY ⊙ 1[Y > 0]
+        let mut d_h = d_out.clone();
+        for (g, &y) in d_h.data_mut().iter_mut().zip(cache.output.data()) {
+            if y <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        // dW += dH · Aᵀ
+        let dw = d_h.matmul_tb(&cache.input);
+        self.w.grad_mut().add_assign(&dw);
+        // db += rowsum(dH)
+        let l = d_h.rows();
+        for r in 0..l {
+            let s: f32 = d_h.row(r).iter().sum();
+            let cur = self.b.grad().get(r, 0);
+            self.b.grad_mut().set(r, 0, cur + s);
+        }
+        // dA = Wᵀ · dH
+        self.w.value().matmul_ta(&d_h)
+    }
+}
+
+/// One encoder: self-attention followed by feed-forward.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Encoder {
+    /// The trainable feed-forward half; the attention half is
+    /// parameter-free.
+    pub ff: FeedForward,
+}
+
+/// Forward cache of one encoder application.
+#[derive(Clone, Debug)]
+pub struct EncoderCache {
+    attn: AttnCache,
+    ff: FfCache,
+}
+
+impl Encoder {
+    /// Forward through attention then feed-forward.
+    pub fn forward(&self, a: &Matrix) -> (Matrix, EncoderCache) {
+        let (s_out, attn) = SelfAttention::forward(a);
+        let (out, ff) = self.ff.forward(&s_out);
+        (out, EncoderCache { attn, ff })
+    }
+
+    /// Backward through feed-forward then attention.
+    pub fn backward(&mut self, cache: &EncoderCache, d_out: &Matrix) -> Matrix {
+        let d_s = self.ff.backward(&cache.ff, d_out);
+        SelfAttention::backward(&cache.attn, &d_s)
+    }
+}
+
+/// A translator `T` (Eq. 10): a stack of `H` encoders, `2H` layers total.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Translator {
+    encoders: Vec<Encoder>,
+    len: usize,
+}
+
+/// Forward cache of a full translator application.
+#[derive(Clone, Debug)]
+pub struct TranslatorCache {
+    stages: Vec<EncoderCache>,
+}
+
+impl Translator {
+    /// A translator with `h` encoders over paths of length `len`,
+    /// Xavier-initialized.
+    pub fn new<R: Rng + ?Sized>(h: usize, len: usize, rng: &mut R) -> Self {
+        assert!(h >= 1, "a translator needs at least one encoder");
+        Translator {
+            encoders: (0..h).map(|_| Encoder {
+                ff: FeedForward::new(len, rng),
+            }).collect(),
+            len,
+        }
+    }
+
+    /// A translator initialized near the identity map (default in the
+    /// TransN training loop; see [`FeedForward::near_identity`]).
+    pub fn near_identity<R: Rng + ?Sized>(h: usize, len: usize, rng: &mut R) -> Self {
+        assert!(h >= 1, "a translator needs at least one encoder");
+        Translator {
+            encoders: (0..h).map(|_| Encoder {
+                ff: FeedForward::near_identity(len, rng),
+            }).collect(),
+            len,
+        }
+    }
+
+    /// Number of encoders `H`.
+    pub fn num_encoders(&self) -> usize {
+        self.encoders.len()
+    }
+
+    /// The fixed path length `|λ|` the translator is sized for.
+    pub fn path_len(&self) -> usize {
+        self.len
+    }
+
+    /// Forward pass over an `L×d` embedding matrix.
+    ///
+    /// # Panics
+    /// Panics if `a.rows() != self.path_len()`.
+    pub fn forward(&self, a: &Matrix) -> (Matrix, TranslatorCache) {
+        assert_eq!(a.rows(), self.len, "path length mismatch");
+        let mut cur = a.clone();
+        let mut stages = Vec::with_capacity(self.encoders.len());
+        for enc in &self.encoders {
+            let (next, cache) = enc.forward(&cur);
+            stages.push(cache);
+            cur = next;
+        }
+        (cur, TranslatorCache { stages })
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns the
+    /// gradient w.r.t. the input matrix.
+    pub fn backward(&mut self, cache: &TranslatorCache, d_out: &Matrix) -> Matrix {
+        let mut d = d_out.clone();
+        for (enc, stage) in self.encoders.iter_mut().zip(&cache.stages).rev() {
+            d = enc.backward(stage, &d);
+        }
+        d
+    }
+
+    /// Adam step over all encoder parameters, clearing gradients.
+    pub fn step_adam(&mut self, cfg: &AdamConfig) {
+        for enc in &mut self.encoders {
+            enc.ff.w.step_adam(cfg);
+            enc.ff.b.step_adam(cfg);
+        }
+    }
+
+    /// Clear all parameter gradients without stepping.
+    pub fn zero_grad(&mut self) {
+        for enc in &mut self.encoders {
+            enc.ff.w.zero_grad();
+            enc.ff.b.zero_grad();
+        }
+    }
+
+    /// Sum of squared parameter values (diagnostic).
+    pub fn param_norm_sq(&self) -> f32 {
+        self.encoders
+            .iter()
+            .map(|e| {
+                let w = e.ff.w.value();
+                let b = e.ff.b.value();
+                w.data().iter().map(|x| x * x).sum::<f32>()
+                    + b.data().iter().map(|x| x * x).sum::<f32>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0f32..1.0))
+    }
+
+    /// Scalar loss used for gradient checking: weighted sum of outputs.
+    fn weighted_sum(out: &Matrix, weights: &Matrix) -> f32 {
+        out.hadamard(weights).sum()
+    }
+
+    #[test]
+    fn attention_rows_still_convex_combinations() {
+        let a = rand_matrix(5, 4, 1);
+        let (out, cache) = SelfAttention::forward(&a);
+        assert_eq!(out.rows(), 5);
+        assert_eq!(out.cols(), 4);
+        // Each P row sums to 1.
+        for r in 0..5 {
+            let s: f32 = cache.probs.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn attention_gradient_matches_finite_difference() {
+        let a = rand_matrix(4, 3, 2);
+        let wsum = rand_matrix(4, 3, 3);
+        let (_, cache) = SelfAttention::forward(&a);
+        let analytic = SelfAttention::backward(&cache, &wsum);
+
+        let eps = 1e-3f32;
+        for idx in 0..a.data().len() {
+            let mut ap = a.clone();
+            ap.data_mut()[idx] += eps;
+            let mut am = a.clone();
+            am.data_mut()[idx] -= eps;
+            let (op, _) = SelfAttention::forward(&ap);
+            let (om, _) = SelfAttention::forward(&am);
+            let numeric = (weighted_sum(&op, &wsum) - weighted_sum(&om, &wsum)) / (2.0 * eps);
+            let got = analytic.data()[idx];
+            assert!(
+                (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn feedforward_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ff = FeedForward::new(4, &mut rng);
+        let a = rand_matrix(4, 3, 5);
+        let wsum = rand_matrix(4, 3, 6);
+
+        let (_, cache) = ff.forward(&a);
+        let d_in = ff.backward(&cache, &wsum);
+        let dw = ff.w.grad().clone();
+        let db = ff.b.grad().clone();
+
+        let eps = 1e-3f32;
+        // Check dW.
+        for idx in 0..dw.data().len() {
+            let orig = ff.w.value().data()[idx];
+            ff.w.value_mut().data_mut()[idx] = orig + eps;
+            let (op, _) = ff.forward(&a);
+            ff.w.value_mut().data_mut()[idx] = orig - eps;
+            let (om, _) = ff.forward(&a);
+            ff.w.value_mut().data_mut()[idx] = orig;
+            let numeric = (weighted_sum(&op, &wsum) - weighted_sum(&om, &wsum)) / (2.0 * eps);
+            let got = dw.data()[idx];
+            assert!(
+                (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dW[{idx}]: {numeric} vs {got}"
+            );
+        }
+        // Check db.
+        for idx in 0..db.data().len() {
+            let orig = ff.b.value().data()[idx];
+            ff.b.value_mut().data_mut()[idx] = orig + eps;
+            let (op, _) = ff.forward(&a);
+            ff.b.value_mut().data_mut()[idx] = orig - eps;
+            let (om, _) = ff.forward(&a);
+            ff.b.value_mut().data_mut()[idx] = orig;
+            let numeric = (weighted_sum(&op, &wsum) - weighted_sum(&om, &wsum)) / (2.0 * eps);
+            let got = db.data()[idx];
+            assert!(
+                (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "db[{idx}]: {numeric} vs {got}"
+            );
+        }
+        // Check d_in.
+        for idx in 0..a.data().len() {
+            let mut ap = a.clone();
+            ap.data_mut()[idx] += eps;
+            let mut am = a.clone();
+            am.data_mut()[idx] -= eps;
+            let (op, _) = ff.forward(&ap);
+            let (om, _) = ff.forward(&am);
+            let numeric = (weighted_sum(&op, &wsum) - weighted_sum(&om, &wsum)) / (2.0 * eps);
+            let got = d_in.data()[idx];
+            assert!(
+                (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dA[{idx}]: {numeric} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn translator_input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = Translator::near_identity(2, 4, &mut rng);
+        let a = rand_matrix(4, 3, 8);
+        let wsum = rand_matrix(4, 3, 9);
+
+        let (_, cache) = t.forward(&a);
+        let d_in = t.backward(&cache, &wsum);
+        t.zero_grad();
+
+        let eps = 1e-3f32;
+        for idx in 0..a.data().len() {
+            let mut ap = a.clone();
+            ap.data_mut()[idx] += eps;
+            let mut am = a.clone();
+            am.data_mut()[idx] -= eps;
+            let (op, _) = t.forward(&ap);
+            let (om, _) = t.forward(&am);
+            let numeric = (weighted_sum(&op, &wsum) - weighted_sum(&om, &wsum)) / (2.0 * eps);
+            let got = d_in.data()[idx];
+            assert!(
+                (numeric - got).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "dA[{idx}]: {numeric} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn translator_shapes_and_stack_depth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Translator::new(6, 8, &mut rng);
+        assert_eq!(t.num_encoders(), 6);
+        assert_eq!(t.path_len(), 8);
+        let a = rand_matrix(8, 16, 2);
+        let (out, cache) = t.forward(&a);
+        assert_eq!(out.rows(), 8);
+        assert_eq!(out.cols(), 16);
+        assert_eq!(cache.stages.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "path length mismatch")]
+    fn translator_rejects_wrong_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Translator::new(1, 8, &mut rng);
+        let a = rand_matrix(5, 16, 2);
+        let _ = t.forward(&a);
+    }
+
+    #[test]
+    fn near_identity_is_close_to_identity_on_positive_input() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Translator::near_identity(1, 6, &mut rng);
+        // Positive input so the ReLU is inactive.
+        let mut rng2 = StdRng::seed_from_u64(12);
+        let a = Matrix::from_fn(6, 4, |_, _| rng2.random_range(0.5f32..1.0));
+        let (out, _) = t.forward(&a);
+        // Attention mixes rows, so allow generous tolerance: check the
+        // output is correlated with the input, not that it's equal.
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut no = 0.0;
+        for (x, y) in a.data().iter().zip(out.data()) {
+            dot += x * y;
+            na += x * x;
+            no += y * y;
+        }
+        let cos = dot / (na.sqrt() * no.sqrt());
+        assert!(cos > 0.8, "cosine {cos}");
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        // Sanity: can a 1-encoder translator learn to map a fixed input to
+        // a fixed positive target?
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut t = Translator::near_identity(1, 4, &mut rng);
+        let a = rand_matrix(4, 3, 21);
+        let target = Matrix::from_fn(4, 3, |r, c| 0.3 + 0.1 * (r as f32) + 0.05 * (c as f32));
+        let cfg = AdamConfig {
+            lr: 0.02,
+            ..Default::default()
+        };
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..1000 {
+            let (out, cache) = t.forward(&a);
+            // L = ½‖out − target‖²; dL/dout = out − target.
+            let mut d = out.clone();
+            d.add_scaled(&target, -1.0);
+            last = 0.5 * d.frobenius().powi(2);
+            if first.is_none() {
+                first = Some(last);
+            }
+            let _ = t.backward(&cache, &d);
+            t.step_adam(&cfg);
+        }
+        assert!(
+            last < 0.25 * first.unwrap(),
+            "loss {} -> {last}",
+            first.unwrap()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Minimal dense-matrix neural substrate for the TransN reproduction.
+//!
+//! The paper's translators (§III-B2) are stacks of encoders, each a
+//! self-attention layer (Eq. 8) followed by a feed-forward layer (Eq. 9):
+//!
+//! ```text
+//! S(A) = softmax_rows(A·Aᵀ/√d) · A
+//! F(A) = relu(W·A + b)            W ∈ R^{|λ|×|λ|}, b ∈ R^{|λ|×1}
+//! T(A) = F(S(···F(S(A))···))      H encoder blocks, 2H layers (Eq. 10)
+//! ```
+//!
+//! This crate implements exactly that architecture with hand-derived
+//! reverse-mode gradients (verified against finite differences in the test
+//! suite), the Adam optimizer \[18\] used by §III-C, plain SGD, Xavier
+//! initialization, and the three variants of the translation loss discussed
+//! in DESIGN.md §4.2.
+//!
+//! It is deliberately *not* a general autograd: the model is small and
+//! fixed, and explicit gradients keep the hot loop allocation-free and easy
+//! to audit.
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod optim;
+pub mod param;
+
+pub use init::GaussianSampler;
+pub use layers::{Encoder, EncoderCache, FeedForward, SelfAttention, Translator, TranslatorCache};
+pub use loss::{LossKind, PairLoss};
+pub use matrix::Matrix;
+pub use optim::{Adam, AdamConfig, Sgd};
+pub use param::Param;

@@ -1,0 +1,230 @@
+//! Translation / reconstruction losses for matrix pairs (Eqs. 11–14).
+//!
+//! The paper writes the translation loss as the mean elementwise product of
+//! the translated matrix and the target matrix, with a footnote claiming a
+//! *low* inner product means *similar* vectors — which is backwards for raw
+//! inner products and divergent if minimized literally. We therefore expose
+//! three interpretations (DESIGN.md §4.2):
+//!
+//! - [`LossKind::NegDot`]: `−(1/L)·Σ X⊙T` — maximizes the inner product
+//!   (the evident intent); pair with weight decay to bound norms.
+//! - [`LossKind::Cosine`]: `(1/L)·Σ_rows (1 − cos(x_r, t_r))` — the
+//!   scale-invariant variant; the default in the TransN training loop.
+//! - [`LossKind::Mse`]: `(1/(L·d))·‖X − T‖²` — the dual-learning
+//!   reconstruction-error reading.
+//!
+//! All variants return gradients w.r.t. **both** operands, because in the
+//! cross-view algorithm the target matrix is itself made of trainable
+//! view-specific embeddings (`Θ_cross`, Algorithm 1).
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Which interpretation of Eqs. (11)–(14) to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Negative mean inner product.
+    NegDot,
+    /// Mean per-row cosine distance.
+    Cosine,
+    /// Mean squared error.
+    Mse,
+}
+
+/// Result of evaluating a pair loss: the scalar value and the gradients
+/// with respect to each operand.
+#[derive(Clone, Debug)]
+pub struct PairLoss {
+    /// The scalar loss.
+    pub value: f32,
+    /// `∂L/∂X` (the translated matrix).
+    pub d_x: Matrix,
+    /// `∂L/∂T` (the target matrix).
+    pub d_t: Matrix,
+}
+
+const EPS: f32 = 1e-8;
+
+impl LossKind {
+    /// Evaluate the loss and both gradients for `X, T ∈ R^{L×d}`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or empty matrices.
+    pub fn eval(self, x: &Matrix, t: &Matrix) -> PairLoss {
+        assert_eq!(
+            (x.rows(), x.cols()),
+            (t.rows(), t.cols()),
+            "loss operand shape mismatch"
+        );
+        assert!(x.rows() > 0 && x.cols() > 0, "empty loss operands");
+        match self {
+            LossKind::NegDot => Self::neg_dot(x, t),
+            LossKind::Cosine => Self::cosine(x, t),
+            LossKind::Mse => Self::mse(x, t),
+        }
+    }
+
+    fn neg_dot(x: &Matrix, t: &Matrix) -> PairLoss {
+        let l = x.rows() as f32;
+        let inv = 1.0 / l;
+        let value = -inv * x.hadamard(t).sum();
+        let mut d_x = t.clone();
+        d_x.scale(-inv);
+        let mut d_t = x.clone();
+        d_t.scale(-inv);
+        PairLoss { value, d_x, d_t }
+    }
+
+    fn mse(x: &Matrix, t: &Matrix) -> PairLoss {
+        let n = (x.rows() * x.cols()) as f32;
+        let inv = 1.0 / n;
+        let mut diff = x.clone();
+        diff.add_scaled(t, -1.0);
+        let value = inv * diff.data().iter().map(|v| v * v).sum::<f32>();
+        let mut d_x = diff.clone();
+        d_x.scale(2.0 * inv);
+        let mut d_t = diff;
+        d_t.scale(-2.0 * inv);
+        PairLoss { value, d_x, d_t }
+    }
+
+    fn cosine(x: &Matrix, t: &Matrix) -> PairLoss {
+        let (l, d) = (x.rows(), x.cols());
+        let inv = 1.0 / l as f32;
+        let mut value = 0.0f32;
+        let mut d_x = Matrix::zeros(l, d);
+        let mut d_t = Matrix::zeros(l, d);
+        for r in 0..l {
+            let xr = x.row(r);
+            let tr = t.row(r);
+            let dot: f32 = xr.iter().zip(tr).map(|(a, b)| a * b).sum();
+            let nx = xr.iter().map(|a| a * a).sum::<f32>().sqrt().max(EPS);
+            let nt = tr.iter().map(|a| a * a).sum::<f32>().sqrt().max(EPS);
+            let cos = dot / (nx * nt);
+            value += inv * (1.0 - cos);
+            // d(1 − cos)/dx = −(t/(|x||t|) − cos·x/|x|²)
+            let dxr = d_x.row_mut(r);
+            for c in 0..d {
+                dxr[c] = -inv * (tr[c] / (nx * nt) - cos * xr[c] / (nx * nx));
+            }
+            let dtr = d_t.row_mut(r);
+            for c in 0..d {
+                dtr[c] = -inv * (xr[c] / (nx * nt) - cos * tr[c] / (nt * nt));
+            }
+        }
+        PairLoss { value, d_x, d_t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0f32..1.0))
+    }
+
+    fn check_grads(kind: LossKind, seed: u64) {
+        let x = rand_matrix(3, 4, seed);
+        let t = rand_matrix(3, 4, seed + 1);
+        let res = kind.eval(&x, &t);
+        let eps = 1e-3f32;
+        for idx in 0..x.data().len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let numeric = (kind.eval(&xp, &t).value - kind.eval(&xm, &t).value) / (2.0 * eps);
+            let got = res.d_x.data()[idx];
+            assert!(
+                (numeric - got).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "{kind:?} dX[{idx}]: {numeric} vs {got}"
+            );
+        }
+        for idx in 0..t.data().len() {
+            let mut tp = t.clone();
+            tp.data_mut()[idx] += eps;
+            let mut tm = t.clone();
+            tm.data_mut()[idx] -= eps;
+            let numeric = (kind.eval(&x, &tp).value - kind.eval(&x, &tm).value) / (2.0 * eps);
+            let got = res.d_t.data()[idx];
+            assert!(
+                (numeric - got).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "{kind:?} dT[{idx}]: {numeric} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn negdot_gradients() {
+        check_grads(LossKind::NegDot, 10);
+    }
+
+    #[test]
+    fn cosine_gradients() {
+        check_grads(LossKind::Cosine, 20);
+    }
+
+    #[test]
+    fn mse_gradients() {
+        check_grads(LossKind::Mse, 30);
+    }
+
+    #[test]
+    fn identical_matrices_are_optimal() {
+        let x = rand_matrix(4, 5, 40);
+        let cos = LossKind::Cosine.eval(&x, &x);
+        assert!(cos.value.abs() < 1e-5, "cosine self-loss {}", cos.value);
+        let mse = LossKind::Mse.eval(&x, &x);
+        assert_eq!(mse.value, 0.0);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let x = rand_matrix(4, 5, 50);
+        let mut x2 = x.clone();
+        x2.scale(7.0);
+        let t = rand_matrix(4, 5, 51);
+        let a = LossKind::Cosine.eval(&x, &t).value;
+        let b = LossKind::Cosine.eval(&x2, &t).value;
+        assert!((a - b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn opposite_vectors_maximize_cosine_loss() {
+        let x = rand_matrix(2, 3, 60);
+        let mut t = x.clone();
+        t.scale(-1.0);
+        let l = LossKind::Cosine.eval(&x, &t).value;
+        assert!((l - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn negdot_matches_paper_formula() {
+        // Eq. (11): (1/|λ|)·ΣΣ (X ⊙ T)_ab, negated.
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let t = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let l = LossKind::NegDot.eval(&x, &t).value;
+        let manual = -(5.0 + 12.0 + 21.0 + 32.0) / 2.0;
+        assert!((l - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_survives_zero_rows() {
+        let x = Matrix::zeros(2, 3);
+        let t = rand_matrix(2, 3, 70);
+        let l = LossKind::Cosine.eval(&x, &t);
+        assert!(l.value.is_finite());
+        assert!(l.d_x.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let x = Matrix::zeros(2, 3);
+        let t = Matrix::zeros(3, 2);
+        let _ = LossKind::Mse.eval(&x, &t);
+    }
+}

@@ -1,0 +1,175 @@
+//! Optimizers: Adam \[18\] (used by §III-C of the paper) and plain SGD.
+//!
+//! Tensor-shaped parameters use [`crate::Param`], which embeds its own Adam
+//! state. The standalone [`Adam`] and [`Sgd`] types here operate on flat
+//! `&mut [f32]` slices and are used for embedding *rows* (a node's
+//! view-specific embedding), where per-row state would waste memory: SGNS
+//! and the baselines update a few rows per step out of millions.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the Adam optimizer.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate α.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Denominator fuzz ε.
+    pub eps: f32,
+    /// Decoupled (AdamW-style) weight decay; 0 disables.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Adam state over a flat parameter vector.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    cfg: AdamConfig,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// State for `len` parameters.
+    pub fn new(len: usize, cfg: AdamConfig) -> Self {
+        Adam {
+            cfg,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdamConfig {
+        &self.cfg
+    }
+
+    /// Apply one update: `params ← params - α·m̂/(√v̂ + ε)`.
+    ///
+    /// # Panics
+    /// Panics if `params` and `grads` do not match the state length.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        self.t += 1;
+        let bc1 = 1.0 - (self.cfg.beta1 as f64).powf(self.t as f64);
+        let bc2 = 1.0 - (self.cfg.beta2 as f64).powf(self.t as f64);
+        let (b1, b2) = (self.cfg.beta1, self.cfg.beta2);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = b1 * self.m[i] + (1.0 - b1) * g;
+            self.v[i] = b2 * self.v[i] + (1.0 - b2) * g * g;
+            let m_hat = self.m[i] as f64 / bc1;
+            let v_hat = self.v[i] as f64 / bc2;
+            let mut val = params[i] as f64;
+            val -= self.cfg.lr as f64 * m_hat / (v_hat.sqrt() + self.cfg.eps as f64);
+            if self.cfg.weight_decay > 0.0 {
+                val -= (self.cfg.lr * self.cfg.weight_decay) as f64 * val;
+            }
+            params[i] = val as f32;
+        }
+    }
+}
+
+/// Plain SGD with an optional linearly-decaying learning rate, the word2vec
+/// convention used by the skip-gram trainers.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Initial learning rate (the paper sets 0.025, §IV-A3).
+    pub lr0: f32,
+    /// Floor the decayed rate at this fraction of `lr0`.
+    pub min_frac: f32,
+}
+
+impl Sgd {
+    /// Constant-rate SGD.
+    pub fn constant(lr: f32) -> Self {
+        Sgd {
+            lr0: lr,
+            min_frac: 1.0,
+        }
+    }
+
+    /// Linearly-decaying SGD (word2vec style), flooring at
+    /// `min_frac * lr0`.
+    pub fn decaying(lr0: f32, min_frac: f32) -> Self {
+        Sgd { lr0, min_frac }
+    }
+
+    /// The learning rate after completing `done` of `total` work units.
+    #[inline]
+    pub fn rate(&self, done: usize, total: usize) -> f32 {
+        if total == 0 {
+            return self.lr0;
+        }
+        let frac = 1.0 - done as f32 / total as f32;
+        self.lr0 * frac.max(self.min_frac)
+    }
+
+    /// In-place update `params ← params - lr·grads`.
+    pub fn step(lr: f32, params: &mut [f32], grads: &[f32]) {
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_flat_converges() {
+        // Minimize ‖x - target‖².
+        let target = [1.0f32, -2.0, 3.0];
+        let mut x = [0.0f32; 3];
+        let mut adam = Adam::new(3, AdamConfig { lr: 0.05, ..Default::default() });
+        for _ in 0..600 {
+            let g: Vec<f32> = x.iter().zip(target).map(|(xi, t)| 2.0 * (xi - t)).collect();
+            adam.step(&mut x, &g);
+        }
+        for (xi, t) in x.iter().zip(target) {
+            assert!((xi - t).abs() < 1e-2, "{xi} vs {t}");
+        }
+    }
+
+    #[test]
+    fn sgd_rate_decays_linearly_with_floor() {
+        let s = Sgd::decaying(0.025, 0.04);
+        assert_eq!(s.rate(0, 100), 0.025);
+        assert!((s.rate(50, 100) - 0.0125).abs() < 1e-7);
+        // Past the floor.
+        assert!((s.rate(99, 100) - 0.025 * 0.04).abs() < 1e-7);
+        assert_eq!(s.rate(0, 0), 0.025);
+    }
+
+    #[test]
+    fn sgd_constant_never_decays() {
+        let s = Sgd::constant(0.01);
+        assert_eq!(s.rate(90, 100), 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn adam_length_mismatch_panics() {
+        let mut adam = Adam::new(2, AdamConfig::default());
+        let mut p = [0.0f32; 3];
+        adam.step(&mut p, &[0.0; 3]);
+    }
+}

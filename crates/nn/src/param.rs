@@ -1,0 +1,165 @@
+//! A trainable parameter tensor with its gradient accumulator and Adam
+//! moment estimates.
+
+use crate::matrix::Matrix;
+use crate::optim::AdamConfig;
+use serde::{Deserialize, Serialize};
+
+/// A parameter matrix, its gradient, and per-element Adam state.
+///
+/// Gradients accumulate across [`Param::grad_mut`] writes until
+/// [`Param::step_adam`] / [`Param::step_sgd`] consumes and clears them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Param {
+    value: Matrix,
+    grad: Matrix,
+    m: Matrix,
+    v: Matrix,
+    /// Adam time step (shared across the whole tensor).
+    t: u64,
+}
+
+impl Param {
+    /// Wrap an initialized value.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = (value.rows(), value.cols());
+        Param {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+            t: 0,
+        }
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn value(&self) -> &Matrix {
+        &self.value
+    }
+
+    /// Mutable value access (e.g. for tests or custom updates).
+    #[inline]
+    pub fn value_mut(&mut self) -> &mut Matrix {
+        &mut self.value
+    }
+
+    /// The accumulated gradient.
+    #[inline]
+    pub fn grad(&self) -> &Matrix {
+        &self.grad
+    }
+
+    /// Mutable gradient accumulator.
+    #[inline]
+    pub fn grad_mut(&mut self) -> &mut Matrix {
+        &mut self.grad
+    }
+
+    /// Clear the gradient without stepping.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// One Adam update from the accumulated gradient, then clear it.
+    ///
+    /// Applies decoupled weight decay (AdamW-style) when
+    /// `cfg.weight_decay > 0`; the TransN cross-view losses need this to
+    /// bound embedding norms under the `NegDot` loss (DESIGN.md §4.2).
+    pub fn step_adam(&mut self, cfg: &AdamConfig) {
+        self.t += 1;
+        let bc1 = 1.0 - (cfg.beta1 as f64).powf(self.t as f64);
+        let bc2 = 1.0 - (cfg.beta2 as f64).powf(self.t as f64);
+        let lr = cfg.lr;
+        let (b1, b2, eps) = (cfg.beta1, cfg.beta2, cfg.eps);
+        let wd = cfg.weight_decay;
+        let value = self.value.data_mut();
+        let grad = self.grad.data_mut();
+        let m = self.m.data_mut();
+        let v = self.v.data_mut();
+        for i in 0..value.len() {
+            let g = grad[i];
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let m_hat = m[i] as f64 / bc1;
+            let v_hat = v[i] as f64 / bc2;
+            let mut val = value[i] as f64;
+            val -= lr as f64 * (m_hat / (v_hat.sqrt() + eps as f64));
+            if wd > 0.0 {
+                val -= lr as f64 * wd as f64 * val;
+            }
+            value[i] = val as f32;
+            grad[i] = 0.0;
+        }
+    }
+
+    /// One plain SGD update from the accumulated gradient, then clear it.
+    pub fn step_sgd(&mut self, lr: f32) {
+        let value = self.value.data_mut();
+        let grad = self.grad.data_mut();
+        for i in 0..value.len() {
+            value[i] -= lr * grad[i];
+            grad[i] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = Param::new(Matrix::from_vec(1, 2, vec![1.0, -1.0]));
+        p.grad_mut().data_mut().copy_from_slice(&[0.5, -0.5]);
+        p.step_sgd(0.1);
+        assert_eq!(p.value().data(), &[0.95, -0.95]);
+        // Gradient cleared.
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize f(x) = (x - 3)²; gradient 2(x - 3).
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        let cfg = AdamConfig {
+            lr: 0.1,
+            ..AdamConfig::default()
+        };
+        for _ in 0..500 {
+            let x = p.value().get(0, 0);
+            p.grad_mut().set(0, 0, 2.0 * (x - 3.0));
+            p.step_adam(&cfg);
+        }
+        let x = p.value().get(0, 0);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![10.0]));
+        let cfg = AdamConfig {
+            lr: 0.01,
+            weight_decay: 0.5,
+            ..AdamConfig::default()
+        };
+        for _ in 0..100 {
+            // Zero loss gradient: only decay acts.
+            p.zero_grad();
+            p.step_adam(&cfg);
+        }
+        assert!(p.value().get(0, 0) < 10.0 * 0.95);
+    }
+
+    #[test]
+    fn gradient_accumulates_until_step() {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        p.grad_mut().set(0, 0, 1.0);
+        let g1 = p.grad().get(0, 0);
+        p.grad_mut().data_mut()[0] += 1.0;
+        assert_eq!(g1, 1.0);
+        assert_eq!(p.grad().get(0, 0), 2.0);
+        p.step_sgd(1.0);
+        assert_eq!(p.value().get(0, 0), -2.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the neural substrate: algebraic identities of the
+//! matrix kernels and analytic-vs-numeric gradient agreement on random
+//! shapes.
+
+use proptest::prelude::*;
+use transn_nn::{LossKind, Matrix, SelfAttention};
+
+fn arb_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>)
+    -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f32..2.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(
+        a in arb_matrix(1..6, 1..6),
+        b_data in proptest::collection::vec(-2.0f32..2.0, 36),
+    ) {
+        let bc = 3usize;
+        let b = Matrix::from_vec(a.cols(), bc, b_data[..a.cols() * bc].to_vec());
+        let ab = a.matmul(&b);
+        let btat = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(ab.transpose(), btat);
+    }
+
+    /// matmul_tb(A, B) == A·Bᵀ and matmul_ta(A, B) == Aᵀ·B exactly.
+    #[test]
+    fn fused_kernels_match_naive(
+        a in arb_matrix(1..6, 1..6),
+        pool in proptest::collection::vec(-2.0f32..2.0, 36),
+    ) {
+        let rows = 4usize;
+        let b_same_cols = Matrix::from_vec(rows, a.cols(), pool[..rows * a.cols()].to_vec());
+        let tb = a.matmul_tb(&b_same_cols);
+        let naive = a.matmul(&b_same_cols.transpose());
+        for (x, y) in tb.data().iter().zip(naive.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+
+        let b_same_rows = Matrix::from_vec(a.rows(), 3, pool[..a.rows() * 3].to_vec());
+        let ta = a.matmul_ta(&b_same_rows);
+        let naive = a.transpose().matmul(&b_same_rows);
+        for (x, y) in ta.data().iter().zip(naive.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Row softmax always produces distributions, for any input scale.
+    #[test]
+    fn softmax_rows_are_distributions(mut m in arb_matrix(1..8, 1..8), scale in 0.1f32..100.0) {
+        m.scale(scale);
+        m.softmax_rows_inplace();
+        for r in 0..m.rows() {
+            let s: f32 = m.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            for &v in m.row(r) {
+                prop_assert!((0.0..=1.0).contains(&v) && v.is_finite());
+            }
+        }
+    }
+
+    /// Self-attention output rows stay inside the convex hull radius of
+    /// the input rows (they are convex combinations).
+    #[test]
+    fn attention_is_convex_combination(a in arb_matrix(2..6, 2..5)) {
+        let (out, _) = SelfAttention::forward(&a);
+        let max_in = a.max_abs();
+        prop_assert!(out.max_abs() <= max_in + 1e-4);
+    }
+
+    /// Every loss kind: gradients vanish at the minimum-by-construction
+    /// pairs and the value is finite.
+    #[test]
+    fn losses_are_finite_and_symmetric_shapes(x in arb_matrix(2..5, 2..6)) {
+        for kind in [LossKind::NegDot, LossKind::Cosine, LossKind::Mse] {
+            let res = kind.eval(&x, &x);
+            prop_assert!(res.value.is_finite());
+            prop_assert!(res.d_x.data().iter().all(|v| v.is_finite()));
+            prop_assert!(res.d_t.data().iter().all(|v| v.is_finite()));
+        }
+        // MSE of identical operands is exactly 0 with zero gradients.
+        let res = LossKind::Mse.eval(&x, &x);
+        prop_assert_eq!(res.value, 0.0);
+        prop_assert!(res.d_x.data().iter().all(|&v| v == 0.0));
+    }
+
+    /// Cosine loss is invariant under positive row scaling of either side.
+    #[test]
+    fn cosine_scale_invariance(x in arb_matrix(2..5, 2..6), s in 0.1f32..10.0) {
+        let t = {
+            let mut t = x.clone();
+            t.scale(0.7);
+            t
+        };
+        let base = LossKind::Cosine.eval(&x, &t).value;
+        let mut xs = x.clone();
+        xs.scale(s);
+        let scaled = LossKind::Cosine.eval(&xs, &t).value;
+        prop_assert!((base - scaled).abs() < 1e-3, "{base} vs {scaled}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Context-pair extraction from sampled paths.
+//!
+//! Definition 6 of the paper: on a path `λ = {n₁ … n_r}` sampled from a
+//! homo-view the context of `n_k` is `{n_{k−1}, n_{k+1}}` (window 1); on a
+//! heter-view it additionally includes `n_{k±2}` (window 2), capturing
+//! indirect neighbours that share a common end-node. The baselines use the
+//! same machinery with a larger window.
+
+use transn_graph::ViewKind;
+
+/// The Definition-6 window for a view kind: 1 on homo-views, 2 on
+/// heter-views.
+#[inline]
+pub fn window_for_view(kind: ViewKind) -> usize {
+    match kind {
+        ViewKind::Homo => 1,
+        ViewKind::Heter => 2,
+    }
+}
+
+/// Enumerate `(center, context)` pairs of a walk under a symmetric window,
+/// invoking `f` for each. Pairs are emitted in walk order, which keeps SGD
+/// passes deterministic.
+#[inline]
+pub fn context_pairs(walk: &[u32], window: usize, mut f: impl FnMut(u32, u32)) {
+    debug_assert!(window >= 1);
+    for (k, &center) in walk.iter().enumerate() {
+        let lo = k.saturating_sub(window);
+        let hi = (k + window).min(walk.len() - 1);
+        for (j, &ctx) in walk.iter().enumerate().take(hi + 1).skip(lo) {
+            if j != k {
+                f(center, ctx);
+            }
+        }
+    }
+}
+
+/// Count the pairs a walk yields under a window (used for learning-rate
+/// schedules).
+pub fn count_pairs(walk_len: usize, window: usize) -> usize {
+    let mut n = 0;
+    for k in 0..walk_len {
+        let lo = k.saturating_sub(window);
+        let hi = (k + window).min(walk_len.saturating_sub(1));
+        n += hi - lo; // excludes k itself
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(walk: &[u32], window: usize) -> Vec<(u32, u32)> {
+        let mut v = Vec::new();
+        context_pairs(walk, window, |c, o| v.push((c, o)));
+        v
+    }
+
+    #[test]
+    fn window_one_matches_definition6_homo() {
+        let pairs = collect(&[10, 20, 30], 1);
+        assert_eq!(
+            pairs,
+            vec![(10, 20), (20, 10), (20, 30), (30, 20)]
+        );
+    }
+
+    #[test]
+    fn window_two_matches_definition6_heter() {
+        let pairs = collect(&[1, 2, 3, 4], 2);
+        // n₁: n₂, n₃; n₂: n₁, n₃, n₄; n₃: n₁, n₂, n₄; n₄: n₂, n₃.
+        assert_eq!(
+            pairs,
+            vec![
+                (1, 2), (1, 3),
+                (2, 1), (2, 3), (2, 4),
+                (3, 1), (3, 2), (3, 4),
+                (4, 2), (4, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn view_kind_windows() {
+        assert_eq!(window_for_view(ViewKind::Homo), 1);
+        assert_eq!(window_for_view(ViewKind::Heter), 2);
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for len in 1..8usize {
+            for window in 1..4usize {
+                let walk: Vec<u32> = (0..len as u32).collect();
+                assert_eq!(
+                    collect(&walk, window).len(),
+                    count_pairs(len, window),
+                    "len {len} window {window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_walk_has_no_pairs() {
+        assert!(collect(&[5], 2).is_empty());
+        assert_eq!(count_pairs(1, 2), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Hierarchical softmax: the `O(log₂ μ)` estimator of Eq. (3) cited by the
+//! Theorem-1 cost analysis \[26\].
+//!
+//! A Huffman tree is built over node frequencies; predicting a context node
+//! reduces to `O(code length)` binary classifications along its root path.
+
+use crate::context::context_pairs;
+use crate::sigmoid::fast_sigmoid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use transn_walks::WalkCorpus;
+
+/// Huffman coding of a frequency table.
+#[derive(Clone, Debug)]
+pub struct HuffmanTree {
+    /// `points[leaf]`: indices of the internal nodes on the root path.
+    points: Vec<Vec<u32>>,
+    /// `codes[leaf]`: branch bit at each internal node of the path.
+    codes: Vec<Vec<u8>>,
+    num_internal: usize,
+}
+
+impl HuffmanTree {
+    /// Build from non-negative frequencies (zero frequencies are treated
+    /// as 1 so every leaf gets a code).
+    ///
+    /// # Panics
+    /// Panics if `freqs` has fewer than 2 entries.
+    pub fn build(freqs: &[u64]) -> Self {
+        let n = freqs.len();
+        assert!(n >= 2, "Huffman tree needs at least two leaves");
+        // Node ids: 0..n leaves, n.. internal.
+        let mut parent = vec![0u32; 2 * n - 1];
+        let mut branch = vec![0u8; 2 * n - 1];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = (0..n)
+            .map(|i| Reverse((freqs[i].max(1), i as u32)))
+            .collect();
+        let mut next = n as u32;
+        while heap.len() > 1 {
+            let Reverse((f1, a)) = heap.pop().unwrap();
+            let Reverse((f2, b)) = heap.pop().unwrap();
+            parent[a as usize] = next;
+            parent[b as usize] = next;
+            branch[a as usize] = 0;
+            branch[b as usize] = 1;
+            heap.push(Reverse((f1 + f2, next)));
+            next += 1;
+        }
+        let root = next - 1;
+        let num_internal = (next as usize) - n;
+
+        let mut points = Vec::with_capacity(n);
+        let mut codes = Vec::with_capacity(n);
+        for leaf in 0..n as u32 {
+            let mut p = Vec::new();
+            let mut c = Vec::new();
+            let mut cur = leaf;
+            while cur != root {
+                let par = parent[cur as usize];
+                // Internal node index relative to the internal table.
+                p.push(par - n as u32);
+                c.push(branch[cur as usize]);
+                cur = par;
+            }
+            // Root-first order.
+            p.reverse();
+            c.reverse();
+            points.push(p);
+            codes.push(c);
+        }
+        HuffmanTree {
+            points,
+            codes,
+            num_internal,
+        }
+    }
+
+    /// Code length of a leaf.
+    pub fn code_len(&self, leaf: u32) -> usize {
+        self.codes[leaf as usize].len()
+    }
+
+    /// Number of internal nodes (= leaves − 1).
+    pub fn num_internal(&self) -> usize {
+        self.num_internal
+    }
+}
+
+/// Skip-gram model trained with hierarchical softmax.
+#[derive(Clone, Debug)]
+pub struct HsModel {
+    n: usize,
+    dim: usize,
+    input: Vec<f32>,
+    internal: Vec<f32>,
+    tree: HuffmanTree,
+}
+
+impl HsModel {
+    /// Initialize over `n` nodes with the given corpus frequencies.
+    pub fn new<R: rand::Rng + ?Sized>(freqs: &[u64], dim: usize, rng: &mut R) -> Self {
+        let n = freqs.len();
+        let tree = HuffmanTree::build(freqs);
+        let half = 0.5 / dim as f32;
+        HsModel {
+            n,
+            dim,
+            input: (0..n * dim).map(|_| rng.random_range(-half..half)).collect(),
+            internal: vec![0.0; tree.num_internal() * dim],
+            tree,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The input embedding of node `i`.
+    #[inline]
+    pub fn embedding(&self, i: u32) -> &[f32] {
+        let i = i as usize;
+        &self.input[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Train one `(center, context)` pair; returns the pair loss.
+    pub fn train_pair(&mut self, center: u32, ctx: u32, lr: f32) -> f32 {
+        let dim = self.dim;
+        let c = center as usize * dim;
+        let points = &self.tree.points[ctx as usize];
+        let codes = &self.tree.codes[ctx as usize];
+        let mut grad_center = vec![0.0f32; dim];
+        let mut loss = 0.0f32;
+        for (&pt, &code) in points.iter().zip(codes) {
+            let o = pt as usize * dim;
+            let mut dot = 0.0f32;
+            for j in 0..dim {
+                dot += self.input[c + j] * self.internal[o + j];
+            }
+            // word2vec convention: label = 1 − code.
+            let label = 1.0 - code as f32;
+            let pred = fast_sigmoid(dot);
+            loss -= if label > 0.5 {
+                pred.max(1e-7).ln()
+            } else {
+                (1.0 - pred).max(1e-7).ln()
+            };
+            let g = (pred - label) * lr;
+            for (j, gc) in grad_center.iter_mut().enumerate() {
+                *gc += g * self.internal[o + j];
+                self.internal[o + j] -= g * self.input[c + j];
+            }
+        }
+        for (j, gc) in grad_center.iter().enumerate() {
+            self.input[c + j] -= gc;
+        }
+        loss
+    }
+
+    /// One pass over a corpus; returns mean pair loss.
+    pub fn train_corpus(&mut self, corpus: &WalkCorpus, window: usize, lr0: f32) -> f32 {
+        let _rng = StdRng::seed_from_u64(0);
+        let total: usize = corpus
+            .walks()
+            .iter()
+            .map(|w| crate::context::count_pairs(w.len(), window))
+            .sum();
+        let mut done = 0usize;
+        let mut loss_sum = 0.0f64;
+        for walk in corpus.walks() {
+            context_pairs(walk, window, |center, ctx| {
+                let lr = lr0 * (1.0 - done as f32 / total.max(1) as f32).max(1e-4);
+                loss_sum += self.train_pair(center, ctx, lr) as f64;
+                done += 1;
+            });
+        }
+        if done == 0 {
+            0.0
+        } else {
+            (loss_sum / done as f64) as f32
+        }
+    }
+
+    /// Probability of observing `ctx` given `center` under the tree
+    /// (sanity-check helper; sums to 1 over all leaves).
+    pub fn predict(&self, center: u32, ctx: u32) -> f32 {
+        let dim = self.dim;
+        let c = center as usize * dim;
+        let mut p = 1.0f32;
+        let points = &self.tree.points[ctx as usize];
+        let codes = &self.tree.codes[ctx as usize];
+        for (&pt, &code) in points.iter().zip(codes) {
+            let o = pt as usize * dim;
+            let mut dot = 0.0f32;
+            for j in 0..dim {
+                dot += self.input[c + j] * self.internal[o + j];
+            }
+            let s = fast_sigmoid(dot);
+            p *= if code == 0 { s } else { 1.0 - s };
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn frequent_leaves_get_shorter_codes() {
+        let tree = HuffmanTree::build(&[100, 1, 1, 1, 1]);
+        let len0 = tree.code_len(0);
+        for leaf in 1..5 {
+            assert!(tree.code_len(leaf) >= len0, "leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn internal_count_is_leaves_minus_one() {
+        let tree = HuffmanTree::build(&[3, 1, 4, 1, 5, 9]);
+        assert_eq!(tree.num_internal(), 5);
+    }
+
+    #[test]
+    fn code_lengths_are_logarithmic_for_uniform() {
+        let freqs = vec![1u64; 64];
+        let tree = HuffmanTree::build(&freqs);
+        for leaf in 0..64 {
+            assert_eq!(tree.code_len(leaf), 6);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = HsModel::new(&[5, 3, 2, 7, 1], 8, &mut rng);
+        let total: f32 = (0..5).map(|ctx| model.predict(0, ctx)).sum();
+        assert!((total - 1.0).abs() < 1e-4, "sum {total}");
+    }
+
+    #[test]
+    fn training_increases_observed_pair_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = HsModel::new(&[1, 1, 1, 1], 8, &mut rng);
+        let before = model.predict(0, 1);
+        for _ in 0..200 {
+            model.train_pair(0, 1, 0.1);
+        }
+        let after = model.predict(0, 1);
+        assert!(after > before + 0.2, "{before} -> {after}");
+        // Still a distribution.
+        let total: f32 = (0..4).map(|ctx| model.predict(0, ctx)).sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn corpus_training_reduces_loss() {
+        let walks = vec![vec![0u32, 1, 0, 1, 2], vec![2, 3, 2, 3, 0]];
+        let corpus = WalkCorpus::from_walks(walks);
+        let freqs = corpus.node_frequencies(4);
+        let mut model = HsModel::new(&freqs, 8, &mut StdRng::seed_from_u64(2));
+        let first = model.train_corpus(&corpus, 1, 0.1);
+        let mut last = first;
+        for _ in 0..10 {
+            last = model.train_corpus(&corpus, 1, 0.1);
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two leaves")]
+    fn single_leaf_rejected() {
+        let _ = HuffmanTree::build(&[5]);
+    }
+}

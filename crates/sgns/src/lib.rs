@@ -1,0 +1,30 @@
+//! Skip-gram trainers for walk corpora.
+//!
+//! TransN's single-view loss (Eq. 3) is the skip-gram softmax of \[13\],
+//! \[27\], \[33\]. Like those references we train it with **negative sampling**
+//! ([`SgnsModel`], the default) and also provide **hierarchical softmax**
+//! ([`hsoftmax::HsModel`]) — the `log₂ μ` optimization cost that the proof
+//! of Theorem 1 cites.
+//!
+//! The same trainers drive the walk-based baselines (DeepWalk, Node2Vec,
+//! Metapath2Vec, MVE), so context extraction is parameterized by window
+//! size: Definition 6 of the paper is the special case `window = 1` on
+//! homo-views and `window = 2` on heter-views.
+
+//! Trainers are single-threaded by design; the TransN training loop
+//! parallelizes *across views* (each view owns an independent model), which
+//! keeps the whole stack free of data races without hogwild-style unsafety.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod hsoftmax;
+pub mod negative;
+pub mod sgns;
+pub mod sigmoid;
+
+pub use context::{context_pairs, window_for_view};
+pub use hsoftmax::HsModel;
+pub use negative::NoiseTable;
+pub use sgns::{SgnsConfig, SgnsModel};
+pub use sigmoid::fast_sigmoid;

@@ -1,0 +1,108 @@
+//! Negative-sampling noise distribution: unigram frequency raised to 3/4,
+//! the word2vec convention \[27\] adopted by every walk-based method the
+//! paper compares.
+
+use rand::Rng;
+use transn_graph::AliasTable;
+
+/// Alias-sampled noise table over node ids.
+#[derive(Clone, Debug)]
+pub struct NoiseTable {
+    table: AliasTable,
+    /// Remember which ids have zero frequency (never returned).
+    support: usize,
+}
+
+impl NoiseTable {
+    /// Build from occurrence counts (e.g.
+    /// [`transn_walks::WalkCorpus::node_frequencies`]), applying the 3/4
+    /// power.
+    ///
+    /// # Panics
+    /// Panics if all frequencies are zero.
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        let weights: Vec<f32> = freqs.iter().map(|&f| (f as f32).powf(0.75)).collect();
+        NoiseTable {
+            table: AliasTable::new(&weights),
+            support: freqs.len(),
+        }
+    }
+
+    /// Number of ids covered (including zero-frequency ones).
+    pub fn len(&self) -> usize {
+        self.support
+    }
+
+    /// Whether the table covers no ids.
+    pub fn is_empty(&self) -> bool {
+        self.support == 0
+    }
+
+    /// Draw one noise node.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.table.sample(rng)
+    }
+
+    /// Draw a noise node different from `exclude`, retrying a bounded
+    /// number of times (falls back to any sample if the distribution is
+    /// too concentrated to avoid `exclude`).
+    #[inline]
+    pub fn sample_excluding<R: Rng + ?Sized>(&self, exclude: u32, rng: &mut R) -> u32 {
+        for _ in 0..8 {
+            let s = self.table.sample(rng);
+            if s != exclude {
+                return s;
+            }
+        }
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn three_quarter_power_flattens() {
+        // freq 16 vs 1 → weight 8 vs 1 (not 16 vs 1).
+        let t = NoiseTable::from_frequencies(&[16, 1]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c0 = 0;
+        let n = 90_000;
+        for _ in 0..n {
+            if t.sample(&mut rng) == 0 {
+                c0 += 1;
+            }
+        }
+        let frac = c0 as f64 / n as f64;
+        assert!((frac - 8.0 / 9.0).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn zero_frequency_never_sampled() {
+        let t = NoiseTable::from_frequencies(&[5, 0, 5]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn exclusion_avoids_target_when_possible() {
+        let t = NoiseTable::from_frequencies(&[10, 10]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            assert_eq!(t.sample_excluding(0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn exclusion_falls_back_on_singleton_support() {
+        let t = NoiseTable::from_frequencies(&[10, 0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Only node 0 has mass; exclusion must give up and return it.
+        assert_eq!(t.sample_excluding(0, &mut rng), 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Skip-gram with negative sampling (SGNS) over walk corpora.
+//!
+//! For each `(center, context)` pair the model maximizes
+//! `log σ(u_ctx · v_center) + Σ_k log σ(−u_noise_k · v_center)`,
+//! the standard estimator for the softmax of Eq. (3) \[27\]. Input vectors
+//! `v` are the node embeddings delivered downstream; output vectors `u`
+//! are the context table.
+
+use crate::context::context_pairs;
+use crate::negative::NoiseTable;
+use crate::sigmoid::fast_sigmoid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transn_walks::WalkCorpus;
+
+/// SGNS hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SgnsConfig {
+    /// Embedding dimension `d`.
+    pub dim: usize,
+    /// Negative samples per positive pair (word2vec default 5).
+    pub negatives: usize,
+    /// Initial learning rate; the paper sets 0.025 (§IV-A3).
+    pub lr0: f32,
+    /// Linear-decay floor as a fraction of `lr0`.
+    pub min_lr_frac: f32,
+    /// Symmetric context window (Definition 6: 1 homo, 2 heter; baselines
+    /// use larger windows).
+    pub window: usize,
+    /// Training seed (noise draws).
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        SgnsConfig {
+            dim: 128,
+            negatives: 5,
+            lr0: 0.025,
+            min_lr_frac: 1e-4,
+            window: 2,
+            seed: 17,
+        }
+    }
+}
+
+/// An SGNS model over `n` nodes: input (embedding) and output (context)
+/// tables, each `n × dim`, stored flat.
+#[derive(Clone, Debug)]
+pub struct SgnsModel {
+    n: usize,
+    dim: usize,
+    input: Vec<f32>,
+    output: Vec<f32>,
+}
+
+impl SgnsModel {
+    /// Word2vec-style initialization: input `U(−0.5/d, 0.5/d)`, output
+    /// zeros.
+    pub fn new<R: rand::Rng + ?Sized>(n: usize, dim: usize, rng: &mut R) -> Self {
+        let half = 0.5 / dim as f32;
+        let input = (0..n * dim).map(|_| rng.random_range(-half..half)).collect();
+        SgnsModel {
+            n,
+            dim,
+            input,
+            output: vec![0.0; n * dim],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The input embedding of node `i`.
+    #[inline]
+    pub fn embedding(&self, i: u32) -> &[f32] {
+        let i = i as usize;
+        &self.input[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable input embedding (the cross-view algorithm writes gradient
+    /// updates for common nodes here).
+    #[inline]
+    pub fn embedding_mut(&mut self, i: u32) -> &mut [f32] {
+        let i = i as usize;
+        &mut self.input[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The whole input table, flat row-major `n × dim`.
+    pub fn input_table(&self) -> &[f32] {
+        &self.input
+    }
+
+    /// Train one positive pair plus `negatives` noise pairs, updating the
+    /// center's input vector and the contexts' output vectors. Returns the
+    /// (approximate) pair loss for monitoring.
+    #[inline]
+    pub fn train_pair<R: rand::Rng + ?Sized>(
+        &mut self,
+        center: u32,
+        ctx: u32,
+        noise: &NoiseTable,
+        negatives: usize,
+        lr: f32,
+        rng: &mut R,
+    ) -> f32 {
+        let dim = self.dim;
+        let c = center as usize * dim;
+        let mut grad_center = vec![0.0f32; dim];
+        let mut loss = 0.0f32;
+
+        // One positive + `negatives` noise targets.
+        for k in 0..=negatives {
+            let (target, label) = if k == 0 {
+                (ctx, 1.0f32)
+            } else {
+                (noise.sample_excluding(ctx, rng), 0.0f32)
+            };
+            let o = target as usize * dim;
+            let mut dot = 0.0f32;
+            for j in 0..dim {
+                dot += self.input[c + j] * self.output[o + j];
+            }
+            let pred = fast_sigmoid(dot);
+            loss -= if label > 0.5 {
+                pred.max(1e-7).ln()
+            } else {
+                (1.0 - pred).max(1e-7).ln()
+            };
+            let g = (pred - label) * lr;
+            for (j, gc) in grad_center.iter_mut().enumerate() {
+                *gc += g * self.output[o + j];
+                self.output[o + j] -= g * self.input[c + j];
+            }
+        }
+        for (j, gc) in grad_center.iter().enumerate() {
+            self.input[c + j] -= gc;
+        }
+        loss
+    }
+
+    /// One pass over a corpus with a linearly-decaying learning rate.
+    /// Returns the mean pair loss.
+    pub fn train_corpus(&mut self, corpus: &WalkCorpus, noise: &NoiseTable, cfg: &SgnsConfig) -> f32 {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let total_pairs: usize = corpus
+            .walks()
+            .iter()
+            .map(|w| crate::context::count_pairs(w.len(), cfg.window))
+            .sum();
+        let mut done = 0usize;
+        let mut loss_sum = 0.0f64;
+        for walk in corpus.walks() {
+            context_pairs(walk, cfg.window, |center, ctx| {
+                let frac = 1.0 - done as f32 / total_pairs.max(1) as f32;
+                let lr = cfg.lr0 * frac.max(cfg.min_lr_frac);
+                loss_sum +=
+                    self.train_pair(center, ctx, noise, cfg.negatives, lr, &mut rng) as f64;
+                done += 1;
+            });
+        }
+        if done == 0 {
+            0.0
+        } else {
+            (loss_sum / done as f64) as f32
+        }
+    }
+
+    /// Copy the input table into per-node `Vec`s (for evaluation
+    /// interfaces working with global tables).
+    pub fn export_embeddings(&self) -> Vec<Vec<f32>> {
+        (0..self.n as u32).map(|i| self.embedding(i).to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Two 4-cliques joined by one edge; walks stay mostly inside a
+    /// community, so SGNS should embed communities compactly.
+    fn two_communities_corpus() -> (WalkCorpus, usize) {
+        let n = 8usize;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut walks = Vec::new();
+        use rand::Rng;
+        for start in 0..n as u32 {
+            for _ in 0..30 {
+                let mut walk = vec![start];
+                let mut cur = start;
+                for _ in 0..9 {
+                    let community = (cur / 4) * 4;
+                    // 90% stay within community, 10% jump via the bridge
+                    // (nodes 3 and 4).
+                    let next = if rng.random::<f32>() < 0.9 || !(cur == 3 || cur == 4) {
+                        let mut cand = community + rng.random_range(0..4u32);
+                        while cand == cur {
+                            cand = community + rng.random_range(0..4u32);
+                        }
+                        cand
+                    } else if cur == 3 {
+                        4
+                    } else {
+                        3
+                    };
+                    walk.push(next);
+                    cur = next;
+                }
+                walks.push(walk);
+            }
+        }
+        (WalkCorpus::from_walks(walks), n)
+    }
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-12)
+    }
+
+    #[test]
+    fn communities_become_separable() {
+        let (corpus, n) = two_communities_corpus();
+        let noise = NoiseTable::from_frequencies(&corpus.node_frequencies(n));
+        let cfg = SgnsConfig {
+            dim: 16,
+            negatives: 5,
+            lr0: 0.05,
+            min_lr_frac: 1e-3,
+            window: 2,
+            seed: 9,
+        };
+        let mut model = SgnsModel::new(n, cfg.dim, &mut StdRng::seed_from_u64(1));
+        for _ in 0..3 {
+            model.train_corpus(&corpus, &noise, &cfg);
+        }
+        // Mean intra-community cosine must exceed inter-community cosine.
+        let mut intra = 0.0f32;
+        let mut inter = 0.0f32;
+        let mut n_intra = 0;
+        let mut n_inter = 0;
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                let c = cosine(model.embedding(i), model.embedding(j));
+                if i / 4 == j / 4 {
+                    intra += c;
+                    n_intra += 1;
+                } else {
+                    inter += c;
+                    n_inter += 1;
+                }
+            }
+        }
+        intra /= n_intra as f32;
+        inter /= n_inter as f32;
+        assert!(
+            intra > inter + 0.2,
+            "intra {intra} should beat inter {inter}"
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (corpus, n) = two_communities_corpus();
+        let noise = NoiseTable::from_frequencies(&corpus.node_frequencies(n));
+        let cfg = SgnsConfig {
+            dim: 16,
+            lr0: 0.05,
+            seed: 2,
+            ..Default::default()
+        };
+        let mut model = SgnsModel::new(n, cfg.dim, &mut StdRng::seed_from_u64(3));
+        let first = model.train_corpus(&corpus, &noise, &cfg);
+        let mut last = first;
+        for _ in 0..4 {
+            last = model.train_corpus(&corpus, &noise, &cfg);
+        }
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn pair_update_moves_vectors_together() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = SgnsModel::new(4, 8, &mut rng);
+        let noise = NoiseTable::from_frequencies(&[1, 1, 1, 1]);
+        let before = {
+            let v = model.embedding(0);
+            let u = &model.output[8..16];
+            v.iter().zip(u).map(|(a, b)| a * b).sum::<f32>()
+        };
+        for _ in 0..50 {
+            model.train_pair(0, 1, &noise, 2, 0.1, &mut rng);
+        }
+        let after = {
+            let v = model.embedding(0);
+            let u = &model.output[8..16];
+            v.iter().zip(u).map(|(a, b)| a * b).sum::<f32>()
+        };
+        assert!(after > before, "dot {before} -> {after}");
+    }
+
+    #[test]
+    fn export_matches_rows() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = SgnsModel::new(3, 4, &mut rng);
+        let ex = model.export_embeddings();
+        assert_eq!(ex.len(), 3);
+        assert_eq!(ex[2], model.embedding(2));
+    }
+
+    #[test]
+    fn empty_corpus_is_a_noop() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = SgnsModel::new(3, 4, &mut rng);
+        let noise = NoiseTable::from_frequencies(&[1, 1, 1]);
+        let before = model.input_table().to_vec();
+        let loss = model.train_corpus(&WalkCorpus::new(), &noise, &SgnsConfig::default());
+        assert_eq!(loss, 0.0);
+        assert_eq!(model.input_table(), &before[..]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Fast clamped sigmoid, the word2vec convention.
+
+/// Clamp bound: `σ(±6) ≈ 0.9975/0.0025`, beyond which gradients are
+/// negligible.
+pub const SIGMOID_CLAMP: f32 = 6.0;
+
+/// Numerically-cheap sigmoid with input clamped to `±SIGMOID_CLAMP`.
+///
+/// The clamp both avoids `exp` overflow and acts as the word2vec gradient
+/// clip: confident pairs stop moving.
+#[inline(always)]
+pub fn fast_sigmoid(x: f32) -> f32 {
+    let x = x.clamp(-SIGMOID_CLAMP, SIGMOID_CLAMP);
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midpoint() {
+        assert!((fast_sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn symmetry() {
+        for x in [-3.0f32, -1.0, 0.5, 2.0] {
+            assert!((fast_sigmoid(x) + fast_sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn monotone() {
+        let mut prev = fast_sigmoid(-7.0);
+        let mut x = -6.0f32;
+        while x <= 7.0 {
+            let y = fast_sigmoid(x);
+            assert!(y >= prev);
+            prev = y;
+            x += 0.25;
+        }
+    }
+
+    #[test]
+    fn clamps_extremes() {
+        assert_eq!(fast_sigmoid(100.0), fast_sigmoid(6.0));
+        assert_eq!(fast_sigmoid(-100.0), fast_sigmoid(-6.0));
+        assert!(fast_sigmoid(100.0) < 1.0);
+        assert!(fast_sigmoid(-100.0) > 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! App-Daily / App-Weekly-like applet-store networks (Table II rows 3–4),
+//! scaled ~20×.
+//!
+//! Schema matches the paper's Tencent applet logs: applets, users, and
+//! query keywords; **weighted** AU edges (time a user spends on an applet)
+//! and **weighted** AK edges (downloads of an applet through a keyword's
+//! result page); a subset of applets carries a category label (9
+//! categories, as in the Figure 6 case study).
+//!
+//! Two properties the paper's analysis leans on are reproduced:
+//!
+//! 1. The networks are **sparse** and **weighted**, which is where TransN's
+//!    weight-aware walk (π₁/π₂) pays off (§IV-B1).
+//! 2. The AU and AK views are only **weakly correlated** — "a user's usage
+//!    of an applet scarcely relates to whether the applet is searched by a
+//!    keyword" (§IV-B2) — implemented by giving the AK view an independent
+//!    keyword-affinity noise source.
+
+use crate::common::{lognormal, popularity_weights, weighted_pick, EdgeSink};
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transn_graph::{HetNetBuilder, Labels};
+
+/// Size and structure knobs of the applet-store generator.
+#[derive(Clone, Copy, Debug)]
+pub struct AppConfig {
+    /// Dataset display name.
+    pub name: &'static str,
+    /// Number of applets (paper daily: 147,968; full config ~1/20).
+    pub applets: usize,
+    /// Number of users (paper daily: 16,527).
+    pub users: usize,
+    /// Number of query keywords (paper daily: 27,921).
+    pub keywords: usize,
+    /// Applet categories (the paper labels 9).
+    pub categories: usize,
+    /// How many applets carry labels (paper: 5,375 across both nets).
+    pub labeled_applets: usize,
+    /// Mean AU edges per user.
+    pub usages_per_user: f64,
+    /// Mean AK edges per applet.
+    pub keywords_per_applet: f64,
+    /// Probability an AU edge follows the user's category taste.
+    pub usage_fidelity: f64,
+    /// Probability an AK edge follows the applet's category — deliberately
+    /// lower than `usage_fidelity` so the two views correlate weakly.
+    pub keyword_fidelity: f64,
+    /// Fraction of applet labels flipped to a random category (the paper's
+    /// category taxonomy includes a catch-all "others" class; see §IV-D).
+    pub label_noise: f64,
+}
+
+impl AppConfig {
+    /// App-Daily at ~1/20 of Table II.
+    pub fn daily() -> Self {
+        AppConfig {
+            name: "App-Daily",
+            applets: 7_398,
+            users: 826,
+            keywords: 1_396,
+            categories: 9,
+            labeled_applets: 269,
+            usages_per_user: 18.1, // paper: 300k AU / 16.5k users
+            keywords_per_applet: 2.5, // paper: 367k AK / 148k applets
+            usage_fidelity: 0.7,
+            keyword_fidelity: 0.45,
+            label_noise: 0.3,
+        }
+    }
+
+    /// App-Weekly at ~1/20 of Table II: same store, more users and much
+    /// denser usage.
+    pub fn weekly() -> Self {
+        AppConfig {
+            name: "App-Weekly",
+            applets: 7_760,
+            users: 11_670,
+            keywords: 1_489,
+            categories: 9,
+            labeled_applets: 269,
+            usages_per_user: 14.7, // paper: 3.4M AU / 233k users
+            keywords_per_applet: 2.7,
+            usage_fidelity: 0.7,
+            keyword_fidelity: 0.45,
+            label_noise: 0.3,
+        }
+    }
+
+    /// Tiny daily variant for tests.
+    pub fn daily_tiny() -> Self {
+        AppConfig {
+            name: "App-Daily",
+            applets: 90,
+            users: 30,
+            keywords: 25,
+            categories: 5,
+            labeled_applets: 40,
+            usages_per_user: 6.0,
+            keywords_per_applet: 2.0,
+            usage_fidelity: 0.85,
+            keyword_fidelity: 0.6,
+            label_noise: 0.0,
+        }
+    }
+
+    /// Tiny weekly variant for tests.
+    pub fn weekly_tiny() -> Self {
+        AppConfig {
+            name: "App-Weekly",
+            users: 60,
+            ..Self::daily_tiny()
+        }
+    }
+}
+
+/// Generate an applet-store dataset.
+pub fn app_like(cfg: &AppConfig, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = HetNetBuilder::new();
+    let t_applet = b.add_node_type("applet");
+    let t_user = b.add_node_type("user");
+    let t_kw = b.add_node_type("keyword");
+    let e_au = b.add_edge_type("AU", t_applet, t_user);
+    let e_ak = b.add_edge_type("AK", t_applet, t_kw);
+
+    let applets = b.add_nodes(t_applet, cfg.applets);
+    let users = b.add_nodes(t_user, cfg.users);
+    let keywords = b.add_nodes(t_kw, cfg.keywords);
+
+    let applet_cat: Vec<usize> = (0..cfg.applets)
+        .map(|_| rng.random_range(0..cfg.categories))
+        .collect();
+    // Each user prefers one category (with occasional second tastes via
+    // the fidelity noise); each keyword addresses one category.
+    let user_taste: Vec<usize> = (0..cfg.users)
+        .map(|_| rng.random_range(0..cfg.categories))
+        .collect();
+    let kw_cat: Vec<usize> = (0..cfg.keywords).map(|i| i % cfg.categories).collect();
+
+    let applet_pop = popularity_weights(cfg.applets, 1.0, &mut rng);
+    let kw_pop = popularity_weights(cfg.keywords, 0.8, &mut rng);
+
+    let mut cat_applet_w: Vec<Vec<f64>> = vec![Vec::new(); cfg.categories];
+    let mut cat_applet_id: Vec<Vec<usize>> = vec![Vec::new(); cfg.categories];
+    for (a, &c) in applet_cat.iter().enumerate() {
+        cat_applet_w[c].push(applet_pop[a]);
+        cat_applet_id[c].push(a);
+    }
+    let mut cat_kw_w: Vec<Vec<f64>> = vec![Vec::new(); cfg.categories];
+    let mut cat_kw_id: Vec<Vec<usize>> = vec![Vec::new(); cfg.categories];
+    for (k, &c) in kw_cat.iter().enumerate() {
+        cat_kw_w[c].push(kw_pop[k]);
+        cat_kw_id[c].push(k);
+    }
+
+    let mut sink = EdgeSink::new();
+
+    // AU: usage time (log-normal). Matching tastes get longer sessions,
+    // which is exactly the signal π₂ exploits.
+    let au_target = (cfg.users as f64 * cfg.usages_per_user) as usize;
+    while sink.len() < au_target {
+        let u = rng.random_range(0..cfg.users);
+        let taste = user_taste[u];
+        let (a, matched) =
+            if rng.random::<f64>() < cfg.usage_fidelity && !cat_applet_id[taste].is_empty() {
+                (
+                    cat_applet_id[taste][weighted_pick(&cat_applet_w[taste], &mut rng)],
+                    true,
+                )
+            } else {
+                (weighted_pick(&applet_pop, &mut rng), false)
+            };
+        let mu = if matched { 3.0 } else { 1.2 };
+        let w = lognormal(&mut rng, mu, 0.8, 600.0);
+        sink.add(&mut b, applets[a], users[u], e_au, w).unwrap();
+    }
+
+    // AK: download-through-keyword counts. Lower fidelity decouples this
+    // view from AU.
+    let au_edges = sink.len();
+    let ak_target = (cfg.applets as f64 * cfg.keywords_per_applet) as usize;
+    while sink.len() - au_edges < ak_target {
+        let a = weighted_pick(&applet_pop, &mut rng);
+        let cat = applet_cat[a];
+        let (k, matched) =
+            if rng.random::<f64>() < cfg.keyword_fidelity && !cat_kw_id[cat].is_empty() {
+                (
+                    cat_kw_id[cat][weighted_pick(&cat_kw_w[cat], &mut rng)],
+                    true,
+                )
+            } else {
+                (weighted_pick(&kw_pop, &mut rng), false)
+            };
+        let mu = if matched { 2.0 } else { 0.8 };
+        let w = lognormal(&mut rng, mu, 0.7, 300.0).round().max(1.0);
+        sink.add(&mut b, applets[a], keywords[k], e_ak, w).unwrap();
+    }
+
+    let num_nodes = b.num_nodes();
+    let net = b.build().expect("generator produced an invalid network");
+
+    // Label a random subset of applets, stratified so every category is
+    // represented (the Figure 6 case study samples 10 per category).
+    let mut labels = Labels::new(num_nodes);
+    let names = [
+        "catering",
+        "ride-sharing",
+        "life-service",
+        "game",
+        "hotel-booking",
+        "shopping",
+        "education",
+        "finance",
+        "others",
+    ];
+    for c in 0..cfg.categories {
+        labels.add_class(names.get(c).copied().unwrap_or("misc"));
+    }
+    let per_cat = (cfg.labeled_applets / cfg.categories).max(1);
+    let mut labeled = 0usize;
+    for (c, pool) in cat_applet_id.iter().enumerate().take(cfg.categories) {
+        let mut taken = 0usize;
+        let mut tries = 0usize;
+        while taken < per_cat && tries < pool.len() * 4 && !pool.is_empty() {
+            let a = pool[rng.random_range(0..pool.len())];
+            if labels.get(applets[a]).is_none() {
+                let observed = if rng.random::<f64>() < cfg.label_noise {
+                    rng.random_range(0..cfg.categories) as u32
+                } else {
+                    c as u32
+                };
+                labels.set(applets[a], observed);
+                taken += 1;
+                labeled += 1;
+            }
+            tries += 1;
+        }
+    }
+    debug_assert!(labeled > 0);
+
+    Dataset {
+        name: cfg.name.into(),
+        net,
+        labels,
+        metapath: vec!["user", "applet", "keyword", "applet", "user"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table_ii() {
+        let d = app_like(&AppConfig::daily_tiny(), 1);
+        let s = d.net.schema();
+        assert_eq!(s.num_node_types(), 3);
+        assert_eq!(s.num_edge_types(), 2);
+        use transn_graph::ViewKind;
+        let views = d.net.views();
+        assert_eq!(views[0].kind(), ViewKind::Heter);
+        assert_eq!(views[1].kind(), ViewKind::Heter);
+    }
+
+    #[test]
+    fn edges_are_weighted() {
+        let d = app_like(&AppConfig::daily_tiny(), 2);
+        let distinct: std::collections::HashSet<u32> =
+            d.net.edges().iter().map(|e| e.weight.to_bits()).collect();
+        assert!(
+            distinct.len() > 10,
+            "weights should vary, got {} distinct values",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn labels_are_stratified_across_categories() {
+        let d = app_like(&AppConfig::daily_tiny(), 3);
+        let mut per_class = vec![0usize; d.labels.num_classes()];
+        for (_, c) in d.labels.labeled() {
+            per_class[c as usize] += 1;
+        }
+        for (c, &n) in per_class.iter().enumerate() {
+            assert!(n > 0, "class {c} unlabeled");
+        }
+    }
+
+    #[test]
+    fn matched_usage_has_higher_weight() {
+        let d = app_like(&AppConfig::daily(), 4);
+        let au = d.net.schema().edge_type_by_name("AU").unwrap();
+        // Split AU weights into high and low halves; the planted log-normal
+        // means (e^3 vs e^1.2) must make the mean weight clearly bimodal.
+        let ws: Vec<f32> = d
+            .net
+            .edges()
+            .iter()
+            .filter(|e| e.etype == au)
+            .map(|e| e.weight)
+            .collect();
+        let mean = ws.iter().sum::<f32>() / ws.len() as f32;
+        let above = ws.iter().filter(|&&w| w > mean).count() as f64 / ws.len() as f64;
+        // A heavy right tail: far fewer than half the edges above the mean.
+        assert!(above < 0.45, "above-mean fraction {above}");
+    }
+
+    #[test]
+    fn weekly_is_bigger_than_daily() {
+        let daily = app_like(&AppConfig::daily_tiny(), 5);
+        let weekly = app_like(&AppConfig::weekly_tiny(), 5);
+        assert!(weekly.net.num_nodes() > daily.net.num_nodes());
+    }
+
+    #[test]
+    fn full_scale_matches_paper_proportions() {
+        let d = app_like(&AppConfig::daily(), 6);
+        let s = d.stats();
+        assert_eq!(s.nodes_per_type[0].1, 7_398);
+        assert_eq!(s.nodes_per_type[1].1, 826);
+        // Sparse: average degree well below BLOG's.
+        assert!(s.average_degree < 10.0, "avg degree {}", s.average_degree);
+        assert!(s.num_labeled >= 260, "labeled {}", s.num_labeled);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = app_like(&AppConfig::daily_tiny(), 8);
+        let b = app_like(&AppConfig::daily_tiny(), 8);
+        assert_eq!(a.net.edges(), b.net.edges());
+    }
+}

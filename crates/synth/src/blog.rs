@@ -1,0 +1,261 @@
+//! BLOG-like social network (Table II row 2), scaled ~10×.
+//!
+//! Schema matches the paper's BLOG dataset: users and keywords; UU
+//! (friendship), UK (keyword-usage), KK (keyword-relevance) edges, all
+//! unit-weighted; every user carries an interest label. The defining
+//! property the paper leans on — BLOG is **dense** (≈20× the App networks)
+//! and its views are **strongly correlated** (friends post common
+//! keywords) — is preserved: friendships and keyword usage are driven by
+//! the same planted interest groups.
+
+use crate::common::{popularity_weights, weighted_pick, EdgeSink};
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transn_graph::{HetNetBuilder, Labels};
+
+/// Size and structure knobs of the BLOG-like generator.
+#[derive(Clone, Copy, Debug)]
+pub struct BlogConfig {
+    /// Number of users (paper: 57,753; full config: ~1/10).
+    pub users: usize,
+    /// Number of keywords (paper: 5,413).
+    pub keywords: usize,
+    /// Interest groups = label classes.
+    pub groups: usize,
+    /// Mean UU (friendship) edges per user.
+    pub friends_per_user: f64,
+    /// Mean UK edges per user.
+    pub keywords_per_user: f64,
+    /// Mean KK edges per keyword.
+    pub relevance_per_keyword: f64,
+    /// Friendship (UU) fidelity: probability a UU edge stays within the
+    /// interest group. Deliberately the *noisiest* view — the paper's
+    /// BLOG story (§IV-B2) is that the user–keyword view carries the
+    /// transferable signal.
+    pub uu_fidelity: f64,
+    /// Keyword-usage (UK) fidelity — the informative view.
+    pub uk_fidelity: f64,
+    /// Keyword-relevance (KK) fidelity.
+    pub kk_fidelity: f64,
+    /// Fraction of user labels flipped to a random class (annotation
+    /// noise; see DESIGN.md §3 — BLOG's self-declared interest labels are
+    /// the noisiest of the paper's datasets, which is why its absolute F1
+    /// scores are so low).
+    pub label_noise: f64,
+}
+
+impl BlogConfig {
+    /// Experiment-scale configuration (~1/10 of Table II; density
+    /// preserved).
+    pub fn full() -> Self {
+        BlogConfig {
+            users: 5_775,
+            keywords: 541,
+            groups: 5,
+            friends_per_user: 48.8,   // paper: UU degree 2·1.41M/57.7k
+            keywords_per_user: 5.7,   // paper: 330k UK / 57.7k users
+            relevance_per_keyword: 90.0, // paper: KK degree 2·244k/5.4k
+            uu_fidelity: 0.45,
+            uk_fidelity: 0.75,
+            kk_fidelity: 0.8,
+            label_noise: 0.55,
+        }
+    }
+
+    /// Tiny configuration for tests.
+    pub fn tiny() -> Self {
+        BlogConfig {
+            users: 80,
+            keywords: 20,
+            groups: 4,
+            friends_per_user: 6.0,
+            keywords_per_user: 3.0,
+            relevance_per_keyword: 4.0,
+            uu_fidelity: 0.7,
+            uk_fidelity: 0.8,
+            kk_fidelity: 0.8,
+            label_noise: 0.0,
+        }
+    }
+}
+
+/// Generate the BLOG-like dataset.
+pub fn blog_like(cfg: &BlogConfig, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = HetNetBuilder::new();
+    let t_user = b.add_node_type("user");
+    let t_kw = b.add_node_type("keyword");
+    let e_uu = b.add_edge_type("UU", t_user, t_user);
+    let e_uk = b.add_edge_type("UK", t_user, t_kw);
+    let e_kk = b.add_edge_type("KK", t_kw, t_kw);
+
+    let users = b.add_nodes(t_user, cfg.users);
+    let keywords = b.add_nodes(t_kw, cfg.keywords);
+
+    let user_group: Vec<usize> = (0..cfg.users)
+        .map(|_| rng.random_range(0..cfg.groups))
+        .collect();
+    let kw_group: Vec<usize> = (0..cfg.keywords).map(|i| i % cfg.groups).collect();
+
+    let user_pop = popularity_weights(cfg.users, 0.8, &mut rng);
+    let kw_pop = popularity_weights(cfg.keywords, 0.8, &mut rng);
+
+    let mut group_user_w: Vec<Vec<f64>> = vec![Vec::new(); cfg.groups];
+    let mut group_user_id: Vec<Vec<usize>> = vec![Vec::new(); cfg.groups];
+    for (u, &g) in user_group.iter().enumerate() {
+        group_user_w[g].push(user_pop[u]);
+        group_user_id[g].push(u);
+    }
+    let mut group_kw_w: Vec<Vec<f64>> = vec![Vec::new(); cfg.groups];
+    let mut group_kw_id: Vec<Vec<usize>> = vec![Vec::new(); cfg.groups];
+    for (k, &g) in kw_group.iter().enumerate() {
+        group_kw_w[g].push(kw_pop[k]);
+        group_kw_id[g].push(k);
+    }
+
+    let mut sink = EdgeSink::new();
+
+    // UU friendships: half the per-user budget as each edge serves two
+    // endpoints.
+    let uu_target = (cfg.users as f64 * cfg.friends_per_user / 2.0) as usize;
+    while sink.len() < uu_target {
+        let u = weighted_pick(&user_pop, &mut rng);
+        let g = user_group[u];
+        let v = if rng.random::<f64>() < cfg.uu_fidelity && group_user_id[g].len() > 1 {
+            group_user_id[g][weighted_pick(&group_user_w[g], &mut rng)]
+        } else {
+            weighted_pick(&user_pop, &mut rng)
+        };
+        sink.add(&mut b, users[u], users[v], e_uu, 1.0).unwrap();
+    }
+
+    // UK keyword usage.
+    let uu_edges = sink.len();
+    let uk_target = (cfg.users as f64 * cfg.keywords_per_user) as usize;
+    while sink.len() - uu_edges < uk_target {
+        let u = weighted_pick(&user_pop, &mut rng);
+        let g = user_group[u];
+        let k = if rng.random::<f64>() < cfg.uk_fidelity && !group_kw_id[g].is_empty() {
+            group_kw_id[g][weighted_pick(&group_kw_w[g], &mut rng)]
+        } else {
+            weighted_pick(&kw_pop, &mut rng)
+        };
+        sink.add(&mut b, users[u], keywords[k], e_uk, 1.0).unwrap();
+    }
+
+    // KK keyword relevance.
+    let prev = sink.len();
+    let kk_target = (cfg.keywords as f64 * cfg.relevance_per_keyword / 2.0) as usize;
+    // Cap by the complete graph on keywords.
+    let kk_target = kk_target.min(cfg.keywords * (cfg.keywords - 1) / 2);
+    let mut stale = 0usize;
+    while sink.len() - prev < kk_target && stale < 50_000 {
+        let k = weighted_pick(&kw_pop, &mut rng);
+        let g = kw_group[k];
+        let k2 = if rng.random::<f64>() < cfg.kk_fidelity && group_kw_id[g].len() > 1 {
+            group_kw_id[g][weighted_pick(&group_kw_w[g], &mut rng)]
+        } else {
+            weighted_pick(&kw_pop, &mut rng)
+        };
+        if !sink.add(&mut b, keywords[k], keywords[k2], e_kk, 1.0).unwrap() {
+            stale += 1;
+        } else {
+            stale = 0;
+        }
+    }
+
+    let num_nodes = b.num_nodes();
+    let net = b.build().expect("generator produced an invalid network");
+
+    let mut labels = Labels::new(num_nodes);
+    for g in 0..cfg.groups {
+        labels.add_class(format!("interest-{g}"));
+    }
+    for (u, &g) in user_group.iter().enumerate() {
+        let observed = if rng.random::<f64>() < cfg.label_noise {
+            rng.random_range(0..cfg.groups) as u32
+        } else {
+            g as u32
+        };
+        labels.set(users[u], observed);
+    }
+
+    Dataset {
+        name: "BLOG".into(),
+        net,
+        labels,
+        metapath: vec!["user", "keyword", "user"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table_ii() {
+        let d = blog_like(&BlogConfig::tiny(), 3);
+        let s = d.net.schema();
+        assert_eq!(s.num_node_types(), 2);
+        assert_eq!(s.num_edge_types(), 3);
+        assert!(s.edge_type_by_name("UU").is_some());
+        assert!(s.edge_type_by_name("UK").is_some());
+        assert!(s.edge_type_by_name("KK").is_some());
+    }
+
+    #[test]
+    fn every_user_is_labeled() {
+        let d = blog_like(&BlogConfig::tiny(), 4);
+        let user = d.net.schema().node_type_by_name("user").unwrap();
+        for u in d.net.nodes_of_type(user) {
+            assert!(d.labels.get(u).is_some());
+        }
+        let kw = d.net.schema().node_type_by_name("keyword").unwrap();
+        for k in d.net.nodes_of_type(kw) {
+            assert!(d.labels.get(k).is_none());
+        }
+    }
+
+    #[test]
+    fn full_scale_is_dense() {
+        let d = blog_like(&BlogConfig::full(), 5);
+        let s = d.stats();
+        // Average degree around 2×(24/2 + 5.7 + …)/… — just require the
+        // headline property: much denser than the App nets (> 20 avg deg).
+        assert!(s.average_degree > 20.0, "avg degree {}", s.average_degree);
+        // Edge-type mix ordered like the paper: UU ≫ UK > KK.
+        let by_name: std::collections::HashMap<_, _> =
+            s.edges_per_type.iter().cloned().collect();
+        assert!(by_name["UU"] > by_name["UK"]);
+        assert!(by_name["UK"] > by_name["KK"] / 2); // same order of magnitude
+    }
+
+    #[test]
+    fn friendships_respect_groups() {
+        let d = blog_like(&BlogConfig::full(), 6);
+        let uu = d.net.schema().edge_type_by_name("UU").unwrap();
+        let mut same = 0;
+        let mut total = 0;
+        for e in d.net.edges().iter().filter(|e| e.etype == uu) {
+            if let (Some(a), Some(b)) = (d.labels.get(e.u), d.labels.get(e.v)) {
+                total += 1;
+                if a == b {
+                    same += 1;
+                }
+            }
+        }
+        let frac = same as f64 / total as f64;
+        // UU fidelity 0.45 → structural same-group rate ≈ 0.56, diluted
+        // by the 55% label noise to ≈ 0.27 observed — still clearly above
+        // the 0.2 chance level of 5 groups.
+        assert!(frac > 0.23, "same-group friendship rate {frac}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = blog_like(&BlogConfig::tiny(), 9);
+        let b = blog_like(&BlogConfig::tiny(), 9);
+        assert_eq!(a.net.edges(), b.net.edges());
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared generator machinery: power-law popularity weights, log-normal
+//! edge weights, and a deduplicating edge sink.
+
+use rand::Rng;
+use std::collections::HashSet;
+use transn_graph::{EdgeTypeId, GraphError, HetNetBuilder, NodeId};
+
+/// Power-law popularity weights `w_i ∝ (i + 1)^(−alpha)`, shuffled so the
+/// popular items are spread across ids. Used to give generators realistic
+/// heavy-tailed degree distributions.
+pub fn popularity_weights<R: Rng + ?Sized>(n: usize, alpha: f64, rng: &mut R) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    // Fisher–Yates shuffle.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        w.swap(i, j);
+    }
+    w
+}
+
+/// Sample an index proportionally to `weights` (linear scan; generators are
+/// not hot paths).
+pub fn weighted_pick<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0);
+    let x = rng.random::<f64>() * total;
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if x < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// One standard-normal sample (Box–Muller, no spare caching — generators
+/// are cold code).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let mut u1: f64 = rng.random();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.random();
+    }
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal sample with the given log-space mean and sigma, clamped to
+/// `[0.1, cap]` — the shape of usage-time and click-count edge weights.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64, cap: f32) -> f32 {
+    ((mu + sigma * gaussian(rng)).exp() as f32).clamp(0.1, cap)
+}
+
+/// Edge sink that silently drops duplicate `(u, v, etype)` edges and
+/// self-loops, so generators can propose edges freely.
+pub struct EdgeSink {
+    seen: HashSet<(u32, u32, u32)>,
+}
+
+impl EdgeSink {
+    /// Fresh sink.
+    pub fn new() -> Self {
+        EdgeSink {
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Add the edge unless it is a duplicate or self-loop. Returns whether
+    /// an edge was actually added.
+    pub fn add(
+        &mut self,
+        b: &mut HetNetBuilder,
+        u: NodeId,
+        v: NodeId,
+        etype: EdgeTypeId,
+        weight: f32,
+    ) -> Result<bool, GraphError> {
+        if u == v {
+            return Ok(false);
+        }
+        let key = if u.0 < v.0 {
+            (u.0, v.0, etype.0)
+        } else {
+            (v.0, u.0, etype.0)
+        };
+        if !self.seen.insert(key) {
+            return Ok(false);
+        }
+        b.add_edge(u, v, etype, weight)?;
+        Ok(true)
+    }
+
+    /// Number of distinct edges accepted so far.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+impl Default for EdgeSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = popularity_weights(100, 1.0, &mut rng);
+        let max = w.iter().cloned().fold(0.0, f64::max);
+        let min = w.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 50.0);
+        assert_eq!(w.len(), 100);
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = vec![1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_pick(&w, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "{ratio}");
+    }
+
+    #[test]
+    fn lognormal_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = lognormal(&mut rng, 1.0, 1.0, 50.0);
+            assert!((0.1..=50.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sink_dedupes_and_drops_self_loops() {
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let e = b.add_edge_type("tt", t, t);
+        let n0 = b.add_node(t);
+        let n1 = b.add_node(t);
+        let mut sink = EdgeSink::new();
+        assert!(sink.add(&mut b, n0, n1, e, 1.0).unwrap());
+        assert!(!sink.add(&mut b, n1, n0, e, 2.0).unwrap()); // duplicate, reversed
+        assert!(!sink.add(&mut b, n0, n0, e, 1.0).unwrap()); // self-loop
+        assert_eq!(sink.len(), 1);
+        assert_eq!(b.num_edges(), 1);
+    }
+}

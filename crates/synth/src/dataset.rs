@@ -1,0 +1,27 @@
+//! A generated dataset: network + labels + evaluation metadata.
+
+use transn_graph::{HetNet, Labels, NetworkStats};
+
+/// A dataset in the shape the experiment harness consumes: the network,
+/// sparse node labels for the classification task, and the meta-path the
+/// paper prescribes for the Metapath2Vec baseline on this dataset
+/// (§IV-A3).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name as used in the paper's tables.
+    pub name: String,
+    /// The heterogeneous network.
+    pub net: HetNet,
+    /// Class labels on the labeled node type.
+    pub labels: Labels,
+    /// Node-type names of the recommended meta-path (cyclic), e.g.
+    /// `["author", "paper", "venue", "paper", "author"]` for AMiner.
+    pub metapath: Vec<&'static str>,
+}
+
+impl Dataset {
+    /// Table II-style statistics for this dataset.
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats::compute(self.name.clone(), &self.net, Some(&self.labels))
+    }
+}

@@ -1,0 +1,74 @@
+//! Shared walk configuration.
+
+/// Parameters shared by all walk engines.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    /// Walk length `ρ` (the paper uses 80, §IV-A3).
+    pub length: usize,
+    /// Minimum walks started from each node (the paper uses 10).
+    pub min_walks_per_node: usize,
+    /// Maximum walks started from each node (the paper uses 32).
+    pub max_walks_per_node: usize,
+    /// RNG seed; corpus generation derives per-shard seeds from it, so a
+    /// fixed seed gives a bit-identical corpus at any thread count.
+    pub seed: u64,
+    /// Worker threads for corpus generation.
+    pub threads: usize,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            length: 80,
+            min_walks_per_node: 10,
+            max_walks_per_node: 32,
+            seed: 42,
+            threads: 4,
+        }
+    }
+}
+
+impl WalkConfig {
+    /// The paper's §IV-A3 setting: walks per start node
+    /// `max(min(deg, 32), 10)`, biased toward high-degree nodes.
+    #[inline]
+    pub fn walks_for_degree(&self, degree: usize) -> usize {
+        degree
+            .min(self.max_walks_per_node)
+            .max(self.min_walks_per_node)
+    }
+
+    /// A scaled-down configuration for tests.
+    pub fn for_tests() -> Self {
+        WalkConfig {
+            length: 12,
+            min_walks_per_node: 2,
+            max_walks_per_node: 4,
+            seed: 7,
+            threads: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_clamp_matches_paper() {
+        let c = WalkConfig::default();
+        assert_eq!(c.walks_for_degree(1), 10);
+        assert_eq!(c.walks_for_degree(10), 10);
+        assert_eq!(c.walks_for_degree(20), 20);
+        assert_eq!(c.walks_for_degree(32), 32);
+        assert_eq!(c.walks_for_degree(500), 32);
+    }
+
+    #[test]
+    fn defaults_match_paper_section_4a3() {
+        let c = WalkConfig::default();
+        assert_eq!(c.length, 80);
+        assert_eq!(c.min_walks_per_node, 10);
+        assert_eq!(c.max_walks_per_node, 32);
+    }
+}

@@ -1,0 +1,174 @@
+//! Walk corpora and deterministic parallel generation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A collection of sampled paths over *local* node indices of whatever
+/// structure produced them (a view, a paired-subview, or the global
+/// network).
+#[derive(Clone, Debug, Default)]
+pub struct WalkCorpus {
+    walks: Vec<Vec<u32>>,
+}
+
+impl WalkCorpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap existing walks.
+    pub fn from_walks(walks: Vec<Vec<u32>>) -> Self {
+        WalkCorpus { walks }
+    }
+
+    /// Append a walk (walks of length < 2 carry no skip-gram signal and are
+    /// silently dropped).
+    pub fn push(&mut self, walk: Vec<u32>) {
+        if walk.len() >= 2 {
+            self.walks.push(walk);
+        }
+    }
+
+    /// Number of stored walks.
+    pub fn len(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.walks.is_empty()
+    }
+
+    /// The stored walks.
+    pub fn walks(&self) -> &[Vec<u32>] {
+        &self.walks
+    }
+
+    /// Total number of node occurrences.
+    pub fn total_tokens(&self) -> usize {
+        self.walks.iter().map(Vec::len).sum()
+    }
+
+    /// Occurrence count per node id (length = `num_nodes`), the unigram
+    /// statistics used by negative-sampling tables.
+    pub fn node_frequencies(&self, num_nodes: usize) -> Vec<u64> {
+        let mut freq = vec![0u64; num_nodes];
+        for w in &self.walks {
+            for &n in w {
+                freq[n as usize] += 1;
+            }
+        }
+        freq
+    }
+
+    /// Merge another corpus into this one.
+    pub fn extend(&mut self, other: WalkCorpus) {
+        self.walks.extend(other.walks);
+    }
+}
+
+/// Generate a corpus by fanning `tasks` out over `threads` workers, each
+/// worker running `gen(task, rng)` with an RNG seeded as
+/// `seed ⊕ task-index` — deterministic for a fixed seed regardless of
+/// thread count or scheduling.
+///
+/// `tasks` are typically `(start_node, n_walks)` pairs.
+pub fn parallel_generate<T, F>(tasks: &[T], threads: usize, seed: u64, gen: F) -> WalkCorpus
+where
+    T: Sync,
+    F: Fn(&T, &mut StdRng) -> Vec<Vec<u32>> + Sync,
+{
+    let threads = threads.max(1);
+    if tasks.is_empty() {
+        return WalkCorpus::new();
+    }
+    // Deterministic partition: task i is owned by shard i % threads, and
+    // each task gets its own RNG stream, so results are stable across
+    // thread counts.
+    let mut shards: Vec<Vec<Vec<u32>>> = Vec::with_capacity(tasks.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let gen = &gen;
+            handles.push(scope.spawn(move |_| {
+                let mut local: Vec<(usize, Vec<Vec<u32>>)> = Vec::new();
+                let mut idx = t;
+                while idx < tasks.len() {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    local.push((idx, gen(&tasks[idx], &mut rng)));
+                    idx += threads;
+                }
+                local
+            }));
+        }
+        let mut collected: Vec<(usize, Vec<Vec<u32>>)> = Vec::new();
+        for h in handles {
+            collected.extend(h.join().expect("walk worker panicked"));
+        }
+        collected.sort_by_key(|(i, _)| *i);
+        shards = collected.into_iter().map(|(_, w)| w).collect();
+    })
+    .expect("walk thread scope failed");
+
+    let mut corpus = WalkCorpus::new();
+    for walks in shards {
+        for w in walks {
+            corpus.push(w);
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_drops_trivial_walks() {
+        let mut c = WalkCorpus::new();
+        c.push(vec![1]);
+        c.push(vec![]);
+        c.push(vec![1, 2]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.total_tokens(), 2);
+    }
+
+    #[test]
+    fn node_frequencies_count_occurrences() {
+        let c = WalkCorpus::from_walks(vec![vec![0, 1, 0], vec![2, 0]]);
+        let f = c.node_frequencies(4);
+        assert_eq!(f, vec![3, 1, 1, 0]);
+    }
+
+    #[test]
+    fn parallel_generation_is_deterministic_across_thread_counts() {
+        let tasks: Vec<u32> = (0..37).collect();
+        let make = |threads: usize| {
+            parallel_generate(&tasks, threads, 123, |&t, rng| {
+                use rand::Rng;
+                vec![vec![t, rng.random_range(0..100u32)]]
+            })
+        };
+        let a = make(1);
+        let b = make(4);
+        let c = make(7);
+        assert_eq!(a.walks(), b.walks());
+        assert_eq!(a.walks(), c.walks());
+    }
+
+    #[test]
+    fn parallel_generation_empty_tasks() {
+        let tasks: Vec<u32> = vec![];
+        let c = parallel_generate(&tasks, 4, 0, |_, _| vec![vec![0, 1]]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = WalkCorpus::from_walks(vec![vec![0, 1]]);
+        let b = WalkCorpus::from_walks(vec![vec![2, 3]]);
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,290 @@
+//! TransN's biased correlated random walk (§III-A, Equations 4–7).
+//!
+//! - **Biased starts** (§III-A, §IV-A3): every node starts
+//!   `clamp(deg, min, max)` walks, so high-degree nodes are sampled more.
+//! - **`π₁` (Eq. 6)**: each step picks a neighbour proportionally to edge
+//!   weight.
+//! - **`π₂` (Eq. 7)**, heter-views only, from the second step on: the step
+//!   probability is additionally multiplied by
+//!   `1 − (w(next, cur) − w(cur, prev))/Δ`, preferring edges whose weight
+//!   is close to the previous edge's — the "correlated" walk of \[2\]. `Δ`
+//!   (Eq. 5) is the weight spread among `cur`'s incident edges; when
+//!   `Δ = 0` or on homo-views the walk falls back to `π₁` alone (Eq. 4).
+
+use crate::config::WalkConfig;
+use crate::corpus::{parallel_generate, WalkCorpus};
+use rand::Rng;
+use transn_graph::{View, ViewKind};
+
+/// Walker over a single view (or paired-subview) of a heterogeneous
+/// network, implementing Equation (4).
+#[derive(Clone, Copy, Debug)]
+pub struct CorrelatedWalker<'a> {
+    view: &'a View,
+    cfg: WalkConfig,
+}
+
+impl<'a> CorrelatedWalker<'a> {
+    /// Walker over `view` with the given configuration.
+    pub fn new(view: &'a View, cfg: WalkConfig) -> Self {
+        CorrelatedWalker { view, cfg }
+    }
+
+    /// The view being walked.
+    pub fn view(&self) -> &'a View {
+        self.view
+    }
+
+    /// Sample one walk of up to `cfg.length` nodes starting at local node
+    /// `start`. The walk ends early only at isolated nodes (which views
+    /// never contain, but paired-subview callers may hand in degenerate
+    /// structures).
+    pub fn walk_from<R: Rng + ?Sized>(&self, start: u32, rng: &mut R) -> Vec<u32> {
+        let mut walk = Vec::with_capacity(self.cfg.length);
+        walk.push(start);
+        let mut prev: Option<u32> = None;
+        let mut cur = start;
+        while walk.len() < self.cfg.length {
+            match self.step(prev, cur, rng) {
+                Some(next) => {
+                    walk.push(next);
+                    prev = Some(cur);
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+        walk
+    }
+
+    /// One transition from `cur` given the previous node, per Equation (4).
+    pub fn step<R: Rng + ?Sized>(&self, prev: Option<u32>, cur: u32, rng: &mut R) -> Option<u32> {
+        let adj = self.view.adj();
+        let ci = cur as usize;
+        if adj.degree(ci) == 0 {
+            return None;
+        }
+        // Eq. (4) cases: k = 1, homo-view, or Δ = 0 → π₁ only.
+        let prev = match (self.view.kind(), prev) {
+            (ViewKind::Heter, Some(p)) => p,
+            _ => return adj.sample_neighbor(ci, rng),
+        };
+        let (mn, mx) = adj.weight_min_max(ci).expect("degree checked above");
+        let delta = mx - mn; // Eq. (5)
+        if delta <= 0.0 {
+            return adj.sample_neighbor(ci, rng);
+        }
+        let w_prev = adj
+            .weight_of(ci, prev)
+            .expect("previous step must be an incident edge");
+
+        // π(v) ∝ π₁(v)·π₂(v) with π₁ ∝ w(v, cur) and
+        // π₂ = 1 − (w(v, cur) − w_prev)/Δ  ∈ [0, 2].
+        let nbs = adj.neighbors(ci);
+        let ws = adj.weights(ci);
+        let mut total = 0.0f64;
+        for &w in ws {
+            let pi2 = 1.0 - (w - w_prev) / delta;
+            total += (w * pi2) as f64;
+        }
+        debug_assert!(total > 0.0, "π mass vanished (should be impossible)");
+        let x = rng.random::<f64>() * total;
+        let mut acc = 0.0f64;
+        for (&nb, &w) in nbs.iter().zip(ws) {
+            let pi2 = 1.0 - (w - w_prev) / delta;
+            acc += (w * pi2) as f64;
+            if x < acc {
+                return Some(nb);
+            }
+        }
+        // Floating-point slack: return the last neighbour.
+        nbs.last().copied()
+    }
+
+    /// Generate the full corpus for this view: for every node, start
+    /// `cfg.walks_for_degree(deg)` walks, in parallel and deterministically
+    /// for a fixed seed.
+    pub fn generate(&self) -> WalkCorpus {
+        let tasks: Vec<(u32, usize)> = (0..self.view.num_nodes() as u32)
+            .map(|n| (n, self.cfg.walks_for_degree(self.view.degree(n))))
+            .collect();
+        parallel_generate(&tasks, self.cfg.threads, self.cfg.seed, |&(n, k), rng| {
+            (0..k).map(|_| self.walk_from(n, rng)).collect()
+        })
+    }
+
+    /// Generate a corpus with exactly `walks_per_node` walks from every
+    /// node (used by the cross-view algorithm, which samples `T` path
+    /// *pairs* per view-pair rather than degree-scaled counts).
+    pub fn generate_uniform(&self, walks_per_node: usize) -> WalkCorpus {
+        let tasks: Vec<(u32, usize)> = (0..self.view.num_nodes() as u32)
+            .map(|n| (n, walks_per_node))
+            .collect();
+        parallel_generate(&tasks, self.cfg.threads, self.cfg.seed, |&(n, k), rng| {
+            (0..k).map(|_| self.walk_from(n, rng)).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transn_graph::{HetNet, HetNetBuilder, NodeId};
+
+    /// The book-rating view of Figure 4: readers R1–R3, books B1–B3,
+    /// weights = rating scores.
+    fn figure4() -> HetNet {
+        let mut b = HetNetBuilder::new();
+        let reader = b.add_node_type("reader");
+        let book = b.add_node_type("book");
+        let rates = b.add_edge_type("rates", reader, book);
+        let r: Vec<_> = (0..3).map(|_| b.add_node(reader)).collect();
+        let bk: Vec<_> = (0..3).map(|_| b.add_node(book)).collect();
+        // R1 reads B1 (4) and B2 (1, dislikes); R2 reads B2 (5, likes) and
+        // B3 (2); R3 reads B2 (1, dislikes).
+        b.add_edge(r[0], bk[0], rates, 4.0).unwrap();
+        b.add_edge(r[0], bk[1], rates, 1.0).unwrap();
+        b.add_edge(r[1], bk[1], rates, 5.0).unwrap();
+        b.add_edge(r[1], bk[2], rates, 2.0).unwrap();
+        b.add_edge(r[2], bk[1], rates, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure4_correlated_step_prefers_similar_rating() {
+        // Paper §III-A: a walk at [R1, B2] should select R3 (who also
+        // dislikes B2), never R2 (who likes it): π₂(R2) = 0 because
+        // w(R2,B2) = 5 = max and w(B2,R1) = 1 = min.
+        let net = figure4();
+        let views = net.views();
+        let v = &views[0];
+        let r1 = v.local(NodeId(0)).unwrap();
+        let r2 = v.local(NodeId(1)).unwrap();
+        let r3 = v.local(NodeId(2)).unwrap();
+        let b2 = v.local(NodeId(4)).unwrap();
+        let w = CorrelatedWalker::new(v, WalkConfig::for_tests());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut saw_r3 = 0;
+        for _ in 0..2000 {
+            let next = w.step(Some(r1), b2, &mut rng).unwrap();
+            assert_ne!(next, r2, "π₂ must forbid the dissimilar reader R2");
+            if next == r3 {
+                saw_r3 += 1;
+            }
+        }
+        // π(R1) = π(R3) (same weight, same π₂), so roughly half each.
+        assert!(
+            (saw_r3 as f64 / 2000.0 - 0.5).abs() < 0.05,
+            "R3 rate {}",
+            saw_r3 as f64 / 2000.0
+        );
+    }
+
+    #[test]
+    fn first_step_uses_pi1_only() {
+        // From R2 (edges 5 and 2), π₁ picks B2 with prob 5/7.
+        let net = figure4();
+        let views = net.views();
+        let v = &views[0];
+        let r2 = v.local(NodeId(1)).unwrap();
+        let b2 = v.local(NodeId(4)).unwrap();
+        let w = CorrelatedWalker::new(v, WalkConfig::for_tests());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b2_count = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if w.step(None, r2, &mut rng) == Some(b2) {
+                b2_count += 1;
+            }
+        }
+        let frac = b2_count as f64 / n as f64;
+        assert!((frac - 5.0 / 7.0).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn homo_views_never_use_pi2() {
+        // Homo-view with spread weights: the step from `cur` given a
+        // previous node must still follow π₁ exactly.
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let e = b.add_edge_type("tt", t, t);
+        let n: Vec<_> = (0..4).map(|_| b.add_node(t)).collect();
+        b.add_edge(n[0], n[1], e, 1.0).unwrap();
+        b.add_edge(n[1], n[2], e, 1.0).unwrap();
+        b.add_edge(n[1], n[3], e, 3.0).unwrap();
+        let net = b.build().unwrap();
+        let views = net.views();
+        let v = &views[0];
+        let w = CorrelatedWalker::new(v, WalkConfig::for_tests());
+        let l1 = v.local(n[1]).unwrap();
+        let l0 = v.local(n[0]).unwrap();
+        let l3 = v.local(n[3]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c3 = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if w.step(Some(l0), l1, &mut rng) == Some(l3) {
+                c3 += 1;
+            }
+        }
+        // π₁: 3/(1+1+3) = 0.6.
+        let frac = c3 as f64 / trials as f64;
+        assert!((frac - 0.6).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn walks_have_requested_length() {
+        let net = figure4();
+        let views = net.views();
+        let w = CorrelatedWalker::new(&views[0], WalkConfig::for_tests());
+        let mut rng = StdRng::seed_from_u64(3);
+        let walk = w.walk_from(0, &mut rng);
+        assert_eq!(walk.len(), WalkConfig::for_tests().length);
+        // Consecutive nodes must be adjacent.
+        for pair in walk.windows(2) {
+            assert!(views[0].adj().contains(pair[0] as usize, pair[1]));
+        }
+    }
+
+    #[test]
+    fn corpus_respects_degree_bias() {
+        let net = figure4();
+        let views = net.views();
+        let cfg = WalkConfig {
+            length: 5,
+            min_walks_per_node: 1,
+            max_walks_per_node: 3,
+            seed: 4,
+            threads: 2,
+        };
+        let w = CorrelatedWalker::new(&views[0], cfg);
+        let corpus = w.generate();
+        // Total walks = Σ clamp(deg, 1, 3); degrees: R1=2, R2=2, R3=1,
+        // B1=1, B2=3, B3=1 → 2+2+1+1+3+1 = 10.
+        assert_eq!(corpus.len(), 10);
+        // First node of each walk group matches the start node.
+        let mut starts: Vec<u32> = corpus.walks().iter().map(|w| w[0]).collect();
+        starts.dedup();
+        assert_eq!(starts.len(), views[0].num_nodes());
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let net = figure4();
+        let views = net.views();
+        let cfg = WalkConfig::for_tests();
+        let a = CorrelatedWalker::new(&views[0], cfg).generate();
+        let b = CorrelatedWalker::new(&views[0], cfg).generate();
+        assert_eq!(a.walks(), b.walks());
+    }
+
+    #[test]
+    fn generate_uniform_counts() {
+        let net = figure4();
+        let views = net.views();
+        let w = CorrelatedWalker::new(&views[0], WalkConfig::for_tests());
+        let corpus = w.generate_uniform(3);
+        assert_eq!(corpus.len(), 3 * views[0].num_nodes());
+    }
+}

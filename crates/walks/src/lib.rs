@@ -1,0 +1,34 @@
+//! Random-walk engines for the TransN reproduction.
+//!
+//! Implements the walk machinery of §III-A of the paper plus the walk
+//! variants needed by the baselines and the ablation study:
+//!
+//! - [`correlated`]: TransN's **biased correlated random walk**
+//!   (Equations 4–7): weight-proportional steps (`π₁`), and on heter-views
+//!   a correlated second factor (`π₂`) preferring steps whose edge weight is
+//!   close to the previous step's. Walk counts per start node are
+//!   degree-biased (`clamp(deg, 10, 32)`, §IV-A3).
+//! - [`simple`]: uniform, weight-blind walks with uniformly random starts —
+//!   the `TransN-With-Simple-Walk` ablation of Table V.
+//! - [`node2vec`]: second-order p/q-biased walks on the type-blind network
+//!   (the Node2Vec baseline; p = q = 1 recovers DeepWalk).
+//! - [`metapath`]: walks constrained to a cyclic node-type pattern (the
+//!   Metapath2Vec baseline).
+//! - [`corpus`]: a walk corpus container plus multi-threaded, deterministic
+//!   corpus generation (crossbeam scoped threads, per-shard seeded RNG).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod corpus;
+pub mod correlated;
+pub mod metapath;
+pub mod node2vec;
+pub mod simple;
+
+pub use config::WalkConfig;
+pub use corpus::WalkCorpus;
+pub use correlated::CorrelatedWalker;
+pub use metapath::MetapathWalker;
+pub use node2vec::Node2VecWalker;
+pub use simple::SimpleWalker;

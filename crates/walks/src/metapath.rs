@@ -1,0 +1,228 @@
+//! Meta-path-constrained random walks — the Metapath2Vec \[8\] baseline.
+//!
+//! A meta-path is a cyclic node-type pattern such as `A-P-V-P-A`: from a
+//! node whose type matches position `k`, the walk may only move to a
+//! neighbour whose type matches position `k + 1`, wrapping around (the
+//! first and last types of the pattern must coincide, as in \[8\]).
+
+use crate::config::WalkConfig;
+use crate::corpus::{parallel_generate, WalkCorpus};
+use rand::Rng;
+use transn_graph::{HetNet, NodeId, NodeTypeId};
+
+/// Walker constrained to a cyclic meta-path over the whole network.
+#[derive(Clone, Debug)]
+pub struct MetapathWalker<'a> {
+    net: &'a HetNet,
+    /// The pattern, e.g. `[A, P, V, P, A]`. The trailing element equals the
+    /// leading one and is dropped internally (the cycle is implicit).
+    pattern: Vec<NodeTypeId>,
+    cfg: WalkConfig,
+}
+
+impl<'a> MetapathWalker<'a> {
+    /// Build a walker for a meta-path given as node-type ids.
+    ///
+    /// # Panics
+    /// Panics if the pattern has fewer than 2 positions or does not start
+    /// and end with the same type.
+    pub fn new(net: &'a HetNet, pattern: Vec<NodeTypeId>, cfg: WalkConfig) -> Self {
+        assert!(pattern.len() >= 2, "meta-path needs at least two positions");
+        assert_eq!(
+            pattern.first(),
+            pattern.last(),
+            "meta-path must be cyclic (first type == last type)"
+        );
+        let mut pattern = pattern;
+        pattern.pop(); // cycle is implicit
+        MetapathWalker { net, pattern, cfg }
+    }
+
+    /// Build from type *names*, e.g. `["author", "paper", "venue",
+    /// "paper", "author"]`.
+    ///
+    /// # Panics
+    /// Panics on unknown names or an acyclic pattern.
+    pub fn from_names(net: &'a HetNet, names: &[&str], cfg: WalkConfig) -> Self {
+        let pattern = names
+            .iter()
+            .map(|n| {
+                net.schema()
+                    .node_type_by_name(n)
+                    .unwrap_or_else(|| panic!("unknown node type {n:?}"))
+            })
+            .collect();
+        Self::new(net, pattern, cfg)
+    }
+
+    /// The (cycle-trimmed) pattern.
+    pub fn pattern(&self) -> &[NodeTypeId] {
+        &self.pattern
+    }
+
+    /// One meta-path walk from `start` (global id). The walk ends early if
+    /// no neighbour of the required next type exists.
+    pub fn walk_from<R: Rng + ?Sized>(&self, start: NodeId, rng: &mut R) -> Vec<u32> {
+        debug_assert_eq!(self.net.node_type(start), self.pattern[0]);
+        let adj = self.net.global_adj();
+        let mut walk = Vec::with_capacity(self.cfg.length);
+        walk.push(start.0);
+        let mut cur = start.0;
+        let mut pos = 0usize;
+        while walk.len() < self.cfg.length {
+            let next_type = self.pattern[(pos + 1) % self.pattern.len()];
+            // Weighted choice among neighbours of the required type.
+            let nbs = adj.neighbors(cur as usize);
+            let ws = adj.weights(cur as usize);
+            let mut total = 0.0f64;
+            for (&nb, &w) in nbs.iter().zip(ws) {
+                if self.net.node_type(NodeId(nb)) == next_type {
+                    total += w as f64;
+                }
+            }
+            if total <= 0.0 {
+                break;
+            }
+            let x = rng.random::<f64>() * total;
+            let mut acc = 0.0f64;
+            let mut chosen = None;
+            for (&nb, &w) in nbs.iter().zip(ws) {
+                if self.net.node_type(NodeId(nb)) == next_type {
+                    acc += w as f64;
+                    if x < acc {
+                        chosen = Some(nb);
+                        break;
+                    }
+                }
+            }
+            let next = chosen.unwrap_or_else(|| {
+                *nbs.iter()
+                    .rev()
+                    .find(|&&nb| self.net.node_type(NodeId(nb)) == next_type)
+                    .expect("total > 0 implies a typed neighbour exists")
+            });
+            walk.push(next);
+            cur = next;
+            pos += 1;
+        }
+        walk
+    }
+
+    /// Generate `walks_per_node` walks from every node whose type matches
+    /// the pattern head.
+    pub fn generate(&self, walks_per_node: usize) -> WalkCorpus {
+        let starts: Vec<NodeId> = self.net.nodes_of_type(self.pattern[0]).collect();
+        parallel_generate(&starts, self.cfg.threads, self.cfg.seed, |&n, rng| {
+            (0..walks_per_node).map(|_| self.walk_from(n, rng)).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transn_graph::HetNetBuilder;
+
+    /// Tiny academic network: 2 authors, 2 papers, 1 venue.
+    fn academic() -> HetNet {
+        let mut b = HetNetBuilder::new();
+        let a = b.add_node_type("author");
+        let p = b.add_node_type("paper");
+        let v = b.add_node_type("venue");
+        let ap = b.add_edge_type("writes", a, p);
+        let pv = b.add_edge_type("published", p, v);
+        let a0 = b.add_node(a);
+        let a1 = b.add_node(a);
+        let p0 = b.add_node(p);
+        let p1 = b.add_node(p);
+        let v0 = b.add_node(v);
+        b.add_edge(a0, p0, ap, 1.0).unwrap();
+        b.add_edge(a1, p1, ap, 1.0).unwrap();
+        b.add_edge(a1, p0, ap, 1.0).unwrap();
+        b.add_edge(p0, v0, pv, 1.0).unwrap();
+        b.add_edge(p1, v0, pv, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn walks_follow_the_pattern() {
+        let net = academic();
+        let w = MetapathWalker::from_names(
+            &net,
+            &["author", "paper", "venue", "paper", "author"],
+            WalkConfig {
+                length: 9,
+                ..WalkConfig::for_tests()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let walk = w.walk_from(NodeId(0), &mut rng);
+        assert!(walk.len() > 1);
+        let expect = ["author", "paper", "venue", "paper"];
+        for (i, &n) in walk.iter().enumerate() {
+            let t = net.node_type(NodeId(n));
+            assert_eq!(
+                net.schema().node_type_name(t),
+                expect[i % 4],
+                "position {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn walk_halts_when_no_typed_neighbor() {
+        // An author with a paper that has no venue: the A-P-V pattern gets
+        // stuck after the paper.
+        let mut b = HetNetBuilder::new();
+        let a = b.add_node_type("author");
+        let p = b.add_node_type("paper");
+        let v = b.add_node_type("venue");
+        let ap = b.add_edge_type("writes", a, p);
+        let _pv = b.add_edge_type("published", p, v);
+        let a0 = b.add_node(a);
+        let p0 = b.add_node(p);
+        let _v0 = b.add_node(v);
+        b.add_edge(a0, p0, ap, 1.0).unwrap();
+        let net = b.build().unwrap();
+        let w = MetapathWalker::from_names(
+            &net,
+            &["author", "paper", "venue", "paper", "author"],
+            WalkConfig::for_tests(),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let walk = w.walk_from(NodeId(0), &mut rng);
+        assert_eq!(walk, vec![0, 1]);
+    }
+
+    #[test]
+    fn generate_starts_only_from_head_type() {
+        let net = academic();
+        let w = MetapathWalker::from_names(
+            &net,
+            &["author", "paper", "author"],
+            WalkConfig::for_tests(),
+        );
+        let corpus = w.generate(2);
+        assert_eq!(corpus.len(), 4); // 2 authors × 2 walks
+        let author = net.schema().node_type_by_name("author").unwrap();
+        for walk in corpus.walks() {
+            assert_eq!(net.node_type(NodeId(walk[0])), author);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cyclic")]
+    fn acyclic_pattern_rejected() {
+        let net = academic();
+        let _ = MetapathWalker::from_names(&net, &["author", "paper"], WalkConfig::for_tests());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node type")]
+    fn unknown_type_rejected() {
+        let net = academic();
+        let _ =
+            MetapathWalker::from_names(&net, &["author", "blog", "author"], WalkConfig::for_tests());
+    }
+}

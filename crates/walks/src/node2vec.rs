@@ -1,0 +1,181 @@
+//! Second-order p/q-biased random walks over the type-blind global
+//! adjacency — the Node2Vec \[13\] baseline. `p = q = 1` recovers DeepWalk
+//! \[33\] (weight-proportional steps).
+
+use crate::config::WalkConfig;
+use crate::corpus::{parallel_generate, WalkCorpus};
+use rand::Rng;
+use transn_graph::Csr;
+
+/// Node2Vec walker over an arbitrary CSR adjacency (global node ids).
+#[derive(Clone, Copy, Debug)]
+pub struct Node2VecWalker<'a> {
+    adj: &'a Csr,
+    /// Return parameter `p`: likelihood of revisiting the previous node is
+    /// scaled by `1/p`.
+    pub p: f32,
+    /// In-out parameter `q`: moving to a node not adjacent to the previous
+    /// node is scaled by `1/q`.
+    pub q: f32,
+    cfg: WalkConfig,
+}
+
+impl<'a> Node2VecWalker<'a> {
+    /// Walker with the given bias parameters.
+    pub fn new(adj: &'a Csr, p: f32, q: f32, cfg: WalkConfig) -> Self {
+        assert!(p > 0.0 && q > 0.0, "p and q must be positive");
+        Node2VecWalker { adj, p, q, cfg }
+    }
+
+    /// A DeepWalk-style walker (`p = q = 1`).
+    pub fn deepwalk(adj: &'a Csr, cfg: WalkConfig) -> Self {
+        Self::new(adj, 1.0, 1.0, cfg)
+    }
+
+    /// One walk from `start`.
+    pub fn walk_from<R: Rng + ?Sized>(&self, start: u32, rng: &mut R) -> Vec<u32> {
+        let mut walk = Vec::with_capacity(self.cfg.length);
+        walk.push(start);
+        let mut prev: Option<u32> = None;
+        let mut cur = start;
+        while walk.len() < self.cfg.length {
+            let next = match prev {
+                None => match self.adj.sample_neighbor(cur as usize, rng) {
+                    Some(n) => n,
+                    None => break,
+                },
+                Some(p) => match self.biased_step(p, cur, rng) {
+                    Some(n) => n,
+                    None => break,
+                },
+            };
+            walk.push(next);
+            prev = Some(cur);
+            cur = next;
+        }
+        walk
+    }
+
+    /// Second-order step: weight × node2vec search bias α(prev, next).
+    fn biased_step<R: Rng + ?Sized>(&self, prev: u32, cur: u32, rng: &mut R) -> Option<u32> {
+        let nbs = self.adj.neighbors(cur as usize);
+        if nbs.is_empty() {
+            return None;
+        }
+        let ws = self.adj.weights(cur as usize);
+        let mut total = 0.0f64;
+        let alpha = |nb: u32| -> f32 {
+            if nb == prev {
+                1.0 / self.p
+            } else if self.adj.contains(prev as usize, nb) {
+                1.0
+            } else {
+                1.0 / self.q
+            }
+        };
+        for (&nb, &w) in nbs.iter().zip(ws) {
+            total += (w * alpha(nb)) as f64;
+        }
+        let x = rng.random::<f64>() * total;
+        let mut acc = 0.0f64;
+        for (&nb, &w) in nbs.iter().zip(ws) {
+            acc += (w * alpha(nb)) as f64;
+            if x < acc {
+                return Some(nb);
+            }
+        }
+        nbs.last().copied()
+    }
+
+    /// Generate `walks_per_node` walks from every non-isolated node.
+    pub fn generate(&self, walks_per_node: usize) -> WalkCorpus {
+        let tasks: Vec<u32> = (0..self.adj.num_nodes() as u32)
+            .filter(|&n| self.adj.degree(n as usize) > 0)
+            .collect();
+        parallel_generate(&tasks, self.cfg.threads, self.cfg.seed, |&n, rng| {
+            (0..walks_per_node).map(|_| self.walk_from(n, rng)).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Triangle 0-1-2 plus a pendant 3 attached to 1.
+    fn lollipop() -> Csr {
+        Csr::from_undirected(
+            4,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (1, 3, 1.0),
+            ],
+        )
+    }
+
+    /// Empirical distribution of the step 0 → 1 → ?.
+    fn step_fracs(p: f32, q: f32) -> [f64; 4] {
+        let adj = lollipop();
+        let w = Node2VecWalker::new(&adj, p, q, WalkConfig::for_tests());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            let next = w.biased_step(0, 1, &mut rng).unwrap();
+            counts[next as usize] += 1;
+        }
+        counts.map(|c| c as f64 / n as f64)
+    }
+
+    #[test]
+    fn low_p_returns_home() {
+        // p = 0.1: α(0) = 10 vs α(2) = 1 (triangle) vs α(3) = 1/q = 1.
+        let f = step_fracs(0.1, 1.0);
+        assert!(f[0] > 0.7, "return frac {}", f[0]);
+    }
+
+    #[test]
+    fn high_q_stays_local() {
+        // q = 10: the pendant 3 (not adjacent to 0) gets α = 0.1;
+        // node 2 (adjacent to 0) keeps α = 1.
+        let f = step_fracs(1.0, 10.0);
+        assert!(f[2] > 3.0 * f[3], "local {} vs outward {}", f[2], f[3]);
+    }
+
+    #[test]
+    fn unit_pq_matches_weight_proportional() {
+        let f = step_fracs(1.0, 1.0);
+        for target in [0, 2, 3] {
+            assert!((f[target] - 1.0 / 3.0).abs() < 0.02, "f[{target}] = {}", f[target]);
+        }
+    }
+
+    #[test]
+    fn deepwalk_constructor_sets_unit_params() {
+        let adj = lollipop();
+        let w = Node2VecWalker::deepwalk(&adj, WalkConfig::for_tests());
+        assert_eq!(w.p, 1.0);
+        assert_eq!(w.q, 1.0);
+    }
+
+    #[test]
+    fn isolated_nodes_get_no_walks() {
+        let adj = Csr::from_undirected(3, [(0, 1, 1.0)]);
+        let w = Node2VecWalker::deepwalk(&adj, WalkConfig::for_tests());
+        let corpus = w.generate(2);
+        assert_eq!(corpus.len(), 4); // 2 nodes × 2 walks
+        for walk in corpus.walks() {
+            assert_ne!(walk[0], 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_p_rejected() {
+        let adj = lollipop();
+        let _ = Node2VecWalker::new(&adj, 0.0, 1.0, WalkConfig::for_tests());
+    }
+}

@@ -1,0 +1,124 @@
+//! Simple uniform random walks — the `TransN-With-Simple-Walk` ablation of
+//! Table V: "the starting node of each simple random walk is randomly
+//! selected, and simple random walks neglect the weights of edges".
+
+use crate::config::WalkConfig;
+use crate::corpus::{parallel_generate, WalkCorpus};
+use rand::Rng;
+use transn_graph::View;
+
+/// Uniform (weight-blind) walker over a view.
+#[derive(Clone, Copy, Debug)]
+pub struct SimpleWalker<'a> {
+    view: &'a View,
+    cfg: WalkConfig,
+}
+
+impl<'a> SimpleWalker<'a> {
+    /// Walker over `view`.
+    pub fn new(view: &'a View, cfg: WalkConfig) -> Self {
+        SimpleWalker { view, cfg }
+    }
+
+    /// One uniform walk from `start`.
+    pub fn walk_from<R: Rng + ?Sized>(&self, start: u32, rng: &mut R) -> Vec<u32> {
+        let adj = self.view.adj();
+        let mut walk = Vec::with_capacity(self.cfg.length);
+        walk.push(start);
+        let mut cur = start as usize;
+        while walk.len() < self.cfg.length {
+            let nbs = adj.neighbors(cur);
+            if nbs.is_empty() {
+                break;
+            }
+            let next = nbs[rng.random_range(0..nbs.len())];
+            walk.push(next);
+            cur = next as usize;
+        }
+        walk
+    }
+
+    /// Generate a corpus matched in *size* to the biased corpus (same total
+    /// number of walks: `Σ clamp(deg, min, max)`), but with uniformly
+    /// random start nodes and uniform steps — isolating the effect of the
+    /// walk *strategy* in the ablation.
+    pub fn generate(&self) -> WalkCorpus {
+        let n = self.view.num_nodes();
+        if n == 0 {
+            return WalkCorpus::new();
+        }
+        let total_walks: usize = (0..n as u32)
+            .map(|l| self.cfg.walks_for_degree(self.view.degree(l)))
+            .sum();
+        let tasks: Vec<u32> = (0..total_walks as u32).collect();
+        let n = n as u32;
+        parallel_generate(&tasks, self.cfg.threads, self.cfg.seed, |_, rng| {
+            let start = rng.random_range(0..n);
+            vec![self.walk_from(start, rng)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transn_graph::HetNetBuilder;
+
+    fn weighted_star() -> transn_graph::HetNet {
+        let mut b = HetNetBuilder::new();
+        let t = b.add_node_type("t");
+        let e = b.add_edge_type("tt", t, t);
+        let hub = b.add_node(t);
+        for w in [1.0f32, 100.0, 1.0] {
+            let leaf = b.add_node(t);
+            b.add_edge(hub, leaf, e, w).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn steps_ignore_weights() {
+        let net = weighted_star();
+        let views = net.views();
+        let w = SimpleWalker::new(&views[0], WalkConfig::for_tests());
+        let mut rng = StdRng::seed_from_u64(0);
+        // From the hub (local 0), each leaf should be ~1/3 despite the
+        // 100x weight on one edge.
+        let mut counts = [0usize; 4];
+        for _ in 0..30_000 {
+            let walk = w.walk_from(0, &mut rng);
+            counts[walk[1] as usize] += 1;
+        }
+        for (leaf, &count) in counts.iter().enumerate().take(4).skip(1) {
+            let frac = count as f64 / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "leaf {leaf}: {frac}");
+        }
+    }
+
+    #[test]
+    fn corpus_size_matches_biased_budget() {
+        let net = weighted_star();
+        let views = net.views();
+        let cfg = WalkConfig {
+            length: 4,
+            min_walks_per_node: 2,
+            max_walks_per_node: 3,
+            seed: 1,
+            threads: 2,
+        };
+        let w = SimpleWalker::new(&views[0], cfg);
+        // Degrees: hub 3, leaves 1 → budget = 3 + 2 + 2 + 2 = 9.
+        assert_eq!(w.generate().len(), 9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let net = weighted_star();
+        let views = net.views();
+        let cfg = WalkConfig::for_tests();
+        let a = SimpleWalker::new(&views[0], cfg).generate();
+        let b = SimpleWalker::new(&views[0], cfg).generate();
+        assert_eq!(a.walks(), b.walks());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the walk engines: every emitted step must traverse a
+//! real edge, and walk budgets must match their specifications.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transn_graph::{HetNetBuilder, NodeId};
+use transn_walks::{CorrelatedWalker, Node2VecWalker, SimpleWalker, WalkConfig};
+
+/// Random connected-ish bipartite weighted network.
+fn arb_net() -> impl Strategy<Value = transn_graph::HetNet> {
+    (2usize..8, 2usize..8, proptest::collection::vec((0usize..64, 0usize..64, 1u32..9), 4..40))
+        .prop_map(|(na, nb, raw)| {
+            let mut b = HetNetBuilder::new();
+            let ta = b.add_node_type("a");
+            let tb = b.add_node_type("b");
+            let e = b.add_edge_type("ab", ta, tb);
+            let xs = b.add_nodes(ta, na);
+            let ys = b.add_nodes(tb, nb);
+            // Spanning zig-zag so no isolated view nodes.
+            for i in 0..na.max(nb) {
+                b.add_edge(xs[i % na], ys[i % nb], e, 1.0).unwrap();
+            }
+            for (u, v, w) in raw {
+                let _ = b.add_edge(xs[u % na], ys[v % nb], e, w as f32);
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    /// Correlated walks only traverse real edges and respect the length.
+    #[test]
+    fn correlated_walks_follow_edges(net in arb_net(), seed in 0u64..1000) {
+        let views = net.views();
+        let v = &views[0];
+        let cfg = WalkConfig { length: 16, ..WalkConfig::for_tests() };
+        let w = CorrelatedWalker::new(v, cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for start in 0..v.num_nodes() as u32 {
+            let walk = w.walk_from(start, &mut rng);
+            prop_assert!(walk.len() <= 16);
+            prop_assert_eq!(walk[0], start);
+            for pair in walk.windows(2) {
+                prop_assert!(v.adj().contains(pair[0] as usize, pair[1]));
+            }
+        }
+    }
+
+    /// Simple walks also only traverse real edges.
+    #[test]
+    fn simple_walks_follow_edges(net in arb_net(), seed in 0u64..1000) {
+        let views = net.views();
+        let v = &views[0];
+        let cfg = WalkConfig { length: 12, ..WalkConfig::for_tests() };
+        let w = SimpleWalker::new(v, cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walk = w.walk_from(0, &mut rng);
+        for pair in walk.windows(2) {
+            prop_assert!(v.adj().contains(pair[0] as usize, pair[1]));
+        }
+    }
+
+    /// Node2Vec walks traverse real global edges for any p, q.
+    #[test]
+    fn node2vec_walks_follow_edges(
+        net in arb_net(),
+        p in 0.1f32..4.0,
+        q in 0.1f32..4.0,
+        seed in 0u64..1000,
+    ) {
+        let cfg = WalkConfig { length: 12, ..WalkConfig::for_tests() };
+        let w = Node2VecWalker::new(net.global_adj(), p, q, cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walk = w.walk_from(0, &mut rng);
+        for pair in walk.windows(2) {
+            prop_assert!(net.global_adj().contains(pair[0] as usize, pair[1]));
+        }
+    }
+
+    /// Corpus budget: Σ clamp(deg, min, max) walks, all starting at their
+    /// assigned node.
+    #[test]
+    fn corpus_budget_matches_spec(net in arb_net()) {
+        let views = net.views();
+        let v = &views[0];
+        let cfg = WalkConfig {
+            length: 6,
+            min_walks_per_node: 1,
+            max_walks_per_node: 3,
+            seed: 5,
+            threads: 3,
+        };
+        let corpus = CorrelatedWalker::new(v, cfg).generate();
+        let expect: usize = (0..v.num_nodes() as u32)
+            .map(|l| cfg.walks_for_degree(v.degree(l)))
+            .sum();
+        prop_assert_eq!(corpus.len(), expect);
+    }
+
+    /// Degree-biased start counts really are monotone in degree.
+    #[test]
+    fn walk_counts_monotone_in_degree(d1 in 0usize..100, d2 in 0usize..100) {
+        let cfg = WalkConfig::default();
+        if d1 <= d2 {
+            prop_assert!(cfg.walks_for_degree(d1) <= cfg.walks_for_degree(d2));
+        }
+    }
+}
+
+#[test]
+fn walks_cover_connected_view() {
+    // On a connected view, long-enough walks from node 0 should visit
+    // every node eventually (sanity against dead transitions).
+    let mut b = HetNetBuilder::new();
+    let t = b.add_node_type("t");
+    let e = b.add_edge_type("tt", t, t);
+    let nodes = b.add_nodes(t, 6);
+    for i in 0..5 {
+        b.add_edge(nodes[i], nodes[i + 1], e, 1.0).unwrap();
+    }
+    let net = b.build().unwrap();
+    let views = net.views();
+    let w = CorrelatedWalker::new(
+        &views[0],
+        WalkConfig {
+            length: 200,
+            ..WalkConfig::for_tests()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(0);
+    let visited: std::collections::HashSet<u32> =
+        w.walk_from(0, &mut rng).into_iter().collect();
+    assert_eq!(visited.len(), 6);
+    let _ = NodeId(0);
+}

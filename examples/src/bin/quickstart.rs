@@ -1,0 +1,76 @@
+//! Quickstart: build a small academic network by hand, train TransN, and
+//! look at what the embeddings learned.
+//!
+//! ```text
+//! cargo run --release -p transn-examples --bin quickstart
+//! ```
+
+use transn::{TransN, TransNConfig};
+use transn_graph::{HetNetBuilder, NodeId};
+
+fn main() {
+    // --- 1. Describe the schema: node types and typed edges. ---
+    let mut b = HetNetBuilder::new();
+    let author = b.add_node_type("author");
+    let paper = b.add_node_type("paper");
+    let writes = b.add_edge_type("writes", author, paper);
+    let cites = b.add_edge_type("cites", paper, paper);
+
+    // --- 2. Two research groups, four authors and four papers each. ---
+    let authors = b.add_nodes(author, 8);
+    let papers = b.add_nodes(paper, 8);
+    for group in 0..2usize {
+        for i in 0..4 {
+            let a = authors[group * 4 + i];
+            // Each author writes two papers of their group.
+            b.add_edge(a, papers[group * 4 + i], writes, 1.0).unwrap();
+            b.add_edge(a, papers[group * 4 + (i + 1) % 4], writes, 1.0).unwrap();
+        }
+        // Dense within-group citations.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(papers[group * 4 + i], papers[group * 4 + j], cites, 1.0).unwrap();
+            }
+        }
+    }
+    // One cross-group citation keeps the network connected.
+    b.add_edge(papers[0], papers[4], cites, 1.0).unwrap();
+    let net = b.build().expect("valid network");
+
+    println!(
+        "network: {} nodes, {} edges, {} views",
+        net.num_nodes(),
+        net.num_edges(),
+        net.schema().num_edge_types()
+    );
+
+    // --- 3. Train TransN. ---
+    let cfg = TransNConfig {
+        dim: 32,
+        iterations: 6,
+        ..TransNConfig::for_tests()
+    };
+    let trainer = TransN::new(&net, cfg);
+    println!(
+        "views: {}, view-pairs: {}",
+        trainer.num_views(),
+        trainer.num_pairs()
+    );
+    let emb = trainer.train();
+
+    // --- 4. Nearest neighbours of author 0 (group 0). ---
+    let a0 = authors[0];
+    let mut sims: Vec<(NodeId, f32)> = authors[1..]
+        .iter()
+        .map(|&a| (a, emb.cosine(a0, a)))
+        .collect();
+    sims.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
+    println!("\nauthors most similar to author 0 (authors 1-3 share its group):");
+    for (a, s) in &sims {
+        let group = if a.0 < 4 { "same group" } else { "other group" };
+        println!("  author {:>2}  cosine {s:+.3}  ({group})", a.0);
+    }
+    let same: f32 = sims.iter().filter(|(a, _)| a.0 < 4).map(|(_, s)| s).sum::<f32>() / 3.0;
+    let other: f32 = sims.iter().filter(|(a, _)| a.0 >= 4).map(|(_, s)| s).sum::<f32>() / 4.0;
+    println!("\nmean same-group cosine {same:+.3} vs cross-group {other:+.3}");
+}

@@ -1,0 +1,12 @@
+//! Runnable examples for the TransN reproduction live in `src/bin/`:
+//!
+//! - `quickstart`: build a toy heterogeneous network, train TransN, and
+//!   inspect nearest neighbours.
+//! - `academic_network`: an AMiner-style network end to end — train,
+//!   classify paper topics, compare against a homogeneous baseline.
+//! - `applet_store`: a weighted applet-store network — link prediction
+//!   plus a mini Figure-6-style t-SNE dump.
+//! - `ablation_tour`: train every Table-V ablation variant and compare.
+//!
+//! Run any of them with
+//! `cargo run --release -p transn-examples --bin <name>`.

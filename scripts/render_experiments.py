@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Append the measured grids from an `expt all` log to EXPERIMENTS.md.
+
+Usage: python3 scripts/render_experiments.py expt_full.log
+"""
+import re
+import sys
+from pathlib import Path
+
+log = Path(sys.argv[1] if len(sys.argv) > 1 else "expt_full.log").read_text()
+
+sections = []
+# Grab each printed grid verbatim (they start with '== ' and run until a
+# blank line followed by a non-table line).
+for m in re.finditer(r"^== .*?(?=^\[artifact\]|\Z)", log, re.S | re.M):
+    sections.append(m.group(0).rstrip())
+
+out = ["\n---\n\n## Measured output (verbatim harness grids)\n"]
+for s in sections:
+    out.append("```text")
+    out.append(s)
+    out.append("```")
+    out.append("")
+
+md = Path("EXPERIMENTS.md")
+text = md.read_text()
+marker = "## Measured output (verbatim harness grids)"
+if marker in text:
+    text = text[: text.index("\n---\n\n" + marker)]
+md.write_text(text + "\n".join(out) + "\n")
+print(f"appended {len(sections)} grids to EXPERIMENTS.md")

@@ -1,0 +1,23 @@
+//! Shared fixtures for the cross-crate integration tests in `tests/`.
+
+use transn_synth::{aminer_like, AminerConfig, Dataset};
+
+/// A small but non-trivial academic dataset used across integration tests.
+pub fn small_academic() -> Dataset {
+    aminer_like(
+        &AminerConfig {
+            authors: 120,
+            papers: 150,
+            venues: 8,
+            topics: 4,
+            ..AminerConfig::tiny()
+        },
+        2024,
+    )
+}
+
+/// Chance-level macro-F1 for a dataset's label distribution (uniform
+/// prediction over classes).
+pub fn chance_level(ds: &Dataset) -> f64 {
+    1.0 / ds.labels.num_classes() as f64
+}

@@ -1,0 +1,76 @@
+//! End-to-end integration: generate → train TransN → evaluate on both
+//! §IV-B tasks.
+
+use transn::{TransN, TransNConfig};
+use transn_eval::{
+    auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit,
+};
+use transn_tests::{chance_level, small_academic};
+
+fn train_cfg() -> TransNConfig {
+    TransNConfig {
+        dim: 32,
+        iterations: 3,
+        ..TransNConfig::default()
+    }
+}
+
+#[test]
+fn classification_beats_chance_by_a_wide_margin() {
+    let ds = small_academic();
+    let emb = TransN::new(&ds.net, train_cfg()).train();
+    let f1 = classification_scores(
+        &emb,
+        &ds.labels,
+        &ClassifyProtocol {
+            repeats: 3,
+            ..Default::default()
+        },
+    );
+    let chance = chance_level(&ds);
+    assert!(
+        f1.macro_f1 > 2.0 * chance,
+        "macro-F1 {} vs chance {chance}",
+        f1.macro_f1
+    );
+    assert!(f1.micro_f1 >= f1.macro_f1 * 0.5);
+}
+
+#[test]
+fn link_prediction_beats_chance() {
+    let ds = small_academic();
+    let split = LinkPredSplit::new(&ds.net, 0.4, 5);
+    let cfg = TransNConfig {
+        iterations: 5,
+        ..train_cfg()
+    };
+    let emb = TransN::new(&split.train_net, cfg).train();
+    let auc = auc_for_embeddings(&split, &emb);
+    // The residual network of this ~300-node fixture is very sparse, so
+    // the bar is "clearly above chance", not the paper-scale AUCs.
+    assert!(auc > 0.55, "AUC {auc}");
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let ds = small_academic();
+    let a = TransN::new(&ds.net, train_cfg()).train();
+    let b = TransN::new(&ds.net, train_cfg()).train();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn losses_decrease_over_iterations() {
+    let ds = small_academic();
+    let cfg = TransNConfig {
+        dim: 32,
+        iterations: 6,
+        ..TransNConfig::default()
+    };
+    let (_, stats) = TransN::new(&ds.net, cfg).train_with_stats();
+    // Mean single-view loss in the last iteration below the first.
+    let mean = |xs: &Vec<f32>| xs.iter().sum::<f32>() / xs.len().max(1) as f32;
+    let first = mean(&stats.single_losses[0]);
+    let last = mean(stats.single_losses.last().unwrap());
+    assert!(last < first, "single-view loss {first} -> {last}");
+}

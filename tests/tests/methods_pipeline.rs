@@ -1,0 +1,113 @@
+//! Every compared method runs on every tiny dataset and produces sane
+//! embeddings through the shared evaluation protocols.
+
+use transn_baselines::{
+    EmbeddingMethod, Hin2Vec, Line, Metapath2Vec, Mve, Node2Vec, Rgcn, SimplE,
+};
+use transn_eval::{classification_scores, ClassifyProtocol};
+use transn_synth::all_datasets_tiny;
+use transn_tests::small_academic;
+
+fn tiny_baselines(ds: &transn_synth::Dataset) -> Vec<Box<dyn EmbeddingMethod>> {
+    vec![
+        Box::new(Line {
+            dim: 16,
+            samples_per_edge: 3,
+            ..Default::default()
+        }),
+        Box::new(Node2Vec {
+            dim: 16,
+            walks_per_node: 2,
+            walk_length: 8,
+            epochs: 1,
+            ..Default::default()
+        }),
+        Box::new(Metapath2Vec {
+            dim: 16,
+            walks_per_node: 2,
+            walk_length: 9,
+            epochs: 1,
+            ..Metapath2Vec::with_metapath(ds.metapath.clone())
+        }),
+        Box::new(Hin2Vec {
+            dim: 16,
+            walks_per_node: 2,
+            walk_length: 8,
+            epochs: 1,
+            ..Default::default()
+        }),
+        Box::new(Mve {
+            dim: 16,
+            walks_per_node: 2,
+            walk_length: 8,
+            epochs: 1,
+            ..Default::default()
+        }),
+        Box::new(Rgcn {
+            dim: 16,
+            epochs: 3,
+            ..Default::default()
+        }),
+        Box::new(SimplE {
+            dim: 16,
+            epochs: 2,
+            ..Default::default()
+        }),
+    ]
+}
+
+#[test]
+fn all_baselines_embed_all_tiny_datasets() {
+    for ds in all_datasets_tiny(7) {
+        for m in tiny_baselines(&ds) {
+            let emb = m.embed(&ds.net, 1);
+            assert_eq!(
+                emb.num_nodes(),
+                ds.net.num_nodes(),
+                "{} on {}",
+                m.name(),
+                ds.name
+            );
+            for n in ds.net.nodes() {
+                assert!(
+                    emb.get(n).iter().all(|v| v.is_finite()),
+                    "{} produced non-finite embedding on {}",
+                    m.name(),
+                    ds.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn baseline_embeddings_feed_the_classifier() {
+    let ds = small_academic();
+    let emb = Node2Vec {
+        dim: 24,
+        walks_per_node: 5,
+        walk_length: 20,
+        epochs: 2,
+        ..Default::default()
+    }
+    .embed(&ds.net, 3);
+    let f1 = classification_scores(
+        &emb,
+        &ds.labels,
+        &ClassifyProtocol {
+            repeats: 2,
+            ..Default::default()
+        },
+    );
+    assert!(f1.macro_f1 > 0.3, "macro {}", f1.macro_f1);
+}
+
+#[test]
+fn baselines_are_deterministic() {
+    let ds = small_academic();
+    for m in tiny_baselines(&ds) {
+        let a = m.embed(&ds.net, 9);
+        let b = m.embed(&ds.net, 9);
+        assert_eq!(a, b, "{} is nondeterministic", m.name());
+    }
+}

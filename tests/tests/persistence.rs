@@ -1,0 +1,57 @@
+//! Persistence round-trips across crates: networks, labels, embeddings.
+
+use transn::{TransN, TransNConfig};
+use transn_graph::io::{read_edge_list, read_labels, write_edge_list, write_labels};
+use transn_graph::NodeEmbeddings;
+use transn_tests::small_academic;
+
+#[test]
+fn generated_dataset_roundtrips_through_tsv() {
+    let ds = small_academic();
+    let mut net_buf = Vec::new();
+    write_edge_list(&ds.net, &mut net_buf).unwrap();
+    let net2 = read_edge_list(&net_buf[..]).unwrap();
+    assert_eq!(net2.num_nodes(), ds.net.num_nodes());
+    assert_eq!(net2.num_edges(), ds.net.num_edges());
+    assert_eq!(net2.edges(), ds.net.edges());
+
+    let mut lab_buf = Vec::new();
+    write_labels(&ds.labels, &mut lab_buf).unwrap();
+    let labels2 = read_labels(&lab_buf[..], net2.num_nodes()).unwrap();
+    assert_eq!(labels2.num_labeled(), ds.labels.num_labeled());
+    for (n, c) in ds.labels.labeled() {
+        assert_eq!(labels2.get(n), Some(c));
+    }
+}
+
+#[test]
+fn trained_embeddings_roundtrip_through_tsv() {
+    let ds = small_academic();
+    let cfg = TransNConfig {
+        dim: 16,
+        iterations: 1,
+        ..TransNConfig::for_tests()
+    };
+    let emb = TransN::new(&ds.net, cfg).train();
+    let mut buf = Vec::new();
+    emb.write_tsv(&mut buf).unwrap();
+    let emb2 = NodeEmbeddings::read_tsv(&buf[..]).unwrap();
+    assert_eq!(emb, emb2);
+}
+
+#[test]
+fn reloaded_network_trains_identically() {
+    let ds = small_academic();
+    let mut buf = Vec::new();
+    write_edge_list(&ds.net, &mut buf).unwrap();
+    let net2 = read_edge_list(&buf[..]).unwrap();
+
+    let cfg = TransNConfig {
+        dim: 16,
+        iterations: 1,
+        ..TransNConfig::for_tests()
+    };
+    let a = TransN::new(&ds.net, cfg).train();
+    let b = TransN::new(&net2, cfg).train();
+    assert_eq!(a, b);
+}
