@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use transn_graph::{HetNet, NodeEmbeddings};
-use transn_sgns::fast_sigmoid;
+use transn_sgns::{fast_sigmoid, run_shards, Parallelism, RacyTable};
 
 /// HIN2Vec configuration.
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +40,8 @@ pub struct Hin2Vec {
     pub epochs: usize,
     /// Initial learning rate.
     pub lr0: f32,
+    /// Thread count and determinism policy for sharded triple training.
+    pub parallelism: Parallelism,
 }
 
 impl Default for Hin2Vec {
@@ -52,6 +54,7 @@ impl Default for Hin2Vec {
             negatives: 4,
             epochs: 2,
             lr0: 0.025,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -129,38 +132,42 @@ impl EmbeddingMethod for Hin2Vec {
             return NodeEmbeddings::from_flat(n, dim, node_emb);
         }
 
-        // --- Training. ---
-        let total = triples.len() * self.epochs;
-        let mut step = 0usize;
-        for epoch in 0..self.epochs {
-            // Shuffle triples per epoch.
-            let mut order: Vec<usize> = (0..triples.len()).collect();
-            let mut erng = StdRng::seed_from_u64(seed ^ (epoch as u64 + 1));
-            for i in (1..order.len()).rev() {
-                let j = erng.random_range(0..=i);
-                order.swap(i, j);
-            }
-            for &idx in &order {
-                let lr = self.lr0 * (1.0 - step as f32 / total as f32).max(1e-3);
-                step += 1;
-                let (x, y, r) = triples[idx];
-                for k in 0..=self.negatives {
-                    let (yy, label) = if k == 0 {
-                        (y, 1.0f32)
-                    } else {
-                        (erng.random_range(0..n as u32), 0.0)
-                    };
-                    train_triple(
-                        &mut node_emb,
-                        &mut rel_emb,
-                        dim,
-                        x,
-                        yy,
-                        r,
-                        label,
-                        lr,
+        // --- Training: sharded like the SGNS trainer (shard `s` owns
+        // triples `s, s + num_shards, …`, each with its own RNG stream and
+        // shard-local lr decay), applied Hogwild or serially in shard
+        // order per `self.parallelism`. ---
+        {
+            let num_shards = 64usize.min(triples.len());
+            let node_view = RacyTable::new(&mut node_emb);
+            let rel_view = RacyTable::new(&mut rel_emb);
+            for epoch in 0..self.epochs {
+                run_shards(num_shards, self.parallelism, |s| {
+                    // Shuffle the shard's own triples per epoch.
+                    let mut order: Vec<usize> =
+                        (s..triples.len()).step_by(num_shards).collect();
+                    let shard_total = (order.len() * self.epochs).max(1);
+                    let mut erng = StdRng::seed_from_u64(
+                        seed ^ (epoch as u64 + 1)
+                            ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     );
-                }
+                    for i in (1..order.len()).rev() {
+                        let j = erng.random_range(0..=i);
+                        order.swap(i, j);
+                    }
+                    for (step, &idx) in (epoch * order.len()..).zip(order.iter()) {
+                        let lr =
+                            self.lr0 * (1.0 - step as f32 / shard_total as f32).max(1e-3);
+                        let (x, y, r) = triples[idx];
+                        for k in 0..=self.negatives {
+                            let (yy, label) = if k == 0 {
+                                (y, 1.0f32)
+                            } else {
+                                (erng.random_range(0..n as u32), 0.0)
+                            };
+                            train_triple(&node_view, &rel_view, dim, x, yy, r, label, lr);
+                        }
+                    }
+                });
             }
         }
 
@@ -185,11 +192,12 @@ impl EmbeddingMethod for Hin2Vec {
     }
 }
 
-/// One logistic update on `(x, y, r)` with the Hadamard score.
+/// One logistic update on `(x, y, r)` with the Hadamard score, against
+/// shared Hogwild-capable table views.
 #[allow(clippy::too_many_arguments)]
 fn train_triple(
-    node_emb: &mut [f32],
-    rel_emb: &mut [f32],
+    node_emb: &RacyTable<'_>,
+    rel_emb: &RacyTable<'_>,
     dim: usize,
     x: u32,
     y: u32,
@@ -202,16 +210,19 @@ fn train_triple(
     let ro = r as usize * dim;
     let mut s = 0.0f32;
     for k in 0..dim {
-        s += node_emb[xo + k] * node_emb[yo + k] * fast_sigmoid(rel_emb[ro + k]);
+        s += node_emb.load(xo + k) * node_emb.load(yo + k) * fast_sigmoid(rel_emb.load(ro + k));
     }
     let g = (fast_sigmoid(s) - label) * lr;
     for k in 0..dim {
-        let (xv, yv, rv) = (node_emb[xo + k], node_emb[yo + k], rel_emb[ro + k]);
+        let (xv, yv, rv) = (node_emb.load(xo + k), node_emb.load(yo + k), rel_emb.load(ro + k));
         let rs = fast_sigmoid(rv);
-        node_emb[xo + k] -= g * yv * rs;
-        node_emb[yo + k] -= g * xv * rs;
+        // `add` (read-modify-write) rather than storing values derived from
+        // the captured xv/yv: when `x == y` both updates hit the same slot
+        // and must accumulate, exactly like the old compound `-=`.
+        node_emb.add(xo + k, -(g * yv * rs));
+        node_emb.add(yo + k, -(g * xv * rs));
         // σ'(r) = σ(r)(1 − σ(r)).
-        rel_emb[ro + k] -= g * xv * yv * rs * (1.0 - rs);
+        rel_emb.add(ro + k, -(g * xv * yv * rs * (1.0 - rs)));
     }
 }
 
@@ -322,6 +333,25 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(h.embed(&net, 9), h.embed(&net, 9));
+    }
+
+    #[test]
+    fn strict_is_thread_count_invariant() {
+        let net = bipartite_blocks();
+        let mk = |threads| {
+            Hin2Vec {
+                dim: 8,
+                walks_per_node: 2,
+                walk_length: 8,
+                epochs: 2,
+                parallelism: Parallelism::strict(threads),
+                ..Default::default()
+            }
+            .embed(&net, 9)
+        };
+        let base = mk(1);
+        assert_eq!(mk(2), base);
+        assert_eq!(mk(4), base);
     }
 
     #[test]

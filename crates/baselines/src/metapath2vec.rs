@@ -7,7 +7,7 @@ use crate::method::EmbeddingMethod;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_graph::{HetNet, NodeEmbeddings};
-use transn_sgns::{NoiseTable, SgnsConfig, SgnsModel};
+use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel};
 use transn_walks::{MetapathWalker, WalkConfig};
 
 /// Metapath2Vec configuration.
@@ -27,6 +27,8 @@ pub struct Metapath2Vec {
     pub epochs: usize,
     /// Negatives per pair.
     pub negatives: usize,
+    /// Thread count and determinism policy for the SGNS pass.
+    pub parallelism: Parallelism,
 }
 
 impl Metapath2Vec {
@@ -40,6 +42,7 @@ impl Metapath2Vec {
             window: 5,
             epochs: 2,
             negatives: 5,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -77,6 +80,7 @@ impl EmbeddingMethod for Metapath2Vec {
                 min_lr_frac: 1e-3,
                 window: self.window,
                 seed: seed ^ (epoch as u64 + 1),
+                parallelism: self.parallelism,
             };
             model.train_corpus(&corpus, &noise, &cfg);
         }

@@ -13,7 +13,7 @@ use crate::method::EmbeddingMethod;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_graph::{HetNet, NodeEmbeddings};
-use transn_sgns::{NoiseTable, SgnsConfig, SgnsModel};
+use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel};
 use transn_walks::{Node2VecWalker, WalkConfig};
 
 /// MVE configuration.
@@ -33,6 +33,8 @@ pub struct Mve {
     pub reg: f32,
     /// Negatives per pair.
     pub negatives: usize,
+    /// Thread count and determinism policy for the per-view SGNS passes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for Mve {
@@ -45,6 +47,7 @@ impl Default for Mve {
             epochs: 3,
             reg: 0.5,
             negatives: 5,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -95,6 +98,7 @@ impl EmbeddingMethod for Mve {
                     min_lr_frac: 1e-3,
                     window: self.window,
                     seed: seed ^ (epoch as u64 + 7),
+                    parallelism: self.parallelism,
                 };
                 model.train_corpus(&corpus, &noise, &cfg);
             }

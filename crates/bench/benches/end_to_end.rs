@@ -2,8 +2,8 @@
 //! heterogeneous network, per ablation variant, plus the downstream
 //! evaluation protocols — the wall-clock composition behind every table.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use transn::{TransN, TransNConfig, Variant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use transn::{Parallelism, TransN, TransNConfig, Variant};
 use transn_eval::{classification_scores, ClassifyProtocol, LinkPredSplit};
 use transn_synth::{aminer_like, AminerConfig};
 
@@ -23,6 +23,25 @@ fn bench_end_to_end(c: &mut Criterion) {
             let cfg = cfg.with_variant(variant);
             b.iter(|| TransN::new(&ds.net, cfg).train());
         });
+    }
+    group.finish();
+
+    // Full TransN iteration across skip-gram thread counts: Hogwild rows
+    // measure the parallel speedup of the sharded trainer inside the full
+    // pipeline, Strict rows its serialized reproducible mode.
+    let mut group = c.benchmark_group("transn_one_iteration_by_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for (label, par) in [
+            ("hogwild", Parallelism::hogwild(threads)),
+            ("strict", Parallelism::strict(threads)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &par, |b, &par| {
+                let mut cfg = cfg;
+                cfg.parallelism = par;
+                b.iter(|| TransN::new(&ds.net, cfg).train());
+            });
+        }
     }
     group.finish();
 

@@ -1,11 +1,13 @@
 //! Skip-gram trainer microbenchmarks: negative sampling vs hierarchical
-//! softmax (the `d` vs `d·log₂ μ` terms of Theorem 1), across embedding
-//! dimensions.
+//! softmax (the `d` vs `d·log₂ μ` terms of Theorem 1) across embedding
+//! dimensions, plus the sharded corpus trainer across thread counts
+//! (Hogwild vs Strict).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use transn_sgns::{HsModel, NoiseTable, SgnsModel};
+use rand::{Rng, SeedableRng};
+use transn_sgns::{HsModel, NoiseTable, Parallelism, SgnsConfig, SgnsModel};
+use transn_walks::WalkCorpus;
 
 fn bench_sgns(c: &mut Criterion) {
     let n = 4096usize;
@@ -44,5 +46,48 @@ fn bench_sgns(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sgns);
+/// Sharded `train_corpus` across thread counts: the Hogwild rows are the
+/// parallel-speedup measurement (≥2× at 4 threads is the acceptance bar on
+/// a 4-core box), the Strict rows price serialized shard application.
+fn bench_train_corpus_by_threads(c: &mut Criterion) {
+    let n = 2048usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let walks: Vec<Vec<u32>> = (0..512)
+        .map(|_| (0..40).map(|_| rng.random_range(0..n as u32)).collect())
+        .collect();
+    let corpus = WalkCorpus::from_walks(walks);
+    let noise = NoiseTable::from_frequencies(&corpus.node_frequencies(n));
+    let base = SgnsConfig {
+        dim: 64,
+        window: 2,
+        ..SgnsConfig::default()
+    };
+    let total_pairs: u64 = corpus
+        .walks()
+        .iter()
+        .map(|w| transn_sgns::context::count_pairs(w.len(), base.window) as u64)
+        .sum();
+
+    let mut group = c.benchmark_group("train_corpus_by_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_pairs));
+    for threads in [1usize, 2, 4, 8] {
+        for (label, par) in [
+            ("hogwild", Parallelism::hogwild(threads)),
+            ("strict", Parallelism::strict(threads)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &par, |b, &par| {
+                let cfg = SgnsConfig {
+                    parallelism: par,
+                    ..base
+                };
+                let mut model = SgnsModel::new(n, cfg.dim, &mut StdRng::seed_from_u64(2));
+                b.iter(|| model.train_corpus(&corpus, &noise, &cfg));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgns, bench_train_corpus_by_threads);
 criterion_main!(benches);

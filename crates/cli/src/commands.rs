@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use transn::{TransN, TransNConfig, Variant};
+use transn::{Parallelism, TransN, TransNConfig, Variant};
 use transn_eval::{
     auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit,
 };
@@ -11,8 +11,10 @@ use transn_graph::{NodeEmbeddings, NodeId};
 const USAGE: &str = "usage:
   transn generate <aminer|blog|app-daily|app-weekly> --out DIR [--seed N] [--tiny]
   transn train --net FILE --out FILE [--dim N] [--iterations N] [--seed N] [--variant NAME]
+               [--threads N] [--strict-determinism]
   transn classify --embeddings FILE --labels FILE [--repeats N]
-  transn linkpred --net FILE [--dim N] [--remove FRAC] [--seed N]
+  transn linkpred --net FILE [--dim N] [--remove FRAC] [--seed N] [--threads N]
+                  [--strict-determinism]
   transn stats --net FILE [--labels FILE]
   transn neighbors --embeddings FILE --node ID [--top K]";
 
@@ -76,12 +78,27 @@ fn parse_variant(name: &str) -> Result<Variant, String> {
         })
 }
 
+/// `--threads N` and `--strict-determinism` → a [`Parallelism`] policy
+/// for the skip-gram trainers.
+fn parse_parallelism(args: &Args) -> Result<Parallelism, String> {
+    let threads: usize = args.get_parse("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(if args.flag("strict-determinism") {
+        Parallelism::strict(threads)
+    } else {
+        Parallelism::hogwild(threads)
+    })
+}
+
 fn train(args: &Args) -> Result<(), String> {
     let net = io::load_network(args.require("net")?).map_err(|e| e.to_string())?;
     let out = args.require("out")?;
     let mut cfg = TransNConfig {
         dim: args.get_parse("dim", 64)?,
         iterations: args.get_parse("iterations", 5)?,
+        parallelism: parse_parallelism(args)?,
         ..TransNConfig::default()
     }
     .with_seed(args.get_parse("seed", 1234u64)?);
@@ -135,6 +152,7 @@ fn linkpred(args: &Args) -> Result<(), String> {
     let split = LinkPredSplit::new(&net, remove, seed);
     let cfg = TransNConfig {
         dim: args.get_parse("dim", 64)?,
+        parallelism: parse_parallelism(args)?,
         ..TransNConfig::default()
     }
     .with_seed(seed);
@@ -220,12 +238,33 @@ mod tests {
     }
 
     #[test]
+    fn parallelism_flags() {
+        let parse = |s: &str| {
+            Args::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+        };
+        assert_eq!(
+            parse_parallelism(&parse("train")).unwrap(),
+            Parallelism::hogwild(1)
+        );
+        assert_eq!(
+            parse_parallelism(&parse("train --threads 4")).unwrap(),
+            Parallelism::hogwild(4)
+        );
+        assert_eq!(
+            parse_parallelism(&parse("train --threads 2 --strict-determinism")).unwrap(),
+            Parallelism::strict(2)
+        );
+        assert!(parse_parallelism(&parse("train --threads 0")).is_err());
+        assert!(parse_parallelism(&parse("train --threads banana")).is_err());
+    }
+
+    #[test]
     fn generate_train_classify_roundtrip() {
         let dir = std::env::temp_dir().join(format!("transn-cli-test-{}", std::process::id()));
         let dirs = dir.display();
         run_str(&format!("generate aminer --tiny --out {dirs} --seed 3")).unwrap();
         run_str(&format!(
-            "train --net {dirs}/network.tsv --out {dirs}/emb.tsv --dim 16 --iterations 1"
+            "train --net {dirs}/network.tsv --out {dirs}/emb.tsv --dim 16 --iterations 1 --threads 2 --strict-determinism"
         ))
         .unwrap();
         run_str(&format!(

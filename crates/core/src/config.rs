@@ -2,6 +2,7 @@
 
 use crate::ablation::Variant;
 use transn_nn::LossKind;
+use transn_sgns::Parallelism;
 use transn_walks::WalkConfig;
 
 /// Full configuration of the TransN training loop (Algorithm 1).
@@ -47,6 +48,9 @@ pub struct TransNConfig {
     /// Master seed for model initialization; walk seeds derive from
     /// `walk.seed`.
     pub seed: u64,
+    /// Thread count and determinism policy for sharded skip-gram training
+    /// (see DESIGN.md, "Threading & determinism model").
+    pub parallelism: Parallelism,
 }
 
 impl Default for TransNConfig {
@@ -74,6 +78,7 @@ impl Default for TransNConfig {
             weight_decay: 1e-4,
             variant: Variant::Full,
             seed: 1234,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -97,6 +102,7 @@ impl TransNConfig {
             weight_decay: 1e-4,
             variant: Variant::Full,
             seed: 1234,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -117,6 +123,7 @@ impl TransNConfig {
             weight_decay: 1e-4,
             variant: Variant::Full,
             seed: 7,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -149,6 +156,9 @@ impl TransNConfig {
         }
         if !(self.lr_single > 0.0 && self.lr_cross > 0.0 && self.lr_cross_emb > 0.0) {
             return Err("learning rates must be positive".into());
+        }
+        if self.parallelism.threads == 0 {
+            return Err("parallelism.threads must be at least 1".into());
         }
         Ok(())
     }
@@ -183,6 +193,9 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = TransNConfig::for_tests();
         c.lr_cross = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = TransNConfig::for_tests();
+        c.parallelism.threads = 0;
         assert!(c.validate().is_err());
     }
 

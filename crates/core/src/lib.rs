@@ -50,3 +50,4 @@ pub mod trainer;
 pub use ablation::Variant;
 pub use config::TransNConfig;
 pub use trainer::{TrainStats, TransN};
+pub use transn_sgns::{Determinism, Parallelism};

@@ -68,6 +68,7 @@ impl SingleView {
             min_lr_frac: 1e-3,
             window: self.window,
             seed: cfg.seed ^ (iteration as u64 + 99),
+            parallelism: cfg.parallelism,
         };
         self.model.train_corpus(&corpus, &noise, &sgns_cfg)
     }

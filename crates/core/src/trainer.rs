@@ -241,6 +241,27 @@ mod tests {
     }
 
     #[test]
+    fn strict_training_is_bit_identical_across_thread_counts() {
+        use transn_sgns::Parallelism;
+        let net = blog_like_toy();
+        let run = |par: Parallelism| {
+            let mut cfg = TransNConfig::for_tests();
+            cfg.parallelism = par;
+            TransN::new(&net, cfg).train()
+        };
+        let base = run(Parallelism::strict(1));
+        for threads in [2usize, 4] {
+            assert_eq!(
+                run(Parallelism::strict(threads)),
+                base,
+                "Strict must give identical embeddings at threads={threads}"
+            );
+        }
+        // One Hogwild worker runs the same serial shard schedule.
+        assert_eq!(run(Parallelism::hogwild(1)), base);
+    }
+
+    #[test]
     fn different_seeds_give_different_embeddings() {
         let net = blog_like_toy();
         let a = TransN::new(&net, TransNConfig::for_tests().with_seed(1)).train();

@@ -1,6 +1,8 @@
 //! Property-based tests for the graph substrate's structural invariants.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use transn_graph::{AliasTable, Csr, HetNetBuilder, NodeId, PairedSubview, ViewKind};
 
 /// Strategy: a random small heterogeneous network with 2 node types and up
@@ -141,10 +143,88 @@ proptest! {
         prop_assume!(weights.iter().any(|&w| w > 0));
         let w: Vec<f32> = weights.iter().map(|&x| x as f32).collect();
         let t = AliasTable::new(&w);
-        let mut rng = rand::rng();
+        let mut rng = StdRng::seed_from_u64(0xA11A5);
         for _ in 0..200 {
             let i = t.sample(&mut rng) as usize;
             prop_assert!(w[i] > 0.0, "sampled zero-weight outcome {}", i);
+        }
+    }
+
+    /// Alias sampling frequencies converge to the normalized weights: with
+    /// 20k draws the per-outcome standard error is ≤ √(0.25/20000) ≈ 0.0035,
+    /// so a 0.02 absolute tolerance sits ~5.7σ out.
+    #[test]
+    fn alias_sampling_matches_weights(weights in proptest::collection::vec(0u32..8, 1..16)) {
+        prop_assume!(weights.iter().any(|&w| w > 0));
+        let w: Vec<f32> = weights.iter().map(|&x| x as f32).collect();
+        let total: f64 = w.iter().map(|&x| x as f64).sum();
+        let t = AliasTable::new(&w);
+        let mut rng = StdRng::seed_from_u64(0xF4E9);
+        const DRAWS: usize = 20_000;
+        let mut counts = vec![0usize; w.len()];
+        for _ in 0..DRAWS {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = w[i] as f64 / total;
+            let observed = c as f64 / DRAWS as f64;
+            prop_assert!(
+                (observed - expected).abs() < 0.02,
+                "outcome {} observed {} expected {}", i, observed, expected
+            );
+        }
+    }
+
+    /// CSR round-trip preserves degree and weight invariants: per-node
+    /// neighbour/weight arrays are parallel, the degree sum is twice the
+    /// edge count, total stored weight is twice the input weight, and the
+    /// weight visible between two endpoints is one of the weights the
+    /// input carried for that (unordered) pair.
+    #[test]
+    fn csr_preserves_degree_and_weight_invariants(
+        edges in proptest::collection::vec((0u32..20, 0u32..20, 1u32..10), 0..60),
+    ) {
+        let clean: Vec<(u32, u32, f32)> = edges
+            .into_iter()
+            .filter(|(u, v, _)| u != v)
+            .map(|(u, v, w)| (u, v, w as f32))
+            .collect();
+        let csr = Csr::from_undirected(20, clean.clone());
+
+        prop_assert_eq!(csr.num_nodes(), 20);
+        prop_assert_eq!(csr.num_arcs(), 2 * clean.len());
+        let mut degree_sum = 0usize;
+        let mut weight_total = 0.0f64;
+        for i in 0..20 {
+            prop_assert_eq!(csr.neighbors(i).len(), csr.degree(i));
+            prop_assert_eq!(csr.weights(i).len(), csr.degree(i));
+            degree_sum += csr.degree(i);
+            let node_sum: f64 = csr.weights(i).iter().map(|&x| x as f64).sum();
+            weight_total += node_sum;
+            prop_assert!((csr.weight_sum(i) as f64 - node_sum).abs() < 1e-3 * node_sum.max(1.0));
+            if let Some((lo, hi)) = csr.weight_min_max(i) {
+                prop_assert!(csr.weights(i).iter().all(|&x| lo <= x && x <= hi));
+            } else {
+                prop_assert_eq!(csr.degree(i), 0);
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * clean.len());
+        let input_total: f64 = clean.iter().map(|&(_, _, w)| w as f64).sum();
+        prop_assert!((weight_total - 2.0 * input_total).abs() < 1e-6 * input_total.max(1.0));
+
+        // Each endpoint sees *some* weight the input carried for the pair
+        // (parallel edges make the choice ambiguous but never foreign).
+        use std::collections::HashMap;
+        let mut by_pair: HashMap<(u32, u32), Vec<f32>> = HashMap::new();
+        for &(u, v, w) in &clean {
+            by_pair.entry((u.min(v), u.max(v))).or_default().push(w);
+        }
+        for (&(u, v), ws) in &by_pair {
+            for (a, b) in [(u, v), (v, u)] {
+                let seen = csr.weight_of(a as usize, b);
+                prop_assert!(seen.is_some_and(|w| ws.contains(&w)),
+                    "weight {:?} between {} and {} not in input {:?}", seen, a, b, ws);
+            }
         }
     }
 }

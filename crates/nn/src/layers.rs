@@ -452,6 +452,62 @@ mod tests {
         }
     }
 
+    /// Parameter gradients (Eqs. 8–10) through a *multi*-encoder stack:
+    /// every encoder's `dW` and `db` must match central finite differences
+    /// of the scalar loss. Deeper layers only see the input through two
+    /// attention/FF compositions, so this exercises the full chain rule,
+    /// not just the last layer.
+    #[test]
+    fn translator_parameter_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut t = Translator::near_identity(3, 4, &mut rng);
+        // Positive input keeps most ReLU units away from the kink, where
+        // the subgradient and the finite difference legitimately disagree.
+        let mut rng2 = StdRng::seed_from_u64(14);
+        let a = Matrix::from_fn(4, 3, |_, _| rng2.random_range(0.2f32..1.0));
+        let wsum = rand_matrix(4, 3, 15);
+
+        t.zero_grad();
+        let (_, cache) = t.forward(&a);
+        let _ = t.backward(&cache, &wsum);
+        let grads: Vec<(Matrix, Matrix)> = t
+            .encoders
+            .iter()
+            .map(|e| (e.ff.w.grad().clone(), e.ff.b.grad().clone()))
+            .collect();
+
+        fn value(t: &mut Translator, h: usize, param_is_w: bool, idx: usize) -> &mut f32 {
+            let p = if param_is_w {
+                &mut t.encoders[h].ff.w
+            } else {
+                &mut t.encoders[h].ff.b
+            };
+            &mut p.value_mut().data_mut()[idx]
+        }
+
+        let eps = 1e-3f32;
+        for (h, (dw, db)) in grads.iter().enumerate() {
+            for (param_is_w, grad) in [(true, dw), (false, db)] {
+                for idx in 0..grad.data().len() {
+                    let orig = *value(&mut t, h, param_is_w, idx);
+                    *value(&mut t, h, param_is_w, idx) = orig + eps;
+                    let (op, _) = t.forward(&a);
+                    *value(&mut t, h, param_is_w, idx) = orig - eps;
+                    let (om, _) = t.forward(&a);
+                    *value(&mut t, h, param_is_w, idx) = orig;
+                    let numeric =
+                        (weighted_sum(&op, &wsum) - weighted_sum(&om, &wsum)) / (2.0 * eps);
+                    let got = grad.data()[idx];
+                    let name = if param_is_w { "dW" } else { "db" };
+                    assert!(
+                        (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs()),
+                        "encoder {h} {name}[{idx}]: numeric {numeric} vs analytic {got}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn translator_shapes_and_stack_depth() {
         let mut rng = StdRng::seed_from_u64(1);

@@ -11,9 +11,13 @@
 //! size: Definition 6 of the paper is the special case `window = 1` on
 //! homo-views and `window = 2` on heter-views.
 
-//! Trainers are single-threaded by design; the TransN training loop
-//! parallelizes *across views* (each view owns an independent model), which
-//! keeps the whole stack free of data races without hogwild-style unsafety.
+//! Corpus training is **sharded-parallel** ([`sync`]): each corpus is split
+//! into a fixed number of logical shards with independent seeded RNG
+//! streams, trained either concurrently with Hogwild-style lock-free
+//! updates ([`sync::Determinism::Hogwild`]) or serially in shard order for
+//! bit-identical fixed-seed runs at any thread count
+//! ([`sync::Determinism::Strict`]). The TransN training loop additionally
+//! parallelizes *across views* (each view owns an independent model).
 
 #![warn(missing_docs)]
 
@@ -22,9 +26,11 @@ pub mod hsoftmax;
 pub mod negative;
 pub mod sgns;
 pub mod sigmoid;
+pub mod sync;
 
 pub use context::{context_pairs, window_for_view};
 pub use hsoftmax::HsModel;
 pub use negative::NoiseTable;
-pub use sgns::{SgnsConfig, SgnsModel};
+pub use sgns::{train_pair_views, SgnsConfig, SgnsModel};
 pub use sigmoid::fast_sigmoid;
+pub use sync::{run_shards, Determinism, Parallelism, RacyTable};

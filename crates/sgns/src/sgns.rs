@@ -6,12 +6,25 @@
 //! `v` are the node embeddings delivered downstream; output vectors `u`
 //! are the context table.
 
-use crate::context::context_pairs;
+use crate::context::{context_pairs, count_pairs};
 use crate::negative::NoiseTable;
 use crate::sigmoid::fast_sigmoid;
+use crate::sync::{run_shards, Parallelism, RacyTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_walks::WalkCorpus;
+
+/// Fixed logical shard count for corpus partitioning. Walk `w` belongs to
+/// shard `w % num_shards` where `num_shards = min(LOGICAL_SHARDS, walks)`.
+/// Keeping this independent of the thread count means the shard
+/// decomposition — and with it every per-shard RNG stream and
+/// learning-rate schedule — is identical no matter how many workers run,
+/// which is what makes `Determinism::Strict` thread-count invariant.
+const LOGICAL_SHARDS: usize = 64;
+
+/// Per-shard seed mixing constant (2⁶⁴/φ, the same splitmix-style odd
+/// multiplier `transn_walks::parallel_generate` uses for per-task seeds).
+const SHARD_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// SGNS hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -29,6 +42,8 @@ pub struct SgnsConfig {
     pub window: usize,
     /// Training seed (noise draws).
     pub seed: u64,
+    /// Thread count and determinism policy for sharded corpus training.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SgnsConfig {
@@ -40,6 +55,7 @@ impl Default for SgnsConfig {
             min_lr_frac: 1e-4,
             window: 2,
             seed: 17,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -112,60 +128,84 @@ impl SgnsModel {
         rng: &mut R,
     ) -> f32 {
         let dim = self.dim;
-        let c = center as usize * dim;
-        let mut grad_center = vec![0.0f32; dim];
-        let mut loss = 0.0f32;
-
-        // One positive + `negatives` noise targets.
-        for k in 0..=negatives {
-            let (target, label) = if k == 0 {
-                (ctx, 1.0f32)
-            } else {
-                (noise.sample_excluding(ctx, rng), 0.0f32)
-            };
-            let o = target as usize * dim;
-            let mut dot = 0.0f32;
-            for j in 0..dim {
-                dot += self.input[c + j] * self.output[o + j];
-            }
-            let pred = fast_sigmoid(dot);
-            loss -= if label > 0.5 {
-                pred.max(1e-7).ln()
-            } else {
-                (1.0 - pred).max(1e-7).ln()
-            };
-            let g = (pred - label) * lr;
-            for (j, gc) in grad_center.iter_mut().enumerate() {
-                *gc += g * self.output[o + j];
-                self.output[o + j] -= g * self.input[c + j];
-            }
-        }
-        for (j, gc) in grad_center.iter().enumerate() {
-            self.input[c + j] -= gc;
-        }
-        loss
+        let mut scratch = vec![0.0f32; dim];
+        let input = RacyTable::new(&mut self.input);
+        let output = RacyTable::new(&mut self.output);
+        train_pair_views(
+            &input,
+            &output,
+            dim,
+            center,
+            ctx,
+            noise,
+            negatives,
+            lr,
+            rng,
+            &mut scratch,
+        )
     }
 
     /// One pass over a corpus with a linearly-decaying learning rate.
     /// Returns the mean pair loss.
+    ///
+    /// The corpus is split into [`LOGICAL_SHARDS`] logical shards (walk
+    /// `w` → shard `w % num_shards`), each with its own RNG stream seeded
+    /// `cfg.seed ^ shard · φ64` and its own shard-local linear decay
+    /// schedule. `cfg.parallelism` decides how shards are applied: Hogwild
+    /// trains them concurrently through lock-free [`RacyTable`] views,
+    /// Strict applies them serially in shard order so fixed-seed runs are
+    /// bit-identical at any thread count (a single Hogwild thread runs the
+    /// identical serial schedule).
     pub fn train_corpus(&mut self, corpus: &WalkCorpus, noise: &NoiseTable, cfg: &SgnsConfig) -> f32 {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let total_pairs: usize = corpus
-            .walks()
-            .iter()
-            .map(|w| crate::context::count_pairs(w.len(), cfg.window))
-            .sum();
-        let mut done = 0usize;
-        let mut loss_sum = 0.0f64;
-        for walk in corpus.walks() {
-            context_pairs(walk, cfg.window, |center, ctx| {
-                let frac = 1.0 - done as f32 / total_pairs.max(1) as f32;
-                let lr = cfg.lr0 * frac.max(cfg.min_lr_frac);
-                loss_sum +=
-                    self.train_pair(center, ctx, noise, cfg.negatives, lr, &mut rng) as f64;
-                done += 1;
-            });
+        let walks = corpus.walks();
+        if walks.is_empty() {
+            return 0.0;
         }
+        let dim = self.dim;
+        let num_shards = LOGICAL_SHARDS.min(walks.len());
+        // Shard-local pair totals drive shard-local lr decay: the schedule
+        // depends only on the shard decomposition, never on thread count.
+        let mut shard_pairs = vec![0usize; num_shards];
+        for (w, walk) in walks.iter().enumerate() {
+            shard_pairs[w % num_shards] += count_pairs(walk.len(), cfg.window);
+        }
+        let input = RacyTable::new(&mut self.input);
+        let output = RacyTable::new(&mut self.output);
+        let per_shard = run_shards(num_shards, cfg.parallelism, |s| {
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ (s as u64).wrapping_mul(SHARD_SEED_MIX));
+            let mut scratch = vec![0.0f32; dim];
+            let total = shard_pairs[s];
+            let mut done = 0usize;
+            let mut loss_sum = 0.0f64;
+            let mut w = s;
+            while w < walks.len() {
+                context_pairs(&walks[w], cfg.window, |center, ctx| {
+                    let frac = 1.0 - done as f32 / total.max(1) as f32;
+                    let lr = cfg.lr0 * frac.max(cfg.min_lr_frac);
+                    loss_sum += train_pair_views(
+                        &input,
+                        &output,
+                        dim,
+                        center,
+                        ctx,
+                        noise,
+                        cfg.negatives,
+                        lr,
+                        &mut rng,
+                        &mut scratch,
+                    ) as f64;
+                    done += 1;
+                });
+                w += num_shards;
+            }
+            (loss_sum, done)
+        });
+        // Summed in shard order, so the mean loss is itself deterministic
+        // whenever the updates are.
+        let (loss_sum, done) = per_shard
+            .into_iter()
+            .fold((0.0f64, 0usize), |(l, d), (ls, ds)| (l + ls, d + ds));
         if done == 0 {
             0.0
         } else {
@@ -178,6 +218,62 @@ impl SgnsModel {
     pub fn export_embeddings(&self) -> Vec<Vec<f32>> {
         (0..self.n as u32).map(|i| self.embedding(i).to_vec()).collect()
     }
+}
+
+/// Train one positive pair plus `negatives` noise pairs against shared
+/// [`RacyTable`] views — the Hogwild-capable core of
+/// [`SgnsModel::train_pair`], numerically identical to it when run
+/// serially. `scratch` must be a caller-provided `dim`-length buffer (the
+/// center-gradient accumulator, hoisted out so the hot loop does not
+/// allocate per pair). Returns the (approximate) pair loss.
+#[allow(clippy::too_many_arguments)]
+pub fn train_pair_views<R: rand::Rng + ?Sized>(
+    input: &RacyTable<'_>,
+    output: &RacyTable<'_>,
+    dim: usize,
+    center: u32,
+    ctx: u32,
+    noise: &NoiseTable,
+    negatives: usize,
+    lr: f32,
+    rng: &mut R,
+    scratch: &mut [f32],
+) -> f32 {
+    debug_assert_eq!(scratch.len(), dim);
+    let c = center as usize * dim;
+    let grad_center = &mut scratch[..dim];
+    grad_center.fill(0.0);
+    let mut loss = 0.0f32;
+
+    // One positive + `negatives` noise targets.
+    for k in 0..=negatives {
+        let (target, label) = if k == 0 {
+            (ctx, 1.0f32)
+        } else {
+            (noise.sample_excluding(ctx, rng), 0.0f32)
+        };
+        let o = target as usize * dim;
+        let mut dot = 0.0f32;
+        for j in 0..dim {
+            dot += input.load(c + j) * output.load(o + j);
+        }
+        let pred = fast_sigmoid(dot);
+        loss -= if label > 0.5 {
+            pred.max(1e-7).ln()
+        } else {
+            (1.0 - pred).max(1e-7).ln()
+        };
+        let g = (pred - label) * lr;
+        for (j, gc) in grad_center.iter_mut().enumerate() {
+            let out_j = output.load(o + j);
+            *gc += g * out_j;
+            output.store(o + j, out_j - g * input.load(c + j));
+        }
+    }
+    for (j, gc) in grad_center.iter().enumerate() {
+        input.add(c + j, -gc);
+    }
+    loss
 }
 
 #[cfg(test)]
@@ -238,6 +334,7 @@ mod tests {
             min_lr_frac: 1e-3,
             window: 2,
             seed: 9,
+            parallelism: Parallelism::default(),
         };
         let mut model = SgnsModel::new(n, cfg.dim, &mut StdRng::seed_from_u64(1));
         for _ in 0..3 {
@@ -326,5 +423,156 @@ mod tests {
         let loss = model.train_corpus(&WalkCorpus::new(), &noise, &SgnsConfig::default());
         assert_eq!(loss, 0.0);
         assert_eq!(model.input_table(), &before[..]);
+    }
+
+    /// Train the two-community corpus once under `par` and return the
+    /// exact bit patterns of loss, input, and output tables.
+    fn train_bits(par: Parallelism) -> (u32, Vec<u32>, Vec<u32>) {
+        let (corpus, n) = two_communities_corpus();
+        let noise = NoiseTable::from_frequencies(&corpus.node_frequencies(n));
+        let cfg = SgnsConfig {
+            dim: 16,
+            lr0: 0.05,
+            seed: 2,
+            parallelism: par,
+            ..Default::default()
+        };
+        let mut model = SgnsModel::new(n, cfg.dim, &mut StdRng::seed_from_u64(3));
+        let loss = model.train_corpus(&corpus, &noise, &cfg);
+        (
+            loss.to_bits(),
+            model.input.iter().map(|v| v.to_bits()).collect(),
+            model.output.iter().map(|v| v.to_bits()).collect(),
+        )
+    }
+
+    #[test]
+    fn strict_training_is_bit_identical_across_thread_counts() {
+        let base = train_bits(Parallelism::strict(1));
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                train_bits(Parallelism::strict(threads)),
+                base,
+                "Strict must be thread-count invariant (threads={threads})"
+            );
+        }
+        // A single Hogwild thread runs the identical serial schedule.
+        assert_eq!(train_bits(Parallelism::hogwild(1)), base);
+    }
+
+    #[test]
+    fn hogwild_training_reduces_loss_with_many_threads() {
+        let (corpus, n) = two_communities_corpus();
+        let noise = NoiseTable::from_frequencies(&corpus.node_frequencies(n));
+        let cfg = SgnsConfig {
+            dim: 16,
+            lr0: 0.05,
+            seed: 2,
+            parallelism: Parallelism::hogwild(4),
+            ..Default::default()
+        };
+        let mut model = SgnsModel::new(n, cfg.dim, &mut StdRng::seed_from_u64(3));
+        let first = model.train_corpus(&corpus, &noise, &cfg);
+        let mut last = first;
+        for _ in 0..4 {
+            last = model.train_corpus(&corpus, &noise, &cfg);
+        }
+        assert!(last.is_finite() && first.is_finite());
+        assert!(last < first, "hogwild loss {first} -> {last}");
+    }
+
+    /// Finite-difference check of the SGNS pair update: with distinct
+    /// targets the in-place update equals `lr · ∇L` of the joint loss
+    /// `Σ_k BCE(σ(v_c · u_k))` at the initial tables, so
+    /// `(before − after) / lr` must match a central finite difference of
+    /// that loss to ~1e-3 relative.
+    #[test]
+    fn train_pair_gradient_matches_finite_differences() {
+        use rand::Rng;
+        let dim = 8usize;
+        let n = 5usize;
+        let noise = NoiseTable::from_frequencies(&[3, 1, 4, 1, 5]);
+        let (center, ctx, negatives) = (0u32, 1u32, 3usize);
+
+        // Deterministically pick the first seed whose replayed noise draws
+        // give pairwise-distinct targets (required for the update to equal
+        // the exact joint-loss gradient). The output table is randomized
+        // too: with the word2vec zero init the input gradient is
+        // identically zero and the check would be vacuous.
+        let (mut model, mut rng, targets) = (11..64u64)
+            .find_map(|s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                let mut model = SgnsModel::new(n, dim, &mut rng);
+                for v in model.output.iter_mut() {
+                    *v = rng.random_range(-0.5..0.5);
+                }
+                // Replay the RNG to learn which targets train_pair draws.
+                let mut probe = rng.clone();
+                let mut targets = vec![(ctx, 1.0f64)];
+                for _ in 0..negatives {
+                    targets.push((noise.sample_excluding(ctx, &mut probe), 0.0));
+                }
+                let mut uniq: Vec<u32> = targets.iter().map(|t| t.0).collect();
+                uniq.sort_unstable();
+                uniq.dedup();
+                (uniq.len() == targets.len()).then_some((model, rng, targets))
+            })
+            .expect("some seed in 11..64 yields distinct targets");
+
+        // Joint loss replicated in f64 (same clamp + sigmoid as training).
+        let loss_fn = |input: &[f32], output: &[f32]| -> f64 {
+            let c = center as usize * dim;
+            let mut loss = 0.0f64;
+            for &(t, label) in &targets {
+                let o = t as usize * dim;
+                let mut dot = 0.0f64;
+                for j in 0..dim {
+                    dot += input[c + j] as f64 * output[o + j] as f64;
+                }
+                let pred = 1.0 / (1.0 + (-dot.clamp(-6.0, 6.0)).exp());
+                loss -= if label > 0.5 {
+                    pred.max(1e-7).ln()
+                } else {
+                    (1.0 - pred).max(1e-7).ln()
+                };
+            }
+            loss
+        };
+
+        let input0 = model.input.clone();
+        let output0 = model.output.clone();
+        let lr = 1.0f32;
+        model.train_pair(center, ctx, &noise, negatives, lr, &mut rng);
+
+        let h = 1e-3f32;
+        let check = |idx: usize, analytic: f64, which: &str| {
+            let (mut ip, mut op) = (input0.clone(), output0.clone());
+            let (mut im, mut om) = (input0.clone(), output0.clone());
+            if which == "input" {
+                ip[idx] += h;
+                im[idx] -= h;
+            } else {
+                op[idx] += h;
+                om[idx] -= h;
+            }
+            let fd = (loss_fn(&ip, &op) - loss_fn(&im, &om)) / (2.0 * h as f64);
+            let tol = 1e-4 + 1e-3 * fd.abs().max(analytic.abs());
+            assert!(
+                (fd - analytic).abs() <= tol,
+                "{which}[{idx}]: fd {fd} vs analytic {analytic}"
+            );
+        };
+        let c = center as usize * dim;
+        for j in 0..dim {
+            let analytic = (input0[c + j] - model.input[c + j]) as f64 / lr as f64;
+            check(c + j, analytic, "input");
+        }
+        for &(t, _) in &targets {
+            let o = t as usize * dim;
+            for j in 0..dim {
+                let analytic = (output0[o + j] - model.output[o + j]) as f64 / lr as f64;
+                check(o + j, analytic, "output");
+            }
+        }
     }
 }
