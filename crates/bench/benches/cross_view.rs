@@ -1,0 +1,99 @@
+//! Cross-view pass benchmarks: the per-view-pair translator training loop
+//! (Algorithm 1 lines 8–12) across thread counts, mirroring the trainer's
+//! `Parallelism` fan-out — shared [`EmbSlot`] table views, worker `t` owns
+//! pairs `t, t+threads, …`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use transn::cross_view::CrossPair;
+use transn::single_view::SingleView;
+use transn::{EmbSlot, TransNConfig};
+use transn_synth::{aminer_like, AminerConfig};
+
+/// One Hogwild-style cross-view pass over all pairs with `threads` workers
+/// (1 worker ≡ the Strict/serial schedule).
+fn cross_pass(
+    pairs: &mut [CrossPair],
+    views: &mut [SingleView],
+    cfg: &TransNConfig,
+    threads: usize,
+    iter: usize,
+) -> f32 {
+    let dim = cfg.dim;
+    let slots: Vec<EmbSlot<'_>> = views
+        .iter_mut()
+        .map(|sv| EmbSlot::new(sv.model.input_table_mut(), dim))
+        .collect();
+    let slots = &slots;
+    let threads = threads.max(1).min(pairs.len().max(1));
+    let mut buckets: Vec<Vec<&mut CrossPair>> = (0..threads).map(|_| Vec::new()).collect();
+    for (idx, pair) in pairs.iter_mut().enumerate() {
+        buckets[idx % threads].push(pair);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|pair| {
+                            let (i, j) = (pair.i, pair.j);
+                            pair.train_iteration_slots(&slots[i], &slots[j], cfg, iter)
+                        })
+                        .sum::<f32>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    })
+}
+
+fn bench_cross_view(c: &mut Criterion) {
+    let ds = aminer_like(&AminerConfig::tiny(), 9);
+    let cfg = TransNConfig {
+        dim: 32,
+        cross_len: 4,
+        cross_paths: 40,
+        ..TransNConfig::for_tests()
+    };
+
+    let mut group = c.benchmark_group("cross_view_pass_by_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let raw_views = ds.net.views();
+                let mut pairs: Vec<CrossPair> = ds
+                    .net
+                    .view_pairs(&raw_views)
+                    .iter()
+                    .map(|p| {
+                        let i = p.vi.etype().index();
+                        let j = p.vj.etype().index();
+                        CrossPair::new(p, i, j, &cfg)
+                    })
+                    .collect();
+                let mut views: Vec<SingleView> = raw_views
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| SingleView::new(v, &cfg, i))
+                    .collect();
+                // Warm the embeddings so translators see real inputs.
+                for (it, sv) in views.iter_mut().enumerate() {
+                    sv.train_iteration(&cfg, it);
+                }
+                let mut iter = 0usize;
+                b.iter(|| {
+                    iter += 1;
+                    cross_pass(&mut pairs, &mut views, &cfg, threads, iter)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross_view);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use transn_nn::{FeedForward, LossKind, Matrix, Translator};
+use transn_nn::{FeedForward, LossKind, Matrix, Translator, Workspace};
 
 fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -23,11 +23,11 @@ fn bench_translator(c: &mut Criterion) {
             let mut t = Translator::near_identity(h, 8, &mut rng);
             let a = rand_matrix(8, d, 1);
             let g = rand_matrix(8, d, 2);
+            let mut ws = Workspace::new(h, 8, d);
             b.iter(|| {
-                let (_, cache) = t.forward(&a);
-                let d_in = t.backward(&cache, &g);
+                let (_, cache) = t.forward_ws(&a, &mut ws);
+                let _ = t.backward_ws(&cache, &g, &mut ws);
                 t.zero_grad();
-                d_in
             });
         });
     }
@@ -40,11 +40,47 @@ fn bench_translator(c: &mut Criterion) {
             let mut t = Translator::near_identity(2, len, &mut rng);
             let a = rand_matrix(len, d, 1);
             let g = rand_matrix(len, d, 2);
+            let mut ws = Workspace::new(2, len, d);
             b.iter(|| {
-                let (_, cache) = t.forward(&a);
-                let d_in = t.backward(&cache, &g);
+                let (_, cache) = t.forward_ws(&a, &mut ws);
+                let _ = t.backward_ws(&cache, &g, &mut ws);
                 t.zero_grad();
-                d_in
+            });
+        });
+    }
+    group.finish();
+
+    // Workspace tier vs allocate-per-call tier across batch sizes (number
+    // of forward+backward passes per measured iteration): the workspace
+    // amortizes its buffers across the whole batch, the convenience tier
+    // re-allocates caches every pass.
+    let mut group = c.benchmark_group("translator_forward_backward_by_batch");
+    for batch in [1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("workspace", batch), &batch, |b, &batch| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut t = Translator::near_identity(2, 8, &mut rng);
+            let a = rand_matrix(8, d, 1);
+            let g = rand_matrix(8, d, 2);
+            let mut ws = Workspace::new(2, 8, d);
+            b.iter(|| {
+                for _ in 0..batch {
+                    let (_, cache) = t.forward_ws(&a, &mut ws);
+                    let _ = t.backward_ws(&cache, &g, &mut ws);
+                    t.zero_grad();
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("alloc_per_call", batch), &batch, |b, &batch| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut t = Translator::near_identity(2, 8, &mut rng);
+            let a = rand_matrix(8, d, 1);
+            let g = rand_matrix(8, d, 2);
+            b.iter(|| {
+                for _ in 0..batch {
+                    let (_, mut cache) = t.forward(&a);
+                    let _ = t.backward(&mut cache, &g);
+                    t.zero_grad();
+                }
             });
         });
     }

@@ -1,0 +1,145 @@
+//! Zero-allocation assertion for the cross-view training hot loop.
+//!
+//! ISSUE 2's acceptance criterion: after warmup, the per-segment hot loop
+//! of `CrossPair::train_iteration` — gather, translator forward/backward,
+//! loss, scatter, Adam step — performs **zero** heap allocations. This test
+//! installs a counting global allocator and drives exactly that loop (the
+//! same call sequence `train_segment` runs, through the same public APIs)
+//! against a warmed [`Workspace`] arena.
+//!
+//! Walk *sampling* (segment discovery) intentionally stays allocating —
+//! walks are variable-length — so the assertion covers the numeric loop,
+//! which dominates: it runs once per sampled segment, every iteration.
+//!
+//! This file contains a single test on purpose: the harness runs tests in
+//! one process, and any concurrently-running test would pollute the global
+//! allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use transn::EmbSlot;
+use transn_nn::{AdamConfig, LossKind, Matrix, Translator, Workspace};
+
+/// `System` wrapper that counts allocations (not frees — the hot loop must
+/// not even *touch* the allocator).
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn cross_view_hot_loop_is_allocation_free_after_warmup() {
+    const LEN: usize = 8; // cross_len |λ|
+    const DIM: usize = 32;
+    const DEPTH: usize = 2; // encoders H
+    const NODES: usize = 64;
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut t_fwd = Translator::near_identity(DEPTH, LEN, &mut rng);
+    let mut t_bwd = Translator::near_identity(DEPTH, LEN, &mut rng);
+
+    // Two fake view embedding tables.
+    let mut table_src: Vec<f32> = (0..NODES * DIM).map(|_| rng.random_range(-0.5..0.5)).collect();
+    let mut table_dst: Vec<f32> = (0..NODES * DIM).map(|_| rng.random_range(-0.5..0.5)).collect();
+    let src_emb = EmbSlot::new(&mut table_src, DIM);
+    let dst_emb = EmbSlot::new(&mut table_dst, DIM);
+
+    // Pre-sampled segments (sampling is outside the asserted loop).
+    let segments: Vec<(Vec<u32>, Vec<u32>)> = (0..16)
+        .map(|_| {
+            let src = (0..LEN).map(|_| rng.random_range(0..NODES as u32)).collect();
+            let dst = (0..LEN).map(|_| rng.random_range(0..NODES as u32)).collect();
+            (src, dst)
+        })
+        .collect();
+
+    // The per-pair scratch `train_segment` uses.
+    let mut ws_fwd = Workspace::new(DEPTH, LEN, DIM);
+    let mut ws_bwd = Workspace::new(DEPTH, LEN, DIM);
+    let mut a = Matrix::zeros(LEN, DIM);
+    let mut target = Matrix::zeros(LEN, DIM);
+    let mut d_x1 = Matrix::zeros(LEN, DIM);
+    let mut d_a = Matrix::zeros(LEN, DIM);
+    let mut d_lx = Matrix::zeros(LEN, DIM);
+    let mut d_lt = Matrix::zeros(LEN, DIM);
+    let adam = AdamConfig {
+        lr: 0.01,
+        weight_decay: 1e-4,
+        ..AdamConfig::default()
+    };
+    let loss_kind = LossKind::Cosine;
+
+    // One full `train_segment`-shaped pass: T1 translation + R1
+    // reconstruction + both scatters and Adam steps.
+    let mut run_segment = |seg: &(Vec<u32>, Vec<u32>)| {
+        let (src, dst) = seg;
+        src_emb.gather_into(src, &mut a);
+        dst_emb.gather_into(dst, &mut target);
+
+        let (x1, c1) = t_fwd.forward_ws(&a, &mut ws_fwd);
+        d_x1.fill_zero();
+        d_a.fill_zero();
+
+        let mut loss = loss_kind.eval_into(x1, &target, &mut d_lx, &mut d_lt);
+        d_x1.add_assign(&d_lx);
+        dst_emb.scatter(dst, &d_lt, 0.5);
+
+        let (x2, c2) = t_bwd.forward_ws(x1, &mut ws_bwd);
+        loss += loss_kind.eval_into(x2, &a, &mut d_lx, &mut d_lt);
+        let d_back = t_bwd.backward_ws(&c2, &d_lx, &mut ws_bwd);
+        d_x1.add_assign(d_back);
+        d_a.add_assign(&d_lt);
+
+        let d_from_fwd = t_fwd.backward_ws(&c1, &d_x1, &mut ws_fwd);
+        d_a.add_assign(d_from_fwd);
+        src_emb.scatter(src, &d_a, 0.5);
+
+        t_fwd.step_adam(&adam);
+        t_bwd.step_adam(&adam);
+        loss
+    };
+
+    // Warmup: size every buffer and touch every code path once.
+    let mut warm_loss = 0.0f32;
+    for seg in &segments {
+        warm_loss += run_segment(seg);
+    }
+    assert!(warm_loss.is_finite());
+
+    // Measured phase: the hot loop must never call the allocator.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut loss = 0.0f32;
+    for _ in 0..10 {
+        for seg in &segments {
+            loss += run_segment(seg);
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert!(loss.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "cross-view hot loop allocated {} times after warmup",
+        after - before
+    );
+}

@@ -7,9 +7,69 @@ use crate::single_view::SingleView;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use transn_graph::{PairedSubview, ViewPair};
+use transn_nn::workspace::{FfWsCache, TranslatorWsCache, Workspace};
 use transn_nn::{AdamConfig, FeedForward, Matrix, Translator, TranslatorCache};
-use transn_sgns::SgnsModel;
+use transn_sgns::RacyTable;
 use transn_walks::{CorrelatedWalker, WalkConfig};
+
+/// A shared, dimension-aware view of one view's input embedding table.
+///
+/// Wraps the table in a [`RacyTable`] so the parallel cross-view pass can
+/// hand the *same* view table to several view-pair workers (Hogwild mode)
+/// without locks; `gather_into`/`scatter` go through atomic bit-cast
+/// loads/stores, which on the serial path compile to plain moves and are
+/// bit-identical to direct slice access.
+pub struct EmbSlot<'a> {
+    table: RacyTable<'a>,
+    dim: usize,
+}
+
+impl<'a> EmbSlot<'a> {
+    /// Wrap a flat row-major `n × dim` embedding table.
+    ///
+    /// # Panics
+    /// Panics if the table length is not a multiple of `dim`.
+    pub fn new(table: &'a mut [f32], dim: usize) -> Self {
+        assert!(dim > 0 && table.len() % dim == 0, "table/dim mismatch");
+        EmbSlot {
+            table: RacyTable::new(table),
+            dim,
+        }
+    }
+
+    /// Copy the embeddings of `locals` into `out` (`locals.len() × dim`,
+    /// fully overwritten). Allocation-free.
+    pub fn gather_into(&self, locals: &[u32], out: &mut Matrix) {
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (locals.len(), self.dim),
+            "gather buffer shape mismatch"
+        );
+        for (r, &l) in locals.iter().enumerate() {
+            let base = l as usize * self.dim;
+            for (c, v) in out.row_mut(r).iter_mut().enumerate() {
+                *v = self.table.load(base + c);
+            }
+        }
+    }
+
+    /// SGD row update: `emb[l] ← emb[l] − lr · grad_row`. Repeated nodes in
+    /// a segment accumulate naturally. Allocation-free.
+    pub fn scatter(&self, locals: &[u32], grad: &Matrix, lr: f32) {
+        assert_eq!(
+            (grad.rows(), grad.cols()),
+            (locals.len(), self.dim),
+            "scatter gradient shape mismatch"
+        );
+        for (r, &l) in locals.iter().enumerate() {
+            let base = l as usize * self.dim;
+            for (c, &g) in grad.row(r).iter().enumerate() {
+                let i = base + c;
+                self.table.store(i, self.table.load(i) - lr * g);
+            }
+        }
+    }
+}
 
 /// A translator `T` or its Table-V ablation (`TransN-With-Simple-Translator`
 /// replaces the encoder stack with a single feed-forward layer).
@@ -22,13 +82,22 @@ pub enum CrossModel {
     SingleFf(FeedForward),
 }
 
-/// Forward cache matching [`CrossModel`].
+/// Forward cache matching [`CrossModel`] (convenience tier; the training
+/// hot path uses workspace handles instead).
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // short-lived, one per inference call
 pub enum CrossCache {
     /// Cache of the encoder stack.
     Stack(TranslatorCache),
     /// Cache of the single feed-forward layer.
     SingleFf(transn_nn::layers::FfCache),
+}
+
+/// Workspace cache handle matching [`CrossModel`].
+#[derive(Clone, Copy, Debug)]
+enum CrossWsCache {
+    Stack(TranslatorWsCache),
+    SingleFf(FfWsCache),
 }
 
 impl CrossModel {
@@ -40,7 +109,16 @@ impl CrossModel {
         }
     }
 
-    /// Forward pass over an `L×d` matrix.
+    /// Encoder-stack depth (1 for the single-feed-forward ablation); sizes
+    /// the per-pair workspaces.
+    fn depth(&self) -> usize {
+        match self {
+            CrossModel::Stack(t) => t.num_encoders(),
+            CrossModel::SingleFf(_) => 1,
+        }
+    }
+
+    /// Forward pass over an `L×d` matrix (convenience tier; allocates).
     pub fn forward(&self, a: &Matrix) -> (Matrix, CrossCache) {
         match self {
             CrossModel::Stack(t) => {
@@ -55,10 +133,39 @@ impl CrossModel {
     }
 
     /// Backward pass; accumulates parameter gradients and returns `∂L/∂A`.
-    pub fn backward(&mut self, cache: &CrossCache, d_out: &Matrix) -> Matrix {
+    pub fn backward(&mut self, cache: &mut CrossCache, d_out: &Matrix) -> Matrix {
         match (self, cache) {
             (CrossModel::Stack(t), CrossCache::Stack(c)) => t.backward(c, d_out),
             (CrossModel::SingleFf(ff), CrossCache::SingleFf(c)) => ff.backward(c, d_out),
+            _ => unreachable!("cache kind mismatch"),
+        }
+    }
+
+    /// Workspace forward pass: activations cached in `ws`, output borrowed
+    /// from the arena. Allocation-free once `ws` is sized.
+    fn forward_ws<'w>(&self, a: &Matrix, ws: &'w mut Workspace) -> (&'w Matrix, CrossWsCache) {
+        match self {
+            CrossModel::Stack(t) => {
+                let (out, cache) = t.forward_ws(a, ws);
+                (out, CrossWsCache::Stack(cache))
+            }
+            CrossModel::SingleFf(ff) => {
+                let (out, cache) = ff.forward_ws(a, ws);
+                (out, CrossWsCache::SingleFf(cache))
+            }
+        }
+    }
+
+    /// Workspace backward pass; returns `∂L/∂A` borrowed from the arena.
+    fn backward_ws<'w>(
+        &mut self,
+        cache: &CrossWsCache,
+        d_out: &Matrix,
+        ws: &'w mut Workspace,
+    ) -> &'w Matrix {
+        match (self, cache) {
+            (CrossModel::Stack(t), CrossWsCache::Stack(c)) => t.backward_ws(c, d_out, ws),
+            (CrossModel::SingleFf(ff), CrossWsCache::SingleFf(c)) => ff.backward_ws(c, d_out, ws),
             _ => unreachable!("cache kind mismatch"),
         }
     }
@@ -71,6 +178,45 @@ impl CrossModel {
                 ff.w.step_adam(cfg);
                 ff.b.step_adam(cfg);
             }
+        }
+    }
+}
+
+/// All scratch storage one [`CrossPair`] needs to train a segment without
+/// heap allocation: one workspace per translator direction (the forward
+/// stack's caches must survive the backward stack's forward/backward in
+/// between) plus the `L×d` gather/gradient staging buffers.
+#[derive(Debug)]
+struct CrossWorkspace {
+    /// Arena for whichever translator runs the T1/T2 (forward) direction.
+    ws_fwd: Workspace,
+    /// Arena for the reconstruction (backward) direction.
+    ws_bwd: Workspace,
+    /// Gathered source embeddings `A`.
+    a: Matrix,
+    /// Gathered target embeddings.
+    target: Matrix,
+    /// Accumulated gradient w.r.t. the translated matrix `X₁`.
+    d_x1: Matrix,
+    /// Accumulated gradient w.r.t. the source embeddings `A`.
+    d_a: Matrix,
+    /// Loss gradient w.r.t. its first operand.
+    d_lx: Matrix,
+    /// Loss gradient w.r.t. its second operand.
+    d_lt: Matrix,
+}
+
+impl CrossWorkspace {
+    fn new(depth: usize, len: usize, dim: usize) -> Self {
+        CrossWorkspace {
+            ws_fwd: Workspace::new(depth, len, dim),
+            ws_bwd: Workspace::new(depth, len, dim),
+            a: Matrix::zeros(len, dim),
+            target: Matrix::zeros(len, dim),
+            d_x1: Matrix::zeros(len, dim),
+            d_a: Matrix::zeros(len, dim),
+            d_lx: Matrix::zeros(len, dim),
+            d_lt: Matrix::zeros(len, dim),
         }
     }
 }
@@ -98,6 +244,8 @@ pub struct CrossPair {
     sub_j: PairedSubview,
     t_ij: CrossModel,
     t_ji: CrossModel,
+    /// Pre-sized scratch for allocation-free segment training.
+    scratch: CrossWorkspace,
     /// For subview `φ'_i`, per sub-local node: `(view_i local, view_j
     /// local)` when the node is common, sentinel otherwise.
     map_i: Vec<(u32, u32)>,
@@ -138,6 +286,7 @@ impl CrossPair {
         };
         let (map_i, starts_i) = build_map(&sub_i);
         let (map_j, starts_j) = build_map(&sub_j);
+        let scratch = CrossWorkspace::new(t_ij.depth(), cfg.cross_len, cfg.dim);
 
         CrossPair {
             i,
@@ -146,6 +295,7 @@ impl CrossPair {
             sub_j,
             t_ij,
             t_ji,
+            scratch,
             map_i,
             map_j,
             starts_i,
@@ -170,12 +320,34 @@ impl CrossPair {
     }
 
     /// One iteration of the cross-view algorithm for this pair
-    /// (Algorithm 1 lines 8–12). Returns the mean segment loss, or 0 when
-    /// the pair yields no trainable segments.
+    /// (Algorithm 1 lines 8–12), taking the two views directly. Convenience
+    /// wrapper over [`CrossPair::train_iteration_slots`].
     pub fn train_iteration(
         &mut self,
         view_i: &mut SingleView,
         view_j: &mut SingleView,
+        cfg: &TransNConfig,
+        iteration: usize,
+    ) -> f32 {
+        let emb_i = EmbSlot::new(view_i.model.input_table_mut(), cfg.dim);
+        let emb_j = EmbSlot::new(view_j.model.input_table_mut(), cfg.dim);
+        self.train_iteration_slots(&emb_i, &emb_j, cfg, iteration)
+    }
+
+    /// One iteration of the cross-view algorithm for this pair
+    /// (Algorithm 1 lines 8–12), against shared embedding-table views —
+    /// the entry point the parallel cross-view pass uses, since several
+    /// pairs may update the same view's table concurrently (Hogwild).
+    /// Returns the mean segment loss, or 0 when the pair yields no
+    /// trainable segments.
+    ///
+    /// After the first call everything past walk sampling — gather,
+    /// translator forward/backward, loss, scatter, Adam — is
+    /// allocation-free (see `crates/bench/tests/alloc_free.rs`).
+    pub fn train_iteration_slots(
+        &mut self,
+        emb_i: &EmbSlot<'_>,
+        emb_j: &EmbSlot<'_>,
         cfg: &TransNConfig,
         iteration: usize,
     ) -> f32 {
@@ -198,11 +370,11 @@ impl CrossPair {
         let mut total = 0.0f64;
         let mut count = 0usize;
         for seg in &segs_i {
-            total += self.train_segment(seg, true, view_i, view_j, cfg, &adam) as f64;
+            total += self.train_segment(seg, true, emb_i, emb_j, cfg, &adam) as f64;
             count += 1;
         }
         for seg in &segs_j {
-            total += self.train_segment(seg, false, view_j, view_i, cfg, &adam) as f64;
+            total += self.train_segment(seg, false, emb_j, emb_i, cfg, &adam) as f64;
             count += 1;
         }
         if count == 0 {
@@ -212,80 +384,65 @@ impl CrossPair {
         }
     }
 
-    /// Train one segment in one direction.
+    /// Train one segment in one direction, entirely inside the pair's
+    /// scratch workspace.
     ///
     /// `forward_is_ij = true` trains tasks T1 + R1 on a path from `φ'_i`
-    /// (`src_view` = view i, translator `t_ij` forward, `t_ji` back);
-    /// `false` trains T2 + R2 symmetrically.
+    /// (`src_emb` = view i's table, translator `t_ij` forward, `t_ji`
+    /// back); `false` trains T2 + R2 symmetrically.
     fn train_segment(
         &mut self,
         seg: &Segment,
         forward_is_ij: bool,
-        src_view: &mut SingleView,
-        dst_view: &mut SingleView,
+        src_emb: &EmbSlot<'_>,
+        dst_emb: &EmbSlot<'_>,
         cfg: &TransNConfig,
         adam: &AdamConfig,
     ) -> f32 {
-        let a = gather(&src_view.model, &seg.src, cfg.dim);
-        let target = gather(&dst_view.model, &seg.dst, cfg.dim);
+        let CrossPair {
+            t_ij,
+            t_ji,
+            scratch: cw,
+            ..
+        } = self;
+        src_emb.gather_into(&seg.src, &mut cw.a);
+        dst_emb.gather_into(&seg.dst, &mut cw.target);
 
         let (fwd, bwd) = if forward_is_ij {
-            (&mut self.t_ij, &mut self.t_ji)
+            (&mut *t_ij, &mut *t_ji)
         } else {
-            (&mut self.t_ji, &mut self.t_ij)
+            (&mut *t_ji, &mut *t_ij)
         };
 
-        let (x1, c1) = fwd.forward(&a);
-        let mut d_x1 = Matrix::zeros(x1.rows(), x1.cols());
-        let mut d_a = Matrix::zeros(a.rows(), a.cols());
+        let (x1, c1) = fwd.forward_ws(&cw.a, &mut cw.ws_fwd);
+        cw.d_x1.fill_zero();
+        cw.d_a.fill_zero();
         let mut loss = 0.0f32;
 
         // Translation task (Eq. 11/12): T(A) should match the target
         // view's embeddings of the same nodes.
         if cfg.variant.uses_translation_tasks() {
-            let l = cfg.loss.eval(&x1, &target);
-            loss += l.value;
-            d_x1.add_assign(&l.d_x);
-            scatter(&mut dst_view.model, &seg.dst, &l.d_t, cfg.lr_cross_emb);
+            loss += cfg.loss.eval_into(x1, &cw.target, &mut cw.d_lx, &mut cw.d_lt);
+            cw.d_x1.add_assign(&cw.d_lx);
+            dst_emb.scatter(&seg.dst, &cw.d_lt, cfg.lr_cross_emb);
         }
 
         // Reconstruction task (Eq. 13/14): translating back must recover A.
         if cfg.variant.uses_reconstruction_tasks() {
-            let (x2, c2) = bwd.forward(&x1);
-            let l = cfg.loss.eval(&x2, &a);
-            loss += l.value;
-            let d_back = bwd.backward(&c2, &l.d_x);
-            d_x1.add_assign(&d_back);
-            d_a.add_assign(&l.d_t);
+            let (x2, c2) = bwd.forward_ws(x1, &mut cw.ws_bwd);
+            loss += cfg.loss.eval_into(x2, &cw.a, &mut cw.d_lx, &mut cw.d_lt);
+            let d_back = bwd.backward_ws(&c2, &cw.d_lx, &mut cw.ws_bwd);
+            cw.d_x1.add_assign(d_back);
+            cw.d_a.add_assign(&cw.d_lt);
         }
 
-        let d_from_fwd = fwd.backward(&c1, &d_x1);
-        d_a.add_assign(&d_from_fwd);
-        scatter(&mut src_view.model, &seg.src, &d_a, cfg.lr_cross_emb);
+        let d_from_fwd = fwd.backward_ws(&c1, &cw.d_x1, &mut cw.ws_fwd);
+        cw.d_a.add_assign(d_from_fwd);
+        src_emb.scatter(&seg.src, &cw.d_a, cfg.lr_cross_emb);
 
         fwd.step(adam);
         bwd.step(adam);
         loss
-    }
-}
-
-/// Copy the embeddings of `locals` into an `L×d` matrix.
-fn gather(model: &SgnsModel, locals: &[u32], dim: usize) -> Matrix {
-    let mut m = Matrix::zeros(locals.len(), dim);
-    for (r, &l) in locals.iter().enumerate() {
-        m.row_mut(r).copy_from_slice(model.embedding(l));
-    }
-    m
-}
-
-/// SGD row update: `emb[l] ← emb[l] − lr · grad_row`. Repeated nodes in a
-/// segment accumulate naturally.
-fn scatter(model: &mut SgnsModel, locals: &[u32], grad: &Matrix, lr: f32) {
-    for (r, &l) in locals.iter().enumerate() {
-        let row = model.embedding_mut(l);
-        for (v, g) in row.iter_mut().zip(grad.row(r)) {
-            *v -= lr * g;
-        }
     }
 }
 
@@ -345,6 +502,16 @@ mod tests {
     use super::*;
     use crate::ablation::Variant;
     use transn_graph::{HetNet, HetNetBuilder, NodeId};
+    use transn_sgns::SgnsModel;
+
+    /// Copy the embeddings of `locals` into an `L×d` matrix.
+    fn gather(model: &SgnsModel, locals: &[u32], dim: usize) -> Matrix {
+        let mut m = Matrix::zeros(locals.len(), dim);
+        for (r, &l) in locals.iter().enumerate() {
+            m.row_mut(r).copy_from_slice(model.embedding(l));
+        }
+        m
+    }
 
     /// Two views over a shared set of "user" nodes: a friendship homo-view
     /// and a user–keyword heter-view, with correlated cluster structure.

@@ -49,5 +49,6 @@ pub mod trainer;
 
 pub use ablation::Variant;
 pub use config::TransNConfig;
+pub use cross_view::EmbSlot;
 pub use trainer::{TrainStats, TransN};
 pub use transn_sgns::{Determinism, Parallelism};

@@ -1,7 +1,7 @@
 //! The TransN training loop — Algorithm 1 of the paper.
 
 use crate::config::TransNConfig;
-use crate::cross_view::CrossPair;
+use crate::cross_view::{CrossPair, EmbSlot};
 use crate::fusion::fuse;
 use crate::single_view::SingleView;
 use transn_graph::{HetNet, NodeEmbeddings};
@@ -118,18 +118,73 @@ impl<'a> TransN<'a> {
         losses
     }
 
-    /// Lines 8–12: one cross-view iteration per view-pair. Pairs may share
-    /// a view, so they run sequentially (z' is small: at most
-    /// `|C_E|·(|C_E|−1)/2`).
+    /// Lines 8–12: one cross-view iteration per view-pair, parallel across
+    /// pairs under the same `Parallelism { threads, determinism }` model as
+    /// the SGNS shards (DESIGN.md §8).
+    ///
+    /// Pairs own disjoint translators but may *share* a view's embedding
+    /// table, so the parallel path hands every worker [`EmbSlot`] views
+    /// (`RacyTable` atomics) over the shared tables — Hogwild semantics.
+    /// `Determinism::Strict`, one thread, or ≤ 1 pair runs the plain
+    /// ordered pair loop, which is bit-identical at any thread count.
     fn cross_view_pass(&mut self, iter: usize) -> Vec<f32> {
         let cfg = self.cfg;
-        let mut losses = Vec::with_capacity(self.pairs.len());
-        for pair in &mut self.pairs {
-            let (i, j) = (pair.i, pair.j);
-            let (vi, vj) = two_mut(&mut self.views, i, j);
-            losses.push(pair.train_iteration(vi, vj, &cfg, iter));
+        let par = cfg.parallelism;
+        if par.is_sequential(self.pairs.len()) {
+            let mut losses = Vec::with_capacity(self.pairs.len());
+            for pair in &mut self.pairs {
+                let (i, j) = (pair.i, pair.j);
+                let (vi, vj) = two_mut(&mut self.views, i, j);
+                losses.push(pair.train_iteration(vi, vj, &cfg, iter));
+            }
+            return losses;
         }
-        losses
+
+        // Hogwild: shared table views, worker t owns pairs t, t+threads, …
+        // (the `run_shards` convention); losses are re-ordered by pair
+        // index so the *returned* trace is thread-count-independent even
+        // though table updates race.
+        let dim = cfg.dim;
+        let slots: Vec<EmbSlot<'_>> = self
+            .views
+            .iter_mut()
+            .map(|sv| EmbSlot::new(sv.model.input_table_mut(), dim))
+            .collect();
+        let threads = par.threads.min(self.pairs.len());
+        let mut buckets: Vec<Vec<(usize, &mut CrossPair)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (idx, pair) in self.pairs.iter_mut().enumerate() {
+            buckets[idx % threads].push((idx, pair));
+        }
+        let slots = &slots;
+        let mut indexed: Vec<(usize, f32)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move |_| {
+                        bucket
+                            .into_iter()
+                            .map(|(idx, pair)| {
+                                let loss = pair.train_iteration_slots(
+                                    &slots[pair.i],
+                                    &slots[pair.j],
+                                    &cfg,
+                                    iter,
+                                );
+                                (idx, loss)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("cross-view worker panicked"))
+                .collect()
+        })
+        .expect("cross-view scope failed");
+        indexed.sort_by_key(|&(idx, _)| idx);
+        indexed.into_iter().map(|(_, l)| l).collect()
     }
 }
 
@@ -250,7 +305,7 @@ mod tests {
             TransN::new(&net, cfg).train()
         };
         let base = run(Parallelism::strict(1));
-        for threads in [2usize, 4] {
+        for threads in [2usize, 4, 8] {
             assert_eq!(
                 run(Parallelism::strict(threads)),
                 base,
@@ -259,6 +314,27 @@ mod tests {
         }
         // One Hogwild worker runs the same serial shard schedule.
         assert_eq!(run(Parallelism::hogwild(1)), base);
+    }
+
+    #[test]
+    fn hogwild_multithreaded_cross_view_trains_sane_embeddings() {
+        use transn_sgns::Parallelism;
+        let net = blog_like_toy();
+        let mut cfg = TransNConfig::for_tests();
+        cfg.parallelism = Parallelism::hogwild(4);
+        let (emb, stats) = TransN::new(&net, cfg).train_with_stats();
+        assert_eq!(emb.num_nodes(), net.num_nodes());
+        for n in net.nodes() {
+            for v in emb.get(n) {
+                assert!(v.is_finite(), "node {n} has a non-finite embedding");
+            }
+        }
+        for row in &stats.cross_losses {
+            assert_eq!(row.len(), 2, "both pairs must report a loss");
+            for &l in row {
+                assert!(l.is_finite());
+            }
+        }
     }
 
     #[test]

@@ -27,10 +27,12 @@ pub mod loss;
 pub mod matrix;
 pub mod optim;
 pub mod param;
+pub mod workspace;
 
 pub use init::GaussianSampler;
-pub use layers::{Encoder, EncoderCache, FeedForward, SelfAttention, Translator, TranslatorCache};
+pub use layers::{Encoder, FeedForward, SelfAttention, Translator, TranslatorCache};
 pub use loss::{LossKind, PairLoss};
 pub use matrix::Matrix;
 pub use optim::{Adam, AdamConfig, Sgd};
 pub use param::Param;
+pub use workspace::{FfWsCache, TranslatorWsCache, Workspace};

@@ -64,6 +64,85 @@ impl LossKind {
         }
     }
 
+    /// Evaluate the loss, writing `∂L/∂X` into `d_x` and `∂L/∂T` into
+    /// `d_t` (both fully overwritten) and returning the scalar value.
+    /// Allocation-free and bit-identical to [`LossKind::eval`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatch (operands or gradient buffers) or empty
+    /// matrices.
+    pub fn eval_into(self, x: &Matrix, t: &Matrix, d_x: &mut Matrix, d_t: &mut Matrix) -> f32 {
+        assert_eq!(
+            (x.rows(), x.cols()),
+            (t.rows(), t.cols()),
+            "loss operand shape mismatch"
+        );
+        assert_eq!(
+            (x.rows(), x.cols()),
+            (d_x.rows(), d_x.cols()),
+            "loss gradient buffer shape mismatch"
+        );
+        assert_eq!(
+            (x.rows(), x.cols()),
+            (d_t.rows(), d_t.cols()),
+            "loss gradient buffer shape mismatch"
+        );
+        assert!(x.rows() > 0 && x.cols() > 0, "empty loss operands");
+        match self {
+            LossKind::NegDot => {
+                let l = x.rows() as f32;
+                let inv = 1.0 / l;
+                // Same element order as `x.hadamard(t).sum()`.
+                let value = -inv
+                    * x.data()
+                        .iter()
+                        .zip(t.data())
+                        .map(|(a, b)| a * b)
+                        .sum::<f32>();
+                d_x.copy_from(t);
+                d_x.scale(-inv);
+                d_t.copy_from(x);
+                d_t.scale(-inv);
+                value
+            }
+            LossKind::Mse => {
+                let n = (x.rows() * x.cols()) as f32;
+                let inv = 1.0 / n;
+                // diff = X − T, staged in d_x.
+                d_x.copy_from(x);
+                d_x.add_scaled(t, -1.0);
+                let value = inv * d_x.data().iter().map(|v| v * v).sum::<f32>();
+                d_t.copy_from(d_x);
+                d_x.scale(2.0 * inv);
+                d_t.scale(-2.0 * inv);
+                value
+            }
+            LossKind::Cosine => {
+                let (l, d) = (x.rows(), x.cols());
+                let inv = 1.0 / l as f32;
+                let mut value = 0.0f32;
+                for r in 0..l {
+                    let xr = x.row(r);
+                    let tr = t.row(r);
+                    let dot: f32 = xr.iter().zip(tr).map(|(a, b)| a * b).sum();
+                    let nx = xr.iter().map(|a| a * a).sum::<f32>().sqrt().max(EPS);
+                    let nt = tr.iter().map(|a| a * a).sum::<f32>().sqrt().max(EPS);
+                    let cos = dot / (nx * nt);
+                    value += inv * (1.0 - cos);
+                    let dxr = d_x.row_mut(r);
+                    for c in 0..d {
+                        dxr[c] = -inv * (tr[c] / (nx * nt) - cos * xr[c] / (nx * nx));
+                    }
+                    let dtr = d_t.row_mut(r);
+                    for c in 0..d {
+                        dtr[c] = -inv * (xr[c] / (nx * nt) - cos * tr[c] / (nt * nt));
+                    }
+                }
+                value
+            }
+        }
+    }
+
     fn neg_dot(x: &Matrix, t: &Matrix) -> PairLoss {
         let l = x.rows() as f32;
         let inv = 1.0 / l;
@@ -218,6 +297,36 @@ mod tests {
         let l = LossKind::Cosine.eval(&x, &t);
         assert!(l.value.is_finite());
         assert!(l.d_x.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn eval_into_is_bit_identical_to_eval() {
+        for kind in [LossKind::NegDot, LossKind::Cosine, LossKind::Mse] {
+            let x = rand_matrix(5, 4, 80);
+            let t = rand_matrix(5, 4, 81);
+            let res = kind.eval(&x, &t);
+            // Pre-fill the buffers with garbage to prove full overwrite.
+            let mut d_x = rand_matrix(5, 4, 82);
+            let mut d_t = rand_matrix(5, 4, 83);
+            let value = kind.eval_into(&x, &t, &mut d_x, &mut d_t);
+            assert_eq!(value.to_bits(), res.value.to_bits(), "{kind:?} value");
+            for (a, b) in d_x.data().iter().zip(res.d_x.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} d_x");
+            }
+            for (a, b) in d_t.data().iter().zip(res.d_t.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} d_t");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient buffer shape mismatch")]
+    fn eval_into_rejects_bad_buffer_shape() {
+        let x = Matrix::zeros(2, 3);
+        let t = Matrix::zeros(2, 3);
+        let mut d_x = Matrix::zeros(3, 2);
+        let mut d_t = Matrix::zeros(2, 3);
+        let _ = LossKind::Mse.eval_into(&x, &t, &mut d_x, &mut d_t);
     }
 
     #[test]

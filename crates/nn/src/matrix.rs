@@ -18,6 +18,7 @@ pub struct Matrix {
 
 impl Matrix {
     /// Zero matrix of the given shape.
+    #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
@@ -30,12 +31,14 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
+    #[must_use]
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "shape/buffer mismatch");
         Matrix { rows, cols, data }
     }
 
     /// Build from a function of `(row, col)`.
+    #[must_use]
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
@@ -101,6 +104,18 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Copy every element of `other` into `self` (shapes must match).
+    /// A plain `memcpy` into the existing buffer — the allocation-free
+    /// alternative to `*self = other.clone()` in workspace hot loops.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// `self ← self + other`.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
@@ -125,6 +140,7 @@ impl Matrix {
     }
 
     /// Element-wise (Hadamard) product, `self ⊙ other`.
+    #[must_use]
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         let data = self
@@ -141,16 +157,19 @@ impl Matrix {
     }
 
     /// Sum of all elements.
+    #[must_use]
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()
     }
 
     /// Frobenius norm.
+    #[must_use]
     pub fn frobenius(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
     /// `self · other`, allocating the result.
+    #[must_use]
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, other.cols);
         self.matmul_into(other, &mut out);
@@ -179,6 +198,7 @@ impl Matrix {
     }
 
     /// `self · otherᵀ`, allocating the result.
+    #[must_use]
     pub fn matmul_tb(&self, other: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, other.rows);
         self.matmul_tb_into(other, &mut out);
@@ -204,7 +224,34 @@ impl Matrix {
         }
     }
 
+    /// `out ← out + self · otherᵀ`.
+    ///
+    /// Accumulating variant of [`Matrix::matmul_tb_into`]: each output
+    /// element's dot product is reduced in the same order as the
+    /// non-accumulating kernel and added to `out` once, so
+    /// `matmul_tb_into(tmp); out += tmp` and this call are bit-identical —
+    /// without the `tmp` buffer. Used by the workspace backward passes to
+    /// accumulate parameter gradients in place.
+    pub fn matmul_tb_acc_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_tb shape mismatch");
+        assert_eq!((out.rows, out.cols), (self.rows, other.rows));
+        let (n, m) = (self.rows, other.rows);
+        for i in 0..n {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * m..(i + 1) * m];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o += acc;
+            }
+        }
+    }
+
     /// `selfᵀ · other`, allocating the result.
+    #[must_use]
     pub fn matmul_ta(&self, other: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.cols, other.cols);
         self.matmul_ta_into(other, &mut out);
@@ -233,6 +280,7 @@ impl Matrix {
     }
 
     /// Transposed copy.
+    #[must_use]
     pub fn transpose(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
     }
@@ -265,6 +313,7 @@ impl Matrix {
     }
 
     /// Maximum absolute element (for debugging/diagnostics).
+    #[must_use]
     pub fn max_abs(&self) -> f32 {
         self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
     }
@@ -353,6 +402,32 @@ mod tests {
         assert_eq!(a.data(), &[1.0, 2.0]);
         a.scale(3.0);
         assert_eq!(a.data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let mut a = Matrix::zeros(2, 3);
+        let b = m23();
+        a.copy_from(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from shape mismatch")]
+    fn copy_from_rejects_shape_mismatch() {
+        let mut a = Matrix::zeros(3, 2);
+        a.copy_from(&m23());
+    }
+
+    #[test]
+    fn matmul_tb_acc_matches_two_step() {
+        let a = m23();
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32 * 0.5).collect());
+        let mut acc = Matrix::from_fn(2, 4, |r, c| (r + c) as f32);
+        let mut two_step = acc.clone();
+        two_step.add_assign(&a.matmul_tb(&b));
+        a.matmul_tb_acc_into(&b, &mut acc);
+        assert_eq!(acc, two_step);
     }
 
     #[test]

@@ -114,6 +114,12 @@ impl SgnsModel {
         &self.input
     }
 
+    /// Mutable whole input table, flat row-major `n × dim` (e.g. for
+    /// wrapping in a [`crate::RacyTable`] shared view).
+    pub fn input_table_mut(&mut self) -> &mut [f32] {
+        &mut self.input
+    }
+
     /// Train one positive pair plus `negatives` noise pairs, updating the
     /// center's input vector and the contexts' output vectors. Returns the
     /// (approximate) pair loss for monitoring.
