@@ -1,0 +1,130 @@
+//! Kernel-layer microbenchmarks (DESIGN.md §9): the 8-lane slice kernels
+//! versus their naive sequential references, at the embedding dimensions
+//! the TransN configurations actually use (d ∈ {64, 128, 256}).
+//!
+//! `scripts/bench_snapshot.sh` records the same comparison as JSON via the
+//! self-timing `kernel_snapshot` binary; this criterion target gives the
+//! full statistical treatment when run by hand (`cargo bench --bench
+//! matrix`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transn_nn::kernels;
+
+const DIMS: [usize; 3] = [64, 128, 256];
+
+/// Rows of the non-square GEMM operand: `A ∈ R^{16×d}`, `B ∈ R^{d×d}` —
+/// the translator's tall-skinny activation against a square mixing matrix.
+const GEMM_ROWS: usize = 16;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(-1.0f32..1.0)).collect()
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot");
+    for d in DIMS {
+        let a = rand_vec(d, 1);
+        let b = rand_vec(d, 2);
+        group.bench_with_input(BenchmarkId::new("kernel", d), &d, |bch, _| {
+            bch.iter(|| kernels::dot(criterion::black_box(&a), criterion::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", d), &d, |bch, _| {
+            bch.iter(|| kernels::dot_ref(criterion::black_box(&a), criterion::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("axpy");
+    for d in DIMS {
+        let x = rand_vec(d, 3);
+        let mut y = rand_vec(d, 4);
+        group.bench_with_input(BenchmarkId::new("kernel", d), &d, |bch, _| {
+            bch.iter(|| kernels::axpy(criterion::black_box(&mut y), 0.01, criterion::black_box(&x)))
+        });
+        let mut y = rand_vec(d, 4);
+        group.bench_with_input(BenchmarkId::new("naive", d), &d, |bch, _| {
+            bch.iter(|| {
+                kernels::axpy_ref(criterion::black_box(&mut y), 0.01, criterion::black_box(&x))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for d in DIMS {
+        let a = rand_vec(GEMM_ROWS * d, 5);
+        let b = rand_vec(d * d, 6);
+        let mut out = vec![0.0f32; GEMM_ROWS * d];
+        group.bench_with_input(BenchmarkId::new("kernel", d), &d, |bch, &d| {
+            bch.iter(|| {
+                kernels::gemm(
+                    criterion::black_box(&a),
+                    criterion::black_box(&b),
+                    &mut out,
+                    GEMM_ROWS,
+                    d,
+                    d,
+                )
+            })
+        });
+        let mut out = vec![0.0f32; GEMM_ROWS * d];
+        group.bench_with_input(BenchmarkId::new("naive", d), &d, |bch, &d| {
+            bch.iter(|| {
+                kernels::gemm_ref(
+                    criterion::black_box(&a),
+                    criterion::black_box(&b),
+                    &mut out,
+                    GEMM_ROWS,
+                    d,
+                    d,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_tb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_tb");
+    for d in DIMS {
+        let a = rand_vec(GEMM_ROWS * d, 7);
+        let b = rand_vec(GEMM_ROWS * d, 8);
+        let mut out = vec![0.0f32; GEMM_ROWS * GEMM_ROWS];
+        group.bench_with_input(BenchmarkId::new("kernel", d), &d, |bch, &d| {
+            bch.iter(|| {
+                kernels::gemm_tb(
+                    criterion::black_box(&a),
+                    criterion::black_box(&b),
+                    &mut out,
+                    GEMM_ROWS,
+                    d,
+                    GEMM_ROWS,
+                )
+            })
+        });
+        let mut out = vec![0.0f32; GEMM_ROWS * GEMM_ROWS];
+        group.bench_with_input(BenchmarkId::new("naive", d), &d, |bch, &d| {
+            bch.iter(|| {
+                kernels::gemm_tb_ref(
+                    criterion::black_box(&a),
+                    criterion::black_box(&b),
+                    &mut out,
+                    GEMM_ROWS,
+                    d,
+                    GEMM_ROWS,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_axpy, bench_gemm, bench_gemm_tb);
+criterion_main!(benches);

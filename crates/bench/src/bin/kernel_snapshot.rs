@@ -1,0 +1,279 @@
+//! Self-timing kernel snapshot: measures the 8-lane slice kernels against
+//! their naive sequential references and writes `BENCH_kernels.json` so the
+//! perf trajectory is recorded in-repo (ISSUE 3 acceptance criteria).
+//!
+//! Deliberately free of the criterion harness (and of serde) so it runs
+//! identically in offline environments: plain `std::time::Instant` timing
+//! with warmup, rep calibration, and best-of-N aggregation, and the JSON is
+//! assembled by hand. `scripts/bench_snapshot.sh` is the entry point.
+//!
+//! Measured surfaces:
+//!
+//! * `dot` / `axpy` / `gemm` / `gemm_tb` kernel vs reference at
+//!   d ∈ {64, 128, 256} (GEMM shape `16×d · d×d`, the translator's
+//!   tall-skinny activation against a square mixing matrix) — mirrors the
+//!   criterion groups in `benches/matrix.rs`.
+//! * `translator_forward_backward_by_batch`: the exact per-pass matmul/dot
+//!   schedule of a 2-encoder translator forward+backward at `L = 8`,
+//!   executed once through the blocked kernels and once through the naive
+//!   references — the translator-level view of the same speedup.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+use transn_nn::kernels;
+
+const DIMS: [usize; 3] = [64, 128, 256];
+const GEMM_ROWS: usize = 16;
+/// Translator shape for the schedule benchmark: path length and depth.
+const PATH_LEN: usize = 8;
+const ENCODERS: usize = 2;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(-1.0f32..1.0)).collect()
+}
+
+/// Best-of-3 mean ns/iter with warmup and rep calibration (~25 ms/run).
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    // Calibrate rep count to a ~25 ms budget.
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_nanos().max(1) as f64;
+    let reps = ((25_000_000.0 / once) as usize).clamp(1, 20_000_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let per = start.elapsed().as_nanos() as f64 / reps as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    best
+}
+
+/// Shared signature of the three GEMM-family kernels.
+type GemmFn = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+
+/// The kernel functions a translator pass is built from, as swappable
+/// function pointers (blocked kernels vs naive references).
+struct Ops {
+    dot: fn(&[f32], &[f32]) -> f32,
+    gemm: GemmFn,
+    gemm_tb: GemmFn,
+    gemm_ta: GemmFn,
+}
+
+const KERNEL_OPS: Ops = Ops {
+    dot: kernels::dot,
+    gemm: kernels::gemm,
+    gemm_tb: kernels::gemm_tb,
+    gemm_ta: kernels::gemm_ta,
+};
+
+const NAIVE_OPS: Ops = Ops {
+    dot: kernels::dot_ref,
+    gemm: kernels::gemm_ref,
+    gemm_tb: kernels::gemm_tb_ref,
+    gemm_ta: kernels::gemm_ta_ref,
+};
+
+/// Scratch for one translator-schedule pass at `(PATH_LEN, d)`.
+struct TranslatorBufs {
+    a: Vec<f32>,
+    probs: Vec<f32>,
+    attn: Vec<f32>,
+    out: Vec<f32>,
+    w: Vec<f32>,
+    d_p: Vec<f32>,
+    d_z: Vec<f32>,
+    d_h: Vec<f32>,
+    d_cur: Vec<f32>,
+    tmp: Vec<f32>,
+}
+
+impl TranslatorBufs {
+    fn new(d: usize) -> Self {
+        let l = PATH_LEN;
+        TranslatorBufs {
+            a: rand_vec(l * d, 11),
+            probs: vec![0.0; l * l],
+            attn: vec![0.0; l * d],
+            out: vec![0.0; l * d],
+            w: rand_vec(l * l, 12),
+            d_p: vec![0.0; l * l],
+            d_z: vec![0.0; l * l],
+            d_h: rand_vec(l * d, 13),
+            d_cur: rand_vec(l * d, 14),
+            tmp: vec![0.0; l * d],
+        }
+    }
+}
+
+/// One forward+backward worth of matmul/dot work for an `ENCODERS`-deep
+/// translator: the same call sequence and shapes `Translator::forward_ws`
+/// / `backward_ws` issue, with the softmax/ReLU elementwise passes elided
+/// (identical in both variants, and not what the kernel layer changes).
+fn translator_schedule(ops: &Ops, b: &mut TranslatorBufs, d: usize) {
+    let l = PATH_LEN;
+    for _ in 0..ENCODERS {
+        // Forward: P = A·Aᵀ; S = P·A; F = W·S.
+        (ops.gemm_tb)(&b.a, &b.a, &mut b.probs, l, d, l);
+        (ops.gemm)(&b.probs, &b.a, &mut b.attn, l, l, d);
+        (ops.gemm)(&b.w, &b.attn, &mut b.out, l, l, d);
+    }
+    for _ in 0..ENCODERS {
+        // FF backward: dW += dH·Sᵀ; dA = Wᵀ·dH.
+        (ops.gemm_tb)(&b.d_h, &b.attn, &mut b.d_p, l, d, l);
+        (ops.gemm_ta)(&b.w, &b.d_h, &mut b.tmp, l, l, d);
+        // Attention backward: dP = dY·Aᵀ; dA = Pᵀ·dY; softmax rows;
+        // dA += s·(dZ·A + dZᵀ·A).
+        (ops.gemm_tb)(&b.tmp, &b.a, &mut b.d_p, l, d, l);
+        (ops.gemm_ta)(&b.probs, &b.tmp, &mut b.d_cur, l, l, d);
+        for r in 0..l {
+            let row = &b.probs[r * l..(r + 1) * l];
+            let dp = &b.d_p[r * l..(r + 1) * l];
+            let s = (ops.dot)(row, dp);
+            for (z, (&p, &g)) in b.d_z[r * l..(r + 1) * l].iter_mut().zip(row.iter().zip(dp)) {
+                *z = p * (g - s);
+            }
+        }
+        (ops.gemm)(&b.d_z, &b.a, &mut b.tmp, l, l, d);
+        (ops.gemm_ta)(&b.d_z, &b.a, &mut b.d_cur, l, l, d);
+    }
+    black_box(&b.d_cur);
+}
+
+fn fmt_entry(kernel_ns: f64, naive_ns: f64) -> String {
+    format!(
+        "{{\"kernel_ns\": {kernel_ns:.2}, \"naive_ns\": {naive_ns:.2}, \"speedup\": {:.3}}}",
+        naive_ns / kernel_ns
+    )
+}
+
+fn main() {
+    let mut sections: Vec<String> = Vec::new();
+    let mut speedup_lines: Vec<String> = Vec::new();
+
+    for (name, which) in [("dot", 0u8), ("axpy", 1), ("gemm", 2), ("gemm_tb", 3)] {
+        let mut dims = Vec::new();
+        for d in DIMS {
+            let (kernel_ns, naive_ns) = match which {
+                0 => {
+                    let a = rand_vec(d, 1);
+                    let c = rand_vec(d, 2);
+                    (
+                        time_ns(|| {
+                            black_box(kernels::dot(black_box(&a), black_box(&c)));
+                        }),
+                        time_ns(|| {
+                            black_box(kernels::dot_ref(black_box(&a), black_box(&c)));
+                        }),
+                    )
+                }
+                1 => {
+                    let x = rand_vec(d, 3);
+                    let mut y = rand_vec(d, 4);
+                    let mut y2 = y.clone();
+                    (
+                        time_ns(|| kernels::axpy(black_box(&mut y), 1e-9, black_box(&x))),
+                        time_ns(|| kernels::axpy_ref(black_box(&mut y2), 1e-9, black_box(&x))),
+                    )
+                }
+                2 => {
+                    let a = rand_vec(GEMM_ROWS * d, 5);
+                    let c = rand_vec(d * d, 6);
+                    let mut out = vec![0.0f32; GEMM_ROWS * d];
+                    let mut out2 = out.clone();
+                    (
+                        time_ns(|| {
+                            kernels::gemm(black_box(&a), black_box(&c), &mut out, GEMM_ROWS, d, d)
+                        }),
+                        time_ns(|| {
+                            kernels::gemm_ref(
+                                black_box(&a),
+                                black_box(&c),
+                                &mut out2,
+                                GEMM_ROWS,
+                                d,
+                                d,
+                            )
+                        }),
+                    )
+                }
+                _ => {
+                    let a = rand_vec(GEMM_ROWS * d, 7);
+                    let c = rand_vec(GEMM_ROWS * d, 8);
+                    let mut out = vec![0.0f32; GEMM_ROWS * GEMM_ROWS];
+                    let mut out2 = out.clone();
+                    (
+                        time_ns(|| {
+                            kernels::gemm_tb(
+                                black_box(&a),
+                                black_box(&c),
+                                &mut out,
+                                GEMM_ROWS,
+                                d,
+                                GEMM_ROWS,
+                            )
+                        }),
+                        time_ns(|| {
+                            kernels::gemm_tb_ref(
+                                black_box(&a),
+                                black_box(&c),
+                                &mut out2,
+                                GEMM_ROWS,
+                                d,
+                                GEMM_ROWS,
+                            )
+                        }),
+                    )
+                }
+            };
+            eprintln!(
+                "{name}/{d}: kernel {kernel_ns:.1} ns, naive {naive_ns:.1} ns, {:.2}x",
+                naive_ns / kernel_ns
+            );
+            dims.push(format!("\"{d}\": {}", fmt_entry(kernel_ns, naive_ns)));
+            speedup_lines.push(format!("\"{name}/{d}\": {:.3}", naive_ns / kernel_ns));
+        }
+        sections.push(format!("    \"{name}\": {{{}}}", dims.join(", ")));
+    }
+
+    // Translator-schedule comparison at each dimension.
+    let mut dims = Vec::new();
+    for d in DIMS {
+        let mut bufs = TranslatorBufs::new(d);
+        let kernel_ns = time_ns(|| translator_schedule(&KERNEL_OPS, &mut bufs, d));
+        let naive_ns = time_ns(|| translator_schedule(&NAIVE_OPS, &mut bufs, d));
+        eprintln!(
+            "translator_forward_backward_by_batch/{d}: kernel {kernel_ns:.1} ns, naive {naive_ns:.1} ns, {:.2}x",
+            naive_ns / kernel_ns
+        );
+        dims.push(format!("\"{d}\": {}", fmt_entry(kernel_ns, naive_ns)));
+        speedup_lines.push(format!(
+            "\"translator_forward_backward_by_batch/{d}\": {:.3}",
+            naive_ns / kernel_ns
+        ));
+    }
+    sections.push(format!(
+        "    \"translator_forward_backward_by_batch\": {{{}}}",
+        dims.join(", ")
+    ));
+
+    let json = format!(
+        "{{\n  \"schema\": \"transn-bench-kernels-v1\",\n  \"gemm_shape\": \"{GEMM_ROWS}xD * DxD\",\n  \"translator_shape\": {{\"path_len\": {PATH_LEN}, \"encoders\": {ENCODERS}}},\n  \"benches\": {{\n{}\n  }},\n  \"speedups\": {{{}}}\n}}\n",
+        sections.join(",\n"),
+        speedup_lines.join(", ")
+    );
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

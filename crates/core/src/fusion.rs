@@ -4,6 +4,7 @@
 
 use crate::single_view::SingleView;
 use transn_graph::{HetNet, NodeEmbeddings, NodeId};
+use transn_nn::kernels;
 
 /// Average each node's view-specific embeddings into the final table
 /// (Algorithm 1 lines 13–14). Nodes belonging to no view (no incident
@@ -15,20 +16,13 @@ pub fn fuse(net: &HetNet, views: &[SingleView], dim: usize) -> NodeEmbeddings {
         for l in 0..sv.view.num_nodes() as u32 {
             let g = sv.view.global(l);
             let emb = sv.model.embedding(l);
-            let row = out.get_mut(g);
-            for (o, &e) in row.iter_mut().zip(emb) {
-                *o += e;
-            }
+            kernels::axpy(out.get_mut(g), 1.0, emb);
             counts[g.index()] += 1;
         }
     }
     for (n, &c) in counts.iter().enumerate() {
         if c > 1 {
-            let row = out.get_mut(NodeId::from_index(n));
-            let inv = 1.0 / c as f32;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
+            kernels::scale(out.get_mut(NodeId::from_index(n)), 1.0 / c as f32);
         }
     }
     out

@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use transn_nn::kernels;
 
 /// A trained softmax classifier: `W ∈ R^{C×d}`, `b ∈ R^C`.
 #[derive(Clone, Debug)]
@@ -81,10 +82,7 @@ impl LogisticRegression {
                 for c in 0..classes {
                     let err = probs[c] - f32::from(c as u32 == label);
                     gb[c] += err;
-                    let wrow = &mut gw[c * dim..(c + 1) * dim];
-                    for (g, &xv) in wrow.iter_mut().zip(*row) {
-                        *g += err * xv;
-                    }
+                    kernels::axpy(&mut gw[c * dim..(c + 1) * dim], err, row);
                 }
             }
             let inv_n = 1.0 / n as f32;
@@ -145,16 +143,13 @@ impl LogisticRegression {
     }
 }
 
-/// `probs ← softmax(W·x + b)`, numerically stable.
+/// `probs ← softmax(W·x + b)`, numerically stable; one 8-lane
+/// [`kernels::dot`] per class row.
 fn softmax_logits(w: &[f32], b: &[f32], x: &[f32], dim: usize, probs: &mut [f32]) {
     let classes = probs.len();
     let mut mx = f32::NEG_INFINITY;
     for c in 0..classes {
-        let mut z = b[c];
-        let wrow = &w[c * dim..(c + 1) * dim];
-        for (wv, xv) in wrow.iter().zip(x) {
-            z += wv * xv;
-        }
+        let z = b[c] + kernels::dot(&w[c * dim..(c + 1) * dim], x);
         probs[c] = z;
         mx = mx.max(z);
     }

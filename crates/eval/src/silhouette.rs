@@ -17,15 +17,11 @@ pub fn silhouette_score(points: &[&[f32]], labels: &[usize]) -> f64 {
     let clusters: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
     assert!(clusters.len() >= 2, "need at least two clusters");
 
-    // Pairwise distances.
-    let dist = |i: usize, j: usize| -> f64 {
-        points[i]
-            .iter()
-            .zip(points[j])
-            .map(|(&a, &b)| ((a - b) as f64).powi(2))
-            .sum::<f64>()
-            .sqrt()
-    };
+    // Pairwise distances, via the 8-lane squared-distance kernel
+    // (f32 accumulation with a fixed reduction order; the score-level
+    // assertions tolerate the f64→f32 accumulation change).
+    let dist =
+        |i: usize, j: usize| -> f64 { (transn_nn::kernels::sqdist(points[i], points[j]) as f64).sqrt() };
 
     let mut total = 0.0f64;
     for i in 0..n {

@@ -66,21 +66,19 @@ impl NodeEmbeddings {
     }
 
     /// Inner product of two nodes' embeddings — the link-prediction score
-    /// of §IV-B2.
+    /// of §IV-B2. Runs through the 8-lane [`transn_nn::kernels::dot`].
     pub fn dot(&self, a: NodeId, b: NodeId) -> f32 {
-        self.get(a)
-            .iter()
-            .zip(self.get(b))
-            .map(|(x, y)| x * y)
-            .sum()
+        transn_nn::kernels::dot(self.get(a), self.get(b))
     }
 
-    /// Cosine similarity of two nodes' embeddings.
+    /// Cosine similarity of two nodes' embeddings (0, not NaN, when either
+    /// vector is all zeros).
     pub fn cosine(&self, a: NodeId, b: NodeId) -> f32 {
+        use transn_nn::kernels;
         let (va, vb) = (self.get(a), self.get(b));
-        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
-        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
-        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let dot = kernels::dot(va, vb);
+        let na = kernels::dot(va, va).sqrt();
+        let nb = kernels::dot(vb, vb).sqrt();
         if na == 0.0 || nb == 0.0 {
             0.0
         } else {

@@ -1,0 +1,477 @@
+//! SIMD-friendly scalar kernels with a **fixed, ISA-independent reduction
+//! order**.
+//!
+//! Every hot loop in this workspace bottoms out in one of four shapes: a
+//! dot product, a rank-1 update (`axpy`), a two-operand scaled add, or a
+//! small dense GEMM. The naive single-accumulator versions of the
+//! reductions cannot be vectorized by the compiler — IEEE-754 addition is
+//! not associative, so reordering a serial `acc += a*b` chain is illegal
+//! without `fast-math` (which this workspace never enables, because
+//! bit-reproducibility is a contract; see DESIGN.md §7/§9).
+//!
+//! The kernels here sidestep that by *defining* the summation order to be
+//! the striped order a SIMD unit computes naturally: [`dot`] keeps 8
+//! partial accumulators, lane `l` summing elements `l, l+8, l+16, …`, and
+//! folds them in a fixed binary tree
+//! `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7))` followed by a sequential scalar
+//! tail. Because that order is written out in plain scalar Rust, the result
+//! is identical on every ISA and at every optimization level — the
+//! autovectorizer merely recognizes that 8 independent lanes *are* a vector
+//! loop and emits SIMD for it, with no semantic change.
+//!
+//! The GEMM microkernels use the other legal trick: vectorizing across
+//! *independent outputs*. [`gemm`] and [`gemm_ta`] walk the reduction
+//! dimension in 4×-unrolled blocks (`chunks_exact(4)` with a scalar tail),
+//! evaluating `o + t0 + t1 + t2 + t3` left-to-right — exactly the order of
+//! the textbook loop, so their outputs are **bit-identical to the naive
+//! references** while touching each output row a quarter as often.
+//! [`gemm_tb`] reduces along rows, so each output element is one [`dot`]
+//! and inherits the 8-lane tree order (≠ naive order, ≈ 1e-7 relative).
+//!
+//! Every kernel ships with a `*_ref` naive reference implementation that
+//! serves as its semantic specification: the property tests in
+//! `tests/kernel_proptests.rs` pin exact bit equality where the reduction
+//! order is preserved (`axpy`, `scale_add`, `gemm`, `gemm_ta`,
+//! `gemm_tb_acc` vs `gemm_tb`) and 1e-5 relative agreement where it is not
+//! (`dot`, `sqdist`, `gemm_tb`).
+
+/// Number of independent partial accumulators in the reduction kernels.
+/// 8 × f32 = one 256-bit vector register; on 128-bit ISAs the compiler
+/// splits it into two lanes pairs with no semantic change.
+pub const LANES: usize = 8;
+
+/// Dot product with the fixed 8-lane striped reduction order.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = [0.0f32; LANES];
+    let chunks_a = a.chunks_exact(LANES);
+    let chunks_b = b.chunks_exact(LANES);
+    let tail_a = chunks_a.remainder();
+    let tail_b = chunks_b.remainder();
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut sum =
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (x, y) in tail_a.iter().zip(tail_b) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// Naive sequential-order dot product (the pre-kernel behaviour; reference
+/// for [`dot`], ~1e-7 relative apart from it).
+#[inline]
+pub fn dot_ref(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Squared Euclidean distance `Σ (a_i − b_i)²` with the same fixed 8-lane
+/// reduction order as [`dot`].
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn sqdist(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "sqdist length mismatch");
+    let mut acc = [0.0f32; LANES];
+    let chunks_a = a.chunks_exact(LANES);
+    let chunks_b = b.chunks_exact(LANES);
+    let tail_a = chunks_a.remainder();
+    let tail_b = chunks_b.remainder();
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        for l in 0..LANES {
+            let d = ca[l] - cb[l];
+            acc[l] += d * d;
+        }
+    }
+    let mut sum =
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (x, y) in tail_a.iter().zip(tail_b) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
+}
+
+/// Naive sequential-order squared distance (reference for [`sqdist`]).
+#[inline]
+pub fn sqdist_ref(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "sqdist length mismatch");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// `y ← y + a·x`, elementwise. Every output element is independent, so the
+/// plain loop vectorizes as-is and the result is bit-identical to
+/// [`axpy_ref`] by construction.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+/// Naive reference for [`axpy`] (identical semantics, kept as the spec).
+#[inline]
+pub fn axpy_ref(y: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+/// `out ← a·x + b·y`, elementwise (overwrites `out`). The two-operand
+/// scaled add used by the loss gradients; independent lanes, bit-identical
+/// to [`scale_add_ref`].
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn scale_add(out: &mut [f32], a: f32, x: &[f32], b: f32, y: &[f32]) {
+    assert_eq!(out.len(), x.len(), "scale_add length mismatch");
+    assert_eq!(out.len(), y.len(), "scale_add length mismatch");
+    for ((o, &xv), &yv) in out.iter_mut().zip(x).zip(y) {
+        *o = a * xv + b * yv;
+    }
+}
+
+/// Naive reference for [`scale_add`] (identical semantics, kept as the
+/// spec).
+#[inline]
+pub fn scale_add_ref(out: &mut [f32], a: f32, x: &[f32], b: f32, y: &[f32]) {
+    assert_eq!(out.len(), x.len(), "scale_add length mismatch");
+    assert_eq!(out.len(), y.len(), "scale_add length mismatch");
+    for ((o, &xv), &yv) in out.iter_mut().zip(x).zip(y) {
+        *o = a * xv + b * yv;
+    }
+}
+
+/// `y ← s·y`, elementwise.
+#[inline]
+pub fn scale(y: &mut [f32], s: f32) {
+    for v in y.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// `out ← A·B` for row-major `A (n×k)`, `B (k×m)`, `out (n×m)`.
+///
+/// Register-blocked microkernel: the reduction dimension `k` is walked in
+/// 4×-unrolled blocks (`chunks_exact(4)` over the `A` row, scalar tail),
+/// each block updating the whole output row as
+/// `o ← o + a₀·b₀ + a₁·b₁ + a₂·b₂ + a₃·b₃` evaluated left-to-right. That
+/// is the exact accumulation order of the textbook `i,j,p` loop, so the
+/// output is **bit-identical to [`gemm_ref`]** — the blocking only cuts
+/// output-row load/store traffic by 4× and keeps the inner loop branch-free
+/// so it vectorizes across `j`.
+///
+/// Note there is deliberately no `a == 0.0` skip: a branchy inner loop
+/// defeats vectorization, and skipping would turn `0 × ∞` into a silent
+/// no-op instead of the IEEE `NaN`.
+///
+/// # Panics
+/// Panics if a slice length does not match its shape.
+pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+    assert_eq!(a.len(), n * k, "gemm A shape mismatch");
+    assert_eq!(b.len(), k * m, "gemm B shape mismatch");
+    assert_eq!(out.len(), n * m, "gemm out shape mismatch");
+    out.fill(0.0);
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * m..(i + 1) * m];
+        let mut quads = a_row.chunks_exact(4);
+        let mut p = 0usize;
+        for q in quads.by_ref() {
+            let b0 = &b[p * m..(p + 1) * m];
+            let b1 = &b[(p + 1) * m..(p + 2) * m];
+            let b2 = &b[(p + 2) * m..(p + 3) * m];
+            let b3 = &b[(p + 3) * m..(p + 4) * m];
+            let (q0, q1, q2, q3) = (q[0], q[1], q[2], q[3]);
+            for ((((o, &v0), &v1), &v2), &v3) in
+                out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *o = *o + q0 * v0 + q1 * v1 + q2 * v2 + q3 * v3;
+            }
+            p += 4;
+        }
+        for (&av, pp) in quads.remainder().iter().zip(p..k) {
+            let b_row = &b[pp * m..(pp + 1) * m];
+            axpy(out_row, av, b_row);
+        }
+    }
+}
+
+/// Textbook triple-loop reference for [`gemm`] (single sequential
+/// accumulator per output element; identical bits, far worse locality).
+pub fn gemm_ref(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+    assert_eq!(a.len(), n * k, "gemm A shape mismatch");
+    assert_eq!(b.len(), k * m, "gemm B shape mismatch");
+    assert_eq!(out.len(), n * m, "gemm out shape mismatch");
+    for i in 0..n {
+        for j in 0..m {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * m + j];
+            }
+            out[i * m + j] = acc;
+        }
+    }
+}
+
+/// `out ← A·Bᵀ` for row-major `A (n×d)`, `B (m×d)`, `out (n×m)`.
+///
+/// Both operands are reduced along contiguous rows, so every output element
+/// is one [`dot`] with the fixed 8-lane tree order (≈1e-7 relative from
+/// [`gemm_tb_ref`]'s sequential order).
+///
+/// # Panics
+/// Panics if a slice length does not match its shape.
+pub fn gemm_tb(a: &[f32], b: &[f32], out: &mut [f32], n: usize, d: usize, m: usize) {
+    assert_eq!(a.len(), n * d, "gemm_tb A shape mismatch");
+    assert_eq!(b.len(), m * d, "gemm_tb B shape mismatch");
+    assert_eq!(out.len(), n * m, "gemm_tb out shape mismatch");
+    for i in 0..n {
+        let a_row = &a[i * d..(i + 1) * d];
+        let out_row = &mut out[i * m..(i + 1) * m];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot(a_row, &b[j * d..(j + 1) * d]);
+        }
+    }
+}
+
+/// `out ← out + A·Bᵀ`: accumulating variant of [`gemm_tb`]. Each element's
+/// dot product is reduced in the same 8-lane order and added to `out`
+/// exactly once, so `gemm_tb(tmp); out += tmp` and this call are
+/// bit-identical — without the `tmp` buffer.
+///
+/// # Panics
+/// Panics if a slice length does not match its shape.
+pub fn gemm_tb_acc(a: &[f32], b: &[f32], out: &mut [f32], n: usize, d: usize, m: usize) {
+    assert_eq!(a.len(), n * d, "gemm_tb A shape mismatch");
+    assert_eq!(b.len(), m * d, "gemm_tb B shape mismatch");
+    assert_eq!(out.len(), n * m, "gemm_tb out shape mismatch");
+    for i in 0..n {
+        let a_row = &a[i * d..(i + 1) * d];
+        let out_row = &mut out[i * m..(i + 1) * m];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o += dot(a_row, &b[j * d..(j + 1) * d]);
+        }
+    }
+}
+
+/// Sequential-order reference for [`gemm_tb`].
+pub fn gemm_tb_ref(a: &[f32], b: &[f32], out: &mut [f32], n: usize, d: usize, m: usize) {
+    assert_eq!(a.len(), n * d, "gemm_tb A shape mismatch");
+    assert_eq!(b.len(), m * d, "gemm_tb B shape mismatch");
+    assert_eq!(out.len(), n * m, "gemm_tb out shape mismatch");
+    for i in 0..n {
+        let a_row = &a[i * d..(i + 1) * d];
+        let out_row = &mut out[i * m..(i + 1) * m];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot_ref(a_row, &b[j * d..(j + 1) * d]);
+        }
+    }
+}
+
+/// `out ← Aᵀ·B` for row-major `A (k×n)`, `B (k×m)`, `out (n×m)`.
+///
+/// Blocked like [`gemm`]: the shared leading dimension `k` is walked in
+/// 4×-unrolled blocks with a scalar tail, accumulating
+/// `o ← o + a₀ᵢ·b₀ + a₁ᵢ·b₁ + a₂ᵢ·b₂ + a₃ᵢ·b₃` left-to-right — the exact
+/// order of the textbook loop, hence bit-identical to [`gemm_ta_ref`], and
+/// branch-free (no zero-skip) so the inner loop vectorizes across `j`.
+///
+/// # Panics
+/// Panics if a slice length does not match its shape.
+pub fn gemm_ta(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, m: usize) {
+    assert_eq!(a.len(), k * n, "gemm_ta A shape mismatch");
+    assert_eq!(b.len(), k * m, "gemm_ta B shape mismatch");
+    assert_eq!(out.len(), n * m, "gemm_ta out shape mismatch");
+    out.fill(0.0);
+    let mut p = 0usize;
+    while p + 4 <= k {
+        let a0 = &a[p * n..(p + 1) * n];
+        let a1 = &a[(p + 1) * n..(p + 2) * n];
+        let a2 = &a[(p + 2) * n..(p + 3) * n];
+        let a3 = &a[(p + 3) * n..(p + 4) * n];
+        let b0 = &b[p * m..(p + 1) * m];
+        let b1 = &b[(p + 1) * m..(p + 2) * m];
+        let b2 = &b[(p + 2) * m..(p + 3) * m];
+        let b3 = &b[(p + 3) * m..(p + 4) * m];
+        for i in 0..n {
+            let (c0, c1, c2, c3) = (a0[i], a1[i], a2[i], a3[i]);
+            let out_row = &mut out[i * m..(i + 1) * m];
+            for ((((o, &v0), &v1), &v2), &v3) in
+                out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *o = *o + c0 * v0 + c1 * v1 + c2 * v2 + c3 * v3;
+            }
+        }
+        p += 4;
+    }
+    while p < k {
+        let a_row = &a[p * n..(p + 1) * n];
+        let b_row = &b[p * m..(p + 1) * m];
+        for (i, &av) in a_row.iter().enumerate() {
+            axpy(&mut out[i * m..(i + 1) * m], av, b_row);
+        }
+        p += 1;
+    }
+}
+
+/// Textbook reference for [`gemm_ta`] (identical bits).
+pub fn gemm_ta_ref(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, m: usize) {
+    assert_eq!(a.len(), k * n, "gemm_ta A shape mismatch");
+    assert_eq!(b.len(), k * m, "gemm_ta B shape mismatch");
+    assert_eq!(out.len(), n * m, "gemm_ta out shape mismatch");
+    for i in 0..n {
+        for j in 0..m {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[p * n + i] * b[p * m + j];
+            }
+            out[i * m + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, lo: f32) -> Vec<f32> {
+        (0..n).map(|i| lo + i as f32 * 0.37).collect()
+    }
+
+    #[test]
+    fn dot_matches_reference_within_tolerance() {
+        for n in [0usize, 1, 7, 8, 9, 31, 128] {
+            let a = seq(n, -3.0);
+            let b = seq(n, 0.5);
+            let (k, r) = (dot(&a, &b), dot_ref(&a, &b));
+            assert!(
+                (k - r).abs() <= 1e-4 * (1.0 + r.abs()),
+                "n={n}: {k} vs {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_deterministic_run_to_run() {
+        let a = seq(101, -1.0);
+        let b = seq(101, 2.0);
+        let first = dot(&a, &b).to_bits();
+        for _ in 0..10 {
+            assert_eq!(dot(&a, &b).to_bits(), first);
+        }
+    }
+
+    #[test]
+    fn sqdist_matches_hand_value() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [0.0f32, 0.0, 0.0];
+        assert_eq!(sqdist(&a, &b), 14.0);
+        assert_eq!(sqdist_ref(&a, &b), 14.0);
+    }
+
+    #[test]
+    fn axpy_and_scale_add_are_exact() {
+        let x = seq(13, 0.1);
+        let y0 = seq(13, -2.0);
+        let mut y1 = y0.clone();
+        let mut y2 = y0.clone();
+        axpy(&mut y1, 0.75, &x);
+        axpy_ref(&mut y2, 0.75, &x);
+        assert_eq!(y1, y2);
+
+        let mut o1 = vec![9.0f32; 13];
+        let mut o2 = vec![-9.0f32; 13];
+        scale_add(&mut o1, 0.3, &x, -1.7, &y0);
+        scale_add_ref(&mut o2, 0.3, &x, -1.7, &y0);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn gemm_matches_reference_bits() {
+        for (n, k, m) in [(1usize, 1usize, 1usize), (2, 3, 4), (4, 9, 5), (3, 8, 7)] {
+            let a = seq(n * k, -1.0);
+            let b = seq(k * m, 0.2);
+            let mut o1 = vec![0.0f32; n * m];
+            let mut o2 = vec![1.0f32; n * m];
+            gemm(&a, &b, &mut o1, n, k, m);
+            gemm_ref(&a, &b, &mut o2, n, k, m);
+            for (x, y) in o1.iter().zip(&o2) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({n},{k},{m})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_ta_matches_reference_bits() {
+        for (k, n, m) in [(1usize, 1usize, 1usize), (5, 2, 3), (8, 4, 6), (9, 3, 5)] {
+            let a = seq(k * n, -2.0);
+            let b = seq(k * m, 0.4);
+            let mut o1 = vec![0.0f32; n * m];
+            let mut o2 = vec![1.0f32; n * m];
+            gemm_ta(&a, &b, &mut o1, k, n, m);
+            gemm_ta_ref(&a, &b, &mut o2, k, n, m);
+            for (x, y) in o1.iter().zip(&o2) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({k},{n},{m})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tb_acc_equals_two_step() {
+        let (n, d, m) = (3usize, 11usize, 4usize);
+        let a = seq(n * d, -1.5);
+        let b = seq(m * d, 0.7);
+        let base = seq(n * m, 5.0);
+        let mut acc = base.clone();
+        gemm_tb_acc(&a, &b, &mut acc, n, d, m);
+        let mut tmp = vec![0.0f32; n * m];
+        gemm_tb(&a, &b, &mut tmp, n, d, m);
+        for ((x, t), b0) in acc.iter().zip(&tmp).zip(&base) {
+            assert_eq!(x.to_bits(), (b0 + t).to_bits());
+        }
+    }
+
+    #[test]
+    fn gemm_propagates_zero_times_inf_as_nan() {
+        // 1×2 · 2×1: out = 0·∞ + 1·1 = NaN. A zero-skip branch would
+        // silently produce 1.0 instead.
+        let a = [0.0f32, 1.0];
+        let b = [f32::INFINITY, 1.0];
+        let mut out = [0.0f32; 1];
+        gemm(&a, &b, &mut out, 1, 2, 1);
+        assert!(out[0].is_nan());
+        gemm_ta(&b, &a, &mut out, 2, 1, 1);
+        assert!(out[0].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

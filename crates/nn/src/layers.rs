@@ -22,6 +22,7 @@
 //!   `tests/workspace_golden.rs`).
 
 use crate::init;
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::optim::AdamConfig;
 use crate::param::Param;
@@ -84,7 +85,7 @@ impl SelfAttention {
         for r in 0..l {
             let p_row = probs.row(r);
             let dp_row = d_p.row(r);
-            let dot: f32 = p_row.iter().zip(dp_row).map(|(x, y)| x * y).sum();
+            let dot = kernels::dot(p_row, dp_row);
             let dz_row = d_z.row_mut(r);
             for c in 0..l {
                 dz_row[c] = p_row[c] * (dp_row[c] - dot);

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod matrix;

@@ -17,6 +17,7 @@
 //! cross-view algorithm the target matrix is itself made of trainable
 //! view-specific embeddings (`Θ_cross`, Algorithm 1).
 
+use crate::kernels;
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -92,13 +93,9 @@ impl LossKind {
             LossKind::NegDot => {
                 let l = x.rows() as f32;
                 let inv = 1.0 / l;
-                // Same element order as `x.hadamard(t).sum()`.
-                let value = -inv
-                    * x.data()
-                        .iter()
-                        .zip(t.data())
-                        .map(|(a, b)| a * b)
-                        .sum::<f32>();
+                // Same 8-lane reduction as `neg_dot`, so the two tiers
+                // stay bit-identical.
+                let value = -inv * kernels::dot(x.data(), t.data());
                 d_x.copy_from(t);
                 d_x.scale(-inv);
                 d_t.copy_from(x);
@@ -111,32 +108,41 @@ impl LossKind {
                 // diff = X − T, staged in d_x.
                 d_x.copy_from(x);
                 d_x.add_scaled(t, -1.0);
-                let value = inv * d_x.data().iter().map(|v| v * v).sum::<f32>();
+                let value = inv * kernels::dot(d_x.data(), d_x.data());
                 d_t.copy_from(d_x);
                 d_x.scale(2.0 * inv);
                 d_t.scale(-2.0 * inv);
                 value
             }
             LossKind::Cosine => {
-                let (l, d) = (x.rows(), x.cols());
+                let l = x.rows();
                 let inv = 1.0 / l as f32;
                 let mut value = 0.0f32;
                 for r in 0..l {
                     let xr = x.row(r);
                     let tr = t.row(r);
-                    let dot: f32 = xr.iter().zip(tr).map(|(a, b)| a * b).sum();
-                    let nx = xr.iter().map(|a| a * a).sum::<f32>().sqrt().max(EPS);
-                    let nt = tr.iter().map(|a| a * a).sum::<f32>().sqrt().max(EPS);
+                    let dot = kernels::dot(xr, tr);
+                    let nx = kernels::dot(xr, xr).sqrt().max(EPS);
+                    let nt = kernels::dot(tr, tr).sqrt().max(EPS);
                     let cos = dot / (nx * nt);
                     value += inv * (1.0 - cos);
-                    let dxr = d_x.row_mut(r);
-                    for c in 0..d {
-                        dxr[c] = -inv * (tr[c] / (nx * nt) - cos * xr[c] / (nx * nx));
-                    }
-                    let dtr = d_t.row_mut(r);
-                    for c in 0..d {
-                        dtr[c] = -inv * (xr[c] / (nx * nt) - cos * tr[c] / (nt * nt));
-                    }
+                    // d(1 − cos)/dx = −(t/(|x||t|) − cos·x/|x|²), with the
+                    // coefficients hoisted so the row update is one
+                    // `scale_add` per operand.
+                    kernels::scale_add(
+                        d_x.row_mut(r),
+                        -inv / (nx * nt),
+                        tr,
+                        inv * cos / (nx * nx),
+                        xr,
+                    );
+                    kernels::scale_add(
+                        d_t.row_mut(r),
+                        -inv / (nx * nt),
+                        xr,
+                        inv * cos / (nt * nt),
+                        tr,
+                    );
                 }
                 value
             }
@@ -146,7 +152,7 @@ impl LossKind {
     fn neg_dot(x: &Matrix, t: &Matrix) -> PairLoss {
         let l = x.rows() as f32;
         let inv = 1.0 / l;
-        let value = -inv * x.hadamard(t).sum();
+        let value = -inv * kernels::dot(x.data(), t.data());
         let mut d_x = t.clone();
         d_x.scale(-inv);
         let mut d_t = x.clone();
@@ -159,7 +165,7 @@ impl LossKind {
         let inv = 1.0 / n;
         let mut diff = x.clone();
         diff.add_scaled(t, -1.0);
-        let value = inv * diff.data().iter().map(|v| v * v).sum::<f32>();
+        let value = inv * kernels::dot(diff.data(), diff.data());
         let mut d_x = diff.clone();
         d_x.scale(2.0 * inv);
         let mut d_t = diff;
@@ -176,20 +182,26 @@ impl LossKind {
         for r in 0..l {
             let xr = x.row(r);
             let tr = t.row(r);
-            let dot: f32 = xr.iter().zip(tr).map(|(a, b)| a * b).sum();
-            let nx = xr.iter().map(|a| a * a).sum::<f32>().sqrt().max(EPS);
-            let nt = tr.iter().map(|a| a * a).sum::<f32>().sqrt().max(EPS);
+            let dot = kernels::dot(xr, tr);
+            let nx = kernels::dot(xr, xr).sqrt().max(EPS);
+            let nt = kernels::dot(tr, tr).sqrt().max(EPS);
             let cos = dot / (nx * nt);
             value += inv * (1.0 - cos);
             // d(1 − cos)/dx = −(t/(|x||t|) − cos·x/|x|²)
-            let dxr = d_x.row_mut(r);
-            for c in 0..d {
-                dxr[c] = -inv * (tr[c] / (nx * nt) - cos * xr[c] / (nx * nx));
-            }
-            let dtr = d_t.row_mut(r);
-            for c in 0..d {
-                dtr[c] = -inv * (xr[c] / (nx * nt) - cos * tr[c] / (nt * nt));
-            }
+            kernels::scale_add(
+                d_x.row_mut(r),
+                -inv / (nx * nt),
+                tr,
+                inv * cos / (nx * nx),
+                xr,
+            );
+            kernels::scale_add(
+                d_t.row_mut(r),
+                -inv / (nx * nt),
+                xr,
+                inv * cos / (nt * nt),
+                tr,
+            );
         }
         PairLoss { value, d_x, d_t }
     }

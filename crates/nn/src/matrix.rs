@@ -1,11 +1,13 @@
 //! A small row-major dense `f32` matrix.
 //!
-//! All shapes in this workspace are tiny (path length × embedding dim, both
-//! ≤ a few hundred), so a straightforward triple loop with the middle
-//! operand hoisted is competitive and keeps the code auditable. Methods that
-//! have an `_into` variant write into a caller-provided buffer so the
-//! training hot loops stay allocation-free.
+//! All shapes in this workspace are small (path length × embedding dim,
+//! both ≤ a few hundred), so the matrix products delegate to the blocked
+//! microkernels in [`crate::kernels`] — branch-free, register-blocked
+//! loops with a fixed, ISA-independent reduction order (DESIGN.md §9).
+//! Methods that have an `_into` variant write into a caller-provided
+//! buffer so the training hot loops stay allocation-free.
 
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 
 /// Row-major dense matrix.
@@ -119,24 +121,18 @@ impl Matrix {
     /// `self ← self + other`.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        kernels::axpy(&mut self.data, 1.0, &other.data);
     }
 
     /// `self ← self + s·other`.
     pub fn add_scaled(&mut self, other: &Matrix, s: f32) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += s * b;
-        }
+        kernels::axpy(&mut self.data, s, &other.data);
     }
 
     /// `self ← s·self`.
     pub fn scale(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        kernels::scale(&mut self.data, s);
     }
 
     /// Element-wise (Hadamard) product, `self ⊙ other`.
@@ -162,10 +158,10 @@ impl Matrix {
         self.data.iter().sum()
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (8-lane [`kernels::dot`] of the buffer with itself).
     #[must_use]
     pub fn frobenius(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        kernels::dot(&self.data, &self.data).sqrt()
     }
 
     /// `self · other`, allocating the result.
@@ -176,25 +172,20 @@ impl Matrix {
         out
     }
 
-    /// `out ← self · other`.
+    /// `out ← self · other`, via the blocked [`kernels::gemm`] microkernel
+    /// (bit-identical to the textbook loop; no zero-skip branch, so
+    /// `0 × ∞` correctly yields `NaN`).
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         assert_eq!((out.rows, out.cols), (self.rows, other.cols));
-        out.fill_zero();
-        let (n, k, m) = (self.rows, self.cols, other.cols);
-        for i in 0..n {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * m..(i + 1) * m];
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * m..(p + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::gemm(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
     }
 
     /// `self · otherᵀ`, allocating the result.
@@ -205,23 +196,20 @@ impl Matrix {
         out
     }
 
-    /// `out ← self · otherᵀ`.
+    /// `out ← self · otherᵀ`, via [`kernels::gemm_tb`]: every output
+    /// element is one 8-lane [`kernels::dot`] with the fixed tree
+    /// reduction order.
     pub fn matmul_tb_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_tb shape mismatch");
         assert_eq!((out.rows, out.cols), (self.rows, other.rows));
-        let (n, m) = (self.rows, other.rows);
-        for i in 0..n {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * m..(i + 1) * m];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        kernels::gemm_tb(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
     }
 
     /// `out ← out + self · otherᵀ`.
@@ -235,19 +223,14 @@ impl Matrix {
     pub fn matmul_tb_acc_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_tb shape mismatch");
         assert_eq!((out.rows, out.cols), (self.rows, other.rows));
-        let (n, m) = (self.rows, other.rows);
-        for i in 0..n {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * m..(i + 1) * m];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o += acc;
-            }
-        }
+        kernels::gemm_tb_acc(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
     }
 
     /// `selfᵀ · other`, allocating the result.
@@ -258,25 +241,21 @@ impl Matrix {
         out
     }
 
-    /// `out ← selfᵀ · other`.
+    /// `out ← selfᵀ · other`, via the blocked [`kernels::gemm_ta`]
+    /// microkernel (bit-identical to the textbook loop; branch-free, so
+    /// exact zeros in `self` — e.g. ReLU-masked gradients — no longer
+    /// skip their `0 × b` contributions).
     pub fn matmul_ta_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "matmul_ta shape mismatch");
         assert_eq!((out.rows, out.cols), (self.cols, other.cols));
-        out.fill_zero();
-        let (k, n, m) = (self.rows, self.cols, other.cols);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a) in a_row.iter().enumerate().take(n) {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * m..(i + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::gemm_ta(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
     }
 
     /// Transposed copy.
@@ -434,6 +413,25 @@ mod tests {
     fn frobenius_norm() {
         let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
         assert!((m.frobenius() - 5.0).abs() < 1e-6);
+    }
+
+    /// Regression test for the old `if a == 0.0 { continue; }` fast path in
+    /// the matmul inner loops: skipping zero multiplicands silently turned
+    /// `0 × ∞` into `0` instead of the IEEE-mandated `NaN`, masking
+    /// divergence. The branch-free kernels must propagate the `NaN`.
+    #[test]
+    fn matmul_zero_times_inf_is_nan_not_silent_skip() {
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 1, vec![f32::INFINITY, 1.0]);
+        let prod = a.matmul(&b);
+        assert!(prod.get(0, 0).is_nan(), "got {}", prod.get(0, 0));
+
+        // Same property for the Aᵀ·B path (`a` supplies the zero).
+        let at = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+        let binf = Matrix::from_vec(2, 1, vec![f32::INFINITY, 1.0]);
+        let mut out = Matrix::zeros(1, 1);
+        at.matmul_ta_into(&binf, &mut out);
+        assert!(out.get(0, 0).is_nan(), "got {}", out.get(0, 0));
     }
 
     #[test]

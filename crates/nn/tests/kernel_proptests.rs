@@ -1,0 +1,149 @@
+//! Kernel-vs-reference property tests (DESIGN.md §9).
+//!
+//! Two contract tiers:
+//!
+//! * **Exact-bits**: kernels whose blocked form evaluates the *same*
+//!   floating-point expression in the *same* order as the naive reference
+//!   (`gemm`, `gemm_ta`, `axpy`, `scale_add`, and `gemm_tb_acc` vs the
+//!   two-step gemm_tb-then-add) must agree bit-for-bit on every input.
+//! * **1e-5 relative**: kernels that reassociate the reduction (`dot`,
+//!   `sqdist`, `gemm_tb` fold 8 partial accumulators in a fixed tree)
+//!   agree with the sequential reference only up to rounding; the fixed
+//!   tree still makes them deterministic run-to-run, which the exact
+//!   self-consistency assertions below pin.
+
+use proptest::prelude::*;
+use transn_nn::kernels;
+
+/// Relative tolerance for order-changing reductions.
+const REL: f32 = 1e-5;
+
+fn close(x: f32, y: f32) -> bool {
+    (x - y).abs() <= REL * (1.0 + x.abs().max(y.abs()))
+}
+
+fn arb_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    len.prop_flat_map(|n| proptest::collection::vec(-2.0f32..2.0, n))
+}
+
+proptest! {
+    /// `dot` matches the sequential reference within rounding, at lengths
+    /// spanning the lane boundary (tail-only, exact multiple, mixed).
+    #[test]
+    fn dot_matches_reference(a in arb_vec(0..200)) {
+        let b: Vec<f32> = a.iter().map(|x| 0.5 - x).collect();
+        let fast = kernels::dot(&a, &b);
+        let slow = kernels::dot_ref(&a, &b);
+        prop_assert!(close(fast, slow), "{fast} vs {slow} (len {})", a.len());
+        // Fixed reduction order ⇒ bitwise self-consistency.
+        prop_assert_eq!(fast.to_bits(), kernels::dot(&a, &b).to_bits());
+    }
+
+    /// `sqdist` matches the sequential reference within rounding.
+    #[test]
+    fn sqdist_matches_reference(a in arb_vec(0..200)) {
+        let b: Vec<f32> = a.iter().map(|x| x * 0.25 + 0.1).collect();
+        let fast = kernels::sqdist(&a, &b);
+        let slow = kernels::sqdist_ref(&a, &b);
+        prop_assert!(close(fast, slow), "{fast} vs {slow} (len {})", a.len());
+        prop_assert!(fast >= 0.0);
+    }
+
+    /// `axpy` and `scale_add` preserve elementwise order ⇒ exact bits.
+    #[test]
+    fn axpy_scale_add_match_reference_bits(x in arb_vec(0..200), a in -3.0f32..3.0) {
+        let y0: Vec<f32> = x.iter().map(|v| v * 0.7 - 0.3).collect();
+
+        let mut fast = y0.clone();
+        kernels::axpy(&mut fast, a, &x);
+        let mut slow = y0.clone();
+        kernels::axpy_ref(&mut slow, a, &x);
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert_eq!(f.to_bits(), s.to_bits());
+        }
+
+        let mut fast = vec![9.0f32; x.len()];
+        kernels::scale_add(&mut fast, a, &x, -a, &y0);
+        let mut slow = vec![-9.0f32; x.len()];
+        kernels::scale_add_ref(&mut slow, a, &x, -a, &y0);
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert_eq!(f.to_bits(), s.to_bits());
+        }
+    }
+
+    /// The register-blocked `gemm` evaluates the same expression in the
+    /// same order as the textbook triple loop ⇒ exact bits, any shape.
+    #[test]
+    fn gemm_matches_reference_bits(
+        (n, k, m) in (1usize..7, 1usize..12, 1usize..7),
+        pool in proptest::collection::vec(-2.0f32..2.0, 12 * 12),
+    ) {
+        let a = &pool[..n * k];
+        let b = &pool[pool.len() - k * m..];
+        let mut fast = vec![1.0f32; n * m];
+        kernels::gemm(a, b, &mut fast, n, k, m);
+        let mut slow = vec![-1.0f32; n * m];
+        kernels::gemm_ref(a, b, &mut slow, n, k, m);
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert_eq!(f.to_bits(), s.to_bits());
+        }
+    }
+
+    /// Same exact-bits contract for the `Aᵀ·B` microkernel.
+    #[test]
+    fn gemm_ta_matches_reference_bits(
+        (k, n, m) in (1usize..12, 1usize..7, 1usize..7),
+        pool in proptest::collection::vec(-2.0f32..2.0, 12 * 12),
+    ) {
+        let a = &pool[..k * n];
+        let b = &pool[pool.len() - k * m..];
+        let mut fast = vec![1.0f32; n * m];
+        kernels::gemm_ta(a, b, &mut fast, k, n, m);
+        let mut slow = vec![-1.0f32; n * m];
+        kernels::gemm_ta_ref(a, b, &mut slow, k, n, m);
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert_eq!(f.to_bits(), s.to_bits());
+        }
+    }
+
+    /// `gemm_tb` (one 8-lane dot per output element) matches the
+    /// sequential reference within rounding — including d > LANES where
+    /// the tree reduction actually reassociates.
+    #[test]
+    fn gemm_tb_matches_reference(
+        (n, d, m) in (1usize..5, 1usize..40, 1usize..5),
+        pool in proptest::collection::vec(-2.0f32..2.0, 5 * 40),
+    ) {
+        let a = &pool[..n * d];
+        let b = &pool[pool.len() - m * d..];
+        let mut fast = vec![0.0f32; n * m];
+        kernels::gemm_tb(a, b, &mut fast, n, d, m);
+        let mut slow = vec![0.0f32; n * m];
+        kernels::gemm_tb_ref(a, b, &mut slow, n, d, m);
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!(close(*f, *s), "{f} vs {s} (d {d})");
+        }
+    }
+
+    /// The fused accumulate variant is bit-identical to gemm_tb-then-add.
+    #[test]
+    fn gemm_tb_acc_matches_two_step_bits(
+        (n, d, m) in (1usize..5, 1usize..40, 1usize..5),
+        pool in proptest::collection::vec(-2.0f32..2.0, 5 * 40),
+    ) {
+        let a = &pool[..n * d];
+        let b = &pool[pool.len() - m * d..];
+        let init: Vec<f32> = (0..n * m).map(|i| i as f32 * 0.1 - 0.5).collect();
+
+        let mut fused = init.clone();
+        kernels::gemm_tb_acc(a, b, &mut fused, n, d, m);
+
+        let mut fresh = vec![0.0f32; n * m];
+        kernels::gemm_tb(a, b, &mut fresh, n, d, m);
+        let two_step: Vec<f32> = init.iter().zip(&fresh).map(|(o, p)| o + p).collect();
+
+        for (f, s) in fused.iter().zip(&two_step) {
+            prop_assert_eq!(f.to_bits(), s.to_bits());
+        }
+    }
+}

@@ -10,6 +10,15 @@
 //! The property tests then extend the same guarantee beyond the fixed
 //! seeds: the workspace tier must bit-match the convenience tier on random
 //! shapes, and a *warm* (reused) arena must behave exactly like a cold one.
+//!
+//! Kernel-layer revision note: the blocked microkernels (`transn_nn::
+//! kernels`, DESIGN.md §9) preserve these goldens bit-for-bit. `gemm`/
+//! `gemm_ta` keep the textbook accumulation order by construction, and the
+//! fixtures here use `d = 6 < LANES`, where `dot`'s 8-lane tree degenerates
+//! to the sequential scalar tail — the exact order of the pre-kernel loops.
+//! At `d ≥ LANES` the dot-family reduction order intentionally differs
+//! (fixed tree, ISA-independent); `tests/kernel_proptests.rs` pins that
+//! contract, and these fixtures pin that small-d outputs never drift.
 
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};

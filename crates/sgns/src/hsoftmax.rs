@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use transn_nn::kernels;
 use transn_walks::WalkCorpus;
 
 /// Huffman coding of a frequency table.
@@ -126,19 +127,37 @@ impl HsModel {
     }
 
     /// Train one `(center, context)` pair; returns the pair loss.
+    /// Allocates its own gradient scratch; the corpus loop hoists the
+    /// buffer via the private `train_pair_with_scratch` variant.
     pub fn train_pair(&mut self, center: u32, ctx: u32, lr: f32) -> f32 {
+        let mut grad_center = vec![0.0f32; self.dim];
+        self.train_pair_with_scratch(center, ctx, lr, &mut grad_center)
+    }
+
+    /// The allocation-free pair update: binary classifications along the
+    /// context's root path, with the dot and both rank-1 updates running
+    /// through the 8-lane slice kernels ([`transn_nn::kernels`],
+    /// DESIGN.md §9). `grad_center` must be `dim`-length; it is fully
+    /// overwritten.
+    fn train_pair_with_scratch(
+        &mut self,
+        center: u32,
+        ctx: u32,
+        lr: f32,
+        grad_center: &mut [f32],
+    ) -> f32 {
         let dim = self.dim;
         let c = center as usize * dim;
         let points = &self.tree.points[ctx as usize];
         let codes = &self.tree.codes[ctx as usize];
-        let mut grad_center = vec![0.0f32; dim];
+        debug_assert_eq!(grad_center.len(), dim);
+        grad_center.fill(0.0);
         let mut loss = 0.0f32;
         for (&pt, &code) in points.iter().zip(codes) {
             let o = pt as usize * dim;
-            let mut dot = 0.0f32;
-            for j in 0..dim {
-                dot += self.input[c + j] * self.internal[o + j];
-            }
+            let center_row = &self.input[c..c + dim];
+            let internal_row = &mut self.internal[o..o + dim];
+            let dot = kernels::dot(center_row, internal_row);
             // word2vec convention: label = 1 − code.
             let label = 1.0 - code as f32;
             let pred = fast_sigmoid(dot);
@@ -148,14 +167,11 @@ impl HsModel {
                 (1.0 - pred).max(1e-7).ln()
             };
             let g = (pred - label) * lr;
-            for (j, gc) in grad_center.iter_mut().enumerate() {
-                *gc += g * self.internal[o + j];
-                self.internal[o + j] -= g * self.input[c + j];
-            }
+            // grad_center accumulates against the pre-update internal row.
+            kernels::axpy(grad_center, g, internal_row);
+            kernels::axpy(internal_row, -g, center_row);
         }
-        for (j, gc) in grad_center.iter().enumerate() {
-            self.input[c + j] -= gc;
-        }
+        kernels::axpy(&mut self.input[c..c + dim], -1.0, grad_center);
         loss
     }
 
@@ -169,10 +185,12 @@ impl HsModel {
             .sum();
         let mut done = 0usize;
         let mut loss_sum = 0.0f64;
+        let mut grad_center = vec![0.0f32; self.dim];
         for walk in corpus.walks() {
             context_pairs(walk, window, |center, ctx| {
                 let lr = lr0 * (1.0 - done as f32 / total.max(1) as f32).max(1e-4);
-                loss_sum += self.train_pair(center, ctx, lr) as f64;
+                loss_sum +=
+                    self.train_pair_with_scratch(center, ctx, lr, &mut grad_center) as f64;
                 done += 1;
             });
         }
@@ -193,10 +211,7 @@ impl HsModel {
         let codes = &self.tree.codes[ctx as usize];
         for (&pt, &code) in points.iter().zip(codes) {
             let o = pt as usize * dim;
-            let mut dot = 0.0f32;
-            for j in 0..dim {
-                dot += self.input[c + j] * self.internal[o + j];
-            }
+            let dot = kernels::dot(&self.input[c..c + dim], &self.internal[o..o + dim]);
             let s = fast_sigmoid(dot);
             p *= if code == 0 { s } else { 1.0 - s };
         }

@@ -12,6 +12,7 @@ use crate::sigmoid::fast_sigmoid;
 use crate::sync::{run_shards, Parallelism, RacyTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use transn_nn::kernels;
 use transn_walks::WalkCorpus;
 
 /// Fixed logical shard count for corpus partitioning. Walk `w` belongs to
@@ -134,7 +135,7 @@ impl SgnsModel {
         rng: &mut R,
     ) -> f32 {
         let dim = self.dim;
-        let mut scratch = vec![0.0f32; dim];
+        let mut scratch = vec![0.0f32; 3 * dim];
         let input = RacyTable::new(&mut self.input);
         let output = RacyTable::new(&mut self.output);
         train_pair_views(
@@ -154,7 +155,7 @@ impl SgnsModel {
     /// One pass over a corpus with a linearly-decaying learning rate.
     /// Returns the mean pair loss.
     ///
-    /// The corpus is split into [`LOGICAL_SHARDS`] logical shards (walk
+    /// The corpus is split into `LOGICAL_SHARDS` logical shards (walk
     /// `w` → shard `w % num_shards`), each with its own RNG stream seeded
     /// `cfg.seed ^ shard · φ64` and its own shard-local linear decay
     /// schedule. `cfg.parallelism` decides how shards are applied: Hogwild
@@ -180,7 +181,7 @@ impl SgnsModel {
         let per_shard = run_shards(num_shards, cfg.parallelism, |s| {
             let mut rng =
                 StdRng::seed_from_u64(cfg.seed ^ (s as u64).wrapping_mul(SHARD_SEED_MIX));
-            let mut scratch = vec![0.0f32; dim];
+            let mut scratch = vec![0.0f32; 3 * dim];
             let total = shard_pairs[s];
             let mut done = 0usize;
             let mut loss_sum = 0.0f64;
@@ -229,9 +230,17 @@ impl SgnsModel {
 /// Train one positive pair plus `negatives` noise pairs against shared
 /// [`RacyTable`] views — the Hogwild-capable core of
 /// [`SgnsModel::train_pair`], numerically identical to it when run
-/// serially. `scratch` must be a caller-provided `dim`-length buffer (the
-/// center-gradient accumulator, hoisted out so the hot loop does not
-/// allocate per pair). Returns the (approximate) pair loss.
+/// serially. `scratch` must be a caller-provided `3·dim`-length buffer
+/// (center-gradient accumulator, center-row snapshot, and context-row
+/// staging, hoisted out so the hot loop does not allocate per pair).
+///
+/// Rows are gathered into scratch once per pair/target so the dot and the
+/// rank-1 updates run through the 8-lane slice kernels
+/// ([`transn_nn::kernels`], DESIGN.md §9). Serially this computes exactly
+/// the word2vec update (the center row is constant for the whole pair, so
+/// the one-time snapshot is not an approximation); under Hogwild it
+/// coarsens staleness from per-element to per-row, which the scheme
+/// tolerates by design. Returns the (approximate) pair loss.
 #[allow(clippy::too_many_arguments)]
 pub fn train_pair_views<R: rand::Rng + ?Sized>(
     input: &RacyTable<'_>,
@@ -245,10 +254,12 @@ pub fn train_pair_views<R: rand::Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut [f32],
 ) -> f32 {
-    debug_assert_eq!(scratch.len(), dim);
+    debug_assert_eq!(scratch.len(), 3 * dim);
     let c = center as usize * dim;
-    let grad_center = &mut scratch[..dim];
+    let (grad_center, rest) = scratch.split_at_mut(dim);
+    let (v_center, row) = rest.split_at_mut(dim);
     grad_center.fill(0.0);
+    input.gather_into(c, v_center);
     let mut loss = 0.0f32;
 
     // One positive + `negatives` noise targets.
@@ -259,26 +270,21 @@ pub fn train_pair_views<R: rand::Rng + ?Sized>(
             (noise.sample_excluding(ctx, rng), 0.0f32)
         };
         let o = target as usize * dim;
-        let mut dot = 0.0f32;
-        for j in 0..dim {
-            dot += input.load(c + j) * output.load(o + j);
-        }
-        let pred = fast_sigmoid(dot);
+        output.gather_into(o, row);
+        let pred = fast_sigmoid(kernels::dot(v_center, row));
         loss -= if label > 0.5 {
             pred.max(1e-7).ln()
         } else {
             (1.0 - pred).max(1e-7).ln()
         };
         let g = (pred - label) * lr;
-        for (j, gc) in grad_center.iter_mut().enumerate() {
-            let out_j = output.load(o + j);
-            *gc += g * out_j;
-            output.store(o + j, out_j - g * input.load(c + j));
-        }
+        // grad_center accumulates against the pre-update context row,
+        // exactly as the per-element loop did.
+        kernels::axpy(grad_center, g, row);
+        kernels::axpy(row, -g, v_center);
+        output.scatter(o, row);
     }
-    for (j, gc) in grad_center.iter().enumerate() {
-        input.add(c + j, -gc);
-    }
+    input.add_scaled(c, -1.0, grad_center);
     loss
 }
 

@@ -49,4 +49,38 @@ mod tests {
         assert!(fast_sigmoid(100.0) < 1.0);
         assert!(fast_sigmoid(-100.0) > 0.0);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Over the clamp range the fast sigmoid must track the exact
+            /// (f64) sigmoid to within 1e-3 absolute error — the gradient
+            /// estimator's bias budget.
+            #[test]
+            fn absolute_error_vs_exact_sigmoid_bounded(x in -SIGMOID_CLAMP..SIGMOID_CLAMP) {
+                let fast = fast_sigmoid(x) as f64;
+                let exact = 1.0 / (1.0 + (-(x as f64)).exp());
+                prop_assert!(
+                    (fast - exact).abs() <= 1e-3,
+                    "x {x}: fast {fast} vs exact {exact}"
+                );
+            }
+
+            /// Outside the clamp range the error is bounded by the clamp
+            /// tail mass, which is itself below 1e-3 by construction.
+            #[test]
+            fn clamped_tails_stay_within_tolerance(x in 6.0f32..1000.0) {
+                for x in [x, -x] {
+                    let fast = fast_sigmoid(x) as f64;
+                    let exact = 1.0 / (1.0 + (-(x as f64)).exp());
+                    prop_assert!(
+                        (fast - exact).abs() <= 3e-3,
+                        "x {x}: fast {fast} vs exact {exact}"
+                    );
+                }
+            }
+        }
+    }
 }

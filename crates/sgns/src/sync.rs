@@ -148,6 +148,38 @@ impl<'a> RacyTable<'a> {
     pub fn add(&self, i: usize, delta: f32) {
         self.store(i, self.load(i) + delta);
     }
+
+    /// Copy `dst.len()` consecutive slots starting at `start` into `dst`.
+    ///
+    /// Row-granularity companion to [`RacyTable::load`]: the trainers
+    /// gather an embedding row into plain scratch once per pair so the
+    /// arithmetic can run through the slice kernels in `transn_nn::kernels`
+    /// (DESIGN.md §9). Under Hogwild this snapshots the row — concurrent
+    /// writes landing mid-gather are simply not observed, which is the
+    /// same staleness Hogwild already tolerates per element.
+    #[inline]
+    pub fn gather_into(&self, start: usize, dst: &mut [f32]) {
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = self.load(start + j);
+        }
+    }
+
+    /// Write `src` into consecutive slots starting at `start`.
+    #[inline]
+    pub fn scatter(&self, start: usize, src: &[f32]) {
+        for (j, &v) in src.iter().enumerate() {
+            self.store(start + j, v);
+        }
+    }
+
+    /// `slots[start..start+src.len()] += s·src` as racy element-wise
+    /// read-modify-write (lost updates acceptable under Hogwild).
+    #[inline]
+    pub fn add_scaled(&self, start: usize, s: f32, src: &[f32]) {
+        for (j, &v) in src.iter().enumerate() {
+            self.add(start + j, s * v);
+        }
+    }
 }
 
 /// Run `worker(shard)` for every shard in `0..num_shards`, returning the

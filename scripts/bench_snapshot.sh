@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Record the kernel-layer perf trajectory (ISSUE 3): run the micro-bench
+# suite in quick mode and write BENCH_kernels.json at the repo root.
+#
+# The JSON itself comes from the self-timing `kernel_snapshot` binary
+# (plain Instant-based timing, no criterion dependency), so it works in
+# offline environments where the criterion harness is stubbed. When real
+# criterion is available the quick-mode bench run gives the statistical
+# cross-check on the same comparisons (target/criterion/**/estimates.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_kernels.json}"
+
+cargo run --release -p transn-bench --bin kernel_snapshot -- "$OUT"
+
+# Best-effort criterion pass (quick mode); harmless no-op with the offline
+# criterion stub, which runs each closure once without timing.
+cargo bench -p transn-bench --bench matrix -- --quick 2>/dev/null || true
+
+echo "snapshot written to $OUT"
