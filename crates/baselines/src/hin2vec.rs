@@ -82,13 +82,18 @@ impl EmbeddingMethod for Hin2Vec {
         let mut triples: Vec<(u32, u32, u32)> = Vec::new();
         let mut relations: HashMap<u64, u32> = HashMap::new();
         let base = net.schema().num_edge_types() as u64 + 1;
+        // Walk buffers hoisted out of the sampling loop: one allocation
+        // for the whole corpus instead of two per walk.
+        let mut nodes: Vec<u32> = Vec::with_capacity(self.walk_length);
+        let mut types: Vec<u32> = Vec::with_capacity(self.walk_length);
         for start in 0..n as u32 {
             if adj.degree(start as usize) == 0 {
                 continue;
             }
             for _ in 0..self.walks_per_node {
-                let mut nodes = vec![start];
-                let mut types: Vec<u32> = Vec::new();
+                nodes.clear();
+                types.clear();
+                nodes.push(start);
                 let mut cur = start;
                 while nodes.len() < self.walk_length {
                     let nbs = adj.neighbors(cur as usize);

@@ -7,7 +7,7 @@ use crate::method::EmbeddingMethod;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_graph::{HetNet, NodeEmbeddings};
-use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel};
+use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel, TrainScratch};
 use transn_walks::{MetapathWalker, WalkConfig};
 
 /// Metapath2Vec configuration.
@@ -71,7 +71,8 @@ impl EmbeddingMethod for Metapath2Vec {
         if corpus.is_empty() {
             return NodeEmbeddings::from_flat(n, self.dim, model.input_table().to_vec());
         }
-        let noise = NoiseTable::from_frequencies(&corpus.node_frequencies(n));
+        let noise = NoiseTable::from_corpus(&corpus, n);
+        let mut ws = TrainScratch::default();
         for epoch in 0..self.epochs {
             let cfg = SgnsConfig {
                 dim: self.dim,
@@ -82,7 +83,7 @@ impl EmbeddingMethod for Metapath2Vec {
                 seed: seed ^ (epoch as u64 + 1),
                 parallelism: self.parallelism,
             };
-            model.train_corpus(&corpus, &noise, &cfg);
+            model.train_corpus_ws(&corpus, &noise, &cfg, &mut ws);
         }
         NodeEmbeddings::from_flat(n, self.dim, model.input_table().to_vec())
     }

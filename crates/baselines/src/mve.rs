@@ -13,8 +13,8 @@ use crate::method::EmbeddingMethod;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_graph::{HetNet, NodeEmbeddings};
-use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel};
-use transn_walks::{Node2VecWalker, WalkConfig};
+use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel, TrainScratch};
+use transn_walks::{Node2VecWalker, WalkConfig, WalkCorpus};
 
 /// MVE configuration.
 #[derive(Clone, Copy, Debug)]
@@ -74,6 +74,9 @@ impl EmbeddingMethod for Mve {
         }
 
         let mut center = NodeEmbeddings::zeros(n, dim);
+        // One flat arena + SGNS workspace reused across all epochs/views.
+        let mut corpus = WalkCorpus::new();
+        let mut ws = TrainScratch::default();
         for epoch in 0..self.epochs {
             // 1. One SGNS pass per view on weight-proportional walks.
             for (vi, model) in models.iter_mut() {
@@ -85,12 +88,11 @@ impl EmbeddingMethod for Mve {
                     ..WalkConfig::default()
                 };
                 let walker = Node2VecWalker::deepwalk(view.adj(), walk_cfg);
-                let corpus = walker.generate(self.walks_per_node);
+                walker.generate_into(self.walks_per_node, &mut corpus);
                 if corpus.is_empty() {
                     continue;
                 }
-                let noise =
-                    NoiseTable::from_frequencies(&corpus.node_frequencies(view.num_nodes()));
+                let noise = NoiseTable::from_corpus(&corpus, view.num_nodes());
                 let cfg = SgnsConfig {
                     dim,
                     negatives: self.negatives,
@@ -100,7 +102,7 @@ impl EmbeddingMethod for Mve {
                     seed: seed ^ (epoch as u64 + 7),
                     parallelism: self.parallelism,
                 };
-                model.train_corpus(&corpus, &noise, &cfg);
+                model.train_corpus_ws(&corpus, &noise, &cfg, &mut ws);
             }
 
             // 2. Center = equal-weight mean of view-specific embeddings.

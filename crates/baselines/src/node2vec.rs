@@ -5,7 +5,7 @@ use crate::method::EmbeddingMethod;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_graph::{HetNet, NodeEmbeddings};
-use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel};
+use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel, TrainScratch};
 use transn_walks::{Node2VecWalker, WalkConfig};
 
 /// Node2Vec configuration.
@@ -82,7 +82,8 @@ impl EmbeddingMethod for Node2Vec {
         if corpus.is_empty() {
             return NodeEmbeddings::from_flat(n, self.dim, model.input_table().to_vec());
         }
-        let noise = NoiseTable::from_frequencies(&corpus.node_frequencies(n));
+        let noise = NoiseTable::from_corpus(&corpus, n);
+        let mut ws = TrainScratch::default();
         for epoch in 0..self.epochs {
             let cfg = SgnsConfig {
                 dim: self.dim,
@@ -93,7 +94,7 @@ impl EmbeddingMethod for Node2Vec {
                 seed: seed ^ (epoch as u64 + 1),
                 parallelism: self.parallelism,
             };
-            model.train_corpus(&corpus, &noise, &cfg);
+            model.train_corpus_ws(&corpus, &noise, &cfg, &mut ws);
         }
         NodeEmbeddings::from_flat(n, self.dim, model.input_table().to_vec())
     }

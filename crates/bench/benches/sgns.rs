@@ -63,7 +63,6 @@ fn bench_train_corpus_by_threads(c: &mut Criterion) {
         ..SgnsConfig::default()
     };
     let total_pairs: u64 = corpus
-        .walks()
         .iter()
         .map(|w| transn_sgns::context::count_pairs(w.len(), base.window) as u64)
         .sum();

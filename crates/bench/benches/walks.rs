@@ -5,8 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use transn_sgns::context_pairs;
 use transn_synth::{blog_like, BlogConfig};
-use transn_walks::{CorrelatedWalker, Node2VecWalker, SimpleWalker, WalkConfig};
+use transn_walks::{CorrelatedWalker, Node2VecWalker, SimpleWalker, WalkConfig, WalkCorpus};
 
 fn bench_walkers(c: &mut Criterion) {
     let ds = blog_like(&BlogConfig::tiny(), 5);
@@ -51,6 +52,80 @@ fn bench_walkers(c: &mut Criterion) {
             b.iter(|| w.generate());
         });
     }
+    group.finish();
+
+    // Flat CSR arena vs the nested Vec<Vec<u32>> it replaced (ISSUE 4):
+    // corpus generation (warmed arena regeneration vs a fresh heap Vec per
+    // walk) and epoch iteration (Def.-6 context_pairs over every walk, in
+    // the SGNS shard order) — tokens/s and pairs/s. `walks_snapshot`
+    // records the same comparison as BENCH_walks.json for offline runs.
+    let cfg = WalkConfig {
+        length: 8,
+        min_walks_per_node: 2,
+        max_walks_per_node: 4,
+        seed: 7,
+        threads: 1,
+    };
+    let walker = CorrelatedWalker::new(uk, cfg);
+    let tasks = walker.degree_tasks();
+
+    let mut group = c.benchmark_group("corpus_generation");
+    group.bench_function("flat_arena_warmed", |b| {
+        let mut corpus = WalkCorpus::new();
+        walker.generate_tasks_into(&tasks, &mut corpus);
+        b.iter(|| walker.generate_tasks_into(&tasks, &mut corpus));
+    });
+    group.bench_function("nested_per_walk_alloc", |b| {
+        b.iter(|| {
+            // The pre-refactor pipeline: same per-task RNG streams (so the
+            // sampled walks are identical), one heap Vec per walk.
+            let mut walks: Vec<Vec<u32>> = Vec::new();
+            for (idx, &(n, k)) in tasks.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                for _ in 0..k {
+                    let w = walker.walk_from(n, &mut rng);
+                    if w.len() >= 2 {
+                        walks.push(w);
+                    }
+                }
+            }
+            walks
+        });
+    });
+    group.finish();
+
+    let corpus = walker.generate();
+    let nested: Vec<Vec<u32>> = corpus.iter().map(<[u32]>::to_vec).collect();
+    let num_shards = 64usize.min(corpus.len());
+    let mut group = c.benchmark_group("epoch_iteration");
+    group.bench_function("flat_arena", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for s in 0..num_shards {
+                let mut w = s;
+                while w < corpus.len() {
+                    context_pairs(corpus.walk(w), 2, |c, x| acc = acc.wrapping_add((c ^ x) as u64));
+                    w += num_shards;
+                }
+            }
+            acc
+        });
+    });
+    group.bench_function("nested_vecs", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for s in 0..num_shards {
+                let mut w = s;
+                while w < nested.len() {
+                    context_pairs(&nested[w], 2, |c, x| acc = acc.wrapping_add((c ^ x) as u64));
+                    w += num_shards;
+                }
+            }
+            acc
+        });
+    });
     group.finish();
 }
 

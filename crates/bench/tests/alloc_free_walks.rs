@@ -1,0 +1,112 @@
+//! Zero-allocation assertion for the warmed walk→pair training pipeline.
+//!
+//! ISSUE 4's acceptance criterion: once the flat corpus arena, the task
+//! list, and the SGNS scratch are warmed, a full epoch — regenerate the
+//! walk corpus into the arena, then train one SGNS pass over it — performs
+//! **zero** heap allocations. This drives the same call sequence every
+//! epoch loop in the repo runs (`generate_tasks_into` + `train_corpus_ws`)
+//! through the public APIs, with a counting global allocator installed.
+//!
+//! Single-threaded generation and sequential shard execution are the
+//! asserted modes: concurrent variants allocate by design (thread spawn,
+//! per-worker arenas/scratch), which is why the engines expose `*_into`
+//! kernels rather than forcing parallelism.
+//!
+//! This file contains a single test on purpose: the harness runs tests in
+//! one process, and any concurrently-running test would pollute the global
+//! allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::{rngs::StdRng, SeedableRng};
+use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel, TrainScratch};
+use transn_synth::{blog_like, BlogConfig};
+use transn_walks::{CorrelatedWalker, WalkConfig, WalkCorpus};
+
+/// `System` wrapper that counts allocations (not frees — the warmed loop
+/// must not even *touch* the allocator).
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_walk_to_pair_epoch_is_allocation_free() {
+    const DIM: usize = 32;
+
+    let ds = blog_like(&BlogConfig::tiny(), 5);
+    let views = ds.net.views();
+    let uk = &views[1]; // heter-view → π₂ correlated steps active
+    let cfg = WalkConfig {
+        length: 12,
+        min_walks_per_node: 2,
+        max_walks_per_node: 4,
+        seed: 17,
+        threads: 1, // serial task-order generation (the zero-alloc mode)
+    };
+    let walker = CorrelatedWalker::new(uk, cfg);
+
+    // Built once, outside the epoch loop: the §IV-A3 task list, the corpus
+    // arena, the SGNS model/scratch, and (after the first generation) the
+    // noise table — a fixed walk seed regenerates the identical corpus
+    // every epoch, so its unigram statistics never change.
+    let tasks = walker.degree_tasks();
+    let mut corpus = WalkCorpus::new();
+    let mut ws = TrainScratch::default();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model = SgnsModel::new(uk.num_nodes(), DIM, &mut rng);
+
+    let sgns_cfg = SgnsConfig {
+        dim: DIM,
+        negatives: 5,
+        lr0: 0.025,
+        min_lr_frac: 1e-3,
+        window: 4,
+        seed: 29,
+        parallelism: Parallelism::single(), // sequential shards (zero-alloc)
+    };
+
+    // Warmup epoch: sizes the arena, the shard-pair totals, and the pair
+    // scratch; touches every code path once.
+    walker.generate_tasks_into(&tasks, &mut corpus);
+    assert!(!corpus.is_empty());
+    let noise = NoiseTable::from_corpus(&corpus, uk.num_nodes());
+    let warm_loss = model.train_corpus_ws(&corpus, &noise, &sgns_cfg, &mut ws);
+    assert!(warm_loss.is_finite());
+
+    // Measured phase: full epochs — regenerate walks into the warmed arena,
+    // then train over them — must never call the allocator.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut loss = 0.0f32;
+    for _ in 0..3 {
+        walker.generate_tasks_into(&tasks, &mut corpus);
+        loss += model.train_corpus_ws(&corpus, &noise, &sgns_cfg, &mut ws);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert!(loss.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "warmed walk→pair epoch loop allocated {} times",
+        after - before
+    );
+}

@@ -5,8 +5,8 @@ use crate::config::TransNConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_graph::View;
-use transn_sgns::{window_for_view, NoiseTable, SgnsConfig, SgnsModel};
-use transn_walks::{CorrelatedWalker, SimpleWalker, WalkConfig};
+use transn_sgns::{window_for_view, NoiseTable, SgnsConfig, SgnsModel, TrainScratch};
+use transn_walks::{CorrelatedWalker, SimpleWalker, WalkConfig, WalkCorpus};
 
 /// One view of the network together with its view-specific embedding model
 /// (`n̄_i` for every node `n ∈ V_i`).
@@ -18,6 +18,11 @@ pub struct SingleView {
     pub model: SgnsModel,
     /// Definition-6 window: 1 on homo-views, 2 on heter-views.
     window: usize,
+    /// Reusable flat walk arena: cleared and refilled every iteration, so
+    /// warmed iterations regenerate the corpus without heap allocation.
+    corpus: WalkCorpus,
+    /// Reusable SGNS training workspace (shard pre-pass + pair scratch).
+    scratch: TrainScratch,
 }
 
 impl SingleView {
@@ -30,6 +35,8 @@ impl SingleView {
             view,
             model,
             window,
+            corpus: WalkCorpus::new(),
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -50,17 +57,17 @@ impl SingleView {
             seed: cfg.walk.seed ^ ((iteration as u64 + 1) * 0x9E37_79B9),
             ..cfg.walk
         };
-        let corpus = if cfg.variant.uses_biased_walks() {
-            CorrelatedWalker::new(&self.view, walk_cfg).generate()
+        if cfg.variant.uses_biased_walks() {
+            CorrelatedWalker::new(&self.view, walk_cfg).generate_into(&mut self.corpus)
         } else {
             // Table V ablation: uniform walks, random starts
             // (`TransN-With-Simple-Walk`).
-            SimpleWalker::new(&self.view, walk_cfg).generate()
+            SimpleWalker::new(&self.view, walk_cfg).generate_into(&mut self.corpus)
         };
-        if corpus.is_empty() {
+        if self.corpus.is_empty() {
             return 0.0;
         }
-        let noise = NoiseTable::from_frequencies(&corpus.node_frequencies(self.view.num_nodes()));
+        let noise = NoiseTable::from_corpus(&self.corpus, self.view.num_nodes());
         let sgns_cfg = SgnsConfig {
             dim: cfg.dim,
             negatives: cfg.negatives,
@@ -70,7 +77,8 @@ impl SingleView {
             seed: cfg.seed ^ (iteration as u64 + 99),
             parallelism: cfg.parallelism,
         };
-        self.model.train_corpus(&corpus, &noise, &sgns_cfg)
+        self.model
+            .train_corpus_ws(&self.corpus, &noise, &sgns_cfg, &mut self.scratch)
     }
 }
 

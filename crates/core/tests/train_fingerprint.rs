@@ -1,0 +1,86 @@
+//! End-to-end train fingerprint pinned across corpus-representation
+//! changes (ISSUE 4).
+//!
+//! The golden constant below was captured with the pre-refactor *nested*
+//! `Vec<Vec<u32>>` walk corpus. The flat-arena corpus must reproduce the
+//! fused embedding table bit-for-bit: walk generation draws the same RNG
+//! streams per task, walks concatenate in the same task order, and the
+//! SGNS shard schedule (`w % num_shards`) sees the same walk sequence —
+//! so any divergence in this hash means the representation change leaked
+//! into the numerics.
+
+use transn::{TransN, TransNConfig};
+use transn_graph::{HetNetBuilder, NodeId};
+use transn_sgns::Parallelism;
+
+/// Two-cluster BLOG-shaped network: users with friend (UU) edges, keywords
+/// with related (KK) edges, weighted uses (UK) edges — three views, two
+/// view-pairs, both Def.-6 window kinds exercised.
+fn blog_like_toy() -> transn_graph::HetNet {
+    let mut b = HetNetBuilder::new();
+    let user = b.add_node_type("user");
+    let kw = b.add_node_type("keyword");
+    let uu = b.add_edge_type("friend", user, user);
+    let uk = b.add_edge_type("uses", user, kw);
+    let kk = b.add_edge_type("related", kw, kw);
+    let users: Vec<_> = (0..10).map(|_| b.add_node(user)).collect();
+    let kws: Vec<_> = (0..6).map(|_| b.add_node(kw)).collect();
+    for c in 0..2 {
+        let base = c * 5;
+        for x in 0..5 {
+            for y in (x + 1)..5 {
+                if (x + y) % 2 == 0 {
+                    b.add_edge(users[base + x], users[base + y], uu, 1.0).unwrap();
+                }
+            }
+            for k in 0..3 {
+                b.add_edge(users[base + x], kws[c * 3 + k], uk, 1.0 + k as f32).unwrap();
+            }
+        }
+    }
+    b.add_edge(users[4], users[5], uu, 1.0).unwrap();
+    b.add_edge(kws[0], kws[1], kk, 1.0).unwrap();
+    b.add_edge(kws[2], kws[3], kk, 1.0).unwrap();
+    b.add_edge(kws[4], kws[5], kk, 1.0).unwrap();
+    b.build().unwrap()
+}
+
+/// FNV-1a 64 over the bit patterns of every fused embedding coordinate.
+fn fingerprint(par: Parallelism) -> u64 {
+    let net = blog_like_toy();
+    let mut cfg = TransNConfig::for_tests();
+    cfg.parallelism = par;
+    let emb = TransN::new(&net, cfg).train();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for n in 0..net.num_nodes() as u32 {
+        for &v in emb.get(NodeId(n)) {
+            h ^= v.to_bits() as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Captured with the nested `Vec<Vec<u32>>` corpus at commit df0fe66
+/// (pre-flat-arena). See module docs.
+const NESTED_CORPUS_FINGERPRINT: u64 = 0x70F0_A717_DCA8_5962;
+
+#[test]
+fn train_fingerprint_matches_nested_corpus_golden() {
+    assert_eq!(
+        fingerprint(Parallelism::strict(1)),
+        NESTED_CORPUS_FINGERPRINT,
+        "end-to-end embeddings diverged from the pre-refactor nested-corpus run"
+    );
+}
+
+#[test]
+fn train_fingerprint_is_thread_count_invariant() {
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            fingerprint(Parallelism::strict(threads)),
+            NESTED_CORPUS_FINGERPRINT,
+            "strict fingerprint must not depend on thread count (threads={threads})"
+        );
+    }
+}

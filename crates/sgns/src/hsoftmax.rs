@@ -179,14 +179,13 @@ impl HsModel {
     pub fn train_corpus(&mut self, corpus: &WalkCorpus, window: usize, lr0: f32) -> f32 {
         let _rng = StdRng::seed_from_u64(0);
         let total: usize = corpus
-            .walks()
             .iter()
             .map(|w| crate::context::count_pairs(w.len(), window))
             .sum();
         let mut done = 0usize;
         let mut loss_sum = 0.0f64;
         let mut grad_center = vec![0.0f32; self.dim];
-        for walk in corpus.walks() {
+        for walk in corpus.iter() {
             context_pairs(walk, window, |center, ctx| {
                 let lr = lr0 * (1.0 - done as f32 / total.max(1) as f32).max(1e-4);
                 loss_sum +=

@@ -31,6 +31,6 @@ pub mod sync;
 pub use context::{context_pairs, window_for_view};
 pub use hsoftmax::HsModel;
 pub use negative::NoiseTable;
-pub use sgns::{train_pair_views, SgnsConfig, SgnsModel};
+pub use sgns::{train_pair_views, SgnsConfig, SgnsModel, TrainScratch};
 pub use sigmoid::fast_sigmoid;
 pub use sync::{run_shards, Determinism, Parallelism, RacyTable};

@@ -4,6 +4,7 @@
 
 use rand::Rng;
 use transn_graph::AliasTable;
+use transn_walks::WalkCorpus;
 
 /// Alias-sampled noise table over node ids.
 #[derive(Clone, Debug)]
@@ -26,6 +27,22 @@ impl NoiseTable {
             table: AliasTable::new(&weights),
             support: freqs.len(),
         }
+    }
+
+    /// Build straight from a walk corpus: one linear pass over the flat
+    /// token arena counts occurrences (exact `u64` counts, so the alias
+    /// table is bit-identical to the
+    /// [`from_frequencies`](NoiseTable::from_frequencies) +
+    /// `node_frequencies` two-step), then the 3/4 power is applied.
+    ///
+    /// # Panics
+    /// Panics if all frequencies are zero (e.g. an empty corpus).
+    pub fn from_corpus(corpus: &WalkCorpus, num_nodes: usize) -> Self {
+        let mut freqs = vec![0u64; num_nodes];
+        for &t in corpus.tokens() {
+            freqs[t as usize] += 1;
+        }
+        Self::from_frequencies(&freqs)
     }
 
     /// Number of ids covered (including zero-frequency ones).
@@ -78,6 +95,18 @@ mod tests {
         }
         let frac = c0 as f64 / n as f64;
         assert!((frac - 8.0 / 9.0).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn from_corpus_matches_two_step_construction() {
+        let corpus = WalkCorpus::from_walks(vec![vec![0u32, 1, 1, 2], vec![2, 0, 2]]);
+        let fused = NoiseTable::from_corpus(&corpus, 4);
+        let two_step = NoiseTable::from_frequencies(&corpus.node_frequencies(4));
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            assert_eq!(fused.sample(&mut a), two_step.sample(&mut b));
+        }
     }
 
     #[test]

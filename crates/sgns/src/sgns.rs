@@ -155,6 +155,15 @@ impl SgnsModel {
     /// One pass over a corpus with a linearly-decaying learning rate.
     /// Returns the mean pair loss.
     ///
+    /// Convenience wrapper over [`SgnsModel::train_corpus_ws`] with a
+    /// throwaway workspace; epoch loops should hold a [`TrainScratch`] and
+    /// call the `_ws` variant so warmed epochs do not allocate.
+    pub fn train_corpus(&mut self, corpus: &WalkCorpus, noise: &NoiseTable, cfg: &SgnsConfig) -> f32 {
+        self.train_corpus_ws(corpus, noise, cfg, &mut TrainScratch::default())
+    }
+
+    /// [`SgnsModel::train_corpus`] with caller-owned scratch.
+    ///
     /// The corpus is split into `LOGICAL_SHARDS` logical shards (walk
     /// `w` → shard `w % num_shards`), each with its own RNG stream seeded
     /// `cfg.seed ^ shard · φ64` and its own shard-local linear decay
@@ -163,56 +172,60 @@ impl SgnsModel {
     /// Strict applies them serially in shard order so fixed-seed runs are
     /// bit-identical at any thread count (a single Hogwild thread runs the
     /// identical serial schedule).
-    pub fn train_corpus(&mut self, corpus: &WalkCorpus, noise: &NoiseTable, cfg: &SgnsConfig) -> f32 {
-        let walks = corpus.walks();
-        if walks.is_empty() {
+    ///
+    /// Sequential modes reuse `ws` for both the shard-pair pre-pass and the
+    /// per-pair gradient scratch, so a warmed epoch performs no heap
+    /// allocation; concurrent Hogwild keeps per-worker scratch (the spawn
+    /// itself already allocates).
+    pub fn train_corpus_ws(
+        &mut self,
+        corpus: &WalkCorpus,
+        noise: &NoiseTable,
+        cfg: &SgnsConfig,
+        ws: &mut TrainScratch,
+    ) -> f32 {
+        if corpus.is_empty() {
             return 0.0;
         }
         let dim = self.dim;
-        let num_shards = LOGICAL_SHARDS.min(walks.len());
+        let num_shards = LOGICAL_SHARDS.min(corpus.len());
         // Shard-local pair totals drive shard-local lr decay: the schedule
         // depends only on the shard decomposition, never on thread count.
-        let mut shard_pairs = vec![0usize; num_shards];
-        for (w, walk) in walks.iter().enumerate() {
-            shard_pairs[w % num_shards] += count_pairs(walk.len(), cfg.window);
+        ws.shard_pairs.clear();
+        ws.shard_pairs.resize(num_shards, 0);
+        for w in 0..corpus.len() {
+            ws.shard_pairs[w % num_shards] += count_pairs(corpus.walk(w).len(), cfg.window);
         }
+        let shard_pairs = &ws.shard_pairs;
         let input = RacyTable::new(&mut self.input);
         let output = RacyTable::new(&mut self.output);
-        let per_shard = run_shards(num_shards, cfg.parallelism, |s| {
-            let mut rng =
-                StdRng::seed_from_u64(cfg.seed ^ (s as u64).wrapping_mul(SHARD_SEED_MIX));
-            let mut scratch = vec![0.0f32; 3 * dim];
-            let total = shard_pairs[s];
-            let mut done = 0usize;
-            let mut loss_sum = 0.0f64;
-            let mut w = s;
-            while w < walks.len() {
-                context_pairs(&walks[w], cfg.window, |center, ctx| {
-                    let frac = 1.0 - done as f32 / total.max(1) as f32;
-                    let lr = cfg.lr0 * frac.max(cfg.min_lr_frac);
-                    loss_sum += train_pair_views(
-                        &input,
-                        &output,
-                        dim,
-                        center,
-                        ctx,
-                        noise,
-                        cfg.negatives,
-                        lr,
-                        &mut rng,
-                        &mut scratch,
-                    ) as f64;
-                    done += 1;
-                });
-                w += num_shards;
+        let (loss_sum, done) = if cfg.parallelism.is_sequential(num_shards) {
+            ws.pair_scratch.resize(3 * dim, 0.0);
+            let scratch = &mut ws.pair_scratch;
+            let mut acc = (0.0f64, 0usize);
+            for (s, &pairs) in shard_pairs.iter().enumerate().take(num_shards) {
+                let (l, d) = train_shard(
+                    &input, &output, dim, corpus, noise, cfg, num_shards, pairs, s,
+                    scratch,
+                );
+                acc.0 += l;
+                acc.1 += d;
             }
-            (loss_sum, done)
-        });
-        // Summed in shard order, so the mean loss is itself deterministic
-        // whenever the updates are.
-        let (loss_sum, done) = per_shard
-            .into_iter()
-            .fold((0.0f64, 0usize), |(l, d), (ls, ds)| (l + ls, d + ds));
+            acc
+        } else {
+            let per_shard = run_shards(num_shards, cfg.parallelism, |s| {
+                let mut scratch = vec![0.0f32; 3 * dim];
+                train_shard(
+                    &input, &output, dim, corpus, noise, cfg, num_shards, shard_pairs[s], s,
+                    &mut scratch,
+                )
+            });
+            // Summed in shard order, so the mean loss is itself
+            // deterministic whenever the updates are.
+            per_shard
+                .into_iter()
+                .fold((0.0f64, 0usize), |(l, d), (ls, ds)| (l + ls, d + ds))
+        };
         if done == 0 {
             0.0
         } else {
@@ -225,6 +238,61 @@ impl SgnsModel {
     pub fn export_embeddings(&self) -> Vec<Vec<f32>> {
         (0..self.n as u32).map(|i| self.embedding(i).to_vec()).collect()
     }
+}
+
+/// Reusable [`SgnsModel::train_corpus_ws`] workspace: the shard-pair
+/// totals of the lr-decay pre-pass plus the `3·dim` per-pair gradient
+/// scratch used by sequential shard execution. Hold one across epochs so
+/// warmed epochs perform zero heap allocations.
+#[derive(Clone, Debug, Default)]
+pub struct TrainScratch {
+    shard_pairs: Vec<usize>,
+    pair_scratch: Vec<f32>,
+}
+
+/// Train the walks of shard `s` (walks `s`, `s + num_shards`, …) against
+/// the shared table views — the per-shard body of
+/// [`SgnsModel::train_corpus_ws`], identical under sequential and Hogwild
+/// execution. `total` is the shard's pre-counted pair budget (lr decay);
+/// returns `(loss_sum, pairs_done)`.
+#[allow(clippy::too_many_arguments)]
+fn train_shard(
+    input: &RacyTable<'_>,
+    output: &RacyTable<'_>,
+    dim: usize,
+    corpus: &WalkCorpus,
+    noise: &NoiseTable,
+    cfg: &SgnsConfig,
+    num_shards: usize,
+    total: usize,
+    s: usize,
+    scratch: &mut [f32],
+) -> (f64, usize) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (s as u64).wrapping_mul(SHARD_SEED_MIX));
+    let mut done = 0usize;
+    let mut loss_sum = 0.0f64;
+    let mut w = s;
+    while w < corpus.len() {
+        context_pairs(corpus.walk(w), cfg.window, |center, ctx| {
+            let frac = 1.0 - done as f32 / total.max(1) as f32;
+            let lr = cfg.lr0 * frac.max(cfg.min_lr_frac);
+            loss_sum += train_pair_views(
+                input,
+                output,
+                dim,
+                center,
+                ctx,
+                noise,
+                cfg.negatives,
+                lr,
+                &mut rng,
+                scratch,
+            ) as f64;
+            done += 1;
+        });
+        w += num_shards;
+    }
+    (loss_sum, done)
 }
 
 /// Train one positive pair plus `negatives` noise pairs against shared

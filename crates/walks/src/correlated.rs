@@ -12,7 +12,7 @@
 //!   `Δ = 0` or on homo-views the walk falls back to `π₁` alone (Eq. 4).
 
 use crate::config::WalkConfig;
-use crate::corpus::{parallel_generate, WalkCorpus};
+use crate::corpus::{parallel_generate_into, WalkCorpus};
 use rand::Rng;
 use transn_graph::{View, ViewKind};
 
@@ -41,20 +41,28 @@ impl<'a> CorrelatedWalker<'a> {
     /// structures).
     pub fn walk_from<R: Rng + ?Sized>(&self, start: u32, rng: &mut R) -> Vec<u32> {
         let mut walk = Vec::with_capacity(self.cfg.length);
-        walk.push(start);
+        self.walk_into(start, rng, &mut walk);
+        walk
+    }
+
+    /// Append one walk from `start` to `out` (the allocation-free kernel
+    /// behind [`CorrelatedWalker::walk_from`]; `out` is typically the tail
+    /// of a [`WalkCorpus`] token arena via [`WalkCorpus::push_with`]).
+    pub fn walk_into<R: Rng + ?Sized>(&self, start: u32, rng: &mut R, out: &mut Vec<u32>) {
+        let base = out.len();
+        out.push(start);
         let mut prev: Option<u32> = None;
         let mut cur = start;
-        while walk.len() < self.cfg.length {
+        while out.len() - base < self.cfg.length {
             match self.step(prev, cur, rng) {
                 Some(next) => {
-                    walk.push(next);
+                    out.push(next);
                     prev = Some(cur);
                     cur = next;
                 }
                 None => break,
             }
         }
-        walk
     }
 
     /// One transition from `cur` given the previous node, per Equation (4).
@@ -105,12 +113,36 @@ impl<'a> CorrelatedWalker<'a> {
     /// `cfg.walks_for_degree(deg)` walks, in parallel and deterministically
     /// for a fixed seed.
     pub fn generate(&self) -> WalkCorpus {
-        let tasks: Vec<(u32, usize)> = (0..self.view.num_nodes() as u32)
+        let mut corpus = WalkCorpus::new();
+        self.generate_into(&mut corpus);
+        corpus
+    }
+
+    /// [`CorrelatedWalker::generate`] into a caller-owned corpus (cleared
+    /// first, capacity retained across epochs).
+    pub fn generate_into(&self, out: &mut WalkCorpus) {
+        let tasks = self.degree_tasks();
+        self.generate_tasks_into(&tasks, out);
+    }
+
+    /// The §IV-A3 task list: every node starts `clamp(deg, min, max)`
+    /// walks. Building it once and reusing it across epochs (via
+    /// [`CorrelatedWalker::generate_tasks_into`]) keeps the warmed
+    /// generation loop allocation-free.
+    pub fn degree_tasks(&self) -> Vec<(u32, usize)> {
+        (0..self.view.num_nodes() as u32)
             .map(|n| (n, self.cfg.walks_for_degree(self.view.degree(n))))
-            .collect();
-        parallel_generate(&tasks, self.cfg.threads, self.cfg.seed, |&(n, k), rng| {
-            (0..k).map(|_| self.walk_from(n, rng)).collect()
-        })
+            .collect()
+    }
+
+    /// Run prebuilt `(start, n_walks)` tasks into a caller-owned corpus —
+    /// the allocation-free core of both `generate*` entry points.
+    pub fn generate_tasks_into(&self, tasks: &[(u32, usize)], out: &mut WalkCorpus) {
+        parallel_generate_into(out, tasks, self.cfg.threads, self.cfg.seed, |&(n, k), rng, out| {
+            for _ in 0..k {
+                out.push_with(|buf| self.walk_into(n, rng, buf));
+            }
+        });
     }
 
     /// Generate a corpus with exactly `walks_per_node` walks from every
@@ -120,9 +152,9 @@ impl<'a> CorrelatedWalker<'a> {
         let tasks: Vec<(u32, usize)> = (0..self.view.num_nodes() as u32)
             .map(|n| (n, walks_per_node))
             .collect();
-        parallel_generate(&tasks, self.cfg.threads, self.cfg.seed, |&(n, k), rng| {
-            (0..k).map(|_| self.walk_from(n, rng)).collect()
-        })
+        let mut corpus = WalkCorpus::new();
+        self.generate_tasks_into(&tasks, &mut corpus);
+        corpus
     }
 }
 
@@ -264,7 +296,7 @@ mod tests {
         // B1=1, B2=3, B3=1 → 2+2+1+1+3+1 = 10.
         assert_eq!(corpus.len(), 10);
         // First node of each walk group matches the start node.
-        let mut starts: Vec<u32> = corpus.walks().iter().map(|w| w[0]).collect();
+        let mut starts: Vec<u32> = corpus.iter().map(|w| w[0]).collect();
         starts.dedup();
         assert_eq!(starts.len(), views[0].num_nodes());
     }
@@ -276,7 +308,7 @@ mod tests {
         let cfg = WalkConfig::for_tests();
         let a = CorrelatedWalker::new(&views[0], cfg).generate();
         let b = CorrelatedWalker::new(&views[0], cfg).generate();
-        assert_eq!(a.walks(), b.walks());
+        assert_eq!(a, b);
     }
 
     #[test]

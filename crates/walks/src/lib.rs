@@ -14,8 +14,13 @@
 //!   (the Node2Vec baseline; p = q = 1 recovers DeepWalk).
 //! - [`metapath`]: walks constrained to a cyclic node-type pattern (the
 //!   Metapath2Vec baseline).
-//! - [`corpus`]: a walk corpus container plus multi-threaded, deterministic
-//!   corpus generation (crossbeam scoped threads, per-shard seeded RNG).
+//! - [`corpus`]: a CSR-style flat walk arena (`tokens` + `offsets`, walk
+//!   `w` is a slice of one contiguous token buffer) plus multi-threaded,
+//!   deterministic corpus generation (crossbeam scoped threads, per-task
+//!   seeded RNG, shard-ordered concatenation that is bit-identical for any
+//!   thread count). Every engine exposes `walk_into`/`generate_into`
+//!   kernels so a warmed generate→train epoch loop performs no heap
+//!   allocation.
 
 #![warn(missing_docs)]
 

@@ -6,7 +6,7 @@
 //! first and last types of the pattern must coincide, as in \[8\]).
 
 use crate::config::WalkConfig;
-use crate::corpus::{parallel_generate, WalkCorpus};
+use crate::corpus::{parallel_generate_into, WalkCorpus};
 use rand::Rng;
 use transn_graph::{HetNet, NodeId, NodeTypeId};
 
@@ -63,13 +63,23 @@ impl<'a> MetapathWalker<'a> {
     /// One meta-path walk from `start` (global id). The walk ends early if
     /// no neighbour of the required next type exists.
     pub fn walk_from<R: Rng + ?Sized>(&self, start: NodeId, rng: &mut R) -> Vec<u32> {
+        let mut walk = Vec::with_capacity(self.cfg.length);
+        self.walk_into(start, rng, &mut walk);
+        walk
+    }
+
+    /// Append one meta-path walk from `start` to `out` (the
+    /// allocation-free kernel behind [`MetapathWalker::walk_from`]; `out`
+    /// is typically the tail of a [`WalkCorpus`] token arena via
+    /// [`WalkCorpus::push_with`]).
+    pub fn walk_into<R: Rng + ?Sized>(&self, start: NodeId, rng: &mut R, out: &mut Vec<u32>) {
         debug_assert_eq!(self.net.node_type(start), self.pattern[0]);
         let adj = self.net.global_adj();
-        let mut walk = Vec::with_capacity(self.cfg.length);
-        walk.push(start.0);
+        let base = out.len();
+        out.push(start.0);
         let mut cur = start.0;
         let mut pos = 0usize;
-        while walk.len() < self.cfg.length {
+        while out.len() - base < self.cfg.length {
             let next_type = self.pattern[(pos + 1) % self.pattern.len()];
             // Weighted choice among neighbours of the required type.
             let nbs = adj.neighbors(cur as usize);
@@ -101,20 +111,29 @@ impl<'a> MetapathWalker<'a> {
                     .find(|&&nb| self.net.node_type(NodeId(nb)) == next_type)
                     .expect("total > 0 implies a typed neighbour exists")
             });
-            walk.push(next);
+            out.push(next);
             cur = next;
             pos += 1;
         }
-        walk
     }
 
     /// Generate `walks_per_node` walks from every node whose type matches
     /// the pattern head.
     pub fn generate(&self, walks_per_node: usize) -> WalkCorpus {
+        let mut corpus = WalkCorpus::new();
+        self.generate_into(walks_per_node, &mut corpus);
+        corpus
+    }
+
+    /// [`MetapathWalker::generate`] into a caller-owned corpus (cleared
+    /// first, capacity retained across epochs).
+    pub fn generate_into(&self, walks_per_node: usize, out: &mut WalkCorpus) {
         let starts: Vec<NodeId> = self.net.nodes_of_type(self.pattern[0]).collect();
-        parallel_generate(&starts, self.cfg.threads, self.cfg.seed, |&n, rng| {
-            (0..walks_per_node).map(|_| self.walk_from(n, rng)).collect()
-        })
+        parallel_generate_into(out, &starts, self.cfg.threads, self.cfg.seed, |&n, rng, out| {
+            for _ in 0..walks_per_node {
+                out.push_with(|buf| self.walk_into(n, rng, buf));
+            }
+        });
     }
 }
 
@@ -206,7 +225,7 @@ mod tests {
         let corpus = w.generate(2);
         assert_eq!(corpus.len(), 4); // 2 authors × 2 walks
         let author = net.schema().node_type_by_name("author").unwrap();
-        for walk in corpus.walks() {
+        for walk in corpus.iter() {
             assert_eq!(net.node_type(NodeId(walk[0])), author);
         }
     }

@@ -3,7 +3,7 @@
 //! \[33\] (weight-proportional steps).
 
 use crate::config::WalkConfig;
-use crate::corpus::{parallel_generate, WalkCorpus};
+use crate::corpus::{parallel_generate_into, WalkCorpus};
 use rand::Rng;
 use transn_graph::Csr;
 
@@ -35,10 +35,20 @@ impl<'a> Node2VecWalker<'a> {
     /// One walk from `start`.
     pub fn walk_from<R: Rng + ?Sized>(&self, start: u32, rng: &mut R) -> Vec<u32> {
         let mut walk = Vec::with_capacity(self.cfg.length);
-        walk.push(start);
+        self.walk_into(start, rng, &mut walk);
+        walk
+    }
+
+    /// Append one p/q-biased walk from `start` to `out` (the
+    /// allocation-free kernel behind [`Node2VecWalker::walk_from`]; `out`
+    /// is typically the tail of a [`WalkCorpus`] token arena via
+    /// [`WalkCorpus::push_with`]).
+    pub fn walk_into<R: Rng + ?Sized>(&self, start: u32, rng: &mut R, out: &mut Vec<u32>) {
+        let base = out.len();
+        out.push(start);
         let mut prev: Option<u32> = None;
         let mut cur = start;
-        while walk.len() < self.cfg.length {
+        while out.len() - base < self.cfg.length {
             let next = match prev {
                 None => match self.adj.sample_neighbor(cur as usize, rng) {
                     Some(n) => n,
@@ -49,11 +59,10 @@ impl<'a> Node2VecWalker<'a> {
                     None => break,
                 },
             };
-            walk.push(next);
+            out.push(next);
             prev = Some(cur);
             cur = next;
         }
-        walk
     }
 
     /// Second-order step: weight × node2vec search bias α(prev, next).
@@ -89,12 +98,22 @@ impl<'a> Node2VecWalker<'a> {
 
     /// Generate `walks_per_node` walks from every non-isolated node.
     pub fn generate(&self, walks_per_node: usize) -> WalkCorpus {
+        let mut corpus = WalkCorpus::new();
+        self.generate_into(walks_per_node, &mut corpus);
+        corpus
+    }
+
+    /// [`Node2VecWalker::generate`] into a caller-owned corpus (cleared
+    /// first, capacity retained across epochs).
+    pub fn generate_into(&self, walks_per_node: usize, out: &mut WalkCorpus) {
         let tasks: Vec<u32> = (0..self.adj.num_nodes() as u32)
             .filter(|&n| self.adj.degree(n as usize) > 0)
             .collect();
-        parallel_generate(&tasks, self.cfg.threads, self.cfg.seed, |&n, rng| {
-            (0..walks_per_node).map(|_| self.walk_from(n, rng)).collect()
-        })
+        parallel_generate_into(out, &tasks, self.cfg.threads, self.cfg.seed, |&n, rng, out| {
+            for _ in 0..walks_per_node {
+                out.push_with(|buf| self.walk_into(n, rng, buf));
+            }
+        });
     }
 }
 
@@ -167,7 +186,7 @@ mod tests {
         let w = Node2VecWalker::deepwalk(&adj, WalkConfig::for_tests());
         let corpus = w.generate(2);
         assert_eq!(corpus.len(), 4); // 2 nodes × 2 walks
-        for walk in corpus.walks() {
+        for walk in corpus.iter() {
             assert_ne!(walk[0], 2);
         }
     }

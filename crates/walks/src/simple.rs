@@ -3,7 +3,7 @@
 //! selected, and simple random walks neglect the weights of edges".
 
 use crate::config::WalkConfig;
-use crate::corpus::{parallel_generate, WalkCorpus};
+use crate::corpus::{parallel_generate_into, WalkCorpus};
 use rand::Rng;
 use transn_graph::View;
 
@@ -20,22 +20,36 @@ impl<'a> SimpleWalker<'a> {
         SimpleWalker { view, cfg }
     }
 
+    /// The view being walked.
+    pub fn view(&self) -> &'a View {
+        self.view
+    }
+
     /// One uniform walk from `start`.
     pub fn walk_from<R: Rng + ?Sized>(&self, start: u32, rng: &mut R) -> Vec<u32> {
-        let adj = self.view.adj();
         let mut walk = Vec::with_capacity(self.cfg.length);
-        walk.push(start);
+        self.walk_into(start, rng, &mut walk);
+        walk
+    }
+
+    /// Append one uniform walk from `start` to `out` (the allocation-free
+    /// kernel behind [`SimpleWalker::walk_from`]; `out` is typically the
+    /// tail of a [`WalkCorpus`] token arena via
+    /// [`WalkCorpus::push_with`]).
+    pub fn walk_into<R: Rng + ?Sized>(&self, start: u32, rng: &mut R, out: &mut Vec<u32>) {
+        let adj = self.view.adj();
+        let base = out.len();
+        out.push(start);
         let mut cur = start as usize;
-        while walk.len() < self.cfg.length {
+        while out.len() - base < self.cfg.length {
             let nbs = adj.neighbors(cur);
             if nbs.is_empty() {
                 break;
             }
             let next = nbs[rng.random_range(0..nbs.len())];
-            walk.push(next);
+            out.push(next);
             cur = next as usize;
         }
-        walk
     }
 
     /// Generate a corpus matched in *size* to the biased corpus (same total
@@ -43,19 +57,46 @@ impl<'a> SimpleWalker<'a> {
     /// random start nodes and uniform steps — isolating the effect of the
     /// walk *strategy* in the ablation.
     pub fn generate(&self) -> WalkCorpus {
+        let mut corpus = WalkCorpus::new();
+        self.generate_into(&mut corpus);
+        corpus
+    }
+
+    /// [`SimpleWalker::generate`] into a caller-owned corpus (cleared
+    /// first, capacity retained across epochs).
+    pub fn generate_into(&self, out: &mut WalkCorpus) {
+        let tasks = self.walk_tasks();
+        self.generate_tasks_into(&tasks, out);
+    }
+
+    /// The per-walk task list (one task per walk; the walk count matches
+    /// the biased corpus budget `Σ clamp(deg, min, max)`). Building it once
+    /// and reusing it across epochs (via
+    /// [`SimpleWalker::generate_tasks_into`]) keeps the warmed generation
+    /// loop allocation-free, exactly like
+    /// [`crate::CorrelatedWalker::degree_tasks`].
+    pub fn walk_tasks(&self) -> Vec<u32> {
         let n = self.view.num_nodes();
-        if n == 0 {
-            return WalkCorpus::new();
-        }
         let total_walks: usize = (0..n as u32)
             .map(|l| self.cfg.walks_for_degree(self.view.degree(l)))
             .sum();
-        let tasks: Vec<u32> = (0..total_walks as u32).collect();
-        let n = n as u32;
-        parallel_generate(&tasks, self.cfg.threads, self.cfg.seed, |_, rng| {
+        (0..total_walks as u32).collect()
+    }
+
+    /// Run prebuilt walk tasks into a caller-owned corpus — the
+    /// allocation-free core behind [`SimpleWalker::generate_into`]. Each
+    /// task owns one RNG stream from which it draws a uniform start node
+    /// and then the walk itself.
+    pub fn generate_tasks_into(&self, tasks: &[u32], out: &mut WalkCorpus) {
+        let n = self.view.num_nodes() as u32;
+        if n == 0 {
+            out.clear();
+            return;
+        }
+        parallel_generate_into(out, tasks, self.cfg.threads, self.cfg.seed, |_, rng, out| {
             let start = rng.random_range(0..n);
-            vec![self.walk_from(start, rng)]
-        })
+            out.push_with(|buf| self.walk_into(start, rng, buf));
+        });
     }
 }
 
@@ -119,6 +160,6 @@ mod tests {
         let cfg = WalkConfig::for_tests();
         let a = SimpleWalker::new(&views[0], cfg).generate();
         let b = SimpleWalker::new(&views[0], cfg).generate();
-        assert_eq!(a.walks(), b.walks());
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,219 @@
+//! Flat-arena equivalence (ISSUE 4): for every walk engine, generation
+//! into the CSR-style flat corpus must be **bit-identical** to the
+//! pre-refactor nested `Vec<Vec<u32>>` pipeline, at any thread count.
+//!
+//! The nested pipeline is reimplemented here as a serial reference with
+//! exactly the semantics the old `parallel_generate` had (commit df0fe66):
+//! task `idx` draws from `StdRng::seed_from_u64(seed ^ idx·φ64)`, walks
+//! concatenate in task order, and walks of length < 2 are dropped. The
+//! engines' `generate*` entry points must reproduce that sequence exactly
+//! through `walk_into`/`push_with` for threads ∈ {1, 2, 4, 8}.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transn_graph::{HetNet, HetNetBuilder, NodeId};
+use transn_walks::{
+    CorrelatedWalker, MetapathWalker, Node2VecWalker, SimpleWalker, WalkConfig, WalkCorpus,
+};
+
+/// The per-task seed-mixing constant (2⁶⁴/φ) both the old and new
+/// generation paths use.
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The pre-refactor nested pipeline, serially: per-task RNG streams, task
+/// order, length-< 2 drop rule.
+fn nested_reference<T>(
+    tasks: &[T],
+    seed: u64,
+    gen: impl Fn(&T, &mut StdRng) -> Vec<Vec<u32>>,
+) -> Vec<Vec<u32>> {
+    let mut walks = Vec::new();
+    for (idx, task) in tasks.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(SEED_MIX));
+        for w in gen(task, &mut rng) {
+            if w.len() >= 2 {
+                walks.push(w);
+            }
+        }
+    }
+    walks
+}
+
+/// Walk-by-walk, token-by-token comparison of a flat corpus against the
+/// nested reference.
+fn assert_bit_identical(corpus: &WalkCorpus, reference: &[Vec<u32>], what: &str) {
+    assert_eq!(corpus.len(), reference.len(), "{what}: walk count");
+    for (w, (got, want)) in corpus.iter().zip(reference).enumerate() {
+        assert_eq!(got, &want[..], "{what}: walk {w}");
+    }
+}
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Random connected-ish bipartite weighted network (one heter-view, so the
+/// correlated walker exercises its π₂ factor).
+fn arb_net() -> impl Strategy<Value = HetNet> {
+    (
+        2usize..8,
+        2usize..8,
+        proptest::collection::vec((0usize..64, 0usize..64, 1u32..9), 4..40),
+    )
+        .prop_map(|(na, nb, raw)| {
+            let mut b = HetNetBuilder::new();
+            let ta = b.add_node_type("a");
+            let tb = b.add_node_type("b");
+            let e = b.add_edge_type("ab", ta, tb);
+            let xs = b.add_nodes(ta, na);
+            let ys = b.add_nodes(tb, nb);
+            for i in 0..na.max(nb) {
+                b.add_edge(xs[i % na], ys[i % nb], e, 1.0).unwrap();
+            }
+            for (u, v, w) in raw {
+                let _ = b.add_edge(xs[u % na], ys[v % nb], e, w as f32);
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    /// Correlated walker: degree-biased corpus, flat == nested reference
+    /// for any thread count.
+    #[test]
+    fn correlated_flat_matches_nested(net in arb_net(), seed in 0u64..1000) {
+        let views = net.views();
+        let v = &views[0];
+        let base = WalkConfig {
+            length: 8,
+            min_walks_per_node: 1,
+            max_walks_per_node: 3,
+            seed,
+            threads: 1,
+        };
+        let walker = CorrelatedWalker::new(v, base);
+        let tasks: Vec<(u32, usize)> = walker.degree_tasks();
+        let reference = nested_reference(&tasks, seed, |&(n, k), rng| {
+            (0..k).map(|_| walker.walk_from(n, rng)).collect()
+        });
+        for threads in THREAD_COUNTS {
+            let cfg = WalkConfig { threads, ..base };
+            let corpus = CorrelatedWalker::new(v, cfg).generate();
+            assert_bit_identical(&corpus, &reference, &format!("correlated t={threads}"));
+        }
+    }
+
+    /// Simple walker: random starts drawn from the same per-task streams.
+    #[test]
+    fn simple_flat_matches_nested(net in arb_net(), seed in 0u64..1000) {
+        let views = net.views();
+        let v = &views[0];
+        let base = WalkConfig {
+            length: 8,
+            min_walks_per_node: 1,
+            max_walks_per_node: 3,
+            seed,
+            threads: 1,
+        };
+        let walker = SimpleWalker::new(v, base);
+        let total_walks: usize = (0..v.num_nodes() as u32)
+            .map(|l| base.walks_for_degree(v.degree(l)))
+            .sum();
+        let tasks: Vec<u32> = (0..total_walks as u32).collect();
+        let n = v.num_nodes() as u32;
+        let reference = nested_reference(&tasks, seed, |_, rng| {
+            use rand::Rng;
+            let start = rng.random_range(0..n);
+            vec![walker.walk_from(start, rng)]
+        });
+        for threads in THREAD_COUNTS {
+            let cfg = WalkConfig { threads, ..base };
+            let corpus = SimpleWalker::new(v, cfg).generate();
+            assert_bit_identical(&corpus, &reference, &format!("simple t={threads}"));
+        }
+    }
+
+    /// Node2Vec walker over the global adjacency.
+    #[test]
+    fn node2vec_flat_matches_nested(net in arb_net(), seed in 0u64..1000) {
+        let adj = net.global_adj();
+        let base = WalkConfig { length: 8, seed, threads: 1, ..WalkConfig::for_tests() };
+        let walker = Node2VecWalker::new(adj, 0.5, 2.0, base);
+        let walks_per_node = 2usize;
+        let tasks: Vec<u32> = (0..adj.num_nodes() as u32)
+            .filter(|&n| adj.degree(n as usize) > 0)
+            .collect();
+        let reference = nested_reference(&tasks, seed, |&n, rng| {
+            (0..walks_per_node).map(|_| walker.walk_from(n, rng)).collect()
+        });
+        for threads in THREAD_COUNTS {
+            let cfg = WalkConfig { threads, ..base };
+            let corpus = Node2VecWalker::new(adj, 0.5, 2.0, cfg).generate(walks_per_node);
+            assert_bit_identical(&corpus, &reference, &format!("node2vec t={threads}"));
+        }
+    }
+}
+
+/// Metapath walker on a fixed academic network (needs a typed schema, so
+/// no random-net strategy; seeds still sweep).
+#[test]
+fn metapath_flat_matches_nested() {
+    let mut b = HetNetBuilder::new();
+    let a = b.add_node_type("author");
+    let p = b.add_node_type("paper");
+    let v = b.add_node_type("venue");
+    let ap = b.add_edge_type("writes", a, p);
+    let pv = b.add_edge_type("published", p, v);
+    let authors = b.add_nodes(a, 6);
+    let papers = b.add_nodes(p, 6);
+    let venues = b.add_nodes(v, 2);
+    for i in 0..6 {
+        b.add_edge(authors[i], papers[i], ap, 1.0).unwrap();
+        b.add_edge(authors[i], papers[(i + 1) % 6], ap, 2.0).unwrap();
+        b.add_edge(papers[i], venues[i % 2], pv, 1.0).unwrap();
+    }
+    let net = b.build().unwrap();
+    let head = net.schema().node_type_by_name("author").unwrap();
+    for seed in [0u64, 7, 42, 1234] {
+        let base = WalkConfig { length: 9, seed, threads: 1, ..WalkConfig::for_tests() };
+        let walker = MetapathWalker::from_names(
+            &net,
+            &["author", "paper", "venue", "paper", "author"],
+            base,
+        );
+        let walks_per_node = 3usize;
+        let starts: Vec<NodeId> = net.nodes_of_type(head).collect();
+        let reference = nested_reference(&starts, seed, |&n, rng| {
+            (0..walks_per_node).map(|_| walker.walk_from(n, rng)).collect()
+        });
+        for threads in THREAD_COUNTS {
+            let cfg = WalkConfig { threads, ..base };
+            let corpus = MetapathWalker::from_names(
+                &net,
+                &["author", "paper", "venue", "paper", "author"],
+                cfg,
+            )
+            .generate(walks_per_node);
+            assert_bit_identical(
+                &corpus,
+                &reference,
+                &format!("metapath seed={seed} t={threads}"),
+            );
+        }
+    }
+}
+
+/// `from_walks` round-trip: the source-compat constructor flattens nested
+/// walks into the identical token sequence.
+#[test]
+fn from_walks_round_trips_nested_content() {
+    let nested = vec![vec![3u32, 1, 4], vec![1, 5], vec![9, 2, 6, 5], vec![42]];
+    let corpus = WalkCorpus::from_walks(nested.clone());
+    assert_eq!(corpus.len(), nested.len());
+    for (got, want) in corpus.iter().zip(&nested) {
+        assert_eq!(got, &want[..]);
+    }
+    assert_eq!(
+        corpus.total_tokens(),
+        nested.iter().map(Vec::len).sum::<usize>()
+    );
+}

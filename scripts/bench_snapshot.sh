@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# Record the kernel-layer perf trajectory (ISSUE 3): run the micro-bench
-# suite in quick mode and write BENCH_kernels.json at the repo root.
+# Record the perf trajectory in-repo: run the self-timing snapshot binaries
+# and write BENCH_kernels.json (ISSUE 3, kernel layer) and BENCH_walks.json
+# (ISSUE 4, flat walk-corpus arena) at the repo root.
 #
-# The JSON itself comes from the self-timing `kernel_snapshot` binary
-# (plain Instant-based timing, no criterion dependency), so it works in
-# offline environments where the criterion harness is stubbed. When real
-# criterion is available the quick-mode bench run gives the statistical
-# cross-check on the same comparisons (target/criterion/**/estimates.json).
+# The JSON comes from self-timing binaries (plain Instant-based timing, no
+# criterion dependency), so it works in offline environments where the
+# criterion harness is stubbed. When real criterion is available the
+# quick-mode bench runs give the statistical cross-check on the same
+# comparisons (target/criterion/**/estimates.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_kernels.json}"
+WALKS_OUT="${2:-BENCH_walks.json}"
 
 cargo run --release -p transn-bench --bin kernel_snapshot -- "$OUT"
+cargo run --release -p transn-bench --bin walks_snapshot -- "$WALKS_OUT"
 
 # Best-effort criterion pass (quick mode); harmless no-op with the offline
 # criterion stub, which runs each closure once without timing.
 cargo bench -p transn-bench --bench matrix -- --quick 2>/dev/null || true
+cargo bench -p transn-bench --bench walks -- --quick 2>/dev/null || true
 
-echo "snapshot written to $OUT"
+echo "snapshots written to $OUT and $WALKS_OUT"
