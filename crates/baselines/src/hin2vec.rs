@@ -130,8 +130,12 @@ impl EmbeddingMethod for Hin2Vec {
 
         // --- Model parameters. ---
         let half = 0.5 / dim as f32;
-        let mut node_emb: Vec<f32> = (0..n * dim).map(|_| rng.random_range(-half..half)).collect();
-        let mut rel_emb: Vec<f32> = (0..n_rel * dim).map(|_| rng.random_range(-half..half)).collect();
+        let mut node_emb: Vec<f32> = (0..n * dim)
+            .map(|_| rng.random_range(-half..half))
+            .collect();
+        let mut rel_emb: Vec<f32> = (0..n_rel * dim)
+            .map(|_| rng.random_range(-half..half))
+            .collect();
 
         if triples.is_empty() {
             return NodeEmbeddings::from_flat(n, dim, node_emb);
@@ -148,20 +152,17 @@ impl EmbeddingMethod for Hin2Vec {
             for epoch in 0..self.epochs {
                 run_shards(num_shards, self.parallelism, |s| {
                     // Shuffle the shard's own triples per epoch.
-                    let mut order: Vec<usize> =
-                        (s..triples.len()).step_by(num_shards).collect();
+                    let mut order: Vec<usize> = (s..triples.len()).step_by(num_shards).collect();
                     let shard_total = (order.len() * self.epochs).max(1);
                     let mut erng = StdRng::seed_from_u64(
-                        seed ^ (epoch as u64 + 1)
-                            ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        seed ^ (epoch as u64 + 1) ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     );
                     for i in (1..order.len()).rev() {
                         let j = erng.random_range(0..=i);
                         order.swap(i, j);
                     }
                     for (step, &idx) in (epoch * order.len()..).zip(order.iter()) {
-                        let lr =
-                            self.lr0 * (1.0 - step as f32 / shard_total as f32).max(1e-3);
+                        let lr = self.lr0 * (1.0 - step as f32 / shard_total as f32).max(1e-3);
                         let (x, y, r) = triples[idx];
                         for k in 0..=self.negatives {
                             let (yy, label) = if k == 0 {
@@ -219,7 +220,11 @@ fn train_triple(
     }
     let g = (fast_sigmoid(s) - label) * lr;
     for k in 0..dim {
-        let (xv, yv, rv) = (node_emb.load(xo + k), node_emb.load(yo + k), rel_emb.load(ro + k));
+        let (xv, yv, rv) = (
+            node_emb.load(xo + k),
+            node_emb.load(yo + k),
+            rel_emb.load(ro + k),
+        );
         let rs = fast_sigmoid(rv);
         // `add` (read-modify-write) rather than storing values derived from
         // the captured xv/yv: when `x == y` both updates hit the same slot
@@ -283,7 +288,8 @@ mod tests {
         for c in 0..2usize {
             for x in 0..4 {
                 for y in 0..3 {
-                    b.add_edge(users[c * 4 + x], items[c * 3 + y], e, 1.0).unwrap();
+                    b.add_edge(users[c * 4 + x], items[c * 3 + y], e, 1.0)
+                        .unwrap();
                 }
             }
         }
@@ -318,11 +324,7 @@ mod tests {
             for (k, &nb) in adj.neighbors(node).iter().enumerate() {
                 let t = at.type_of(node, k);
                 assert!(net
-                    .edge_weight(
-                        NodeId(node as u32),
-                        NodeId(nb),
-                        transn_graph::EdgeTypeId(t)
-                    )
+                    .edge_weight(NodeId(node as u32), NodeId(nb), transn_graph::EdgeTypeId(t))
                     .is_some());
             }
         }
@@ -369,8 +371,13 @@ mod tests {
         let e2 = b.add_edge_type("b", t, t);
         let nodes = b.add_nodes(t, 6);
         for i in 0..5 {
-            b.add_edge(nodes[i], nodes[i + 1], if i % 2 == 0 { e1 } else { e2 }, 1.0)
-                .unwrap();
+            b.add_edge(
+                nodes[i],
+                nodes[i + 1],
+                if i % 2 == 0 { e1 } else { e2 },
+                1.0,
+            )
+            .unwrap();
         }
         let net = b.build().unwrap();
         let emb = Hin2Vec {

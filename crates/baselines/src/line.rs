@@ -52,7 +52,9 @@ impl EmbeddingMethod for Line {
 
         // Vertex (input) and context (output) tables.
         let half = 0.5 / dim as f32;
-        let mut vert: Vec<f32> = (0..n * dim).map(|_| rng.random_range(-half..half)).collect();
+        let mut vert: Vec<f32> = (0..n * dim)
+            .map(|_| rng.random_range(-half..half))
+            .collect();
         let mut ctx: Vec<f32> = vec![0.0; n * dim];
 
         if net.num_edges() == 0 {
@@ -120,7 +122,8 @@ mod tests {
         for c in 0..2 {
             for x in 0..5 {
                 for y in (x + 1)..5 {
-                    b.add_edge(nodes[c * 5 + x], nodes[c * 5 + y], e, 1.0).unwrap();
+                    b.add_edge(nodes[c * 5 + x], nodes[c * 5 + y], e, 1.0)
+                        .unwrap();
                 }
             }
         }

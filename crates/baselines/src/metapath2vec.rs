@@ -109,7 +109,8 @@ mod tests {
             for i in 0..4 {
                 let author = authors[c * 4 + i];
                 b.add_edge(author, papers[c * 4 + i], ap, 1.0).unwrap();
-                b.add_edge(author, papers[c * 4 + (i + 1) % 4], ap, 1.0).unwrap();
+                b.add_edge(author, papers[c * 4 + (i + 1) % 4], ap, 1.0)
+                    .unwrap();
                 b.add_edge(papers[c * 4 + i], venues[c], pv, 1.0).unwrap();
             }
         }
@@ -124,9 +125,7 @@ mod tests {
             walks_per_node: 20,
             walk_length: 21,
             epochs: 4,
-            ..Metapath2Vec::with_metapath(vec![
-                "author", "paper", "venue", "paper", "author",
-            ])
+            ..Metapath2Vec::with_metapath(vec!["author", "paper", "venue", "paper", "author"])
         };
         let emb = m2v.embed(&net, 13);
         let groups: Vec<(NodeId, usize)> =

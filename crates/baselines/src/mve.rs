@@ -163,10 +163,12 @@ mod tests {
         for c in 0..2usize {
             for x in 0..4 {
                 for y in (x + 1)..4 {
-                    b.add_edge(users[c * 4 + x], users[c * 4 + y], uu, 1.0).unwrap();
+                    b.add_edge(users[c * 4 + x], users[c * 4 + y], uu, 1.0)
+                        .unwrap();
                 }
                 b.add_edge(users[c * 4 + x], kws[c * 2], uk, 1.0).unwrap();
-                b.add_edge(users[c * 4 + x], kws[c * 2 + 1], uk, 1.0).unwrap();
+                b.add_edge(users[c * 4 + x], kws[c * 2 + 1], uk, 1.0)
+                    .unwrap();
             }
         }
         b.add_edge(users[0], users[4], uu, 1.0).unwrap();

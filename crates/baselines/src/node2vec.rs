@@ -114,7 +114,8 @@ mod tests {
         for c in 0..2 {
             for x in 0..5 {
                 for y in (x + 1)..5 {
-                    b.add_edge(nodes[c * 5 + x], nodes[c * 5 + y], e, 1.0).unwrap();
+                    b.add_edge(nodes[c * 5 + x], nodes[c * 5 + y], e, 1.0)
+                        .unwrap();
                 }
             }
         }

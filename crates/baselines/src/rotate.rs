@@ -58,7 +58,9 @@ impl EmbeddingMethod for RotatE {
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = 1.0 / (dc as f32).sqrt();
         // Interleaved (re, im) entity storage.
-        let mut ent: Vec<f32> = (0..n * dc * 2).map(|_| rng.random_range(-bound..bound)).collect();
+        let mut ent: Vec<f32> = (0..n * dc * 2)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
         // Relation phases.
         let mut phase: Vec<f32> = (0..n_rel * dc)
             .map(|_| rng.random_range(-std::f32::consts::PI..std::f32::consts::PI))
@@ -92,7 +94,16 @@ impl EmbeddingMethod for RotatE {
 impl RotatE {
     /// One logistic step on a (possibly corrupted) triple.
     #[allow(clippy::too_many_arguments)]
-    fn step(&self, ent: &mut [f32], phase: &mut [f32], dc: usize, h: u32, r: usize, t: u32, label: f32) {
+    fn step(
+        &self,
+        ent: &mut [f32],
+        phase: &mut [f32],
+        dc: usize,
+        h: u32,
+        r: usize,
+        t: u32,
+        label: f32,
+    ) {
         let ho = h as usize * dc * 2;
         let to = t as usize * dc * 2;
         let ro = r * dc;
@@ -150,7 +161,8 @@ mod tests {
             for i in 0..12 {
                 for j in (i + 1)..12 {
                     if rng.random::<f64>() < 0.35 {
-                        b.add_edge(nodes[c * 12 + i], nodes[c * 12 + j], e, 1.0).unwrap();
+                        b.add_edge(nodes[c * 12 + i], nodes[c * 12 + j], e, 1.0)
+                            .unwrap();
                     }
                 }
             }
@@ -169,7 +181,9 @@ mod tests {
         };
         let dc = 4usize;
         let mut rng = StdRng::seed_from_u64(3);
-        let ent: Vec<f32> = (0..2 * dc * 2).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let ent: Vec<f32> = (0..2 * dc * 2)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
         let phase: Vec<f32> = (0..dc).map(|_| rng.random_range(-1.0..1.0)).collect();
         let dist2 = |phase: &[f32]| -> f32 {
             let mut acc = 0.0;

@@ -66,9 +66,12 @@ impl EmbeddingMethod for SimplE {
         let half = 1.0 / (k as f32).sqrt();
         let mut head: Vec<f32> = (0..n * k).map(|_| rng.random_range(-half..half)).collect();
         let mut tail: Vec<f32> = (0..n * k).map(|_| rng.random_range(-half..half)).collect();
-        let mut rel: Vec<f32> = (0..n_rel * k).map(|_| rng.random_range(-half..half)).collect();
-        let mut rel_inv: Vec<f32> =
-            (0..n_rel * k).map(|_| rng.random_range(-half..half)).collect();
+        let mut rel: Vec<f32> = (0..n_rel * k)
+            .map(|_| rng.random_range(-half..half))
+            .collect();
+        let mut rel_inv: Vec<f32> = (0..n_rel * k)
+            .map(|_| rng.random_range(-half..half))
+            .collect();
 
         let edges = net.edges();
         if !edges.is_empty() {
@@ -181,7 +184,8 @@ mod tests {
             for i in 0..16 {
                 for j in (i + 1)..16 {
                     if rng.random::<f64>() < 0.3 {
-                        b.add_edge(nodes[c * 16 + i], nodes[c * 16 + j], e, 1.0).unwrap();
+                        b.add_edge(nodes[c * 16 + i], nodes[c * 16 + j], e, 1.0)
+                            .unwrap();
                     }
                 }
             }

@@ -54,8 +54,12 @@ impl EmbeddingMethod for TransE {
         let n_rel = net.schema().num_edge_types().max(1);
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = 6.0 / (d as f32).sqrt();
-        let mut ent: Vec<f32> = (0..n * d).map(|_| rng.random_range(-bound..bound)).collect();
-        let mut rel: Vec<f32> = (0..n_rel * d).map(|_| rng.random_range(-bound..bound)).collect();
+        let mut ent: Vec<f32> = (0..n * d)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        let mut rel: Vec<f32> = (0..n_rel * d)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
         normalize_rows(&mut rel, d);
 
         let edges = net.edges();
@@ -150,7 +154,8 @@ mod tests {
             for i in 0..12 {
                 for j in (i + 1)..12 {
                     if rng.random::<f64>() < 0.35 {
-                        b.add_edge(nodes[c * 12 + i], nodes[c * 12 + j], e, 1.0).unwrap();
+                        b.add_edge(nodes[c * 12 + i], nodes[c * 12 + j], e, 1.0)
+                            .unwrap();
                     }
                 }
             }

@@ -18,7 +18,11 @@ fn bench_end_to_end(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("transn_one_iteration");
     group.sample_size(10);
-    for variant in [Variant::Full, Variant::WithoutCrossView, Variant::SimpleWalk] {
+    for variant in [
+        Variant::Full,
+        Variant::WithoutCrossView,
+        Variant::SimpleWalk,
+    ] {
         group.bench_function(format!("{variant:?}"), |b| {
             let cfg = cfg.with_variant(variant);
             b.iter(|| TransN::new(&ds.net, cfg).train());

@@ -16,19 +16,15 @@ fn bench_sgns(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("train_pair_by_dim");
     for dim in [32usize, 64, 128] {
-        group.bench_with_input(
-            BenchmarkId::new("negative_sampling", dim),
-            &dim,
-            |b, &d| {
-                let mut rng = StdRng::seed_from_u64(0);
-                let mut model = SgnsModel::new(n, d, &mut rng);
-                let mut i = 0u32;
-                b.iter(|| {
-                    i = (i + 1) % (n as u32 - 1);
-                    model.train_pair(i, i + 1, &noise, 5, 0.025, &mut rng)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("negative_sampling", dim), &dim, |b, &d| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut model = SgnsModel::new(n, d, &mut rng);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % (n as u32 - 1);
+                model.train_pair(i, i + 1, &noise, 5, 0.025, &mut rng)
+            });
+        });
         group.bench_with_input(
             BenchmarkId::new("hierarchical_softmax", dim),
             &dim,

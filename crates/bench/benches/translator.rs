@@ -70,19 +70,23 @@ fn bench_translator(c: &mut Criterion) {
                 }
             });
         });
-        group.bench_with_input(BenchmarkId::new("alloc_per_call", batch), &batch, |b, &batch| {
-            let mut rng = StdRng::seed_from_u64(7);
-            let mut t = Translator::near_identity(2, 8, &mut rng);
-            let a = rand_matrix(8, d, 1);
-            let g = rand_matrix(8, d, 2);
-            b.iter(|| {
-                for _ in 0..batch {
-                    let (_, mut cache) = t.forward(&a);
-                    let _ = t.backward(&mut cache, &g);
-                    t.zero_grad();
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("alloc_per_call", batch),
+            &batch,
+            |b, &batch| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut t = Translator::near_identity(2, 8, &mut rng);
+                let a = rand_matrix(8, d, 1);
+                let g = rand_matrix(8, d, 2);
+                b.iter(|| {
+                    for _ in 0..batch {
+                        let (_, mut cache) = t.forward(&a);
+                        let _ = t.backward(&mut cache, &g);
+                        t.zero_grad();
+                    }
+                });
+            },
+        );
     }
     group.finish();
 

@@ -106,7 +106,9 @@ fn bench_walkers(c: &mut Criterion) {
             for s in 0..num_shards {
                 let mut w = s;
                 while w < corpus.len() {
-                    context_pairs(corpus.walk(w), 2, |c, x| acc = acc.wrapping_add((c ^ x) as u64));
+                    context_pairs(corpus.walk(w), 2, |c, x| {
+                        acc = acc.wrapping_add((c ^ x) as u64)
+                    });
                     w += num_shards;
                 }
             }

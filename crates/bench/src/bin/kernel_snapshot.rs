@@ -273,7 +273,9 @@ fn main() {
         sections.join(",\n"),
         speedup_lines.join(", ")
     );
-    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".into());
     std::fs::write(&path, &json).expect("write BENCH_kernels.json");
     println!("wrote {path}");
 }

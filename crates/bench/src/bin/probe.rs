@@ -8,9 +8,7 @@
 use std::time::Instant;
 use transn_bench::harness::ablation_methods;
 use transn_bench::{default_methods, ExperimentScale};
-use transn_eval::{
-    auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit,
-};
+use transn_eval::{auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -271,7 +271,9 @@ impl<'a> Engine<'a> {
         let cfg = WalkConfig { threads: 4, ..cfg };
         let mut out = WalkCorpus::new();
         match self {
-            Engine::Correlated(w, _) => CorrelatedWalker::new(w.view(), cfg).generate_into(&mut out),
+            Engine::Correlated(w, _) => {
+                CorrelatedWalker::new(w.view(), cfg).generate_into(&mut out)
+            }
             Engine::Simple(w, _) => SimpleWalker::new(w.view(), cfg).generate_into(&mut out),
         }
         out
@@ -396,7 +398,10 @@ fn measure_config(key: &str, engine: &Engine<'_>, cfg: WalkConfig, window: usize
         black_box(&noise);
         iterate_nested(&nested, window)
     };
-    assert_eq!(acc_flat, acc_nested, "epoch pipelines must see identical pairs");
+    assert_eq!(
+        acc_flat, acc_nested,
+        "epoch pipelines must see identical pairs"
+    );
     assert_eq!(pairs, pairs_nested);
     let (flat_epoch_ns, nested_epoch_ns) = time_pair(
         || {
@@ -636,7 +641,9 @@ fn main() {
         heter.key,
         heter.bytes_ratio,
     );
-    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_walks.json".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_walks.json".into());
     std::fs::write(&path, &json).expect("write BENCH_walks.json");
     println!("wrote {path}");
 }

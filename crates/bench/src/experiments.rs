@@ -25,7 +25,11 @@ fn protocol(scale: ExperimentScale) -> ClassifyProtocol {
         // The paper repeats the 90/10 split ten times; five keeps the
         // single-core harness affordable with a standard error well below
         // the effects the tables report (EXPERIMENTS.md).
-        repeats: if scale == ExperimentScale::Smoke { 2 } else { 5 },
+        repeats: if scale == ExperimentScale::Smoke {
+            2
+        } else {
+            5
+        },
         ..ClassifyProtocol::default()
     }
 }
@@ -93,8 +97,24 @@ pub fn table3(scale: ExperimentScale) -> Grid {
                 t0.elapsed()
             );
             let (pm, pmi) = paper::TABLE3[ri][ci];
-            grid.push(ri, ci, Cell { metric: "macro-F1", ours: f.macro_f1, paper: pm });
-            grid.push(ri, ci, Cell { metric: "micro-F1", ours: f.micro_f1, paper: pmi });
+            grid.push(
+                ri,
+                ci,
+                Cell {
+                    metric: "macro-F1",
+                    ours: f.macro_f1,
+                    paper: pm,
+                },
+            );
+            grid.push(
+                ri,
+                ci,
+                Cell {
+                    metric: "micro-F1",
+                    ours: f.micro_f1,
+                    paper: pmi,
+                },
+            );
         }
     }
     println!("{}", grid.render());
@@ -125,7 +145,15 @@ pub fn table4(scale: ExperimentScale) -> Grid {
                 auc,
                 t0.elapsed()
             );
-            grid.push(ri, ci, Cell { metric: "AUC", ours: auc, paper: paper::TABLE4[ri][ci] });
+            grid.push(
+                ri,
+                ci,
+                Cell {
+                    metric: "AUC",
+                    ours: auc,
+                    paper: paper::TABLE4[ri][ci],
+                },
+            );
         }
     }
     println!("{}", grid.render());
@@ -157,8 +185,24 @@ pub fn table5(scale: ExperimentScale) -> Grid {
                 t0.elapsed()
             );
             let (pm, pmi) = paper::TABLE5[ri][ci];
-            grid.push(ri, ci, Cell { metric: "macro-F1", ours: f.macro_f1, paper: pm });
-            grid.push(ri, ci, Cell { metric: "micro-F1", ours: f.micro_f1, paper: pmi });
+            grid.push(
+                ri,
+                ci,
+                Cell {
+                    metric: "macro-F1",
+                    ours: f.macro_f1,
+                    paper: pm,
+                },
+            );
+            grid.push(
+                ri,
+                ci,
+                Cell {
+                    metric: "micro-F1",
+                    ours: f.micro_f1,
+                    paper: pmi,
+                },
+            );
         }
     }
     println!("{}", grid.render());
@@ -176,7 +220,11 @@ pub fn fig6(scale: ExperimentScale) {
     assert_eq!(d.name, "App-Daily");
 
     // 10 applets per category (fewer at smoke scale), deterministic order.
-    let per_cat = if scale == ExperimentScale::Smoke { 4 } else { 10 };
+    let per_cat = if scale == ExperimentScale::Smoke {
+        4
+    } else {
+        10
+    };
     let mut chosen: Vec<(NodeId, u32)> = Vec::new();
     let mut counts = vec![0usize; d.labels.num_classes()];
     for (n, c) in d.labels.labeled() {
@@ -211,7 +259,11 @@ pub fn fig6(scale: ExperimentScale) {
             &rows,
             &TsneConfig {
                 perplexity: 12.0,
-                iterations: if scale == ExperimentScale::Smoke { 150 } else { 600 },
+                iterations: if scale == ExperimentScale::Smoke {
+                    150
+                } else {
+                    600
+                },
                 ..Default::default()
             },
         );
@@ -296,11 +348,15 @@ pub fn scaling() {
             }
             let ms = time_cfg(cfg);
             println!("   {param} = {v:>4}: {ms:>6} ms");
-            points.push(Point { param: match param {
-                "walk length ρ" => "rho",
-                "dimension d" => "d",
-                _ => "H",
-            }, value: v, millis: ms });
+            points.push(Point {
+                param: match param {
+                    "walk length ρ" => "rho",
+                    "dimension d" => "d",
+                    _ => "H",
+                },
+                value: v,
+                millis: ms,
+            });
         }
     }
     println!(

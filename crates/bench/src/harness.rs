@@ -2,9 +2,7 @@
 //! experiment-scale hyper-parameters.
 
 use transn::{TransN, TransNConfig, Variant};
-use transn_baselines::{
-    EmbeddingMethod, Hin2Vec, Line, Metapath2Vec, Mve, Node2Vec, Rgcn, SimplE,
-};
+use transn_baselines::{EmbeddingMethod, Hin2Vec, Line, Metapath2Vec, Mve, Node2Vec, Rgcn, SimplE};
 use transn_graph::{HetNet, NodeEmbeddings};
 use transn_synth::Dataset;
 use transn_walks::WalkConfig;
@@ -126,9 +124,7 @@ impl MethodSpec {
             }
             .embed(net, seed),
             MethodSpec::TransN(variant) => {
-                let cfg = transn_config(scale)
-                    .with_variant(*variant)
-                    .with_seed(seed);
+                let cfg = transn_config(scale).with_variant(*variant).with_seed(seed);
                 TransN::new(net, cfg).train()
             }
         }

@@ -20,21 +20,61 @@ pub const METHODS: [&str; 8] = [
 /// dataset (rows follow [`METHODS`], columns follow [`DATASETS`]).
 pub const TABLE3: [[(f64, f64); 4]; 8] = [
     // LINE
-    [(0.7216, 0.7683), (0.2086, 0.4373), (0.1261, 0.2564), (0.1238, 0.2310)],
+    [
+        (0.7216, 0.7683),
+        (0.2086, 0.4373),
+        (0.1261, 0.2564),
+        (0.1238, 0.2310),
+    ],
     // Node2Vec
-    [(0.7056, 0.7861), (0.2312, 0.4502), (0.1277, 0.2424), (0.1209, 0.2341)],
+    [
+        (0.7056, 0.7861),
+        (0.2312, 0.4502),
+        (0.1277, 0.2424),
+        (0.1209, 0.2341),
+    ],
     // Metapath2Vec
-    [(0.7869, 0.8086), (0.2763, 0.4680), (0.1875, 0.3636), (0.1757, 0.3235)],
+    [
+        (0.7869, 0.8086),
+        (0.2763, 0.4680),
+        (0.1875, 0.3636),
+        (0.1757, 0.3235),
+    ],
     // HIN2VEC
-    [(0.7998, 0.8672), (0.3069, 0.4774), (0.1731, 0.3333), (0.1472, 0.3235)],
+    [
+        (0.7998, 0.8672),
+        (0.3069, 0.4774),
+        (0.1731, 0.3333),
+        (0.1472, 0.3235),
+    ],
     // MVE
-    [(0.7603, 0.8578), (0.2590, 0.4538), (0.1567, 0.2727), (0.1288, 0.2924)],
+    [
+        (0.7603, 0.8578),
+        (0.2590, 0.4538),
+        (0.1567, 0.2727),
+        (0.1288, 0.2924),
+    ],
     // R-GCN
-    [(0.8325, 0.8939), (0.2860, 0.4633), (0.1833, 0.3429), (0.1637, 0.2737)],
+    [
+        (0.8325, 0.8939),
+        (0.2860, 0.4633),
+        (0.1833, 0.3429),
+        (0.1637, 0.2737),
+    ],
     // SimplE
-    [(0.7927, 0.8097), (0.3036, 0.4648), (0.1648, 0.3011), (0.1292, 0.2986)],
+    [
+        (0.7927, 0.8097),
+        (0.3036, 0.4648),
+        (0.1648, 0.3011),
+        (0.1292, 0.2986),
+    ],
     // TransN
-    [(0.8465, 0.9176), (0.3230, 0.4840), (0.3713, 0.5758), (0.3016, 0.4706)],
+    [
+        (0.8465, 0.9176),
+        (0.3230, 0.4840),
+        (0.3713, 0.5758),
+        (0.3016, 0.4706),
+    ],
 ];
 
 /// Table IV — link prediction AUC (rows follow [`METHODS`], columns follow
@@ -63,12 +103,42 @@ pub const TABLE5_VARIANTS: [&str; 6] = [
 /// Table V — ablation node classification, `(macro_f1, micro_f1)` (rows
 /// follow [`TABLE5_VARIANTS`], columns follow [`DATASETS`]).
 pub const TABLE5: [[(f64, f64); 4]; 6] = [
-    [(0.7415, 0.8573), (0.3021, 0.4694), (0.1197, 0.1818), (0.1310, 0.2647)],
-    [(0.7725, 0.8776), (0.3194, 0.4715), (0.2945, 0.3697), (0.2237, 0.3994)],
-    [(0.7761, 0.8690), (0.3159, 0.4752), (0.2591, 0.3636), (0.2235, 0.3588)],
-    [(0.7778, 0.8706), (0.3200, 0.4769), (0.2402, 0.4061), (0.2277, 0.4176)],
-    [(0.7490, 0.8549), (0.3072, 0.4770), (0.2476, 0.3939), (0.2360, 0.3706)],
-    [(0.8465, 0.9176), (0.3230, 0.4840), (0.3713, 0.5758), (0.3016, 0.4706)],
+    [
+        (0.7415, 0.8573),
+        (0.3021, 0.4694),
+        (0.1197, 0.1818),
+        (0.1310, 0.2647),
+    ],
+    [
+        (0.7725, 0.8776),
+        (0.3194, 0.4715),
+        (0.2945, 0.3697),
+        (0.2237, 0.3994),
+    ],
+    [
+        (0.7761, 0.8690),
+        (0.3159, 0.4752),
+        (0.2591, 0.3636),
+        (0.2235, 0.3588),
+    ],
+    [
+        (0.7778, 0.8706),
+        (0.3200, 0.4769),
+        (0.2402, 0.4061),
+        (0.2277, 0.4176),
+    ],
+    [
+        (0.7490, 0.8549),
+        (0.3072, 0.4770),
+        (0.2476, 0.3939),
+        (0.2360, 0.3706),
+    ],
+    [
+        (0.8465, 0.9176),
+        (0.3230, 0.4840),
+        (0.3713, 0.5758),
+        (0.3016, 0.4706),
+    ],
 ];
 
 /// Table II — `(nodes, edges, labeled)` per dataset at the paper's scale.

@@ -143,10 +143,42 @@ mod tests {
             vec!["D1".into(), "D2".into()],
             vec!["A".into(), "B".into()],
         );
-        g.push(0, 0, Cell { metric: "auc", ours: 0.9, paper: 0.8 });
-        g.push(0, 1, Cell { metric: "auc", ours: 0.4, paper: 0.8 });
-        g.push(1, 0, Cell { metric: "auc", ours: 0.5, paper: 0.7 });
-        g.push(1, 1, Cell { metric: "auc", ours: 0.6, paper: 0.7 });
+        g.push(
+            0,
+            0,
+            Cell {
+                metric: "auc",
+                ours: 0.9,
+                paper: 0.8,
+            },
+        );
+        g.push(
+            0,
+            1,
+            Cell {
+                metric: "auc",
+                ours: 0.4,
+                paper: 0.8,
+            },
+        );
+        g.push(
+            1,
+            0,
+            Cell {
+                metric: "auc",
+                ours: 0.5,
+                paper: 0.7,
+            },
+        );
+        g.push(
+            1,
+            1,
+            Cell {
+                metric: "auc",
+                ours: 0.6,
+                paper: 0.7,
+            },
+        );
         g
     }
 

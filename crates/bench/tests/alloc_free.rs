@@ -59,16 +59,24 @@ fn cross_view_hot_loop_is_allocation_free_after_warmup() {
     let mut t_bwd = Translator::near_identity(DEPTH, LEN, &mut rng);
 
     // Two fake view embedding tables.
-    let mut table_src: Vec<f32> = (0..NODES * DIM).map(|_| rng.random_range(-0.5..0.5)).collect();
-    let mut table_dst: Vec<f32> = (0..NODES * DIM).map(|_| rng.random_range(-0.5..0.5)).collect();
+    let mut table_src: Vec<f32> = (0..NODES * DIM)
+        .map(|_| rng.random_range(-0.5..0.5))
+        .collect();
+    let mut table_dst: Vec<f32> = (0..NODES * DIM)
+        .map(|_| rng.random_range(-0.5..0.5))
+        .collect();
     let src_emb = EmbSlot::new(&mut table_src, DIM);
     let dst_emb = EmbSlot::new(&mut table_dst, DIM);
 
     // Pre-sampled segments (sampling is outside the asserted loop).
     let segments: Vec<(Vec<u32>, Vec<u32>)> = (0..16)
         .map(|_| {
-            let src = (0..LEN).map(|_| rng.random_range(0..NODES as u32)).collect();
-            let dst = (0..LEN).map(|_| rng.random_range(0..NODES as u32)).collect();
+            let src = (0..LEN)
+                .map(|_| rng.random_range(0..NODES as u32))
+                .collect();
+            let dst = (0..LEN)
+                .map(|_| rng.random_range(0..NODES as u32))
+                .collect();
             (src, dst)
         })
         .collect();

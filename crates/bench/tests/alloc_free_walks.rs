@@ -89,6 +89,7 @@ fn warmed_walk_to_pair_epoch_is_allocation_free() {
     // scratch; touches every code path once.
     walker.generate_tasks_into(&tasks, &mut corpus);
     assert!(!corpus.is_empty());
+    transn_testkit::check_corpus_offsets("warmed walk arena", &corpus).unwrap();
     let noise = NoiseTable::from_corpus(&corpus, uk.num_nodes());
     let warm_loss = model.train_corpus_ws(&corpus, &noise, &sgns_cfg, &mut ws);
     assert!(warm_loss.is_finite());
@@ -103,6 +104,8 @@ fn warmed_walk_to_pair_epoch_is_allocation_free() {
     }
     let after = ALLOCS.load(Ordering::SeqCst);
     assert!(loss.is_finite());
+    transn_testkit::check_corpus_offsets("regenerated walk arena", &corpus).unwrap();
+    transn_testkit::check_finite("sgns input table after epochs", model.input_table()).unwrap();
     assert_eq!(
         after - before,
         0,

@@ -2,9 +2,7 @@
 
 use crate::args::Args;
 use transn::{Parallelism, TransN, TransNConfig, Variant};
-use transn_eval::{
-    auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit,
-};
+use transn_eval::{auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit};
 use transn_graph::io;
 use transn_graph::{NodeEmbeddings, NodeId};
 
@@ -34,7 +32,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 }
 
 fn generate(args: &Args) -> Result<(), String> {
-    let which = args.pos(1).ok_or_else(|| format!("missing dataset\n{USAGE}"))?;
+    let which = args
+        .pos(1)
+        .ok_or_else(|| format!("missing dataset\n{USAGE}"))?;
     let out = std::path::PathBuf::from(args.require("out")?);
     let seed: u64 = args.get_parse("seed", 42)?;
     let tiny = args.flag("tiny");
@@ -93,7 +93,8 @@ fn parse_parallelism(args: &Args) -> Result<Parallelism, String> {
 }
 
 fn train(args: &Args) -> Result<(), String> {
-    let net = io::load_network(args.require("net")?).map_err(|e| e.to_string())?;
+    // Validate arguments before touching the filesystem, so a bad flag is
+    // reported as itself rather than masked by an I/O error.
     let out = args.require("out")?;
     let mut cfg = TransNConfig {
         dim: args.get_parse("dim", 64)?,
@@ -105,6 +106,7 @@ fn train(args: &Args) -> Result<(), String> {
     if let Some(v) = args.get("variant") {
         cfg.variant = parse_variant(v)?;
     }
+    let net = io::load_network(args.require("net")?).map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
     let trainer = TransN::new(&net, cfg);
     println!(
@@ -146,16 +148,16 @@ fn classify(args: &Args) -> Result<(), String> {
 }
 
 fn linkpred(args: &Args) -> Result<(), String> {
-    let net = io::load_network(args.require("net")?).map_err(|e| e.to_string())?;
     let remove: f64 = args.get_parse("remove", 0.4)?;
     let seed: u64 = args.get_parse("seed", 1234)?;
-    let split = LinkPredSplit::new(&net, remove, seed);
     let cfg = TransNConfig {
         dim: args.get_parse("dim", 64)?,
         parallelism: parse_parallelism(args)?,
         ..TransNConfig::default()
     }
     .with_seed(seed);
+    let net = io::load_network(args.require("net")?).map_err(|e| e.to_string())?;
+    let split = LinkPredSplit::new(&net, remove, seed);
     let emb = TransN::new(&split.train_net, cfg).train();
     let auc = auc_for_embeddings(&split, &emb);
     println!(
@@ -239,9 +241,8 @@ mod tests {
 
     #[test]
     fn parallelism_flags() {
-        let parse = |s: &str| {
-            Args::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
-        };
+        let parse =
+            |s: &str| Args::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>());
         assert_eq!(
             parse_parallelism(&parse("train")).unwrap(),
             Parallelism::hogwild(1)
@@ -271,8 +272,14 @@ mod tests {
             "classify --embeddings {dirs}/emb.tsv --labels {dirs}/labels.tsv --repeats 1"
         ))
         .unwrap();
-        run_str(&format!("stats --net {dirs}/network.tsv --labels {dirs}/labels.tsv")).unwrap();
-        run_str(&format!("neighbors --embeddings {dirs}/emb.tsv --node 0 --top 3")).unwrap();
+        run_str(&format!(
+            "stats --net {dirs}/network.tsv --labels {dirs}/labels.tsv"
+        ))
+        .unwrap();
+        run_str(&format!(
+            "neighbors --embeddings {dirs}/emb.tsv --node 0 --top 3"
+        ))
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

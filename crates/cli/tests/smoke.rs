@@ -1,0 +1,193 @@
+//! End-to-end smoke tests that spawn the real `transn` binary.
+//!
+//! Unlike the in-process tests in `commands.rs`, these exercise the whole
+//! surface a user sees: argv parsing, exit codes, stderr formatting, and
+//! the files left on disk.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn transn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_transn"))
+        .args(args)
+        .output()
+        .expect("spawn transn binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A per-test scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("transn-smoke-{name}-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, file: &str) -> String {
+        self.0.join(file).display().to_string()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn no_args_prints_usage_and_exits_nonzero() {
+    let out = transn(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_command_is_a_readable_error() {
+    let out = transn(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("unknown command"), "{err}");
+}
+
+#[test]
+fn zero_threads_is_rejected() {
+    let out = transn(&[
+        "train",
+        "--net",
+        "x.tsv",
+        "--out",
+        "y.tsv",
+        "--threads",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--threads"), "{}", stderr(&out));
+}
+
+#[test]
+fn malformed_edge_list_fails_with_line_context() {
+    let scratch = Scratch::new("malformed");
+    let net = scratch.path("bad.tsv");
+    fs::write(
+        &net,
+        "# transn heterogeneous edge list v1\n\
+         nodetype\t0\tuser\n\
+         edgetype\t0\tknows\t0\t0\n\
+         node\t0\t0\n\
+         node\t1\t0\n\
+         edge\t0\t1\t0\tNaN\n",
+    )
+    .unwrap();
+    let out = transn(&["train", "--net", &net, "--out", &scratch.path("emb.tsv")]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("error:"), "{err}");
+    assert!(
+        err.contains("line 6"),
+        "error should name the bad line: {err}"
+    );
+    assert!(err.contains("weight"), "error should name the cause: {err}");
+}
+
+#[test]
+fn truncated_edge_list_fails_with_line_context() {
+    let scratch = Scratch::new("truncated");
+    let net = scratch.path("cut.tsv");
+    fs::write(
+        &net,
+        "# transn heterogeneous edge list v1\n\
+         nodetype\t0\tuser\n\
+         edgetype\t0\tknows\t0\t0\n\
+         node\t0\t0\n\
+         node\t1\t0\n\
+         edge\t0\t1\n",
+    )
+    .unwrap();
+    let out = transn(&["stats", "--net", &net]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("line 6"), "{err}");
+}
+
+#[test]
+fn generate_train_classify_roundtrip() {
+    let scratch = Scratch::new("roundtrip");
+    let dir = scratch.path("");
+    let out = transn(&["generate", "aminer", "--tiny", "--out", &dir, "--seed", "3"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let net = scratch.path("network.tsv");
+    let labels = scratch.path("labels.tsv");
+    let emb = scratch.path("emb.tsv");
+    let out = transn(&[
+        "train",
+        "--net",
+        &net,
+        "--out",
+        &emb,
+        "--dim",
+        "8",
+        "--iterations",
+        "1",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(fs::metadata(&emb).map(|m| m.len() > 0).unwrap_or(false));
+    let out = transn(&[
+        "classify",
+        "--embeddings",
+        &emb,
+        "--labels",
+        &labels,
+        "--repeats",
+        "1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let report = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        report.contains("micro"),
+        "classify should report F1: {report}"
+    );
+}
+
+#[test]
+fn strict_determinism_survives_thread_count_changes() {
+    let scratch = Scratch::new("strict");
+    let dir = scratch.path("");
+    let out = transn(&["generate", "aminer", "--tiny", "--out", &dir, "--seed", "5"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let net = scratch.path("network.tsv");
+    let mut embs = Vec::new();
+    for threads in ["2", "4"] {
+        let emb = scratch.path(&format!("emb-{threads}.tsv"));
+        let out = transn(&[
+            "train",
+            "--net",
+            &net,
+            "--out",
+            &emb,
+            "--dim",
+            "8",
+            "--iterations",
+            "1",
+            "--seed",
+            "11",
+            "--threads",
+            threads,
+            "--strict-determinism",
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        embs.push(fs::read(&emb).unwrap());
+    }
+    assert!(
+        embs[0] == embs[1],
+        "--strict-determinism must make --threads 2 and --threads 4 byte-identical"
+    );
+}

@@ -359,8 +359,26 @@ impl CrossPair {
             ..cfg.walk
         };
         let want = cfg.cross_paths;
-        let segs_i = sample_segments(&self.sub_i, &self.map_i, &self.starts_i, &walk_cfg, cfg, want, &mut rng, false);
-        let segs_j = sample_segments(&self.sub_j, &self.map_j, &self.starts_j, &walk_cfg, cfg, want, &mut rng, true);
+        let segs_i = sample_segments(
+            &self.sub_i,
+            &self.map_i,
+            &self.starts_i,
+            &walk_cfg,
+            cfg,
+            want,
+            &mut rng,
+            false,
+        );
+        let segs_j = sample_segments(
+            &self.sub_j,
+            &self.map_j,
+            &self.starts_j,
+            &walk_cfg,
+            cfg,
+            want,
+            &mut rng,
+            true,
+        );
 
         let adam = AdamConfig {
             lr: cfg.lr_cross,
@@ -422,7 +440,9 @@ impl CrossPair {
         // Translation task (Eq. 11/12): T(A) should match the target
         // view's embeddings of the same nodes.
         if cfg.variant.uses_translation_tasks() {
-            loss += cfg.loss.eval_into(x1, &cw.target, &mut cw.d_lx, &mut cw.d_lt);
+            loss += cfg
+                .loss
+                .eval_into(x1, &cw.target, &mut cw.d_lx, &mut cw.d_lt);
             cw.d_x1.add_assign(&cw.d_lx);
             dst_emb.scatter(&seg.dst, &cw.d_lt, cfg.lr_cross_emb);
         }
@@ -527,7 +547,8 @@ mod tests {
         for c in 0..2 {
             for x in 0..4 {
                 for y in (x + 1)..4 {
-                    b.add_edge(users[c * 4 + x], users[c * 4 + y], uu, 1.0).unwrap();
+                    b.add_edge(users[c * 4 + x], users[c * 4 + y], uu, 1.0)
+                        .unwrap();
                 }
             }
         }
@@ -537,7 +558,8 @@ mod tests {
         for c in 0..2usize {
             for x in 0..4 {
                 b.add_edge(users[c * 4 + x], kws[c * 2], uk, 2.0).unwrap();
-                b.add_edge(users[c * 4 + x], kws[c * 2 + 1], uk, 1.0).unwrap();
+                b.add_edge(users[c * 4 + x], kws[c * 2 + 1], uk, 1.0)
+                    .unwrap();
             }
         }
         b.build().unwrap()
@@ -600,10 +622,7 @@ mod tests {
         for it in 1..8 {
             last = cp.train_iteration(&mut sv0, &mut sv1, &cfg, it);
         }
-        assert!(
-            last < first,
-            "cross loss should fall: {first} -> {last}"
-        );
+        assert!(last < first, "cross loss should fall: {first} -> {last}");
     }
 
     #[test]
@@ -626,8 +645,14 @@ mod tests {
         let users: Vec<u32> = (0..4u32).collect();
         let v0 = &sv0.view;
         let v1 = &sv1.view;
-        let src: Vec<u32> = users.iter().map(|&u| v0.local(NodeId(u)).unwrap()).collect();
-        let dst: Vec<u32> = users.iter().map(|&u| v1.local(NodeId(u)).unwrap()).collect();
+        let src: Vec<u32> = users
+            .iter()
+            .map(|&u| v0.local(NodeId(u)).unwrap())
+            .collect();
+        let dst: Vec<u32> = users
+            .iter()
+            .map(|&u| v1.local(NodeId(u)).unwrap())
+            .collect();
         let a = gather(&sv0.model, &src, cfg.dim);
         let translated = cp.translate_i_to_j(&a);
         let target = gather(&sv1.model, &dst, cfg.dim);

@@ -151,9 +151,15 @@ mod tests {
         };
         // Readers 0,1 same cluster; readers 0,4 different clusters.
         let v = &sv.view;
-        let e0 = sv.model.embedding(v.local(transn_graph::NodeId(0)).unwrap());
-        let e1 = sv.model.embedding(v.local(transn_graph::NodeId(1)).unwrap());
-        let e4 = sv.model.embedding(v.local(transn_graph::NodeId(4)).unwrap());
+        let e0 = sv
+            .model
+            .embedding(v.local(transn_graph::NodeId(0)).unwrap());
+        let e1 = sv
+            .model
+            .embedding(v.local(transn_graph::NodeId(1)).unwrap());
+        let e4 = sv
+            .model
+            .embedding(v.local(transn_graph::NodeId(4)).unwrap());
         assert!(
             cos(e0, e1) > cos(e0, e4),
             "intra {} vs inter {}",

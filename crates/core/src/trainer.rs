@@ -222,11 +222,13 @@ mod tests {
             for x in 0..5 {
                 for y in (x + 1)..5 {
                     if (x + y) % 2 == 0 {
-                        b.add_edge(users[base + x], users[base + y], uu, 1.0).unwrap();
+                        b.add_edge(users[base + x], users[base + y], uu, 1.0)
+                            .unwrap();
                     }
                 }
                 for k in 0..3 {
-                    b.add_edge(users[base + x], kws[c * 3 + k], uk, 1.0 + k as f32).unwrap();
+                    b.add_edge(users[base + x], kws[c * 3 + k], uk, 1.0 + k as f32)
+                        .unwrap();
                 }
             }
         }

@@ -45,8 +45,7 @@ impl LinkPredSplit {
         }
         let n_remove = ((net.num_edges() as f64) * remove_fraction).round() as usize;
         let n_remove = n_remove.clamp(1, net.num_edges() - 1);
-        let removed: std::collections::HashSet<usize> =
-            order[..n_remove].iter().copied().collect();
+        let removed: std::collections::HashSet<usize> = order[..n_remove].iter().copied().collect();
 
         let mut b = HetNetBuilder::with_schema(net.schema().clone());
         for n in net.nodes() {
@@ -184,7 +183,10 @@ mod tests {
         let split = LinkPredSplit::new(&net, 0.5, 0);
         assert_eq!(split.train_net.schema().num_edge_types(), 1);
         assert_eq!(
-            split.train_net.schema().edge_type_name(transn_graph::EdgeTypeId(0)),
+            split
+                .train_net
+                .schema()
+                .edge_type_name(transn_graph::EdgeTypeId(0)),
             "tt"
         );
     }

@@ -55,7 +55,10 @@ impl LogisticRegression {
         assert_eq!(x.len(), y.len());
         let dim = x[0].len();
         assert!(x.iter().all(|r| r.len() == dim), "ragged feature rows");
-        assert!(y.iter().all(|&c| (c as usize) < classes), "label out of range");
+        assert!(
+            y.iter().all(|&c| (c as usize) < classes),
+            "label out of range"
+        );
 
         let n = x.len();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -109,12 +112,7 @@ impl LogisticRegression {
                 b[i] -= cfg.lr * (mb[i] / bc1) / ((vb[i] / bc2).sqrt() + eps);
             }
         }
-        LogisticRegression {
-            classes,
-            dim,
-            w,
-            b,
-        }
+        LogisticRegression { classes, dim, w, b }
     }
 
     /// Predicted class of one feature row.

@@ -20,8 +20,9 @@ pub fn silhouette_score(points: &[&[f32]], labels: &[usize]) -> f64 {
     // Pairwise distances, via the 8-lane squared-distance kernel
     // (f32 accumulation with a fixed reduction order; the score-level
     // assertions tolerate the f64→f32 accumulation change).
-    let dist =
-        |i: usize, j: usize| -> f64 { (transn_nn::kernels::sqdist(points[i], points[j]) as f64).sqrt() };
+    let dist = |i: usize, j: usize| -> f64 {
+        (transn_nn::kernels::sqdist(points[i], points[j]) as f64).sqrt()
+    };
 
     let mut total = 0.0f64;
     for i in 0..n {
@@ -44,10 +45,7 @@ pub fn silhouette_score(points: &[&[f32]], labels: &[usize]) -> f64 {
                 if size == 0 {
                     continue;
                 }
-                let sum: f64 = (0..n)
-                    .filter(|&j| labels[j] == c)
-                    .map(|j| dist(i, j))
-                    .sum();
+                let sum: f64 = (0..n).filter(|&j| labels[j] == c).map(|j| dist(i, j)).sum();
                 b = b.min(sum / size as f64);
             }
         }

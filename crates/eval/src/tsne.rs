@@ -91,10 +91,18 @@ pub fn tsne(points: &[&[f32]], cfg: &TsneConfig) -> Vec<[f64; 2]> {
             }
             if h > target_entropy {
                 lo = beta;
-                beta = if hi >= 1e19 { beta * 2.0 } else { (beta + hi) / 2.0 };
+                beta = if hi >= 1e19 {
+                    beta * 2.0
+                } else {
+                    (beta + hi) / 2.0
+                };
             } else {
                 hi = beta;
-                beta = if lo <= 1e-19 { beta / 2.0 } else { (beta + lo) / 2.0 };
+                beta = if lo <= 1e-19 {
+                    beta / 2.0
+                } else {
+                    (beta + lo) / 2.0
+                };
             }
         }
         let mut sum = 0.0f64;
@@ -136,7 +144,11 @@ pub fn tsne(points: &[&[f32]], cfg: &TsneConfig) -> Vec<[f64; 2]> {
     let mut gains = vec![[1.0f64; 2]; n];
     let exag_until = cfg.iterations / 4;
     for iter in 0..cfg.iterations {
-        let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+        let exag = if iter < exag_until {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
         let momentum = if iter < cfg.iterations / 3 { 0.5 } else { 0.8 };
 
         // Student-t affinities.
@@ -172,8 +184,7 @@ pub fn tsne(points: &[&[f32]], cfg: &TsneConfig) -> Vec<[f64; 2]> {
                 } else {
                     gains[i][k] + 0.2
                 };
-                velocity[i][k] =
-                    momentum * velocity[i][k] - cfg.learning_rate * gains[i][k] * g[k];
+                velocity[i][k] = momentum * velocity[i][k] - cfg.learning_rate * gains[i][k] * g[k];
             }
         }
         for i in 0..n {
@@ -310,9 +321,8 @@ mod tests {
             },
         );
         // Mean intra-cluster distance must be well below inter-cluster.
-        let dist = |a: [f64; 2], b: [f64; 2]| {
-            ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
-        };
+        let dist =
+            |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
         let mut intra = 0.0;
         let mut inter = 0.0;
         let (mut ni, mut nx) = (0usize, 0usize);

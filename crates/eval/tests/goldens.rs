@@ -1,0 +1,77 @@
+//! Golden-value tests: every scalar metric checked bitwise against a
+//! hand-computed value.
+//!
+//! The fixtures are chosen so every intermediate quantity is exactly
+//! representable (integer squared distances, small rational rank sums),
+//! which makes the expected values reproducible on paper and the
+//! assertions exact — any change to accumulation order or precision is a
+//! deliberate, visible break.
+
+use transn_eval::{auc, f1_scores, silhouette_score};
+
+#[test]
+fn auc_golden_with_tie_between_classes() {
+    // Sorted pool: 0.2(n) 0.4(p) [0.6(p) 0.6(n) tie → avg rank 3.5] 0.8(p).
+    // Positive rank sum = 2 + 3.5 + 5 = 10.5;
+    // AUC = (10.5 − 3·4/2) / (3·2) = 0.75.
+    assert_eq!(auc(&[0.8, 0.4, 0.6], &[0.6, 0.2]), 0.75);
+}
+
+#[test]
+fn auc_golden_tie_with_single_negative() {
+    // Ranks: 1(p) [2.5, 2.5 tie p/n] 4(p) 5(p); positive sum = 12.5;
+    // AUC = (12.5 − 4·5/2) / (4·1) = 0.625.
+    assert_eq!(auc(&[1.0, 2.0, 3.0, 4.0], &[2.0]), 0.625);
+}
+
+#[test]
+fn f1_golden_three_classes_one_absent() {
+    // Confusion by class (truth → pred):
+    //   0: tp=1 fp=0 fn=1 → F1 = 2·1/3
+    //   1: tp=1 fp=2 fn=0 → F1 = 2·1/4
+    //   2: tp=2 fp=0 fn=1 → F1 = 2·2/5
+    //   3: absent from truth → excluded from the macro average.
+    // micro: tp=4, fp=2, fn=2 → 2·4/12.
+    let truth = [0u32, 0, 1, 2, 2, 2];
+    let pred = [0u32, 1, 1, 2, 2, 1];
+    let f = f1_scores(&truth, &pred, 4);
+    assert_eq!(f.micro_f1, 8.0 / 12.0);
+    assert_eq!(
+        f.macro_f1,
+        (2.0 * 1.0 / 3.0 + 2.0 * 1.0 / 4.0 + 2.0 * 2.0 / 5.0) / 3.0
+    );
+}
+
+#[test]
+fn f1_golden_perfect_is_exactly_one() {
+    let truth = [0u32, 1, 2, 1, 0];
+    let f = f1_scores(&truth, &truth, 3);
+    assert_eq!(f.micro_f1, 1.0);
+    assert_eq!(f.macro_f1, 1.0);
+}
+
+#[test]
+fn silhouette_golden_two_clusters_on_a_line() {
+    // 1-D points 0, 2 (cluster 0) and 10, 12 (cluster 1). All pairwise
+    // distances are integers (sqrt of perfect squares), so a and b are
+    // exact:
+    //   point 0: a = 2, b = (10+12)/2 = 11 → s = 9/11
+    //   point 1: a = 2, b = (8+10)/2  = 9  → s = 7/9
+    //   point 2: a = 2, b = (10+8)/2  = 9  → s = 7/9
+    //   point 3: a = 2, b = (12+10)/2 = 11 → s = 9/11
+    let pts: [&[f32]; 4] = [&[0.0], &[2.0], &[10.0], &[12.0]];
+    let labels = [0usize, 0, 1, 1];
+    let expected = (9.0 / 11.0 + 7.0 / 9.0 + 7.0 / 9.0 + 9.0 / 11.0) / 4.0;
+    assert_eq!(silhouette_score(&pts, &labels), expected);
+}
+
+#[test]
+fn silhouette_golden_singleton_cluster_contributes_zero() {
+    // The singleton cluster {4} gets s = 0 by convention; the other four
+    // points see it as a candidate neighbour cluster at distance ≥ 88, so
+    // their b values are unchanged from the two-cluster golden above.
+    let pts: [&[f32]; 5] = [&[0.0], &[2.0], &[10.0], &[12.0], &[100.0]];
+    let labels = [0usize, 0, 1, 1, 2];
+    let expected = (9.0 / 11.0 + 7.0 / 9.0 + 7.0 / 9.0 + 9.0 / 11.0) / 5.0;
+    assert_eq!(silhouette_score(&pts, &labels), expected);
+}

@@ -132,10 +132,7 @@ impl HetNetBuilder {
             return Err(GraphError::NotHeterogeneous);
         }
         let n = self.node_types.len();
-        let adj = Csr::from_undirected(
-            n,
-            self.edges.iter().map(|e| (e.u.0, e.v.0, e.weight)),
-        );
+        let adj = Csr::from_undirected(n, self.edges.iter().map(|e| (e.u.0, e.v.0, e.weight)));
         Ok(HetNet {
             schema: self.schema,
             node_types: self.node_types,

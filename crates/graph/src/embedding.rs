@@ -102,7 +102,11 @@ impl NodeEmbeddings {
     /// Write as TSV: `node_id \t v0 \t v1 …`.
     pub fn write_tsv<W: Write>(&self, out: W) -> Result<(), GraphError> {
         let mut w = BufWriter::new(out);
-        writeln!(w, "# transn embeddings v1 nodes={} dim={}", self.num_nodes, self.dim)?;
+        writeln!(
+            w,
+            "# transn embeddings v1 nodes={} dim={}",
+            self.num_nodes, self.dim
+        )?;
         for n in 0..self.num_nodes {
             write!(w, "{n}")?;
             for v in &self.data[n * self.dim..(n + 1) * self.dim] {

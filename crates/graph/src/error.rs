@@ -41,8 +41,42 @@ pub enum GraphError {
         /// Explanation of the failure.
         msg: String,
     },
+    /// A semantic error (e.g. [`GraphError::BadWeight`]) attributed to a
+    /// specific line of an input file, so loader diagnostics stay as
+    /// actionable as pure parse errors.
+    AtLine {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The underlying validation error.
+        source: Box<GraphError>,
+    },
     /// An underlying I/O failure.
     Io(std::io::Error),
+}
+
+impl GraphError {
+    /// Attach a 1-based input line number to a validation error.
+    ///
+    /// [`GraphError::Parse`] and [`GraphError::AtLine`] already carry a
+    /// line and are returned unchanged.
+    pub fn at_line(self, line: usize) -> GraphError {
+        match self {
+            GraphError::Parse { .. } | GraphError::AtLine { .. } => self,
+            other => GraphError::AtLine {
+                line,
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The innermost error, with any [`GraphError::AtLine`] wrapping
+    /// stripped — convenient for matching on the underlying variant.
+    pub fn root_cause(&self) -> &GraphError {
+        match self {
+            GraphError::AtLine { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -70,6 +104,7 @@ impl fmt::Display for GraphError {
                  one node type and one edge type, totalling more than one"
             ),
             GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::AtLine { line, source } => write!(f, "line {line}: {source}"),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -79,6 +114,7 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::AtLine { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -112,5 +148,38 @@ mod tests {
         use std::error::Error;
         let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "nope"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn at_line_wraps_and_displays() {
+        use std::error::Error;
+        let e = GraphError::BadWeight { weight: f32::NAN }.at_line(7);
+        let s = e.to_string();
+        assert!(s.contains("line 7"), "{s}");
+        assert!(s.contains("finite"), "{s}");
+        assert!(e.source().is_some());
+        assert!(matches!(e.root_cause(), GraphError::BadWeight { .. }));
+    }
+
+    #[test]
+    fn at_line_does_not_double_wrap() {
+        let e = GraphError::SelfLoop(NodeId(3)).at_line(2).at_line(9);
+        match e {
+            GraphError::AtLine { line, ref source } => {
+                assert_eq!(line, 2);
+                assert!(matches!(**source, GraphError::SelfLoop(NodeId(3))));
+            }
+            other => panic!("expected AtLine, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_keep_their_own_line() {
+        let e = GraphError::Parse {
+            line: 4,
+            msg: "x".into(),
+        }
+        .at_line(9);
+        assert!(matches!(e, GraphError::Parse { line: 4, .. }));
     }
 }

@@ -31,7 +31,14 @@ pub fn write_edge_list<W: Write>(net: &HetNet, out: W) -> Result<(), GraphError>
     }
     for t in s.edge_types() {
         let (a, b) = s.signature(t);
-        writeln!(w, "edgetype\t{}\t{}\t{}\t{}", t.0, s.edge_type_name(t), a.0, b.0)?;
+        writeln!(
+            w,
+            "edgetype\t{}\t{}\t{}\t{}",
+            t.0,
+            s.edge_type_name(t),
+            a.0,
+            b.0
+        )?;
     }
     for n in net.nodes() {
         writeln!(w, "node\t{}\t{}", n.0, net.node_type(n).0)?;
@@ -91,6 +98,11 @@ pub fn read_edge_list<R: Read>(input: R) -> Result<HetNet, GraphError> {
                 if id != next_node {
                     return Err(err("node ids must be dense and in order"));
                 }
+                if t as usize >= b.schema().num_node_types() {
+                    // The builder would accept this silently and later
+                    // indexing by node type would panic; reject up front.
+                    return Err(GraphError::UnknownNodeType(NodeTypeId(t)).at_line(lineno));
+                }
                 next_node += 1;
                 b.add_node(NodeTypeId(t));
             }
@@ -99,7 +111,10 @@ pub fn read_edge_list<R: Read>(input: R) -> Result<HetNet, GraphError> {
                 let v: u32 = parse_field(f.next(), lineno, "edge v")?;
                 let t: u32 = parse_field(f.next(), lineno, "edge type")?;
                 let w: f32 = parse_field(f.next(), lineno, "edge weight")?;
-                b.add_edge(NodeId(u), NodeId(v), EdgeTypeId(t), w)?;
+                // Builder validation errors (bad weight, self-loop, unknown
+                // ids, signature mismatch) gain the offending line number.
+                b.add_edge(NodeId(u), NodeId(v), EdgeTypeId(t), w)
+                    .map_err(|e| e.at_line(lineno))?;
             }
             other => {
                 return Err(err(&format!("unknown record kind {other:?}")));
@@ -263,6 +278,60 @@ mod tests {
         let text = "class\t0\tx\nnode\t9\t0\n";
         let err = read_labels(text.as_bytes(), 3).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    /// Preamble for hostile-input fixtures: one node type, one edge type,
+    /// two nodes (ids 0 and 1).
+    const PREAMBLE: &str = "# transn heterogeneous edge list v1\n\
+                            nodetype\t0\tuser\n\
+                            edgetype\t0\tknows\t0\t0\n\
+                            node\t0\t0\n\
+                            node\t1\t0\n";
+
+    #[test]
+    fn bad_edge_weights_rejected_with_line_context() {
+        for w in ["NaN", "-1.0", "0.0", "inf", "-inf"] {
+            let text = format!("{PREAMBLE}edge\t0\t1\t0\t{w}\n");
+            let err = read_edge_list(text.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err.root_cause(), GraphError::BadWeight { .. }),
+                "weight {w}: got {err}"
+            );
+            match err {
+                GraphError::AtLine { line, .. } => assert_eq!(line, 6, "weight {w}"),
+                other => panic!("weight {w}: expected line context, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_rejected_with_line_context() {
+        let text = format!("{PREAMBLE}edge\t1\t1\t0\t1.0\n");
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(matches!(err.root_cause(), GraphError::SelfLoop(NodeId(1))));
+        assert!(err.to_string().contains("line 6"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_node_type_rejected() {
+        let text = format!("{PREAMBLE}node\t2\t9\n");
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err.root_cause(), GraphError::UnknownNodeType(NodeTypeId(9))),
+            "{err}"
+        );
+        assert!(err.to_string().contains("line 6"), "{err}");
+    }
+
+    #[test]
+    fn unknown_edge_endpoint_rejected_with_line_context() {
+        let text = format!("{PREAMBLE}edge\t0\t7\t0\t1.0\n");
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(matches!(
+            err.root_cause(),
+            GraphError::UnknownNode(NodeId(7))
+        ));
+        assert!(err.to_string().contains("line 6"), "{err}");
     }
 
     #[test]

@@ -148,9 +148,7 @@ impl HetNet {
     pub fn edge_weight(&self, u: NodeId, v: NodeId, t: EdgeTypeId) -> Option<f32> {
         self.edges
             .iter()
-            .find(|e| {
-                e.etype == t && ((e.u == u && e.v == v) || (e.u == v && e.v == u))
-            })
+            .find(|e| e.etype == t && ((e.u == u && e.v == v) || (e.u == v && e.v == u)))
             .map(|e| e.weight)
     }
 }
@@ -192,9 +190,18 @@ mod tests {
         assert_eq!(g.num_nodes(), 6);
         assert_eq!(g.num_edges(), 7);
         let s = g.schema();
-        assert_eq!(g.count_nodes_of_type(s.node_type_by_name("author").unwrap()), 3);
-        assert_eq!(g.count_edges_of_type(s.edge_type_by_name("affiliation").unwrap()), 3);
-        assert_eq!(g.count_edges_of_type(s.edge_type_by_name("citation").unwrap()), 1);
+        assert_eq!(
+            g.count_nodes_of_type(s.node_type_by_name("author").unwrap()),
+            3
+        );
+        assert_eq!(
+            g.count_edges_of_type(s.edge_type_by_name("affiliation").unwrap()),
+            3
+        );
+        assert_eq!(
+            g.count_edges_of_type(s.edge_type_by_name("citation").unwrap()),
+            1
+        );
     }
 
     #[test]

@@ -106,7 +106,10 @@ mod tests {
         let st = NetworkStats::compute("toy", &g, Some(&labels));
         assert_eq!(st.num_nodes, 3);
         assert_eq!(st.num_edges, 2);
-        assert_eq!(st.nodes_per_type, vec![("author".into(), 1), ("paper".into(), 2)]);
+        assert_eq!(
+            st.nodes_per_type,
+            vec![("author".into(), 1), ("paper".into(), 2)]
+        );
         assert_eq!(st.edges_per_type, vec![("AP".into(), 2)]);
         assert_eq!(st.num_labeled, 1);
         assert!((st.density - 2.0 * 2.0 / (3.0 * 2.0)).abs() < 1e-12);

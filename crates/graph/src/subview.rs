@@ -29,10 +29,7 @@ pub struct PairedSubview {
 impl PairedSubview {
     /// Build both paired-subviews `(φ'_i, φ'_j)` of a view-pair.
     pub fn from_pair(pair: &ViewPair<'_>) -> (PairedSubview, PairedSubview) {
-        (
-            Self::reduce(pair.vi, pair),
-            Self::reduce(pair.vj, pair),
-        )
+        (Self::reduce(pair.vi, pair), Self::reduce(pair.vj, pair))
     }
 
     /// Reduce one view of the pair to its paired-subview.
@@ -116,7 +113,10 @@ impl PairedSubview {
     /// order — the path reduction of §III-B1 ("we remove the nodes which are
     /// not shared between the paired-subviews").
     pub fn filter_to_common(&self, path: &[u32]) -> Vec<u32> {
-        path.iter().copied().filter(|&l| self.is_common(l)).collect()
+        path.iter()
+            .copied()
+            .filter(|&l| self.is_common(l))
+            .collect()
     }
 }
 

@@ -51,9 +51,8 @@ impl View {
         globals.sort_unstable();
         globals.dedup();
 
-        let local_of = |g: NodeId| -> u32 {
-            globals.binary_search(&g).expect("endpoint in node set") as u32
-        };
+        let local_of =
+            |g: NodeId| -> u32 { globals.binary_search(&g).expect("endpoint in node set") as u32 };
         let mut edges = Vec::new();
         for e in net.edges().iter().filter(|e| e.etype == etype) {
             edges.push((local_of(e.u), local_of(e.v), e.weight));

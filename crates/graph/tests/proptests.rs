@@ -11,10 +11,7 @@ fn arb_network() -> impl Strategy<Value = transn_graph::HetNet> {
     // (n_a, n_b, edges as (u, v, etype in 0..3, weight))
     (2usize..12, 2usize..12).prop_flat_map(|(na, nb)| {
         let n = na + nb;
-        let edges = proptest::collection::vec(
-            (0..n, 0..n, 0u32..3, 1u32..100),
-            1..40,
-        );
+        let edges = proptest::collection::vec((0..n, 0..n, 0u32..3, 1u32..100), 1..40);
         (Just(na), Just(nb), edges).prop_map(|(na, nb, raw)| {
             let mut b = HetNetBuilder::new();
             let ta = b.add_node_type("a");

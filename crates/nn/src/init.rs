@@ -95,8 +95,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let m = xavier(64, 64, &mut rng);
         let std_expect = (2.0 / 128.0f64).sqrt();
-        let var: f32 =
-            m.data().iter().map(|x| x * x).sum::<f32>() / (m.rows() * m.cols()) as f32;
+        let var: f32 = m.data().iter().map(|x| x * x).sum::<f32>() / (m.rows() * m.cols()) as f32;
         assert!(
             ((var as f64).sqrt() - std_expect).abs() < 0.02,
             "std {} vs {}",

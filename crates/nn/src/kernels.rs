@@ -57,8 +57,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
             acc[l] += ca[l] * cb[l];
         }
     }
-    let mut sum =
-        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
     for (x, y) in tail_a.iter().zip(tail_b) {
         sum += x * y;
     }
@@ -96,8 +95,7 @@ pub fn sqdist(a: &[f32], b: &[f32]) -> f32 {
             acc[l] += d * d;
         }
     }
-    let mut sum =
-        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
     for (x, y) in tail_a.iter().zip(tail_b) {
         let d = x - y;
         sum += d * d;
@@ -207,8 +205,7 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize)
             let b2 = &b[(p + 2) * m..(p + 3) * m];
             let b3 = &b[(p + 3) * m..(p + 4) * m];
             let (q0, q1, q2, q3) = (q[0], q[1], q[2], q[3]);
-            for ((((o, &v0), &v1), &v2), &v3) in
-                out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
             {
                 *o = *o + q0 * v0 + q1 * v1 + q2 * v2 + q3 * v3;
             }
@@ -321,8 +318,7 @@ pub fn gemm_ta(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, m: usi
         for i in 0..n {
             let (c0, c1, c2, c3) = (a0[i], a1[i], a2[i], a3[i]);
             let out_row = &mut out[i * m..(i + 1) * m];
-            for ((((o, &v0), &v1), &v2), &v3) in
-                out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
             {
                 *o = *o + c0 * v0 + c1 * v1 + c2 * v2 + c3 * v3;
             }
@@ -369,10 +365,7 @@ mod tests {
             let a = seq(n, -3.0);
             let b = seq(n, 0.5);
             let (k, r) = (dot(&a, &b), dot_ref(&a, &b));
-            assert!(
-                (k - r).abs() <= 1e-4 * (1.0 + r.abs()),
-                "n={n}: {k} vs {r}"
-            );
+            assert!((k - r).abs() <= 1e-4 * (1.0 + r.abs()), "n={n}: {k} vs {r}");
         }
     }
 

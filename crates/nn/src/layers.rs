@@ -123,7 +123,15 @@ impl SelfAttention {
         let mut d_z = Matrix::zeros(l, l);
         let mut prod = Matrix::zeros(l, a.cols());
         let mut d_in = Matrix::zeros(l, a.cols());
-        Self::backward_into(a, &cache.probs, d_out, &mut d_p, &mut d_z, &mut prod, &mut d_in);
+        Self::backward_into(
+            a,
+            &cache.probs,
+            d_out,
+            &mut d_p,
+            &mut d_z,
+            &mut prod,
+            &mut d_in,
+        );
         d_in
     }
 }
@@ -404,10 +412,7 @@ impl Translator {
             SelfAttention::forward_into(input, &mut stage.probs, &mut stage.attn_out);
             enc.ff.forward_into(&stage.attn_out, &mut stage.out);
         }
-        (
-            &ws.stages[depth - 1].out,
-            TranslatorWsCache { gen, depth },
-        )
+        (&ws.stages[depth - 1].out, TranslatorWsCache { gen, depth })
     }
 
     /// Workspace backward pass: accumulates parameter gradients and
@@ -437,7 +442,9 @@ impl Translator {
             let stage = &rest[0];
             // Feed-forward backward: d_cur (stage output grad) → tmp
             // (attention output grad), with d_h as the ReLU-mask scratch.
-            self.encoders[i].ff.backward_into(&stage.attn_out, &stage.out, d_cur, d_h, tmp);
+            self.encoders[i]
+                .ff
+                .backward_into(&stage.attn_out, &stage.out, d_cur, d_h, tmp);
             // Attention backward: tmp → d_cur (stage input grad), with d_h
             // reused as the product scratch.
             let stage_in: &Matrix = if i == 0 { input } else { &done[i - 1].out };

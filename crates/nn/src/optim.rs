@@ -139,7 +139,13 @@ mod tests {
         // Minimize ‖x - target‖².
         let target = [1.0f32, -2.0, 3.0];
         let mut x = [0.0f32; 3];
-        let mut adam = Adam::new(3, AdamConfig { lr: 0.05, ..Default::default() });
+        let mut adam = Adam::new(
+            3,
+            AdamConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
+        );
         for _ in 0..600 {
             let g: Vec<f32> = x.iter().zip(target).map(|(xi, t)| 2.0 * (xi - t)).collect();
             adam.step(&mut x, &g);

@@ -5,8 +5,10 @@
 use proptest::prelude::*;
 use transn_nn::{LossKind, Matrix, SelfAttention};
 
-fn arb_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>)
-    -> impl Strategy<Value = Matrix> {
+fn arb_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-2.0f32..2.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data))

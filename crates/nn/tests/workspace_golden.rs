@@ -43,25 +43,57 @@ fn assert_bits(name: &str, got: &Matrix, want: &[u32]) {
 
 // Pre-refactor goldens: Translator::near_identity(3, 4, StdRng seed 13),
 // input rand_matrix(4, 6, seed 8), output gradient rand_matrix(4, 6, seed 9).
-const GOLD_T_DIN: [u32; 24] = [0x3B9D9564, 0x3E9AF545, 0x3CECDA48, 0xBE138598, 0x3E31D487, 0x3F07B847, 0xBCF71CFC, 0x3E6F1B17, 0xBDE99605, 0xBD3194E9, 0x3E3D5512, 0x3F01C1DD, 0xBBC7CAAF, 0x3E83ADF7, 0xBD10C73D, 0xBD23FBE6, 0x3E3587E4, 0x3F047C67, 0x3BC6F504, 0x3E910E50, 0xBB13F170, 0xBD564A0C, 0x3E315097, 0x3F04EE4B];
-const GOLD_T_DW0: [u32; 16] = [0x3DF40D94, 0x3D0C75B9, 0x3DB11CD6, 0x3E0347AE, 0x3DE9980C, 0xBC3E7ED2, 0x3C8ABE3D, 0x3CFB15F4, 0x3DF08F61, 0xBBE7A15E, 0x3CACE1DC, 0x3D0D6E5E, 0x3DFD252D, 0xBB8B34E2, 0x3CC98243, 0x3D1CCE53];
+const GOLD_T_DIN: [u32; 24] = [
+    0x3B9D9564, 0x3E9AF545, 0x3CECDA48, 0xBE138598, 0x3E31D487, 0x3F07B847, 0xBCF71CFC, 0x3E6F1B17,
+    0xBDE99605, 0xBD3194E9, 0x3E3D5512, 0x3F01C1DD, 0xBBC7CAAF, 0x3E83ADF7, 0xBD10C73D, 0xBD23FBE6,
+    0x3E3587E4, 0x3F047C67, 0x3BC6F504, 0x3E910E50, 0xBB13F170, 0xBD564A0C, 0x3E315097, 0x3F04EE4B,
+];
+const GOLD_T_DW0: [u32; 16] = [
+    0x3DF40D94, 0x3D0C75B9, 0x3DB11CD6, 0x3E0347AE, 0x3DE9980C, 0xBC3E7ED2, 0x3C8ABE3D, 0x3CFB15F4,
+    0x3DF08F61, 0xBBE7A15E, 0x3CACE1DC, 0x3D0D6E5E, 0x3DFD252D, 0xBB8B34E2, 0x3CC98243, 0x3D1CCE53,
+];
 const GOLD_T_DB0: [u32; 4] = [0x3F27AF6C, 0x3F5635C4, 0x3F563AE8, 0x3F5D55E6];
-const GOLD_T_DW1: [u32; 16] = [0x3DEBE16D, 0x3DEA2C06, 0x3DEA268E, 0x3DE9E9BE, 0x3E02370A, 0x3E0147DC, 0x3E0144C8, 0x3E012384, 0x3DEFC4C3, 0x3DEE06AC, 0x3DEE0118, 0x3DEDC316, 0x3DF0BF42, 0x3DEF012F, 0x3DEEFB94, 0x3DEEBD8E];
+const GOLD_T_DW1: [u32; 16] = [
+    0x3DEBE16D, 0x3DEA2C06, 0x3DEA268E, 0x3DE9E9BE, 0x3E02370A, 0x3E0147DC, 0x3E0144C8, 0x3E012384,
+    0x3DEFC4C3, 0x3DEE06AC, 0x3DEE0118, 0x3DEDC316, 0x3DF0BF42, 0x3DEF012F, 0x3DEEFB94, 0x3DEEBD8E,
+];
 const GOLD_T_DB1: [u32; 4] = [0x3F196367, 0x3F28E5F3, 0x3F1C8F67, 0x3F1CA366];
-const GOLD_T_DW2: [u32; 16] = [0x3F2ECA8E, 0x3F2EDE13, 0x3F2ECF9A, 0x3F2ECF10, 0xBD97D0E3, 0xBD980A9C, 0xBD97DFD5, 0xBD97DE38, 0xBDB6D816, 0xBDB6EF94, 0xBDB6DE22, 0xBDB6DD7E, 0x3EC97DD6, 0x3EC99718, 0x3EC9845F, 0x3EC983A8];
+const GOLD_T_DW2: [u32; 16] = [
+    0x3F2ECA8E, 0x3F2EDE13, 0x3F2ECF9A, 0x3F2ECF10, 0xBD97D0E3, 0xBD980A9C, 0xBD97DFD5, 0xBD97DE38,
+    0xBDB6D816, 0xBDB6EF94, 0xBDB6DE22, 0xBDB6DD7E, 0x3EC97DD6, 0x3EC99718, 0x3EC9845F, 0x3EC983A8,
+];
 const GOLD_T_DB2: [u32; 4] = [0x3F9A33B6, 0x3FA7AA4E, 0x3CF26C00, 0x3E3C0F60];
 
 // FeedForward::new(5, StdRng seed 21), input rand_matrix(5, 3, seed 22),
 // output gradient rand_matrix(5, 3, seed 23).
-const GOLD_FF_OUT: [u32; 15] = [0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x3F8AA63B, 0x00000000, 0x3F4219DC, 0x00000000, 0x3F874DD2, 0x3EBAEA28, 0x3E13FC52, 0x3E9B00F0];
-const GOLD_FF_DIN: [u32; 15] = [0xBD911AA7, 0xBF39EFBD, 0x3E5E25EE, 0x3E16C8FC, 0x3E552C52, 0xBE596A24, 0xBEE0A658, 0xBF1064B2, 0x3F2766B9, 0x3EE8F2C6, 0x3EF7A58A, 0xBF1081E0, 0x3C8F2824, 0x3EC13567, 0x3D38AC77];
-const GOLD_FF_DW: [u32; 25] = [0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0xBF375F09, 0xBE963A3E, 0x3E4E9433, 0xBCE36DB5, 0x3F36DDAE, 0x3E5D9588, 0xBE7CFADF, 0xBCC59804, 0xBD81577C, 0x3E7BAA5A, 0x3F6F0165, 0xBEA2D6C3, 0xBE862228, 0x3E384212, 0xBE9A40C2];
+const GOLD_FF_OUT: [u32; 15] = [
+    0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x3F8AA63B,
+    0x00000000, 0x3F4219DC, 0x00000000, 0x3F874DD2, 0x3EBAEA28, 0x3E13FC52, 0x3E9B00F0,
+];
+const GOLD_FF_DIN: [u32; 15] = [
+    0xBD911AA7, 0xBF39EFBD, 0x3E5E25EE, 0x3E16C8FC, 0x3E552C52, 0xBE596A24, 0xBEE0A658, 0xBF1064B2,
+    0x3F2766B9, 0x3EE8F2C6, 0x3EF7A58A, 0xBF1081E0, 0x3C8F2824, 0x3EC13567, 0x3D38AC77,
+];
+const GOLD_FF_DW: [u32; 25] = [
+    0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 0x00000000,
+    0x00000000, 0x00000000, 0xBF375F09, 0xBE963A3E, 0x3E4E9433, 0xBCE36DB5, 0x3F36DDAE, 0x3E5D9588,
+    0xBE7CFADF, 0xBCC59804, 0xBD81577C, 0x3E7BAA5A, 0x3F6F0165, 0xBEA2D6C3, 0xBE862228, 0x3E384212,
+    0xBE9A40C2,
+];
 const GOLD_FF_DB: [u32; 5] = [0x00000000, 0x00000000, 0x3F4F07D8, 0x3E6687D0, 0xBF524EA4];
 
 // SelfAttention over input rand_matrix(6, 4, seed 31), output gradient
 // rand_matrix(6, 4, seed 32).
-const GOLD_AT_OUT: [u32; 24] = [0xBE35A9D0, 0xBCAE218C, 0x3E9564FF, 0xBD952BDC, 0x3DBA1D4F, 0x3D64B6CB, 0x3D84B7DE, 0xBEA8E74A, 0xBC8F8184, 0xBD1D15B6, 0x3EC62B12, 0xBDEA73C1, 0xBE71F4FC, 0xBB608B80, 0x3EE81BDD, 0x3C5769B8, 0x3E357AE4, 0x3D3E8896, 0x3E88FC64, 0xBEA7348F, 0xBE8AC270, 0x3D9F7398, 0x3EC00CF6, 0xBCB32746];
-const GOLD_AT_DIN: [u32; 24] = [0x3E8BBFE6, 0xBF16317B, 0x3E50E946, 0xBEA4DB5B, 0x3F052D76, 0xBF0FEA93, 0xBC836B8C, 0xBE865419, 0x3EE9434B, 0xBF40E5CD, 0x3E1E6968, 0xBE9158BA, 0x3ED2E7C2, 0xBF5C4C1D, 0xBBF52DE8, 0xBEC29A64, 0x3E7D0F50, 0xBF3B72DE, 0xBE983125, 0xBD75AD80, 0x3F0B5380, 0xBF40E5A2, 0xBE761878, 0xBEE3D44B];
+const GOLD_AT_OUT: [u32; 24] = [
+    0xBE35A9D0, 0xBCAE218C, 0x3E9564FF, 0xBD952BDC, 0x3DBA1D4F, 0x3D64B6CB, 0x3D84B7DE, 0xBEA8E74A,
+    0xBC8F8184, 0xBD1D15B6, 0x3EC62B12, 0xBDEA73C1, 0xBE71F4FC, 0xBB608B80, 0x3EE81BDD, 0x3C5769B8,
+    0x3E357AE4, 0x3D3E8896, 0x3E88FC64, 0xBEA7348F, 0xBE8AC270, 0x3D9F7398, 0x3EC00CF6, 0xBCB32746,
+];
+const GOLD_AT_DIN: [u32; 24] = [
+    0x3E8BBFE6, 0xBF16317B, 0x3E50E946, 0xBEA4DB5B, 0x3F052D76, 0xBF0FEA93, 0xBC836B8C, 0xBE865419,
+    0x3EE9434B, 0xBF40E5CD, 0x3E1E6968, 0xBE9158BA, 0x3ED2E7C2, 0xBF5C4C1D, 0xBBF52DE8, 0xBEC29A64,
+    0x3E7D0F50, 0xBF3B72DE, 0xBE983125, 0xBD75AD80, 0x3F0B5380, 0xBF40E5A2, 0xBE761878, 0xBEE3D44B,
+];
 
 #[test]
 fn translator_workspace_matches_pre_refactor_goldens() {

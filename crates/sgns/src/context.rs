@@ -64,10 +64,7 @@ mod tests {
     #[test]
     fn window_one_matches_definition6_homo() {
         let pairs = collect(&[10, 20, 30], 1);
-        assert_eq!(
-            pairs,
-            vec![(10, 20), (20, 10), (20, 30), (30, 20)]
-        );
+        assert_eq!(pairs, vec![(10, 20), (20, 10), (20, 30), (30, 20)]);
     }
 
     #[test]
@@ -77,10 +74,16 @@ mod tests {
         assert_eq!(
             pairs,
             vec![
-                (1, 2), (1, 3),
-                (2, 1), (2, 3), (2, 4),
-                (3, 1), (3, 2), (3, 4),
-                (4, 2), (4, 3),
+                (1, 2),
+                (1, 3),
+                (2, 1),
+                (2, 3),
+                (2, 4),
+                (3, 1),
+                (3, 2),
+                (3, 4),
+                (4, 2),
+                (4, 3),
             ]
         );
     }

@@ -108,7 +108,9 @@ impl HsModel {
         HsModel {
             n,
             dim,
-            input: (0..n * dim).map(|_| rng.random_range(-half..half)).collect(),
+            input: (0..n * dim)
+                .map(|_| rng.random_range(-half..half))
+                .collect(),
             internal: vec![0.0; tree.num_internal() * dim],
             tree,
         }
@@ -188,8 +190,7 @@ impl HsModel {
         for walk in corpus.iter() {
             context_pairs(walk, window, |center, ctx| {
                 let lr = lr0 * (1.0 - done as f32 / total.max(1) as f32).max(1e-4);
-                loss_sum +=
-                    self.train_pair_with_scratch(center, ctx, lr, &mut grad_center) as f64;
+                loss_sum += self.train_pair_with_scratch(center, ctx, lr, &mut grad_center) as f64;
                 done += 1;
             });
         }

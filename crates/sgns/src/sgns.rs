@@ -76,7 +76,9 @@ impl SgnsModel {
     /// zeros.
     pub fn new<R: rand::Rng + ?Sized>(n: usize, dim: usize, rng: &mut R) -> Self {
         let half = 0.5 / dim as f32;
-        let input = (0..n * dim).map(|_| rng.random_range(-half..half)).collect();
+        let input = (0..n * dim)
+            .map(|_| rng.random_range(-half..half))
+            .collect();
         SgnsModel {
             n,
             dim,
@@ -158,7 +160,12 @@ impl SgnsModel {
     /// Convenience wrapper over [`SgnsModel::train_corpus_ws`] with a
     /// throwaway workspace; epoch loops should hold a [`TrainScratch`] and
     /// call the `_ws` variant so warmed epochs do not allocate.
-    pub fn train_corpus(&mut self, corpus: &WalkCorpus, noise: &NoiseTable, cfg: &SgnsConfig) -> f32 {
+    pub fn train_corpus(
+        &mut self,
+        corpus: &WalkCorpus,
+        noise: &NoiseTable,
+        cfg: &SgnsConfig,
+    ) -> f32 {
         self.train_corpus_ws(corpus, noise, cfg, &mut TrainScratch::default())
     }
 
@@ -205,8 +212,7 @@ impl SgnsModel {
             let mut acc = (0.0f64, 0usize);
             for (s, &pairs) in shard_pairs.iter().enumerate().take(num_shards) {
                 let (l, d) = train_shard(
-                    &input, &output, dim, corpus, noise, cfg, num_shards, pairs, s,
-                    scratch,
+                    &input, &output, dim, corpus, noise, cfg, num_shards, pairs, s, scratch,
                 );
                 acc.0 += l;
                 acc.1 += d;
@@ -216,7 +222,15 @@ impl SgnsModel {
             let per_shard = run_shards(num_shards, cfg.parallelism, |s| {
                 let mut scratch = vec![0.0f32; 3 * dim];
                 train_shard(
-                    &input, &output, dim, corpus, noise, cfg, num_shards, shard_pairs[s], s,
+                    &input,
+                    &output,
+                    dim,
+                    corpus,
+                    noise,
+                    cfg,
+                    num_shards,
+                    shard_pairs[s],
+                    s,
                     &mut scratch,
                 )
             });
@@ -236,7 +250,9 @@ impl SgnsModel {
     /// Copy the input table into per-node `Vec`s (for evaluation
     /// interfaces working with global tables).
     pub fn export_embeddings(&self) -> Vec<Vec<f32>> {
-        (0..self.n as u32).map(|i| self.embedding(i).to_vec()).collect()
+        (0..self.n as u32)
+            .map(|i| self.embedding(i).to_vec())
+            .collect()
     }
 }
 

@@ -132,8 +132,7 @@ pub fn aminer_like(cfg: &AminerConfig, seed: u64) -> Dataset {
         let k = sample_team_size(cfg.authors_per_paper, &mut rng);
         let mut team: Vec<usize> = Vec::with_capacity(k);
         for _ in 0..k {
-            let a = if rng.random::<f64>() < cfg.ap_fidelity && !topic_author_id[topic].is_empty()
-            {
+            let a = if rng.random::<f64>() < cfg.ap_fidelity && !topic_author_id[topic].is_empty() {
                 topic_author_id[topic][weighted_pick(&topic_author_w[topic], &mut rng)]
             } else {
                 weighted_pick(&author_pop, &mut rng)
@@ -235,11 +234,9 @@ mod tests {
         // Every paper labeled.
         assert_eq!(s.num_labeled, 2_555);
         // Edge counts in the right ballpark (±40% of Table II).
-        let by_name: std::collections::HashMap<_, _> =
-            s.edges_per_type.iter().cloned().collect();
-        let close = |got: usize, want: usize| {
-            (got as f64 - want as f64).abs() / (want as f64) < 0.4
-        };
+        let by_name: std::collections::HashMap<_, _> = s.edges_per_type.iter().cloned().collect();
+        let close =
+            |got: usize, want: usize| (got as f64 - want as f64).abs() / (want as f64) < 0.4;
         assert!(close(by_name["AP"], 6_072), "AP = {}", by_name["AP"]);
         assert!(close(by_name["PP"], 5_332), "PP = {}", by_name["PP"]);
         assert_eq!(by_name["PV"], 2_555);

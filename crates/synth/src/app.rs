@@ -61,7 +61,7 @@ impl AppConfig {
             keywords: 1_396,
             categories: 9,
             labeled_applets: 269,
-            usages_per_user: 18.1, // paper: 300k AU / 16.5k users
+            usages_per_user: 18.1,    // paper: 300k AU / 16.5k users
             keywords_per_applet: 2.5, // paper: 367k AK / 148k applets
             usage_fidelity: 0.7,
             keyword_fidelity: 0.45,

@@ -53,8 +53,8 @@ impl BlogConfig {
             users: 5_775,
             keywords: 541,
             groups: 5,
-            friends_per_user: 48.8,   // paper: UU degree 2·1.41M/57.7k
-            keywords_per_user: 5.7,   // paper: 330k UK / 57.7k users
+            friends_per_user: 48.8,      // paper: UU degree 2·1.41M/57.7k
+            keywords_per_user: 5.7,      // paper: 330k UK / 57.7k users
             relevance_per_keyword: 90.0, // paper: KK degree 2·244k/5.4k
             uu_fidelity: 0.45,
             uk_fidelity: 0.75,
@@ -158,7 +158,10 @@ pub fn blog_like(cfg: &BlogConfig, seed: u64) -> Dataset {
         } else {
             weighted_pick(&kw_pop, &mut rng)
         };
-        if !sink.add(&mut b, keywords[k], keywords[k2], e_kk, 1.0).unwrap() {
+        if !sink
+            .add(&mut b, keywords[k], keywords[k2], e_kk, 1.0)
+            .unwrap()
+        {
             stale += 1;
         } else {
             stale = 0;
@@ -225,8 +228,7 @@ mod tests {
         // headline property: much denser than the App nets (> 20 avg deg).
         assert!(s.average_degree > 20.0, "avg degree {}", s.average_degree);
         // Edge-type mix ordered like the paper: UU ≫ UK > KK.
-        let by_name: std::collections::HashMap<_, _> =
-            s.edges_per_type.iter().cloned().collect();
+        let by_name: std::collections::HashMap<_, _> = s.edges_per_type.iter().cloned().collect();
         assert!(by_name["UU"] > by_name["UK"]);
         assert!(by_name["UK"] > by_name["KK"] / 2); // same order of magnitude
     }

@@ -1,0 +1,195 @@
+//! `testkit` — the conformance & fault-injection sweep driver.
+//!
+//! ```text
+//! testkit list
+//! testkit sweep [--cases all|NAME[,NAME..]] [--seeds N] [--seed S] [--scale K]
+//! ```
+//!
+//! `sweep` runs every selected conformance case over a seed × scale grid
+//! and every selected fault case over the seeds. On a conformance
+//! mismatch the failure is shrunk to the smallest failing `(seed, scale)`
+//! and printed with a single-command reproducer; the process exits
+//! non-zero if anything failed.
+
+use std::process::ExitCode;
+use transn_testkit::{cases, fault, run_case, shrink_failure, CaseFailure};
+
+const USAGE: &str = "usage: testkit <command>\n\
+commands:\n\
+  list                         print every registered case name\n\
+  sweep [--cases all|A,B,..]   run selected cases (default: all)\n\
+        [--seeds N]            sweep seeds 0..N (default 2)\n\
+        [--seed S]             pin a single seed (overrides --seeds)\n\
+        [--scale K]            pin a single input scale (default: all)\n";
+
+struct SweepArgs {
+    cases: Option<Vec<String>>,
+    seeds: Vec<u64>,
+    scales: Vec<u32>,
+    pinned: bool,
+}
+
+fn parse_sweep(args: &[String]) -> Result<SweepArgs, String> {
+    let mut cases = None;
+    let mut seeds = 2u64;
+    let mut seed = None;
+    let mut scale = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--cases" => {
+                let v = value("--cases")?;
+                if v != "all" {
+                    cases = Some(v.split(',').map(str::to_string).collect());
+                }
+            }
+            "--seeds" => {
+                seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--seed" => {
+                seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--scale" => {
+                scale = Some(
+                    value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let pinned = seed.is_some() || scale.is_some();
+    Ok(SweepArgs {
+        cases,
+        seeds: match seed {
+            Some(s) => vec![s],
+            None => (0..seeds).collect(),
+        },
+        scales: match scale {
+            Some(k) => vec![k],
+            None => (0..=transn_testkit::MAX_SCALE).collect(),
+        },
+        pinned,
+    })
+}
+
+fn selected(name: &str, filter: &Option<Vec<String>>) -> bool {
+    match filter {
+        Some(f) => f.iter().any(|c| c == name),
+        None => true,
+    }
+}
+
+fn sweep(args: SweepArgs) -> ExitCode {
+    let conf = cases::registry();
+    let faults = fault::registry();
+    if let Some(filter) = &args.cases {
+        for want in filter {
+            let known =
+                conf.iter().any(|c| c.name() == want) || faults.iter().any(|c| c.name == *want);
+            if !known {
+                eprintln!("error: unknown case `{want}` (try `testkit list`)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut ran = 0usize;
+    let mut failures = 0usize;
+    for case in conf.iter().filter(|c| selected(c.name(), &args.cases)) {
+        let mut failed = false;
+        'grid: for &seed in &args.seeds {
+            for &scale in &args.scales {
+                ran += 1;
+                if run_case(case.as_ref(), seed, scale).is_err() {
+                    // When the user pinned a point they are replaying a
+                    // reproducer: report that exact point, don't shrink.
+                    let failure = if args.pinned {
+                        CaseFailure {
+                            case: case.name(),
+                            seed,
+                            scale,
+                            mismatch: run_case(case.as_ref(), seed, scale).unwrap_err(),
+                        }
+                    } else {
+                        shrink_failure(case.as_ref(), seed, scale)
+                    };
+                    eprintln!("{failure}");
+                    failed = true;
+                    break 'grid;
+                }
+            }
+        }
+        if failed {
+            failures += 1;
+        } else {
+            println!("ok   {}", case.name());
+        }
+    }
+    for case in faults.iter().filter(|c| selected(c.name, &args.cases)) {
+        let mut failed = false;
+        for &seed in &args.seeds {
+            ran += 1;
+            if let Err(detail) = case.run(seed) {
+                eprintln!("FAULT-INJECTION FAILURE: case `{}` seed={seed}", case.name);
+                eprintln!("  {detail}");
+                eprintln!(
+                    "  reproduce with:\n    cargo run --release -p transn-testkit \
+                     --bin testkit -- sweep --cases {} --seed {seed}",
+                    case.name
+                );
+                failed = true;
+                break;
+            }
+        }
+        if failed {
+            failures += 1;
+        } else {
+            println!("ok   {}", case.name);
+        }
+    }
+    println!(
+        "sweep: {ran} runs, {failures} failing case(s), seeds {:?}, scales {:?}",
+        args.seeds, args.scales
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("list") => {
+            for case in cases::registry() {
+                println!("{}", case.name());
+            }
+            for case in fault::registry() {
+                println!("{}", case.name);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("sweep") => match parse_sweep(&argv[1..]) {
+            Ok(args) => sweep(args),
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

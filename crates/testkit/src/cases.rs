@@ -1,0 +1,815 @@
+//! The conformance case registry: every fast path in the workspace paired
+//! with its slow reference.
+//!
+//! | group   | cases                                   | tolerance      |
+//! |---------|-----------------------------------------|----------------|
+//! | kernels | dot, sqdist, gemm-tb                    | `Rel(1e-5)`    |
+//! | kernels | axpy, scale-add, gemm, gemm-ta, tb-acc  | `Bitwise`      |
+//! | nn      | softmax-simplex                         | `Rel(1e-5)`    |
+//! | nn      | ws-feedforward, ws-translator-{f,b}     | `Bitwise`      |
+//! | nn      | loss-eval-into                          | `Bitwise`      |
+//! | walks   | corpus-flat-vs-nested, parallel-generate| `Bitwise`      |
+//! | sgns    | noise-from-corpus, strict-threads {1,2,4,8}, hogwild1 | `Bitwise` |
+//! | sgns    | hs-vs-sgns-trend                        | `Bitwise` flags|
+//! | core    | core-strict-threads                     | `Bitwise`      |
+
+use crate::conformance::{Conformance, Ctx, Match};
+use crate::fixture;
+use crate::invariants::{check_corpus_offsets, check_finite, check_prob_simplex};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use transn::{Parallelism, TransN, TransNConfig};
+use transn_nn::kernels;
+use transn_nn::{FeedForward, LossKind, Matrix, Translator, Workspace};
+use transn_sgns::{NoiseTable, SgnsConfig, SgnsModel};
+use transn_walks::{parallel_generate, WalkCorpus};
+
+/// All registered conformance cases, in registry order.
+pub fn registry() -> Vec<Box<dyn Conformance>> {
+    vec![
+        Box::new(KernelDot),
+        Box::new(KernelSqdist),
+        Box::new(KernelAxpy),
+        Box::new(KernelScaleAdd),
+        Box::new(KernelGemm),
+        Box::new(KernelGemmTa),
+        Box::new(KernelGemmTb),
+        Box::new(KernelGemmTbAcc),
+        Box::new(SoftmaxSimplex),
+        Box::new(WsFeedForward),
+        Box::new(WsTranslatorForward),
+        Box::new(WsTranslatorBackward),
+        Box::new(LossEvalInto),
+        Box::new(CorpusFlatVsNested),
+        Box::new(CorpusParallelGenerate),
+        Box::new(NoiseFromCorpus),
+        Box::new(SgnsStrictThreads),
+        Box::new(SgnsHogwild1VsStrict),
+        Box::new(HsVsSgnsTrend),
+        Box::new(CoreStrictThreads),
+    ]
+}
+
+/// Vector lengths exercised by the 1-D kernel cases: below, at, and past
+/// the 8-lane block, plus a scaled tail-heavy length.
+fn kernel_lens(ctx: &Ctx) -> [usize; 6] {
+    [1, 3, 8, 9, 17, ctx.scaled(21)]
+}
+
+fn random_vec(ctx: &mut Ctx, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|_| ctx.rng().random_range(-1.0..1.0f32))
+        .collect()
+}
+
+struct KernelDot;
+impl Conformance for KernelDot {
+    fn name(&self) -> &'static str {
+        "kernel-dot"
+    }
+    fn tolerance(&self) -> Match {
+        // The 8-lane tree reduction reorders sums vs the sequential ref.
+        Match::Rel(1e-5)
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        for len in kernel_lens(ctx) {
+            let a = random_vec(ctx, len);
+            let b = random_vec(ctx, len);
+            ctx.emit(kernels::dot(&a, &b));
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        for len in kernel_lens(ctx) {
+            let a = random_vec(ctx, len);
+            let b = random_vec(ctx, len);
+            ctx.emit(kernels::dot_ref(&a, &b));
+        }
+    }
+}
+
+struct KernelSqdist;
+impl Conformance for KernelSqdist {
+    fn name(&self) -> &'static str {
+        "kernel-sqdist"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Rel(1e-5)
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        for len in kernel_lens(ctx) {
+            let a = random_vec(ctx, len);
+            let b = random_vec(ctx, len);
+            ctx.emit(kernels::sqdist(&a, &b));
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        for len in kernel_lens(ctx) {
+            let a = random_vec(ctx, len);
+            let b = random_vec(ctx, len);
+            ctx.emit(kernels::sqdist_ref(&a, &b));
+        }
+    }
+}
+
+struct KernelAxpy;
+impl Conformance for KernelAxpy {
+    fn name(&self) -> &'static str {
+        "kernel-axpy"
+    }
+    fn tolerance(&self) -> Match {
+        // Element-wise: no reduction, so fast and ref are bit-identical.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        for len in kernel_lens(ctx) {
+            let mut y = random_vec(ctx, len);
+            let x = random_vec(ctx, len);
+            let a: f32 = ctx.rng().random_range(-2.0..2.0);
+            kernels::axpy(&mut y, a, &x);
+            ctx.emit_all(&y);
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        for len in kernel_lens(ctx) {
+            let mut y = random_vec(ctx, len);
+            let x = random_vec(ctx, len);
+            let a: f32 = ctx.rng().random_range(-2.0..2.0);
+            kernels::axpy_ref(&mut y, a, &x);
+            ctx.emit_all(&y);
+        }
+    }
+}
+
+struct KernelScaleAdd;
+impl Conformance for KernelScaleAdd {
+    fn name(&self) -> &'static str {
+        "kernel-scale-add"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        for len in kernel_lens(ctx) {
+            let mut out = vec![0.0f32; len];
+            let x = random_vec(ctx, len);
+            let y = random_vec(ctx, len);
+            let (a, b): (f32, f32) = (
+                ctx.rng().random_range(-2.0..2.0),
+                ctx.rng().random_range(-2.0..2.0),
+            );
+            kernels::scale_add(&mut out, a, &x, b, &y);
+            ctx.emit_all(&out);
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        for len in kernel_lens(ctx) {
+            let mut out = vec![0.0f32; len];
+            let x = random_vec(ctx, len);
+            let y = random_vec(ctx, len);
+            let (a, b): (f32, f32) = (
+                ctx.rng().random_range(-2.0..2.0),
+                ctx.rng().random_range(-2.0..2.0),
+            );
+            kernels::scale_add_ref(&mut out, a, &x, b, &y);
+            ctx.emit_all(&out);
+        }
+    }
+}
+
+/// GEMM shapes for the current scale: deliberately non-multiples of the
+/// kernel block sizes so every tail path runs.
+fn gemm_dims(ctx: &Ctx) -> (usize, usize, usize) {
+    (ctx.scaled(3), ctx.scaled(5) + 1, ctx.scaled(2) + 2)
+}
+
+struct KernelGemm;
+impl Conformance for KernelGemm {
+    fn name(&self) -> &'static str {
+        "kernel-gemm"
+    }
+    fn tolerance(&self) -> Match {
+        // The blocked gemm preserves the textbook accumulation order.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (n, k, m) = gemm_dims(ctx);
+        let a = random_vec(ctx, n * k);
+        let b = random_vec(ctx, k * m);
+        let mut out = vec![0.0f32; n * m];
+        kernels::gemm(&a, &b, &mut out, n, k, m);
+        ctx.emit_all(&out);
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (n, k, m) = gemm_dims(ctx);
+        let a = random_vec(ctx, n * k);
+        let b = random_vec(ctx, k * m);
+        let mut out = vec![0.0f32; n * m];
+        kernels::gemm_ref(&a, &b, &mut out, n, k, m);
+        ctx.emit_all(&out);
+    }
+}
+
+struct KernelGemmTa;
+impl Conformance for KernelGemmTa {
+    fn name(&self) -> &'static str {
+        "kernel-gemm-ta"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (n, k, m) = gemm_dims(ctx);
+        let a = random_vec(ctx, k * n);
+        let b = random_vec(ctx, k * m);
+        let mut out = vec![0.0f32; n * m];
+        kernels::gemm_ta(&a, &b, &mut out, k, n, m);
+        ctx.emit_all(&out);
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (n, k, m) = gemm_dims(ctx);
+        let a = random_vec(ctx, k * n);
+        let b = random_vec(ctx, k * m);
+        let mut out = vec![0.0f32; n * m];
+        kernels::gemm_ta_ref(&a, &b, &mut out, k, n, m);
+        ctx.emit_all(&out);
+    }
+}
+
+struct KernelGemmTb;
+impl Conformance for KernelGemmTb {
+    fn name(&self) -> &'static str {
+        "kernel-gemm-tb"
+    }
+    fn tolerance(&self) -> Match {
+        // Row-dot reduction runs in the 8-lane tree order.
+        Match::Rel(1e-5)
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (n, d, m) = gemm_dims(ctx);
+        let a = random_vec(ctx, n * d);
+        let b = random_vec(ctx, m * d);
+        let mut out = vec![0.0f32; n * m];
+        kernels::gemm_tb(&a, &b, &mut out, n, d, m);
+        ctx.emit_all(&out);
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (n, d, m) = gemm_dims(ctx);
+        let a = random_vec(ctx, n * d);
+        let b = random_vec(ctx, m * d);
+        let mut out = vec![0.0f32; n * m];
+        kernels::gemm_tb_ref(&a, &b, &mut out, n, d, m);
+        ctx.emit_all(&out);
+    }
+}
+
+struct KernelGemmTbAcc;
+impl Conformance for KernelGemmTbAcc {
+    fn name(&self) -> &'static str {
+        "kernel-gemm-tb-acc"
+    }
+    fn tolerance(&self) -> Match {
+        // Same per-element dot order as gemm_tb, added to `out` once.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (n, d, m) = gemm_dims(ctx);
+        let a = random_vec(ctx, n * d);
+        let b = random_vec(ctx, m * d);
+        let mut out = random_vec(ctx, n * m);
+        kernels::gemm_tb_acc(&a, &b, &mut out, n, d, m);
+        ctx.emit_all(&out);
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (n, d, m) = gemm_dims(ctx);
+        let a = random_vec(ctx, n * d);
+        let b = random_vec(ctx, m * d);
+        let mut out = random_vec(ctx, n * m);
+        let mut tmp = vec![0.0f32; n * m];
+        kernels::gemm_tb(&a, &b, &mut tmp, n, d, m);
+        for (o, t) in out.iter_mut().zip(&tmp) {
+            *o += t;
+        }
+        ctx.emit_all(&out);
+    }
+}
+
+struct SoftmaxSimplex;
+impl Conformance for SoftmaxSimplex {
+    fn name(&self) -> &'static str {
+        "softmax-simplex"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Rel(1e-5)
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (rows, cols) = (ctx.scaled(3), ctx.scaled(4) + 1);
+        let mut m = Matrix::from_fn(rows, cols, |_, _| ctx.rng().random_range(-3.0..3.0));
+        m.softmax_rows_inplace();
+        for r in 0..rows {
+            check_prob_simplex("softmax row", m.row(r), 1e-4).unwrap();
+        }
+        ctx.emit_all(m.data());
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (rows, cols) = (ctx.scaled(3), ctx.scaled(4) + 1);
+        let m = Matrix::from_fn(rows, cols, |_, _| ctx.rng().random_range(-3.0..3.0));
+        // Textbook max-subtracted softmax in f64.
+        for r in 0..rows {
+            let row = m.row(r);
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+            let exps: Vec<f64> = row.iter().map(|&v| ((v as f64) - mx).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            for e in exps {
+                ctx.emit((e / sum) as f32);
+            }
+        }
+    }
+}
+
+struct WsFeedForward;
+impl Conformance for WsFeedForward {
+    fn name(&self) -> &'static str {
+        "ws-feedforward"
+    }
+    fn tolerance(&self) -> Match {
+        // The convenience tier wraps the same `_into` kernels.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (len, dim) = (ctx.scaled(4), ctx.scaled(3) + 2);
+        let mut ff = FeedForward::new(len, ctx.rng());
+        let a = Matrix::from_fn(len, dim, |_, _| ctx.rng().random_range(-1.0..1.0));
+        let d_out = Matrix::from_fn(len, dim, |_, _| ctx.rng().random_range(-1.0..1.0));
+        let mut ws = Workspace::new(1, len, dim);
+        let (out, cache) = ff.forward_ws(&a, &mut ws);
+        check_finite("ff ws output", out.data()).unwrap();
+        let out = out.data().to_vec();
+        ctx.emit_all(&out);
+        let d_in = ff.backward_ws(&cache, &d_out, &mut ws);
+        let d_in = d_in.data().to_vec();
+        ctx.emit_all(&d_in);
+        ctx.emit_all(ff.w.grad().data());
+        ctx.emit_all(ff.b.grad().data());
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (len, dim) = (ctx.scaled(4), ctx.scaled(3) + 2);
+        let mut ff = FeedForward::new(len, ctx.rng());
+        let a = Matrix::from_fn(len, dim, |_, _| ctx.rng().random_range(-1.0..1.0));
+        let d_out = Matrix::from_fn(len, dim, |_, _| ctx.rng().random_range(-1.0..1.0));
+        let (out, cache) = ff.forward(&a);
+        ctx.emit_all(out.data());
+        let d_in = ff.backward(&cache, &d_out);
+        ctx.emit_all(d_in.data());
+        ctx.emit_all(ff.w.grad().data());
+        ctx.emit_all(ff.b.grad().data());
+    }
+}
+
+fn translator_setup(ctx: &mut Ctx) -> (Translator, Matrix, Matrix) {
+    let (h, len, dim) = (1 + ctx.scale() as usize, ctx.scaled(4), ctx.scaled(3) + 2);
+    let t = Translator::new(h, len, ctx.rng());
+    let a = Matrix::from_fn(len, dim, |_, _| ctx.rng().random_range(-1.0..1.0));
+    let d_out = Matrix::from_fn(len, dim, |_, _| ctx.rng().random_range(-1.0..1.0));
+    (t, a, d_out)
+}
+
+struct WsTranslatorForward;
+impl Conformance for WsTranslatorForward {
+    fn name(&self) -> &'static str {
+        "ws-translator-forward"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (t, a, _) = translator_setup(ctx);
+        let mut ws = Workspace::new(t.num_encoders(), t.path_len(), a.cols());
+        let (out, _) = t.forward_ws(&a, &mut ws);
+        check_finite("translator ws output", out.data()).unwrap();
+        let out = out.data().to_vec();
+        ctx.emit_all(&out);
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (t, a, _) = translator_setup(ctx);
+        let (out, _) = t.forward(&a);
+        ctx.emit_all(out.data());
+    }
+}
+
+struct WsTranslatorBackward;
+impl Conformance for WsTranslatorBackward {
+    fn name(&self) -> &'static str {
+        "ws-translator-backward"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (mut t, a, d_out) = translator_setup(ctx);
+        let mut ws = Workspace::new(t.num_encoders(), t.path_len(), a.cols());
+        let (_, cache) = t.forward_ws(&a, &mut ws);
+        let d_in = t.backward_ws(&cache, &d_out, &mut ws);
+        let d_in = d_in.data().to_vec();
+        ctx.emit_all(&d_in);
+        for enc in t.encoders() {
+            ctx.emit_all(enc.ff.w.grad().data());
+            ctx.emit_all(enc.ff.b.grad().data());
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (mut t, a, d_out) = translator_setup(ctx);
+        let (_, mut cache) = t.forward(&a);
+        let d_in = t.backward(&mut cache, &d_out);
+        ctx.emit_all(d_in.data());
+        for enc in t.encoders() {
+            ctx.emit_all(enc.ff.w.grad().data());
+            ctx.emit_all(enc.ff.b.grad().data());
+        }
+    }
+}
+
+struct LossEvalInto;
+impl Conformance for LossEvalInto {
+    fn name(&self) -> &'static str {
+        "loss-eval-into"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (len, dim) = (ctx.scaled(3), ctx.scaled(4) + 1);
+        for kind in [LossKind::NegDot, LossKind::Cosine, LossKind::Mse] {
+            let x = Matrix::from_fn(len, dim, |_, _| ctx.rng().random_range(-1.0..1.0));
+            let t = Matrix::from_fn(len, dim, |_, _| ctx.rng().random_range(-1.0..1.0));
+            let mut d_x = Matrix::zeros(len, dim);
+            let mut d_t = Matrix::zeros(len, dim);
+            let value = kind.eval_into(&x, &t, &mut d_x, &mut d_t);
+            ctx.emit(value);
+            ctx.emit_all(d_x.data());
+            ctx.emit_all(d_t.data());
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (len, dim) = (ctx.scaled(3), ctx.scaled(4) + 1);
+        for kind in [LossKind::NegDot, LossKind::Cosine, LossKind::Mse] {
+            let x = Matrix::from_fn(len, dim, |_, _| ctx.rng().random_range(-1.0..1.0));
+            let t = Matrix::from_fn(len, dim, |_, _| ctx.rng().random_range(-1.0..1.0));
+            let loss = kind.eval(&x, &t);
+            ctx.emit(loss.value);
+            ctx.emit_all(loss.d_x.data());
+            ctx.emit_all(loss.d_t.data());
+        }
+    }
+}
+
+fn emit_corpus(ctx: &mut Ctx, corpus: &WalkCorpus, num_nodes: u32) {
+    ctx.emit_len(corpus.len());
+    for w in 0..corpus.len() {
+        ctx.emit_len(corpus.walk(w).len());
+    }
+    for &t in corpus.tokens() {
+        ctx.emit_bits(t);
+    }
+    for f in corpus.node_frequencies(num_nodes as usize) {
+        ctx.emit_bits(f as u32);
+    }
+}
+
+struct CorpusFlatVsNested;
+impl Conformance for CorpusFlatVsNested {
+    fn name(&self) -> &'static str {
+        "corpus-flat-vs-nested"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let nodes = 16u32;
+        let walks = fixture::random_walks(
+            nodes,
+            ctx.scaled(8),
+            3 + ctx.scale() as usize * 4,
+            ctx.seed(),
+        );
+        let mut corpus = WalkCorpus::new();
+        for w in &walks {
+            corpus.push(w);
+        }
+        check_corpus_offsets("pushed corpus", &corpus).unwrap();
+        emit_corpus(ctx, &corpus, nodes);
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let nodes = 16u32;
+        let walks = fixture::random_walks(
+            nodes,
+            ctx.scaled(8),
+            3 + ctx.scale() as usize * 4,
+            ctx.seed(),
+        );
+        let corpus = WalkCorpus::from_walks(walks);
+        check_corpus_offsets("nested corpus", &corpus).unwrap();
+        emit_corpus(ctx, &corpus, nodes);
+    }
+}
+
+/// The walk generator for [`CorpusParallelGenerate`]: each task emits two
+/// RNG-dependent walks, so shard interleaving errors would change tokens.
+fn generate_tasks(corpus: &mut WalkCorpus, tasks: usize, threads: usize, seed: u64) {
+    let task_ids: Vec<u32> = (0..tasks as u32).collect();
+    let generated = parallel_generate(&task_ids, threads, seed, |&t, rng, out| {
+        for _ in 0..2 {
+            out.push_with(|walk| {
+                let len = rng.random_range(2..=6);
+                for _ in 0..len {
+                    walk.push(t * 31 + rng.random_range(0..16u32));
+                }
+            });
+        }
+    });
+    corpus.extend(&generated);
+}
+
+struct CorpusParallelGenerate;
+impl Conformance for CorpusParallelGenerate {
+    fn name(&self) -> &'static str {
+        "corpus-parallel-generate"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let tasks = ctx.scaled(13);
+        for threads in [2, 4, 8] {
+            let mut corpus = WalkCorpus::new();
+            generate_tasks(&mut corpus, tasks, threads, ctx.seed());
+            check_corpus_offsets("parallel corpus", &corpus).unwrap();
+            emit_corpus(ctx, &corpus, tasks as u32 * 31 + 16);
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let tasks = ctx.scaled(13);
+        let mut corpus = WalkCorpus::new();
+        generate_tasks(&mut corpus, tasks, 1, ctx.seed());
+        for _ in [2, 4, 8] {
+            emit_corpus(ctx, &corpus, tasks as u32 * 31 + 16);
+        }
+    }
+}
+
+struct NoiseFromCorpus;
+impl Conformance for NoiseFromCorpus {
+    fn name(&self) -> &'static str {
+        "noise-from-corpus"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let nodes = 24u32;
+        let corpus = fixture::random_corpus(nodes, ctx.scaled(10), 8, ctx.seed());
+        let noise = NoiseTable::from_corpus(&corpus, nodes as usize);
+        let mut rng = StdRng::seed_from_u64(ctx.seed() ^ 0xD1CE);
+        for _ in 0..256 {
+            ctx.emit_bits(noise.sample(&mut rng));
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let nodes = 24u32;
+        let corpus = fixture::random_corpus(nodes, ctx.scaled(10), 8, ctx.seed());
+        let noise = NoiseTable::from_frequencies(&corpus.node_frequencies(nodes as usize));
+        let mut rng = StdRng::seed_from_u64(ctx.seed() ^ 0xD1CE);
+        for _ in 0..256 {
+            ctx.emit_bits(noise.sample(&mut rng));
+        }
+    }
+}
+
+/// Shared setup for the strict-determinism SGNS cases.
+fn sgns_setup(ctx: &mut Ctx) -> (SgnsModel, WalkCorpus, NoiseTable, SgnsConfig) {
+    let nodes = 30u32;
+    let dim = 8 + 4 * ctx.scale() as usize;
+    // More walks than LOGICAL_SHARDS at every scale, so sharding is real.
+    let corpus = fixture::random_corpus(nodes, 70 + ctx.scaled(10), 8, ctx.seed());
+    let noise = NoiseTable::from_corpus(&corpus, nodes as usize);
+    let model = SgnsModel::new(nodes as usize, dim, ctx.rng());
+    let cfg = SgnsConfig {
+        dim,
+        negatives: 3,
+        window: 2,
+        seed: ctx.seed() ^ 0x5EED,
+        ..SgnsConfig::default()
+    };
+    (model, corpus, noise, cfg)
+}
+
+fn train_and_emit(
+    ctx: &mut Ctx,
+    model: &SgnsModel,
+    corpus: &WalkCorpus,
+    noise: &NoiseTable,
+    cfg: &SgnsConfig,
+) {
+    let mut m = model.clone();
+    let loss = m.train_corpus(corpus, noise, cfg);
+    check_finite("sgns input table", m.input_table()).unwrap();
+    ctx.emit(loss);
+    ctx.emit_all(m.input_table());
+}
+
+struct SgnsStrictThreads;
+impl Conformance for SgnsStrictThreads {
+    fn name(&self) -> &'static str {
+        "sgns-strict-threads"
+    }
+    fn tolerance(&self) -> Match {
+        // Strict mode applies shards serially in shard order at any
+        // thread count.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (model, corpus, noise, cfg) = sgns_setup(ctx);
+        for threads in [2, 4, 8] {
+            let cfg = SgnsConfig {
+                parallelism: Parallelism::strict(threads),
+                ..cfg
+            };
+            train_and_emit(ctx, &model, &corpus, &noise, &cfg);
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (model, corpus, noise, cfg) = sgns_setup(ctx);
+        let cfg = SgnsConfig {
+            parallelism: Parallelism::strict(1),
+            ..cfg
+        };
+        for _ in [2, 4, 8] {
+            train_and_emit(ctx, &model, &corpus, &noise, &cfg);
+        }
+    }
+}
+
+struct SgnsHogwild1VsStrict;
+impl Conformance for SgnsHogwild1VsStrict {
+    fn name(&self) -> &'static str {
+        "sgns-hogwild1-vs-strict"
+    }
+    fn tolerance(&self) -> Match {
+        // One Hogwild thread runs the identical serial shard schedule.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (model, corpus, noise, cfg) = sgns_setup(ctx);
+        let cfg = SgnsConfig {
+            parallelism: Parallelism::hogwild(1),
+            ..cfg
+        };
+        train_and_emit(ctx, &model, &corpus, &noise, &cfg);
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (model, corpus, noise, cfg) = sgns_setup(ctx);
+        let cfg = SgnsConfig {
+            parallelism: Parallelism::strict(1),
+            ..cfg
+        };
+        train_and_emit(ctx, &model, &corpus, &noise, &cfg);
+    }
+}
+
+/// A structured ring corpus: co-occurrence actually predicts adjacency,
+/// so both softmax estimators must drive their loss down.
+fn ring_corpus(nodes: u32, walks: usize, len: usize) -> WalkCorpus {
+    let mut corpus = WalkCorpus::new();
+    let mut walk = Vec::new();
+    for w in 0..walks {
+        walk.clear();
+        let start = (w as u32 * 7) % nodes;
+        for i in 0..len as u32 {
+            walk.push((start + i) % nodes);
+        }
+        corpus.push(&walk);
+    }
+    corpus
+}
+
+struct HsVsSgnsTrend;
+impl Conformance for HsVsSgnsTrend {
+    fn name(&self) -> &'static str {
+        "hs-vs-sgns-trend"
+    }
+    fn tolerance(&self) -> Match {
+        // The signature is a vector of 0/1 sanity flags.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        use transn_sgns::hsoftmax::HsModel;
+        let nodes = 20u32;
+        let dim = 8 + 4 * ctx.scale() as usize;
+        let corpus = ring_corpus(nodes, 40, 10);
+        let epochs = 4;
+
+        // Hierarchical softmax: the exact-softmax reference estimator.
+        let freqs = corpus.node_frequencies(nodes as usize);
+        let mut hs = HsModel::new(&freqs, dim, ctx.rng());
+        let mut hs_losses = Vec::new();
+        for _ in 0..epochs {
+            hs_losses.push(hs.train_corpus(&corpus, 2, 0.05));
+        }
+
+        // Negative sampling: the fast estimator of the same objective.
+        let noise = NoiseTable::from_corpus(&corpus, nodes as usize);
+        let mut sg = SgnsModel::new(nodes as usize, dim, ctx.rng());
+        let cfg = SgnsConfig {
+            dim,
+            negatives: 3,
+            seed: ctx.seed() ^ 0x7E4D,
+            ..SgnsConfig::default()
+        };
+        let mut sg_losses = Vec::new();
+        for _ in 0..epochs {
+            sg_losses.push(sg.train_corpus(&corpus, &noise, &cfg));
+        }
+
+        let decreasing = |l: &[f32]| l.last().unwrap() < l.first().unwrap();
+        ctx.emit(f32::from(hs_losses.iter().all(|l| l.is_finite())));
+        ctx.emit(f32::from(decreasing(&hs_losses)));
+        ctx.emit(f32::from(sg_losses.iter().all(|l| l.is_finite())));
+        ctx.emit(f32::from(decreasing(&sg_losses)));
+        ctx.emit(f32::from(
+            check_finite("hs table", sg.input_table()).is_ok(),
+        ));
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        // The sanity flags a healthy run must produce.
+        for _ in 0..5 {
+            ctx.emit(1.0);
+        }
+    }
+}
+
+struct CoreStrictThreads;
+impl Conformance for CoreStrictThreads {
+    fn name(&self) -> &'static str {
+        "core-strict-threads"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        for threads in [2, 4] {
+            core_train_emit(ctx, threads);
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        for _ in [2, 4] {
+            core_train_emit(ctx, 1);
+        }
+    }
+}
+
+fn core_train_emit(ctx: &mut Ctx, threads: usize) {
+    let net = fixture::two_type_net(8, 5, ctx.seed());
+    let mut cfg = TransNConfig {
+        dim: 8,
+        iterations: 1,
+        encoders: 1,
+        cross_len: 4,
+        cross_paths: 10,
+        parallelism: Parallelism::strict(threads),
+        ..TransNConfig::default()
+    }
+    .with_seed(ctx.seed());
+    cfg.walk.length = 10;
+    cfg.walk.min_walks_per_node = 2;
+    cfg.walk.max_walks_per_node = 4;
+    cfg.walk.threads = threads;
+    let emb = TransN::new(&net, cfg).train();
+    for n in 0..emb.num_nodes() {
+        let row = emb.get(transn_graph::NodeId(n as u32));
+        check_finite("transn embedding row", row).unwrap();
+        ctx.emit_all(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::run_case;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let reg = registry();
+        let mut names: Vec<&str> = reg.iter().map(|c| c.name()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate case names");
+        assert!(total >= 15, "registry shrank to {total} cases");
+    }
+
+    #[test]
+    fn every_case_passes_at_seed_zero_scale_zero() {
+        for case in registry() {
+            run_case(case.as_ref(), 0, 0)
+                .unwrap_or_else(|m| panic!("case `{}` failed at seed 0 scale 0: {m}", case.name()));
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! The differential conformance engine.
+//!
+//! A [`Conformance`] case runs the same seeded computation twice — once
+//! through the fast path, once through its slow reference — each into a
+//! fresh [`Ctx`] that records an output *signature* (a flat `f32` stream;
+//! integer outputs are emitted bit-transparently). The two signatures are
+//! compared under the case's declared [`Match`] tolerance.
+//!
+//! Failures are shrunk ([`shrink_failure`]) to the smallest failing input
+//! scale and seed, and formatted with a single-command reproducer.
+
+use rand::{rngs::StdRng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The φ64 mixing constant used across the workspace for seed streams.
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Input scales a case is exercised at. Scale 0 is the smallest input a
+/// case supports; higher scales grow every size parameter, crossing
+/// kernel block boundaries (`LANES = 8`, 4×-unrolled loops, multi-shard
+/// corpora).
+pub const MAX_SCALE: u32 = 2;
+
+/// How closely the fast signature must match the reference signature.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Match {
+    /// Bit-for-bit identical (`f32::to_bits` equality, NaN-transparent).
+    Bitwise,
+    /// Relative error at most the given bound:
+    /// `|fast − ref| ≤ tol · max(1, |ref|)`.
+    Rel(f64),
+}
+
+/// Deterministic per-run context: a seeded RNG for input generation and a
+/// sink for the output signature. Fast and reference runs of a case get
+/// independent `Ctx`s constructed from the same `(seed, scale)`, hence
+/// identical RNG streams and identical generated inputs.
+pub struct Ctx {
+    seed: u64,
+    scale: u32,
+    rng: StdRng,
+    sig: Vec<f32>,
+}
+
+impl Ctx {
+    /// A context for the given case seed and input scale.
+    pub fn new(seed: u64, scale: u32) -> Self {
+        Ctx {
+            seed,
+            scale,
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(SEED_MIX) ^ u64::from(scale)),
+            sig: Vec::new(),
+        }
+    }
+
+    /// The case seed this context was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The input scale (0 = smallest).
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// `base << scale`: the conventional way cases grow a size parameter.
+    pub fn scaled(&self, base: usize) -> usize {
+        base << self.scale
+    }
+
+    /// The input-generation RNG (same stream for fast and reference).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Record one `f32` of output signature.
+    pub fn emit(&mut self, x: f32) {
+        self.sig.push(x);
+    }
+
+    /// Record a slice of output signature.
+    pub fn emit_all(&mut self, xs: &[f32]) {
+        self.sig.extend_from_slice(xs);
+    }
+
+    /// Record an integer bit-transparently (compare with
+    /// [`Match::Bitwise`]; the bits survive unchanged).
+    pub fn emit_bits(&mut self, x: u32) {
+        self.sig.push(f32::from_bits(x));
+    }
+
+    /// Record a `usize` (emitted as two 32-bit halves).
+    pub fn emit_len(&mut self, x: usize) {
+        self.emit_bits(x as u32);
+        self.emit_bits((x >> 32) as u32);
+    }
+
+    /// The signature recorded so far.
+    pub fn signature(&self) -> &[f32] {
+        &self.sig
+    }
+}
+
+/// One differential case: a fast path and its reference, run from
+/// identical contexts, plus the tolerance their signatures must meet.
+pub trait Conformance: Sync {
+    /// Stable case name (used by `--cases` and in reproducer commands).
+    fn name(&self) -> &'static str;
+    /// How closely the two signatures must agree.
+    fn tolerance(&self) -> Match;
+    /// Run the fast path, emitting its outputs into `ctx`.
+    fn fast(&self, ctx: &mut Ctx);
+    /// Run the reference path, emitting its outputs into `ctx`.
+    fn reference(&self, ctx: &mut Ctx);
+}
+
+/// Why a case run failed.
+#[derive(Clone, Debug)]
+pub enum Mismatch {
+    /// The signatures differ at `index` beyond the tolerance.
+    Value {
+        /// First offending signature position.
+        index: usize,
+        /// Fast-path value there.
+        fast: f32,
+        /// Reference value there.
+        reference: f32,
+        /// Relative error `|fast − ref| / max(1, |ref|)`.
+        rel: f64,
+    },
+    /// The two runs emitted signatures of different lengths.
+    Length {
+        /// Fast-path signature length.
+        fast: usize,
+        /// Reference signature length.
+        reference: usize,
+    },
+    /// One of the runs panicked.
+    Panic {
+        /// Which run (`"fast"` or `"reference"`).
+        side: &'static str,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mismatch::Value {
+                index,
+                fast,
+                reference,
+                rel,
+            } => write!(
+                f,
+                "signature[{index}]: fast {fast:?} (bits {:#010x}) vs reference {reference:?} \
+                 (bits {:#010x}), rel err {rel:.3e}",
+                fast.to_bits(),
+                reference.to_bits()
+            ),
+            Mismatch::Length { fast, reference } => write!(
+                f,
+                "signature length mismatch: fast emitted {fast}, reference {reference}"
+            ),
+            Mismatch::Panic { side, message } => write!(f, "{side} path panicked: {message}"),
+        }
+    }
+}
+
+/// A failing `(case, seed, scale)` triple, as reported by the sweep.
+#[derive(Clone, Debug)]
+pub struct CaseFailure {
+    /// Name of the failing case.
+    pub case: &'static str,
+    /// Seed it failed at.
+    pub seed: u64,
+    /// Input scale it failed at.
+    pub scale: u32,
+    /// What went wrong.
+    pub mismatch: Mismatch,
+}
+
+impl CaseFailure {
+    /// The single command that replays exactly this failure.
+    pub fn reproducer(&self) -> String {
+        format!(
+            "cargo run --release -p transn-testkit --bin testkit -- sweep --cases {} --seed {} --scale {}",
+            self.case, self.seed, self.scale
+        )
+    }
+}
+
+impl std::fmt::Display for CaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "CONFORMANCE FAILURE: case `{}` seed={} scale={}",
+            self.case, self.seed, self.scale
+        )?;
+        writeln!(f, "  {}", self.mismatch)?;
+        write!(f, "  reproduce with:\n    {}", self.reproducer())
+    }
+}
+
+fn run_side(
+    case: &dyn Conformance,
+    seed: u64,
+    scale: u32,
+    side: &'static str,
+) -> Result<Vec<f32>, Mismatch> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut ctx = Ctx::new(seed, scale);
+        if side == "fast" {
+            case.fast(&mut ctx);
+        } else {
+            case.reference(&mut ctx);
+        }
+        ctx.sig
+    }));
+    result.map_err(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Mismatch::Panic { side, message }
+    })
+}
+
+/// Run one case at one `(seed, scale)` point and compare the signatures.
+pub fn run_case(case: &dyn Conformance, seed: u64, scale: u32) -> Result<(), Mismatch> {
+    let fast = run_side(case, seed, scale, "fast")?;
+    let reference = run_side(case, seed, scale, "reference")?;
+    if fast.len() != reference.len() {
+        return Err(Mismatch::Length {
+            fast: fast.len(),
+            reference: reference.len(),
+        });
+    }
+    for (i, (&f, &r)) in fast.iter().zip(&reference).enumerate() {
+        let rel = (f as f64 - r as f64).abs() / (r as f64).abs().max(1.0);
+        let ok = match case.tolerance() {
+            Match::Bitwise => f.to_bits() == r.to_bits(),
+            // Non-finite values must agree exactly; rel error is
+            // meaningless there.
+            Match::Rel(tol) if f.is_finite() && r.is_finite() => rel <= tol,
+            Match::Rel(_) => f.to_bits() == r.to_bits(),
+        };
+        if !ok {
+            return Err(Mismatch::Value {
+                index: i,
+                fast: f,
+                reference: r,
+                rel,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Shrink a failure found at `(seed, scale)`: search smaller scales at the
+/// same seed, then smaller seeds at the minimal failing scale, and return
+/// the smallest still-failing point.
+pub fn shrink_failure(case: &dyn Conformance, seed: u64, scale: u32) -> CaseFailure {
+    let mut best = (seed, scale);
+    let mut mismatch = match run_case(case, seed, scale) {
+        Err(m) => m,
+        Ok(()) => unreachable!("shrink_failure called on a passing point"),
+    };
+    for s in 0..scale {
+        if let Err(m) = run_case(case, seed, s) {
+            best = (seed, s);
+            mismatch = m;
+            break;
+        }
+    }
+    for lower_seed in 0..best.0 {
+        if let Err(m) = run_case(case, lower_seed, best.1) {
+            best = (lower_seed, best.1);
+            mismatch = m;
+            break;
+        }
+    }
+    CaseFailure {
+        case: case.name(),
+        seed: best.0,
+        scale: best.1,
+        mismatch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Agree;
+    impl Conformance for Agree {
+        fn name(&self) -> &'static str {
+            "agree"
+        }
+        fn tolerance(&self) -> Match {
+            Match::Bitwise
+        }
+        fn fast(&self, ctx: &mut Ctx) {
+            use rand::Rng;
+            let x: f32 = ctx.rng().random_range(-1.0..1.0);
+            ctx.emit(x);
+            ctx.emit_bits(ctx.scale());
+        }
+        fn reference(&self, ctx: &mut Ctx) {
+            use rand::Rng;
+            let x: f32 = ctx.rng().random_range(-1.0..1.0);
+            ctx.emit(x);
+            ctx.emit_bits(ctx.scale());
+        }
+    }
+
+    struct Disagree;
+    impl Conformance for Disagree {
+        fn name(&self) -> &'static str {
+            "disagree"
+        }
+        fn tolerance(&self) -> Match {
+            Match::Bitwise
+        }
+        fn fast(&self, ctx: &mut Ctx) {
+            ctx.emit(1.0);
+        }
+        fn reference(&self, ctx: &mut Ctx) {
+            ctx.emit(1.0 + f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn identical_streams_agree() {
+        run_case(&Agree, 3, 1).unwrap();
+    }
+
+    #[test]
+    fn bitwise_mismatch_is_reported_and_shrinks() {
+        assert!(run_case(&Disagree, 5, 2).is_err());
+        let failure = shrink_failure(&Disagree, 5, 2);
+        assert_eq!(failure.seed, 0);
+        assert_eq!(failure.scale, 0);
+        assert!(failure
+            .reproducer()
+            .contains("--cases disagree --seed 0 --scale 0"));
+        assert!(matches!(failure.mismatch, Mismatch::Value { index: 0, .. }));
+    }
+
+    #[test]
+    fn rel_tolerance_accepts_small_error() {
+        struct Near;
+        impl Conformance for Near {
+            fn name(&self) -> &'static str {
+                "near"
+            }
+            fn tolerance(&self) -> Match {
+                Match::Rel(1e-5)
+            }
+            fn fast(&self, ctx: &mut Ctx) {
+                ctx.emit(100.0 + 1e-4);
+            }
+            fn reference(&self, ctx: &mut Ctx) {
+                ctx.emit(100.0);
+            }
+        }
+        run_case(&Near, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn panics_are_caught_as_mismatches() {
+        struct Boom;
+        impl Conformance for Boom {
+            fn name(&self) -> &'static str {
+                "boom"
+            }
+            fn tolerance(&self) -> Match {
+                Match::Bitwise
+            }
+            fn fast(&self, _ctx: &mut Ctx) {
+                panic!("kaboom");
+            }
+            fn reference(&self, _ctx: &mut Ctx) {}
+        }
+        match run_case(&Boom, 0, 0) {
+            Err(Mismatch::Panic {
+                side: "fast",
+                message,
+            }) => {
+                assert!(message.contains("kaboom"));
+            }
+            other => panic!("expected fast-side panic, got {other:?}"),
+        }
+    }
+}

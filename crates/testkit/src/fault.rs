@@ -1,0 +1,397 @@
+//! Deterministic, seed-keyed fault injection.
+//!
+//! A [`FaultPlan`] takes a known-good fixture (an edge list, a training
+//! run) and perturbs it with one fault from a closed taxonomy:
+//!
+//! - [`IoFault`]: hostile edge-list input — truncated records, unknown
+//!   ids, self-loops, zero/negative/NaN/inf weights, duplicate edges. The
+//!   loader must either return a **typed** [`transn_graph::GraphError`]
+//!   pointing at the corrupted line, or (for duplicates, which the builder
+//!   documents as parallel arcs) load the documented result.
+//! - [`NumericFault`]: training-time numerics — a NaN/inf-poisoned
+//!   embedding row outside the corpus support must stay quarantined (no
+//!   other row may become non-finite, the poisoned row is never touched),
+//!   and a learning-rate spike must keep every table finite epoch by
+//!   epoch.
+//!
+//! Which line or row is hit is drawn from the plan's seed, so every
+//! failure is replayable from a `(case, seed)` pair.
+
+use crate::fixture;
+use crate::invariants::check_finite;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use transn_graph::{read_edge_list, GraphError};
+use transn_sgns::{NoiseTable, SgnsConfig, SgnsModel};
+
+/// Edge-list input faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFault {
+    /// An `edge` record cut off mid-fields.
+    TruncatedLine,
+    /// A `node` record referencing an undeclared node type.
+    UnknownNodeType,
+    /// An `edge` record referencing an undeclared edge type.
+    UnknownEdgeType,
+    /// An `edge` record referencing a node id that does not exist.
+    UnknownNode,
+    /// An `edge` record with both endpoints equal.
+    SelfEdge,
+    /// An `edge` record with weight `0.0`.
+    ZeroWeight,
+    /// An `edge` record with a negative weight.
+    NegativeWeight,
+    /// An `edge` record with a NaN weight.
+    NanWeight,
+    /// An `edge` record with an infinite weight.
+    InfWeight,
+    /// A well-formed `edge` record repeated verbatim (allowed: documented
+    /// as parallel arcs whose weights add).
+    DuplicateEdge,
+}
+
+impl IoFault {
+    /// Every I/O fault, in taxonomy order.
+    pub const ALL: [IoFault; 10] = [
+        IoFault::TruncatedLine,
+        IoFault::UnknownNodeType,
+        IoFault::UnknownEdgeType,
+        IoFault::UnknownNode,
+        IoFault::SelfEdge,
+        IoFault::ZeroWeight,
+        IoFault::NegativeWeight,
+        IoFault::NanWeight,
+        IoFault::InfWeight,
+        IoFault::DuplicateEdge,
+    ];
+}
+
+/// Training-time numeric faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumericFault {
+    /// One embedding row set to NaN before training.
+    NanRow,
+    /// One embedding row set to +inf before training.
+    InfRow,
+    /// Learning rate spiked two orders of magnitude above the default.
+    LrSpike,
+}
+
+impl NumericFault {
+    /// Every numeric fault, in taxonomy order.
+    pub const ALL: [NumericFault; 3] = [
+        NumericFault::NanRow,
+        NumericFault::InfRow,
+        NumericFault::LrSpike,
+    ];
+}
+
+/// A deterministic fault-injection plan: `seed` keys both the fixture and
+/// the choice of corruption target.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+}
+
+/// Fixture size used by the I/O faults.
+const FIXTURE_USERS: usize = 5;
+const FIXTURE_ITEMS: usize = 3;
+
+impl FaultPlan {
+    /// A plan keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed }
+    }
+
+    /// The clean fixture edge list this plan corrupts.
+    pub fn clean_edge_list(&self) -> String {
+        fixture::two_type_net_tsv(FIXTURE_USERS, FIXTURE_ITEMS, self.seed)
+    }
+
+    fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Apply `fault` to the clean fixture; returns the corrupted text and
+    /// the 1-based line number of the corrupted (or inserted) record.
+    pub fn corrupt_edge_list(&self, fault: IoFault) -> (String, usize) {
+        let clean = self.clean_edge_list();
+        let mut lines: Vec<String> = clean.lines().map(String::from).collect();
+        let mut rng = self.rng(fault as u64 + 1);
+        let pick = |lines: &[String], kind: &str, rng: &mut StdRng| -> usize {
+            let hits: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.starts_with(kind))
+                .map(|(i, _)| i)
+                .collect();
+            hits[rng.random_range(0..hits.len())]
+        };
+        let line = match fault {
+            IoFault::TruncatedLine => {
+                let i = pick(&lines, "edge\t", &mut rng);
+                let fields: Vec<&str> = lines[i].split('\t').collect();
+                lines[i] = fields[..3].join("\t");
+                i
+            }
+            IoFault::UnknownNodeType => {
+                let i = pick(&lines, "node\t", &mut rng);
+                let fields: Vec<&str> = lines[i].split('\t').collect();
+                lines[i] = format!("node\t{}\t9", fields[1]);
+                i
+            }
+            IoFault::UnknownEdgeType
+            | IoFault::UnknownNode
+            | IoFault::SelfEdge
+            | IoFault::ZeroWeight
+            | IoFault::NegativeWeight
+            | IoFault::NanWeight
+            | IoFault::InfWeight => {
+                let i = pick(&lines, "edge\t", &mut rng);
+                let fields: Vec<String> = lines[i].split('\t').map(String::from).collect();
+                let (u, v, t, w) = (&fields[1], &fields[2], &fields[3], &fields[4]);
+                lines[i] = match fault {
+                    IoFault::UnknownEdgeType => format!("edge\t{u}\t{v}\t9\t{w}"),
+                    IoFault::UnknownNode => format!("edge\t{u}\t99\t{t}\t{w}"),
+                    IoFault::SelfEdge => format!("edge\t{u}\t{u}\t{t}\t{w}"),
+                    IoFault::ZeroWeight => format!("edge\t{u}\t{v}\t{t}\t0.0"),
+                    IoFault::NegativeWeight => format!("edge\t{u}\t{v}\t{t}\t-1.5"),
+                    IoFault::NanWeight => format!("edge\t{u}\t{v}\t{t}\tNaN"),
+                    IoFault::InfWeight => format!("edge\t{u}\t{v}\t{t}\tinf"),
+                    _ => unreachable!(),
+                };
+                i
+            }
+            IoFault::DuplicateEdge => {
+                let i = pick(&lines, "edge\t", &mut rng);
+                let dup = lines[i].clone();
+                lines.push(dup);
+                lines.len() - 1
+            }
+        };
+        (lines.join("\n") + "\n", line + 1)
+    }
+
+    /// Run one I/O fault through the loader and check the outcome.
+    pub fn check_io(&self, fault: IoFault) -> Result<(), String> {
+        let (text, line) = self.corrupt_edge_list(fault);
+        let result = read_edge_list(text.as_bytes());
+        if fault == IoFault::DuplicateEdge {
+            // Documented quarantine: duplicates are parallel arcs.
+            let clean = read_edge_list(self.clean_edge_list().as_bytes())
+                .map_err(|e| format!("clean fixture failed to load: {e}"))?;
+            let net = result
+                .map_err(|e| format!("duplicate edge must load as parallel arcs, got: {e}"))?;
+            if net.num_edges() != clean.num_edges() + 1 {
+                return Err(format!(
+                    "duplicate edge: expected {} edges, got {}",
+                    clean.num_edges() + 1,
+                    net.num_edges()
+                ));
+            }
+            return Ok(());
+        }
+        let err = match result {
+            Err(e) => e,
+            Ok(_) => {
+                return Err(format!(
+                    "fault {fault:?} at line {line} was accepted by the loader"
+                ))
+            }
+        };
+        let root_ok = matches!(
+            (fault, err.root_cause()),
+            (IoFault::TruncatedLine, GraphError::Parse { .. })
+                | (IoFault::UnknownNodeType, GraphError::UnknownNodeType(_))
+                | (IoFault::UnknownEdgeType, GraphError::UnknownEdgeType(_))
+                | (IoFault::UnknownNode, GraphError::UnknownNode(_))
+                | (IoFault::SelfEdge, GraphError::SelfLoop(_))
+                | (
+                    IoFault::ZeroWeight
+                        | IoFault::NegativeWeight
+                        | IoFault::NanWeight
+                        | IoFault::InfWeight,
+                    GraphError::BadWeight { .. },
+                )
+        );
+        if !root_ok {
+            return Err(format!(
+                "fault {fault:?}: wrong error type: {err} (root: {:?})",
+                err.root_cause()
+            ));
+        }
+        let msg = err.to_string();
+        if !msg.contains(&format!("line {line}")) {
+            return Err(format!(
+                "fault {fault:?}: error does not name line {line}: {msg}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Run one numeric fault through SGNS training and check containment.
+    pub fn check_numeric(&self, fault: NumericFault) -> Result<(), String> {
+        match fault {
+            NumericFault::NanRow => self.check_poisoned_row(f32::NAN),
+            NumericFault::InfRow => self.check_poisoned_row(f32::INFINITY),
+            NumericFault::LrSpike => self.check_lr_spike(),
+        }
+    }
+
+    /// Poison one embedding row *outside the corpus support* and train:
+    /// the fault must stay quarantined — no other row may pick up a
+    /// non-finite value, and the poisoned row must be left untouched.
+    fn check_poisoned_row(&self, poison: f32) -> Result<(), String> {
+        let active = 16u32; // corpus walks over nodes 0..16
+        let total = 20usize; // model rows 16..20 never occur in the corpus
+        let dim = 8;
+        let corpus = fixture::random_corpus(active, 80, 8, self.seed);
+        let noise = NoiseTable::from_corpus(&corpus, total);
+        let mut rng = self.rng(0xBAD);
+        let mut model = SgnsModel::new(total, dim, &mut rng);
+        let victim = rng.random_range(active..total as u32);
+        model.embedding_mut(victim).fill(poison);
+        let cfg = SgnsConfig {
+            dim,
+            negatives: 3,
+            seed: self.seed ^ 0xF00D,
+            ..SgnsConfig::default()
+        };
+        for epoch in 0..2 {
+            model.train_corpus(&corpus, &noise, &cfg);
+            for n in 0..total as u32 {
+                let row = model.embedding(n);
+                if n == victim {
+                    if row.iter().any(|x| x.is_finite()) {
+                        return Err(format!(
+                            "epoch {epoch}: poisoned row {victim} was partially overwritten"
+                        ));
+                    }
+                } else if let Err(v) = check_finite("sgns row", row) {
+                    return Err(format!(
+                        "epoch {epoch}: fault leaked from row {victim} into row {n}: {v}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Spike the learning rate to 20× the paper's 0.025 and demand every
+    /// epoch still produces finite tables (the sigmoid clamp must keep a
+    /// hot run bounded; it cannot survive arbitrary rates).
+    fn check_lr_spike(&self) -> Result<(), String> {
+        let nodes = 16u32;
+        let dim = 8;
+        let corpus = fixture::random_corpus(nodes, 60, 8, self.seed);
+        let noise = NoiseTable::from_corpus(&corpus, nodes as usize);
+        let mut rng = self.rng(0x5B1C);
+        let mut model = SgnsModel::new(nodes as usize, dim, &mut rng);
+        let cfg = SgnsConfig {
+            dim,
+            negatives: 3,
+            lr0: 0.5, // 20× the paper's rate
+            seed: self.seed ^ 0xF00D,
+            ..SgnsConfig::default()
+        };
+        for epoch in 0..3 {
+            let loss = model.train_corpus(&corpus, &noise, &cfg);
+            if !loss.is_finite() {
+                return Err(format!("epoch {epoch}: loss diverged to {loss}"));
+            }
+            check_finite("sgns input table", model.input_table())
+                .map_err(|v| format!("epoch {epoch}: {v}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// A named fault case for the sweep registry.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultCase {
+    /// Stable case name (used by `--cases` and reproducer commands).
+    pub name: &'static str,
+    kind: FaultKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum FaultKind {
+    Io(IoFault),
+    Numeric(NumericFault),
+}
+
+impl FaultCase {
+    /// Run this fault at `seed`.
+    pub fn run(&self, seed: u64) -> Result<(), String> {
+        let plan = FaultPlan::new(seed);
+        match self.kind {
+            FaultKind::Io(f) => plan.check_io(f),
+            FaultKind::Numeric(f) => plan.check_numeric(f),
+        }
+    }
+}
+
+/// All registered fault cases, in taxonomy order.
+pub fn registry() -> Vec<FaultCase> {
+    fn io_name(f: IoFault) -> &'static str {
+        match f {
+            IoFault::TruncatedLine => "io-truncated-line",
+            IoFault::UnknownNodeType => "io-unknown-node-type",
+            IoFault::UnknownEdgeType => "io-unknown-edge-type",
+            IoFault::UnknownNode => "io-unknown-node",
+            IoFault::SelfEdge => "io-self-edge",
+            IoFault::ZeroWeight => "io-zero-weight",
+            IoFault::NegativeWeight => "io-negative-weight",
+            IoFault::NanWeight => "io-nan-weight",
+            IoFault::InfWeight => "io-inf-weight",
+            IoFault::DuplicateEdge => "io-duplicate-edge",
+        }
+    }
+    fn num_name(f: NumericFault) -> &'static str {
+        match f {
+            NumericFault::NanRow => "num-nan-row",
+            NumericFault::InfRow => "num-inf-row",
+            NumericFault::LrSpike => "num-lr-spike",
+        }
+    }
+    IoFault::ALL
+        .into_iter()
+        .map(|f| FaultCase {
+            name: io_name(f),
+            kind: FaultKind::Io(f),
+        })
+        .chain(NumericFault::ALL.into_iter().map(|f| FaultCase {
+            name: num_name(f),
+            kind: FaultKind::Numeric(f),
+        }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let plan = FaultPlan::new(11);
+        assert_eq!(
+            plan.corrupt_edge_list(IoFault::NanWeight),
+            plan.corrupt_edge_list(IoFault::NanWeight)
+        );
+        // Different faults generally pick different targets, but always
+        // produce text differing from the clean fixture.
+        let clean = plan.clean_edge_list();
+        for f in IoFault::ALL {
+            assert_ne!(plan.corrupt_edge_list(f).0, clean, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn all_faults_pass_at_a_few_seeds() {
+        for seed in 0..3 {
+            for case in registry() {
+                case.run(seed)
+                    .unwrap_or_else(|e| panic!("fault `{}` seed {seed}: {e}", case.name));
+            }
+        }
+    }
+}

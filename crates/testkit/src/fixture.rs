@@ -1,0 +1,95 @@
+//! Tiny deterministic fixtures shared by the conformance and fault cases.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use transn_graph::{HetNet, HetNetBuilder};
+use transn_walks::WalkCorpus;
+
+/// A small two-type network (users and items, `follows` + `rates` edges)
+/// with `users + items` nodes, deterministically wired from `seed`.
+///
+/// # Panics
+/// Panics if the seed produces no valid edges (does not happen for the
+/// sizes the testkit uses).
+pub fn two_type_net(users: usize, items: usize, seed: u64) -> HetNet {
+    let mut b = HetNetBuilder::new();
+    let ut = b.add_node_type("user");
+    let it = b.add_node_type("item");
+    let follows = b.add_edge_type("follows", ut, ut);
+    let rates = b.add_edge_type("rates", ut, it);
+    let unodes = b.add_nodes(ut, users);
+    let inodes = b.add_nodes(it, items);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A ring over users keeps the follows view connected.
+    for w in 0..users {
+        b.add_edge(unodes[w], unodes[(w + 1) % users], follows, 1.0)
+            .expect("ring edge");
+    }
+    // Each user rates two random items.
+    for &u in &unodes {
+        for _ in 0..2 {
+            let i = inodes[rng.random_range(0..items)];
+            b.add_edge(u, i, rates, 1.0 + rng.random_range(0.0..1.0f32))
+                .expect("rating edge");
+        }
+    }
+    b.build().expect("fixture network is heterogeneous")
+}
+
+/// The fixture network serialized to the TSV edge-list format.
+pub fn two_type_net_tsv(users: usize, items: usize, seed: u64) -> String {
+    let net = two_type_net(users, items, seed);
+    let mut buf = Vec::new();
+    transn_graph::write_edge_list(&net, &mut buf).expect("in-memory serialize");
+    String::from_utf8(buf).expect("tsv is utf-8")
+}
+
+/// A random walk corpus over node ids `0..nodes`: `walks` walks of length
+/// 2..=`max_len`, deterministically generated from `seed`.
+pub fn random_corpus(nodes: u32, walks: usize, max_len: usize, seed: u64) -> WalkCorpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut corpus = WalkCorpus::new();
+    let mut walk = Vec::new();
+    for _ in 0..walks {
+        walk.clear();
+        let len = rng.random_range(2..=max_len.max(2));
+        for _ in 0..len {
+            walk.push(rng.random_range(0..nodes));
+        }
+        corpus.push(&walk);
+    }
+    corpus
+}
+
+/// The same corpus as nested `Vec`s (for differential corpus cases).
+pub fn random_walks(nodes: u32, walks: usize, max_len: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..walks)
+        .map(|_| {
+            let len = rng.random_range(2..=max_len.max(2));
+            (0..len).map(|_| rng.random_range(0..nodes)).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_net_is_deterministic() {
+        let a = two_type_net_tsv(6, 4, 9);
+        let b = two_type_net_tsv(6, 4, 9);
+        assert_eq!(a, b);
+        assert!(a.contains("nodetype\t0\tuser"));
+    }
+
+    #[test]
+    fn corpus_and_walks_agree() {
+        let c = random_corpus(10, 8, 6, 3);
+        let w = random_walks(10, 8, 6, 3);
+        assert_eq!(c.len(), w.len());
+        for (i, walk) in w.iter().enumerate() {
+            assert_eq!(c.walk(i), walk.as_slice());
+        }
+    }
+}

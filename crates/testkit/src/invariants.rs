@@ -1,0 +1,236 @@
+//! Reusable structural invariant checks.
+//!
+//! Each check returns `Err(`[`InvariantViolation`]`)` with enough context
+//! to act on, instead of panicking, so the sweep binary can report a
+//! reproducer and per-crate tests can `unwrap()` for a readable failure.
+
+use std::fmt;
+use transn_graph::Csr;
+use transn_walks::WalkCorpus;
+
+/// A violated structural invariant: which check failed, on what, and why.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InvariantViolation {
+    /// The check that failed (e.g. `"finite"`, `"csr"`).
+    pub check: &'static str,
+    /// Caller-supplied label for the structure under test.
+    pub subject: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated on {}: {}",
+            self.check, self.subject, self.detail
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+fn violation(check: &'static str, subject: &str, detail: String) -> InvariantViolation {
+    InvariantViolation {
+        check,
+        subject: subject.to_string(),
+        detail,
+    }
+}
+
+/// Every value is finite (no NaN/±inf). `subject` labels the slice in the
+/// error (e.g. `"sgns input table"`).
+pub fn check_finite(subject: &str, xs: &[f32]) -> Result<(), InvariantViolation> {
+    for (i, &x) in xs.iter().enumerate() {
+        if !x.is_finite() {
+            return Err(violation(
+                "finite",
+                subject,
+                format!("element {i} of {} is {x}", xs.len()),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Structural soundness of a CSR adjacency: neighbor ids in range and
+/// sorted per row, weights finite and positive, per-row weight sums
+/// consistent with the prefix table, arc count consistent with degrees.
+pub fn check_csr(subject: &str, csr: &Csr) -> Result<(), InvariantViolation> {
+    let n = csr.num_nodes();
+    let mut arcs = 0usize;
+    for i in 0..n {
+        let nbrs = csr.neighbors(i);
+        let ws = csr.weights(i);
+        if nbrs.len() != ws.len() {
+            return Err(violation(
+                "csr",
+                subject,
+                format!("row {i}: {} neighbors but {} weights", nbrs.len(), ws.len()),
+            ));
+        }
+        arcs += nbrs.len();
+        let mut row_sum = 0.0f64;
+        for (k, (&j, &w)) in nbrs.iter().zip(ws).enumerate() {
+            if j as usize >= n {
+                return Err(violation(
+                    "csr",
+                    subject,
+                    format!("row {i} slot {k}: neighbor {j} out of range (n = {n})"),
+                ));
+            }
+            if k > 0 && nbrs[k - 1] > j {
+                return Err(violation(
+                    "csr",
+                    subject,
+                    format!(
+                        "row {i} slot {k}: neighbors not sorted ({} > {j})",
+                        nbrs[k - 1]
+                    ),
+                ));
+            }
+            if !w.is_finite() || w <= 0.0 {
+                return Err(violation(
+                    "csr",
+                    subject,
+                    format!("row {i} slot {k}: weight {w} not finite and positive"),
+                ));
+            }
+            row_sum += w as f64;
+        }
+        let claimed = csr.weight_sum(i) as f64;
+        // The prefix table accumulates in f32; allow its rounding.
+        let tol = 1e-4 * row_sum.abs().max(1.0);
+        if (claimed - row_sum).abs() > tol {
+            return Err(violation(
+                "csr",
+                subject,
+                format!("row {i}: weight_sum {claimed} vs recomputed {row_sum}"),
+            ));
+        }
+    }
+    if arcs != csr.num_arcs() {
+        return Err(violation(
+            "csr",
+            subject,
+            format!("num_arcs {} but degrees sum to {arcs}", csr.num_arcs()),
+        ));
+    }
+    Ok(())
+}
+
+/// `row` is a probability vector: all entries finite and non-negative,
+/// summing to 1 within `tol`.
+pub fn check_prob_simplex(subject: &str, row: &[f32], tol: f64) -> Result<(), InvariantViolation> {
+    if row.is_empty() {
+        return Err(violation("prob-simplex", subject, "empty row".to_string()));
+    }
+    let mut sum = 0.0f64;
+    for (i, &p) in row.iter().enumerate() {
+        if !p.is_finite() || p < 0.0 {
+            return Err(violation(
+                "prob-simplex",
+                subject,
+                format!("element {i} is {p}"),
+            ));
+        }
+        sum += p as f64;
+    }
+    if (sum - 1.0).abs() > tol {
+        return Err(violation(
+            "prob-simplex",
+            subject,
+            format!("sums to {sum}, expected 1 ± {tol}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Structural soundness of a flat walk corpus: the walk slices partition
+/// the token arena in order, and the walk count and token totals agree
+/// with the accessors.
+pub fn check_corpus_offsets(subject: &str, corpus: &WalkCorpus) -> Result<(), InvariantViolation> {
+    if corpus.total_tokens() != corpus.tokens().len() {
+        return Err(violation(
+            "corpus-offsets",
+            subject,
+            format!(
+                "total_tokens {} but token arena holds {}",
+                corpus.total_tokens(),
+                corpus.tokens().len()
+            ),
+        ));
+    }
+    let mut start = 0usize;
+    let mut walks = 0usize;
+    for w in 0..corpus.len() {
+        let walk = corpus.walk(w);
+        let end = start + walk.len();
+        if end > corpus.tokens().len() || walk != &corpus.tokens()[start..end] {
+            return Err(violation(
+                "corpus-offsets",
+                subject,
+                format!("walk {w} is not the next contiguous arena slice at {start}"),
+            ));
+        }
+        start = end;
+        walks += 1;
+    }
+    if start != corpus.tokens().len() {
+        return Err(violation(
+            "corpus-offsets",
+            subject,
+            format!(
+                "walks cover {start} tokens, arena holds {}",
+                corpus.tokens().len()
+            ),
+        ));
+    }
+    if walks != corpus.iter().len() {
+        return Err(violation(
+            "corpus-offsets",
+            subject,
+            format!("len() {walks} but iter() yields {}", corpus.iter().len()),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_accepts_and_rejects() {
+        assert!(check_finite("ok", &[0.0, -1.5, 3.0]).is_ok());
+        let err = check_finite("bad", &[0.0, f32::NAN]).unwrap_err();
+        assert_eq!(err.check, "finite");
+        assert!(err.to_string().contains("element 1"), "{err}");
+        assert!(check_finite("inf", &[f32::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn csr_accepts_well_formed() {
+        let csr = Csr::from_undirected(4, [(0u32, 1u32, 1.0f32), (1, 2, 2.0), (2, 3, 0.5)]);
+        check_csr("toy", &csr).unwrap();
+    }
+
+    #[test]
+    fn prob_simplex_checks_sum_and_sign() {
+        assert!(check_prob_simplex("ok", &[0.25, 0.75], 1e-6).is_ok());
+        assert!(check_prob_simplex("short", &[0.25, 0.5], 1e-6).is_err());
+        assert!(check_prob_simplex("neg", &[1.5, -0.5], 1e-6).is_err());
+        assert!(check_prob_simplex("empty", &[], 1e-6).is_err());
+    }
+
+    #[test]
+    fn corpus_offsets_accepts_flat_and_pushed() {
+        let c = WalkCorpus::from_walks(vec![vec![0u32, 1, 2], vec![3, 4]]);
+        check_corpus_offsets("from_walks", &c).unwrap();
+        let mut p = WalkCorpus::new();
+        p.push(&[5, 6]);
+        p.push(&[7, 8, 9]);
+        check_corpus_offsets("pushed", &p).unwrap();
+    }
+}

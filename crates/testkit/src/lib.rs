@@ -1,0 +1,44 @@
+//! Correctness tooling for the TransN reproduction.
+//!
+//! Three pillars, built to be used both by the `testkit` sweep binary and
+//! as a library from other crates' tests:
+//!
+//! - [`conformance`]: a differential-testing registry. Every fast path in
+//!   the workspace (SIMD kernels, workspace-arena layer passes, the flat
+//!   walk corpus, sharded `Strict` training) has a slow reference
+//!   implementation; a [`conformance::Conformance`] case runs both from
+//!   the same seeded [`conformance::Ctx`] and compares their output
+//!   signatures under a declared [`conformance::Match`] tolerance.
+//! - [`fault`]: deterministic, seed-keyed fault injection — hostile
+//!   edge-list inputs ([`fault::IoFault`]) and training-time numeric
+//!   faults ([`fault::NumericFault`]) — asserting that the pipeline
+//!   returns a typed error or quarantines the fault without poisoning
+//!   unrelated embeddings.
+//! - [`invariants`]: reusable structural checks ([`check_finite`],
+//!   [`check_csr`], [`check_prob_simplex`], [`check_corpus_offsets`]) so
+//!   per-crate tests can drop their hand-rolled copies.
+//!
+//! The sweep binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p transn-testkit --bin testkit -- sweep --cases all --seeds 4
+//! ```
+//!
+//! On a mismatch it shrinks to the smallest failing input scale and prints
+//! a single-command reproducer.
+
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod conformance;
+pub mod fault;
+pub mod fixture;
+pub mod invariants;
+
+pub use conformance::{
+    run_case, shrink_failure, CaseFailure, Conformance, Ctx, Match, Mismatch, MAX_SCALE,
+};
+pub use fault::{FaultCase, FaultPlan, IoFault, NumericFault};
+pub use invariants::{
+    check_corpus_offsets, check_csr, check_finite, check_prob_simplex, InvariantViolation,
+};

@@ -1,0 +1,29 @@
+//! The full registry, run as an ordinary `cargo test` target so plain
+//! test runs get differential coverage even when nobody invokes the
+//! `testkit` binary. CI additionally runs `testkit sweep --seeds 4`.
+
+use transn_testkit::{cases, fault, run_case, shrink_failure, MAX_SCALE};
+
+#[test]
+fn conformance_registry_passes_seeds_zero_and_one() {
+    for case in cases::registry() {
+        for seed in 0..2 {
+            for scale in 0..=MAX_SCALE {
+                if run_case(case.as_ref(), seed, scale).is_err() {
+                    let failure = shrink_failure(case.as_ref(), seed, scale);
+                    panic!("{failure}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_registry_passes_seeds_zero_and_one() {
+    for case in fault::registry() {
+        for seed in 0..2 {
+            case.run(seed)
+                .unwrap_or_else(|e| panic!("fault `{}` seed {seed}: {e}", case.name));
+        }
+    }
+}

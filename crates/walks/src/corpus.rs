@@ -374,12 +374,20 @@ mod tests {
     fn generate_into_reuses_capacity() {
         let tasks: Vec<u32> = (0..50).collect();
         let mut c = WalkCorpus::new();
-        parallel_generate_into(&mut c, &tasks, 1, 9, |&t, _, out| out.push(&[t, t + 1, t + 2]));
+        parallel_generate_into(&mut c, &tasks, 1, 9, |&t, _, out| {
+            out.push(&[t, t + 1, t + 2])
+        });
         let bytes = c.heap_bytes();
         assert_eq!(c.len(), 50);
-        parallel_generate_into(&mut c, &tasks, 1, 9, |&t, _, out| out.push(&[t, t + 1, t + 2]));
+        parallel_generate_into(&mut c, &tasks, 1, 9, |&t, _, out| {
+            out.push(&[t, t + 1, t + 2])
+        });
         assert_eq!(c.len(), 50);
-        assert_eq!(c.heap_bytes(), bytes, "regeneration must not grow the arena");
+        assert_eq!(
+            c.heap_bytes(),
+            bytes,
+            "regeneration must not grow the arena"
+        );
     }
 
     #[test]

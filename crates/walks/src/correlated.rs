@@ -138,11 +138,17 @@ impl<'a> CorrelatedWalker<'a> {
     /// Run prebuilt `(start, n_walks)` tasks into a caller-owned corpus —
     /// the allocation-free core of both `generate*` entry points.
     pub fn generate_tasks_into(&self, tasks: &[(u32, usize)], out: &mut WalkCorpus) {
-        parallel_generate_into(out, tasks, self.cfg.threads, self.cfg.seed, |&(n, k), rng, out| {
-            for _ in 0..k {
-                out.push_with(|buf| self.walk_into(n, rng, buf));
-            }
-        });
+        parallel_generate_into(
+            out,
+            tasks,
+            self.cfg.threads,
+            self.cfg.seed,
+            |&(n, k), rng, out| {
+                for _ in 0..k {
+                    out.push_with(|buf| self.walk_into(n, rng, buf));
+                }
+            },
+        );
     }
 
     /// Generate a corpus with exactly `walks_per_node` walks from every

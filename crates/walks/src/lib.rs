@@ -32,7 +32,7 @@ pub mod node2vec;
 pub mod simple;
 
 pub use config::WalkConfig;
-pub use corpus::WalkCorpus;
+pub use corpus::{parallel_generate, parallel_generate_into, WalkCorpus};
 pub use correlated::CorrelatedWalker;
 pub use metapath::MetapathWalker;
 pub use node2vec::Node2VecWalker;

@@ -129,11 +129,17 @@ impl<'a> MetapathWalker<'a> {
     /// first, capacity retained across epochs).
     pub fn generate_into(&self, walks_per_node: usize, out: &mut WalkCorpus) {
         let starts: Vec<NodeId> = self.net.nodes_of_type(self.pattern[0]).collect();
-        parallel_generate_into(out, &starts, self.cfg.threads, self.cfg.seed, |&n, rng, out| {
-            for _ in 0..walks_per_node {
-                out.push_with(|buf| self.walk_into(n, rng, buf));
-            }
-        });
+        parallel_generate_into(
+            out,
+            &starts,
+            self.cfg.threads,
+            self.cfg.seed,
+            |&n, rng, out| {
+                for _ in 0..walks_per_node {
+                    out.push_with(|buf| self.walk_into(n, rng, buf));
+                }
+            },
+        );
     }
 }
 
@@ -241,7 +247,10 @@ mod tests {
     #[should_panic(expected = "unknown node type")]
     fn unknown_type_rejected() {
         let net = academic();
-        let _ =
-            MetapathWalker::from_names(&net, &["author", "blog", "author"], WalkConfig::for_tests());
+        let _ = MetapathWalker::from_names(
+            &net,
+            &["author", "blog", "author"],
+            WalkConfig::for_tests(),
+        );
     }
 }

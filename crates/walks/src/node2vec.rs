@@ -109,11 +109,17 @@ impl<'a> Node2VecWalker<'a> {
         let tasks: Vec<u32> = (0..self.adj.num_nodes() as u32)
             .filter(|&n| self.adj.degree(n as usize) > 0)
             .collect();
-        parallel_generate_into(out, &tasks, self.cfg.threads, self.cfg.seed, |&n, rng, out| {
-            for _ in 0..walks_per_node {
-                out.push_with(|buf| self.walk_into(n, rng, buf));
-            }
-        });
+        parallel_generate_into(
+            out,
+            &tasks,
+            self.cfg.threads,
+            self.cfg.seed,
+            |&n, rng, out| {
+                for _ in 0..walks_per_node {
+                    out.push_with(|buf| self.walk_into(n, rng, buf));
+                }
+            },
+        );
     }
 }
 
@@ -124,15 +130,7 @@ mod tests {
 
     /// Triangle 0-1-2 plus a pendant 3 attached to 1.
     fn lollipop() -> Csr {
-        Csr::from_undirected(
-            4,
-            [
-                (0, 1, 1.0),
-                (1, 2, 1.0),
-                (0, 2, 1.0),
-                (1, 3, 1.0),
-            ],
-        )
+        Csr::from_undirected(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (1, 3, 1.0)])
     }
 
     /// Empirical distribution of the step 0 → 1 → ?.
@@ -168,7 +166,11 @@ mod tests {
     fn unit_pq_matches_weight_proportional() {
         let f = step_fracs(1.0, 1.0);
         for target in [0, 2, 3] {
-            assert!((f[target] - 1.0 / 3.0).abs() < 0.02, "f[{target}] = {}", f[target]);
+            assert!(
+                (f[target] - 1.0 / 3.0).abs() < 0.02,
+                "f[{target}] = {}",
+                f[target]
+            );
         }
     }
 

@@ -93,10 +93,16 @@ impl<'a> SimpleWalker<'a> {
             out.clear();
             return;
         }
-        parallel_generate_into(out, tasks, self.cfg.threads, self.cfg.seed, |_, rng, out| {
-            let start = rng.random_range(0..n);
-            out.push_with(|buf| self.walk_into(start, rng, buf));
-        });
+        parallel_generate_into(
+            out,
+            tasks,
+            self.cfg.threads,
+            self.cfg.seed,
+            |_, rng, out| {
+                let start = rng.random_range(0..n);
+                out.push_with(|buf| self.walk_into(start, rng, buf));
+            },
+        );
     }
 }
 

@@ -168,13 +168,19 @@ fn metapath_flat_matches_nested() {
     let venues = b.add_nodes(v, 2);
     for i in 0..6 {
         b.add_edge(authors[i], papers[i], ap, 1.0).unwrap();
-        b.add_edge(authors[i], papers[(i + 1) % 6], ap, 2.0).unwrap();
+        b.add_edge(authors[i], papers[(i + 1) % 6], ap, 2.0)
+            .unwrap();
         b.add_edge(papers[i], venues[i % 2], pv, 1.0).unwrap();
     }
     let net = b.build().unwrap();
     let head = net.schema().node_type_by_name("author").unwrap();
     for seed in [0u64, 7, 42, 1234] {
-        let base = WalkConfig { length: 9, seed, threads: 1, ..WalkConfig::for_tests() };
+        let base = WalkConfig {
+            length: 9,
+            seed,
+            threads: 1,
+            ..WalkConfig::for_tests()
+        };
         let walker = MetapathWalker::from_names(
             &net,
             &["author", "paper", "venue", "paper", "author"],
@@ -183,7 +189,9 @@ fn metapath_flat_matches_nested() {
         let walks_per_node = 3usize;
         let starts: Vec<NodeId> = net.nodes_of_type(head).collect();
         let reference = nested_reference(&starts, seed, |&n, rng| {
-            (0..walks_per_node).map(|_| walker.walk_from(n, rng)).collect()
+            (0..walks_per_node)
+                .map(|_| walker.walk_from(n, rng))
+                .collect()
         });
         for threads in THREAD_COUNTS {
             let cfg = WalkConfig { threads, ..base };

@@ -9,7 +9,11 @@ use transn_walks::{CorrelatedWalker, Node2VecWalker, SimpleWalker, WalkConfig};
 
 /// Random connected-ish bipartite weighted network.
 fn arb_net() -> impl Strategy<Value = transn_graph::HetNet> {
-    (2usize..8, 2usize..8, proptest::collection::vec((0usize..64, 0usize..64, 1u32..9), 4..40))
+    (
+        2usize..8,
+        2usize..8,
+        proptest::collection::vec((0usize..64, 0usize..64, 1u32..9), 4..40),
+    )
         .prop_map(|(na, nb, raw)| {
             let mut b = HetNetBuilder::new();
             let ta = b.add_node_type("a");
@@ -129,8 +133,7 @@ fn walks_cover_connected_view() {
         },
     );
     let mut rng = StdRng::seed_from_u64(0);
-    let visited: std::collections::HashSet<u32> =
-        w.walk_from(0, &mut rng).into_iter().collect();
+    let visited: std::collections::HashSet<u32> = w.walk_from(0, &mut rng).into_iter().collect();
     assert_eq!(visited.len(), 6);
     let _ = NodeId(0);
 }

@@ -24,7 +24,10 @@ fn main() {
         repeats: 3,
         ..ClassifyProtocol::default()
     };
-    println!("{:<38} {:>9} {:>9} {:>9}", "variant", "macro-F1", "micro-F1", "time");
+    println!(
+        "{:<38} {:>9} {:>9} {:>9}",
+        "variant", "macro-F1", "micro-F1", "time"
+    );
     for variant in Variant::all() {
         let cfg = TransNConfig {
             dim: 32,

@@ -62,6 +62,10 @@ fn main() {
 
     println!(
         "\ntype-aware multi-view learning {} the homogeneous baseline on this network",
-        if transn_f1.macro_f1 > n2v_f1.macro_f1 { "beats" } else { "ties/loses to" }
+        if transn_f1.macro_f1 > n2v_f1.macro_f1 {
+            "beats"
+        } else {
+            "ties/loses to"
+        }
     );
 }

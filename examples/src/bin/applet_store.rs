@@ -45,7 +45,10 @@ fn main() {
             ..Default::default()
         },
     );
-    let coord_rows: Vec<Vec<f32>> = coords.iter().map(|c| vec![c[0] as f32, c[1] as f32]).collect();
+    let coord_rows: Vec<Vec<f32>> = coords
+        .iter()
+        .map(|c| vec![c[0] as f32, c[1] as f32])
+        .collect();
     let coord_refs: Vec<&[f32]> = coord_rows.iter().map(|c| c.as_slice()).collect();
     println!(
         "t-SNE silhouette over {} labeled applets: {:+.4}",

@@ -24,12 +24,14 @@ fn main() {
             let a = authors[group * 4 + i];
             // Each author writes two papers of their group.
             b.add_edge(a, papers[group * 4 + i], writes, 1.0).unwrap();
-            b.add_edge(a, papers[group * 4 + (i + 1) % 4], writes, 1.0).unwrap();
+            b.add_edge(a, papers[group * 4 + (i + 1) % 4], writes, 1.0)
+                .unwrap();
         }
         // Dense within-group citations.
         for i in 0..4 {
             for j in (i + 1)..4 {
-                b.add_edge(papers[group * 4 + i], papers[group * 4 + j], cites, 1.0).unwrap();
+                b.add_edge(papers[group * 4 + i], papers[group * 4 + j], cites, 1.0)
+                    .unwrap();
             }
         }
     }
@@ -70,7 +72,17 @@ fn main() {
         let group = if a.0 < 4 { "same group" } else { "other group" };
         println!("  author {:>2}  cosine {s:+.3}  ({group})", a.0);
     }
-    let same: f32 = sims.iter().filter(|(a, _)| a.0 < 4).map(|(_, s)| s).sum::<f32>() / 3.0;
-    let other: f32 = sims.iter().filter(|(a, _)| a.0 >= 4).map(|(_, s)| s).sum::<f32>() / 4.0;
+    let same: f32 = sims
+        .iter()
+        .filter(|(a, _)| a.0 < 4)
+        .map(|(_, s)| s)
+        .sum::<f32>()
+        / 3.0;
+    let other: f32 = sims
+        .iter()
+        .filter(|(a, _)| a.0 >= 4)
+        .map(|(_, s)| s)
+        .sum::<f32>()
+        / 4.0;
     println!("\nmean same-group cosine {same:+.3} vs cross-group {other:+.3}");
 }

@@ -2,9 +2,7 @@
 //! §IV-B tasks.
 
 use transn::{TransN, TransNConfig};
-use transn_eval::{
-    auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit,
-};
+use transn_eval::{auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit};
 use transn_tests::{chance_level, small_academic};
 
 fn train_cfg() -> TransNConfig {
@@ -64,6 +62,22 @@ fn full_pipeline_is_deterministic() {
     let a = TransN::new(&ds.net, train_cfg()).train();
     let b = TransN::new(&ds.net, train_cfg()).train();
     assert_eq!(a, b);
+    for n in 0..a.num_nodes() {
+        transn_testkit::check_finite(
+            "trained embedding row",
+            a.get(transn_graph::NodeId(n as u32)),
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn every_view_adjacency_satisfies_csr_invariants() {
+    let ds = small_academic();
+    transn_testkit::check_csr("global adjacency", ds.net.global_adj()).unwrap();
+    for view in ds.net.views() {
+        transn_testkit::check_csr(&format!("view {:?}", view.etype()), view.adj()).unwrap();
+    }
 }
 
 #[test]

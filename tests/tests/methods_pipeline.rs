@@ -1,9 +1,7 @@
 //! Every compared method runs on every tiny dataset and produces sane
 //! embeddings through the shared evaluation protocols.
 
-use transn_baselines::{
-    EmbeddingMethod, Hin2Vec, Line, Metapath2Vec, Mve, Node2Vec, Rgcn, SimplE,
-};
+use transn_baselines::{EmbeddingMethod, Hin2Vec, Line, Metapath2Vec, Mve, Node2Vec, Rgcn, SimplE};
 use transn_eval::{classification_scores, ClassifyProtocol};
 use transn_synth::all_datasets_tiny;
 use transn_tests::small_academic;
