@@ -1,0 +1,148 @@
+//! Self-timing serving-layer snapshot: batched top-k queries through the
+//! exact brute-force index and the HNSW index, at d ∈ {64, 128} and
+//! threads ∈ {1, 4}, writing `BENCH_serve.json` (ISSUE 6 acceptance
+//! criteria: HNSW ≥ 5× brute-force queries/s at the largest scale, with
+//! recall@10 recorded alongside).
+//!
+//! Like the other snapshot binaries this is deliberately free of criterion
+//! and serde: plain `Instant` timing, best-of-N batches, hand-assembled
+//! JSON — identical behaviour in offline environments.
+
+use std::time::Instant;
+use transn_graph::NodeEmbeddings;
+use transn_serve::{
+    batch_top_k, recall_at_k, BruteForceIndex, EmbeddingIndex, HnswConfig, HnswIndex, Metric,
+};
+use transn_sgns::Parallelism;
+
+/// Largest indexed scale; the acceptance speedup is measured here.
+const N: usize = 32_768;
+const DIMS: [usize; 2] = [64, 128];
+const THREADS: [usize; 2] = [1, 4];
+const QUERIES: usize = 256;
+const K: usize = 10;
+/// Queries sampled for the recall check (each needs an exact answer, so
+/// keep it a subset of the timed batch).
+const RECALL_QUERIES: usize = 64;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Clustered points (hash-jittered, RNG-free): the workload ANN indexes
+/// are built for — queries have well-separated true neighborhoods.
+fn clustered(n: usize, dim: usize, clusters: usize) -> NodeEmbeddings {
+    let mut data = vec![0.0f32; n * dim];
+    for i in 0..n {
+        let c = i % clusters;
+        for j in 0..dim {
+            let center = if j % clusters == c { 10.0 } else { 0.0 };
+            let h = splitmix64(((i as u64) << 32) | j as u64);
+            data[i * dim + j] = center + (h % 2000) as f32 / 1000.0 - 1.0;
+        }
+    }
+    NodeEmbeddings::from_flat(n, dim, data)
+}
+
+/// Best-of-3 wall time for one full query batch, in seconds.
+fn time_batch<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut sections: Vec<String> = Vec::new();
+    let mut speedups: Vec<String> = Vec::new();
+
+    for dim in DIMS {
+        let emb = clustered(N, dim, 32);
+        let query_ids: Vec<u32> = (0..QUERIES as u32).map(|q| (q * 127) % N as u32).collect();
+        let queries: Vec<&[f32]> = query_ids
+            .iter()
+            .map(|&i| emb.get(transn_graph::NodeId(i)))
+            .collect();
+        let exclude: Vec<Option<u32>> = query_ids.iter().map(|&i| Some(i)).collect();
+
+        let brute = BruteForceIndex::new(&emb, Metric::Cosine);
+        // A higher-quality graph than the default: ef_construction only
+        // costs build time, and ef_search 128 keeps queries well ahead of
+        // brute force while clearing recall@10 ≥ 0.95 at this scale.
+        let cfg = HnswConfig {
+            ef_construction: 250,
+            ef_search: 128,
+            ..HnswConfig::default()
+        };
+        let t0 = Instant::now();
+        let hnsw = HnswIndex::build(&emb, Metric::Cosine, cfg);
+        let build_s = t0.elapsed().as_secs_f64();
+        eprintln!("d={dim}: built HNSW over {N} vectors in {build_s:.2}s");
+
+        // Recall@10 on a subset (exact answers are the expensive part).
+        let sub_q = &queries[..RECALL_QUERIES];
+        let sub_ex = &exclude[..RECALL_QUERIES];
+        let exact = batch_top_k(&brute, sub_q, K, sub_ex, Parallelism::strict(4));
+        let approx = batch_top_k(&hnsw, sub_q, K, sub_ex, Parallelism::strict(4));
+        let recall = exact
+            .iter()
+            .zip(&approx)
+            .map(|(e, a)| recall_at_k(a, e))
+            .sum::<f64>()
+            / RECALL_QUERIES as f64;
+        eprintln!("d={dim}: recall@{K} = {recall:.4}");
+
+        let mut per_index: Vec<String> = Vec::new();
+        let mut qps_1t = [0.0f64; 2];
+        for (idx, (name, index)) in [
+            ("brute", &brute as &dyn EmbeddingIndex),
+            ("hnsw", &hnsw as &dyn EmbeddingIndex),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut per_threads: Vec<String> = Vec::new();
+            for threads in THREADS {
+                let par = Parallelism::strict(threads);
+                let secs = time_batch(|| {
+                    std::hint::black_box(batch_top_k(index, &queries, K, &exclude, par));
+                });
+                let qps = QUERIES as f64 / secs;
+                if threads == 1 {
+                    qps_1t[idx] = qps;
+                }
+                eprintln!("d={dim} {name} threads={threads}: {qps:.0} queries/s");
+                per_threads.push(format!("\"{threads}\": {{\"queries_per_s\": {qps:.1}}}"));
+            }
+            per_index.push(format!("      \"{name}\": {{{}}}", per_threads.join(", ")));
+        }
+
+        let speedup = qps_1t[1] / qps_1t[0];
+        eprintln!("d={dim}: hnsw/brute single-thread speedup {speedup:.2}x");
+        speedups.push(format!("\"d{dim}\": {speedup:.3}"));
+        sections.push(format!(
+            "    \"d{dim}\": {{\n      \"n\": {N}, \"queries\": {QUERIES}, \"k\": {K},\n      \
+             \"hnsw_build_s\": {build_s:.3}, \"recall_at_{K}\": {recall:.4},\n{}\n    }}",
+            per_index.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"transn-bench-serve-v1\",\n  \"metric\": \"cosine\",\n  \
+         \"benches\": {{\n{}\n  }},\n  \"hnsw_speedup_1t\": {{{}}}\n}}\n",
+        sections.join(",\n"),
+        speedups.join(", ")
+    );
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

@@ -14,7 +14,10 @@ const USAGE: &str = "usage:
   transn linkpred --net FILE [--dim N] [--remove FRAC] [--seed N] [--threads N]
                   [--strict-determinism]
   transn stats --net FILE [--labels FILE]
-  transn neighbors --embeddings FILE --node ID [--top K]";
+  transn neighbors --embeddings FILE --node ID [--top K]
+  transn serve-build --embeddings FILE --out FILE
+  transn query --store FILE (--node ID | --all) [--top K] [--metric dot|cosine]
+               [--index brute|hnsw] [--threads N]";
 
 /// Dispatch a parsed command line.
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -26,6 +29,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("linkpred") => linkpred(&args),
         Some("stats") => stats(&args),
         Some("neighbors") => neighbors(&args),
+        Some("serve-build") => serve_build(&args),
+        Some("query") => query(&args),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
         None => Err(USAGE.to_string()),
     }
@@ -215,6 +220,68 @@ fn neighbors(args: &Args) -> Result<(), String> {
     println!("nearest neighbours of node {node} (cosine):");
     for (i, s) in sims.into_iter().take(top) {
         println!("  {i:>8}  {s:+.4}");
+    }
+    Ok(())
+}
+
+fn serve_build(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let emb = NodeEmbeddings::read_tsv(
+        std::fs::File::open(args.require("embeddings")?).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    transn_serve::EmbStore::write_file(&emb, None, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote store: {} nodes (d = {}) to {out}",
+        emb.num_nodes(),
+        emb.dim()
+    );
+    Ok(())
+}
+
+fn query(args: &Args) -> Result<(), String> {
+    use transn_serve::{batch_top_k, BruteForceIndex, EmbStore, HnswConfig, HnswIndex, Metric};
+
+    let store = EmbStore::open(args.require("store")?).map_err(|e| e.to_string())?;
+    let top: usize = args.get_parse("top", 10)?;
+    let metric = Metric::parse(args.get("metric").unwrap_or("cosine"))?;
+    let threads: usize = args.get_parse("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let ids: Vec<u32> = if args.flag("all") {
+        (0..store.num_nodes() as u32).collect()
+    } else {
+        let node: u32 = args
+            .require("node")?
+            .parse()
+            .map_err(|e| format!("--node: {e}"))?;
+        if node as usize >= store.num_nodes() {
+            return Err(format!(
+                "node {node} out of range (0..{})",
+                store.num_nodes()
+            ));
+        }
+        vec![node]
+    };
+    let queries: Vec<&[f32]> = ids.iter().map(|&i| store.row(i as usize)).collect();
+    let exclude: Vec<Option<u32>> = ids.iter().map(|&i| Some(i)).collect();
+    let par = Parallelism::strict(threads);
+    let results = match args.get("index").unwrap_or("brute") {
+        "brute" => {
+            let index = BruteForceIndex::new(&store, metric);
+            batch_top_k(&index, &queries, top, &exclude, par)
+        }
+        "hnsw" => {
+            let index = HnswIndex::build(&store, metric, HnswConfig::default());
+            batch_top_k(&index, &queries, top, &exclude, par)
+        }
+        other => return Err(format!("unknown index {other:?}; one of brute, hnsw")),
+    };
+    for (qid, result) in ids.iter().zip(results) {
+        for n in result {
+            println!("{qid}\t{}\t{:.6}", n.id, n.score);
+        }
     }
     Ok(())
 }

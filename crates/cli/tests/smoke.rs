@@ -191,3 +191,103 @@ fn strict_determinism_survives_thread_count_changes() {
         "--strict-determinism must make --threads 2 and --threads 4 byte-identical"
     );
 }
+
+/// A tiny embedding TSV for the serving-layer tests: 20 nodes in 4-D,
+/// deterministic irregular values.
+fn write_toy_embeddings(path: &str) {
+    let mut tsv = String::from("# transn embeddings v1 nodes=20 dim=4\n");
+    for i in 0..20 {
+        tsv.push_str(&format!("{i}"));
+        for j in 0..4 {
+            tsv.push_str(&format!("\t{}", ((i * 7 + j * 3) % 13) as f32 / 6.5 - 1.0));
+        }
+        tsv.push('\n');
+    }
+    fs::write(path, tsv).unwrap();
+}
+
+#[test]
+fn usage_mentions_serving_commands() {
+    let out = transn(&[]);
+    let err = stderr(&out);
+    assert!(err.contains("serve-build"), "{err}");
+    assert!(err.contains("query"), "{err}");
+}
+
+#[test]
+fn serve_build_then_query_roundtrip() {
+    let scratch = Scratch::new("serve");
+    let emb = scratch.path("emb.tsv");
+    let store = scratch.path("emb.store");
+    write_toy_embeddings(&emb);
+    let out = transn(&["serve-build", "--embeddings", &emb, "--out", &store]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(fs::metadata(&store).map(|m| m.len() > 0).unwrap_or(false));
+    for index in ["brute", "hnsw"] {
+        let out = transn(&[
+            "query", "--store", &store, "--node", "3", "--top", "5", "--index", index,
+        ]);
+        assert!(out.status.success(), "index {index}: {}", stderr(&out));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(lines.len(), 5, "index {index}: {stdout}");
+        for line in lines {
+            let fields: Vec<&str> = line.split('\t').collect();
+            assert_eq!(fields.len(), 3, "index {index}: {line}");
+            assert_eq!(fields[0], "3");
+            assert_ne!(fields[1], "3", "query node must be excluded");
+            fields[2].parse::<f32>().expect("score field");
+        }
+    }
+}
+
+#[test]
+fn query_threads_are_byte_identical() {
+    let scratch = Scratch::new("serve-threads");
+    let emb = scratch.path("emb.tsv");
+    let store = scratch.path("emb.store");
+    write_toy_embeddings(&emb);
+    let out = transn(&["serve-build", "--embeddings", &emb, "--out", &store]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let mut outputs = Vec::new();
+    for threads in ["2", "4"] {
+        let out = transn(&[
+            "query",
+            "--store",
+            &store,
+            "--all",
+            "--top",
+            "4",
+            "--threads",
+            threads,
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        outputs.push(out.stdout);
+    }
+    assert!(
+        outputs[0] == outputs[1],
+        "--threads 2 and --threads 4 must emit byte-identical results"
+    );
+}
+
+#[test]
+fn malformed_store_fails_with_typed_root_cause() {
+    let scratch = Scratch::new("serve-bad");
+    let store = scratch.path("bad.store");
+
+    // Wrong magic: a valid-length header that is not a store.
+    let mut bytes = vec![0u8; 384];
+    bytes[0..8].copy_from_slice(b"NOTSTORE");
+    fs::write(&store, &bytes).unwrap();
+    let out = transn(&["query", "--store", &store, "--node", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("bad magic"), "{err}");
+
+    // Truncated below the header.
+    fs::write(&store, [0u8; 10]).unwrap();
+    let out = transn(&["query", "--store", &store, "--node", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("truncated"), "{err}");
+}

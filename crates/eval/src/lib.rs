@@ -13,6 +13,10 @@
 //!   Figure 6 case study.
 //! - [`silhouette`]: silhouette score to quantify "more separated"
 //!   clusterings.
+//! - [`neighbors`]: per-point k-NN lists ([`NeighborLists`]) feeding the
+//!   approximate-neighbor fast paths of t-SNE and silhouette; produced
+//!   exactly by [`exact_knn`] or approximately by the serving layer's ANN
+//!   index (DESIGN.md §12).
 
 #![warn(missing_docs)]
 
@@ -20,6 +24,7 @@ pub mod classify;
 pub mod linkpred;
 pub mod logreg;
 pub mod metrics;
+pub mod neighbors;
 pub mod silhouette;
 pub mod tsne;
 
@@ -27,5 +32,6 @@ pub use classify::{classification_scores, ClassifyProtocol, F1Scores};
 pub use linkpred::{auc_for_embeddings, LinkPredSplit};
 pub use logreg::LogisticRegression;
 pub use metrics::{auc, f1_scores};
+pub use neighbors::{exact_knn, silhouette_score_with_neighbors, NeighborLists};
 pub use silhouette::silhouette_score;
-pub use tsne::{tsne, TsneConfig};
+pub use tsne::{tsne, tsne_with_neighbors, TsneConfig};

@@ -1,0 +1,213 @@
+//! Per-point k-nearest-neighbor lists: the handoff between an (exact or
+//! approximate) neighbor search and the evaluation fast paths.
+//!
+//! A [`NeighborLists`] is metric-agnostic on the producer side — the
+//! serving layer's ANN index proposes candidate ids, [`exact_knn`] computes
+//! them by brute force — but the stored distances are always **exact
+//! Euclidean**, so consumers ([`tsne_with_neighbors`](crate::tsne::tsne_with_neighbors),
+//! [`silhouette_score_with_neighbors`]) never inherit approximation error
+//! in the distance values themselves, only in which pairs are considered.
+//!
+//! Ids within each list are kept sorted ascending. That makes membership
+//! checks cheap and — deliberately — makes the fast paths traverse pairs
+//! in exactly the order their dense counterparts do, so with complete
+//! lists (`k = n − 1`) the fast paths reproduce the dense results
+//! bit-for-bit.
+
+/// Per-point neighbor ids (sorted ascending) with exact Euclidean
+/// distances.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NeighborLists {
+    ids: Vec<Vec<u32>>,
+    dists: Vec<Vec<f64>>,
+}
+
+impl NeighborLists {
+    /// Wrap raw `(id, distance)` lists; each list is sorted by id.
+    ///
+    /// # Panics
+    /// Panics if any list contains its own point index or a duplicate id.
+    pub fn new(lists: Vec<Vec<(u32, f64)>>) -> Self {
+        let mut ids = Vec::with_capacity(lists.len());
+        let mut dists = Vec::with_capacity(lists.len());
+        for (i, mut list) in lists.into_iter().enumerate() {
+            list.sort_by_key(|&(id, _)| id);
+            for w in list.windows(2) {
+                assert_ne!(w[0].0, w[1].0, "duplicate neighbor id for point {i}");
+            }
+            assert!(
+                list.iter().all(|&(id, _)| id as usize != i),
+                "point {i} lists itself as a neighbor"
+            );
+            ids.push(list.iter().map(|&(id, _)| id).collect());
+            dists.push(list.iter().map(|&(_, d)| d).collect());
+        }
+        NeighborLists { ids, dists }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Neighbor ids of point `i`, ascending.
+    pub fn ids(&self, i: usize) -> &[u32] {
+        &self.ids[i]
+    }
+
+    /// Euclidean distances aligned with [`NeighborLists::ids`].
+    pub fn dists(&self, i: usize) -> &[f64] {
+        &self.dists[i]
+    }
+}
+
+/// Exact Euclidean distance through the 8-lane squared-distance kernel
+/// (the same computation [`crate::silhouette::silhouette_score`] uses).
+pub(crate) fn euclid(a: &[f32], b: &[f32]) -> f64 {
+    (transn_nn::kernels::sqdist(a, b) as f64).sqrt()
+}
+
+/// Brute-force k-nearest-neighbors under Euclidean distance — the exact
+/// reference producer for [`NeighborLists`].
+pub fn exact_knn(points: &[&[f32]], k: usize) -> NeighborLists {
+    let n = points.len();
+    let lists = (0..n)
+        .map(|i| {
+            let mut all: Vec<(u32, f64)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (j as u32, euclid(points[i], points[j])))
+                .collect();
+            all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            all.truncate(k);
+            all
+        })
+        .collect();
+    NeighborLists::new(lists)
+}
+
+/// Silhouette score computed from neighbor lists: for each point, the
+/// per-cluster mean distances are taken over the cluster members present
+/// in the point's neighbor list, falling back to an exact scan for any
+/// cluster the list misses entirely. Distances are recomputed exactly, so
+/// with complete lists (`k = n − 1`) this equals
+/// [`crate::silhouette::silhouette_score`] bit-for-bit; with truncated
+/// lists it approximates it using the closest — i.e. most influential —
+/// members of each cluster.
+///
+/// # Panics
+/// Panics like the exact version (≥ 2 points, ≥ 2 clusters) and if the
+/// list count differs from the point count.
+pub fn silhouette_score_with_neighbors(
+    points: &[&[f32]],
+    labels: &[usize],
+    nbrs: &NeighborLists,
+) -> f64 {
+    let n = points.len();
+    assert_eq!(n, labels.len());
+    assert_eq!(n, nbrs.len(), "neighbor lists must cover every point");
+    assert!(n >= 2, "need at least two points");
+    let clusters: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+    assert!(clusters.len() >= 2, "need at least two clusters");
+
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let own = labels[i];
+        let own_size = labels.iter().filter(|&&l| l == own).count();
+        if own_size <= 1 {
+            continue; // s = 0, scikit-learn convention
+        }
+        // Mean distance from i to cluster c, over the members of c in i's
+        // neighbor list — or over all of c when the list has none.
+        let mean_to = |c: usize| -> Option<f64> {
+            let mut sum = 0.0f64;
+            let mut cnt = 0usize;
+            for &j in nbrs.ids(i) {
+                if labels[j as usize] == c {
+                    sum += euclid(points[i], points[j as usize]);
+                    cnt += 1;
+                }
+            }
+            if cnt == 0 {
+                for (j, &l) in labels.iter().enumerate() {
+                    if j != i && l == c {
+                        sum += euclid(points[i], points[j]);
+                        cnt += 1;
+                    }
+                }
+            }
+            (cnt > 0).then(|| sum / cnt as f64)
+        };
+        let a = mean_to(own).expect("own cluster has other members");
+        let mut b = f64::INFINITY;
+        for &c in &clusters {
+            if c == own {
+                continue;
+            }
+            if let Some(m) = mean_to(c) {
+                b = b.min(m);
+            }
+        }
+        total += (b - a) / a.max(b);
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::silhouette::silhouette_score;
+
+    fn blobs() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let pts: Vec<Vec<f32>> = (0..12)
+            .map(|i| {
+                let c = i % 3;
+                vec![c as f32 * 50.0 + (i as f32) * 0.1, (i as f32) * 0.05]
+            })
+            .collect();
+        let labels: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        (pts, labels)
+    }
+
+    #[test]
+    fn exact_knn_finds_true_neighbors() {
+        let pts = [vec![0.0f32], vec![1.0], vec![10.0], vec![11.0]];
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let nbrs = exact_knn(&rows, 1);
+        assert_eq!(nbrs.ids(0), &[1]);
+        assert_eq!(nbrs.ids(1), &[0]);
+        assert_eq!(nbrs.ids(2), &[3]);
+        assert_eq!(nbrs.ids(3), &[2]);
+        assert_eq!(nbrs.dists(0), &[1.0]);
+    }
+
+    #[test]
+    fn full_lists_reproduce_exact_silhouette_bitwise() {
+        let (pts, labels) = blobs();
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let nbrs = exact_knn(&rows, rows.len() - 1);
+        let fast = silhouette_score_with_neighbors(&rows, &labels, &nbrs);
+        let exact = silhouette_score(&rows, &labels);
+        assert_eq!(fast.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn truncated_lists_stay_close_on_separated_blobs() {
+        let (pts, labels) = blobs();
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let nbrs = exact_knn(&rows, 6);
+        let fast = silhouette_score_with_neighbors(&rows, &labels, &nbrs);
+        let exact = silhouette_score(&rows, &labels);
+        assert!((fast - exact).abs() < 0.05, "fast {fast} exact {exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lists itself")]
+    fn self_neighbor_rejected() {
+        NeighborLists::new(vec![vec![(0, 0.0)]]);
+    }
+}

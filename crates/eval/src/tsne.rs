@@ -37,34 +37,24 @@ impl Default for TsneConfig {
     }
 }
 
-/// Embed `points` (rows of equal dimension) into 2-D.
-///
-/// Returns one `[x, y]` pair per input row.
-///
-/// # Panics
-/// Panics if fewer than 4 points are given or rows are ragged.
-pub fn tsne(points: &[&[f32]], cfg: &TsneConfig) -> Vec<[f64; 2]> {
-    let n = points.len();
-    assert!(n >= 4, "t-SNE needs at least 4 points");
-    let dim = points[0].len();
-    assert!(points.iter().all(|p| p.len() == dim), "ragged rows");
-
-    // --- Pairwise squared distances in high-dimensional space. ---
-    let mut d2 = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let mut s = 0.0f64;
-            for (&a, &b) in points[i].iter().zip(points[j]) {
-                let diff = (a - b) as f64;
-                s += diff * diff;
-            }
-            d2[i * n + j] = s;
-            d2[j * n + i] = s;
-        }
+/// Squared Euclidean distance in f64, accumulated component-wise — the
+/// single distance definition both affinity builders share.
+fn pair_d2(a: &[f32], b: &[f32]) -> f64 {
+    let mut s = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let diff = (x - y) as f64;
+        s += diff * diff;
     }
+    s
+}
 
-    // --- Per-point sigma by binary search on perplexity. ---
-    let target_entropy = cfg.perplexity.min((n - 1) as f64 * 0.9).ln();
+/// Conditional affinities P(j|i) from per-point `(j, d²)` rows: per-point
+/// sigma by binary search on perplexity, then row normalization. `rows[i]`
+/// lists the pairs point `i` attends to, in ascending j — with complete
+/// rows this is exactly the dense computation; with neighbor-list rows it
+/// is the sparse fast path over the same arithmetic.
+fn conditional_p(n: usize, perplexity: f64, rows: &[Vec<(usize, f64)>]) -> Vec<f64> {
+    let target_entropy = perplexity.min((n - 1) as f64 * 0.9).ln();
     let mut p = vec![0.0f64; n * n];
     for i in 0..n {
         let (mut lo, mut hi) = (1e-20f64, 1e20f64);
@@ -72,13 +62,10 @@ pub fn tsne(points: &[&[f32]], cfg: &TsneConfig) -> Vec<[f64; 2]> {
         for _ in 0..64 {
             let mut sum = 0.0f64;
             let mut sum_dp = 0.0f64;
-            for j in 0..n {
-                if j == i {
-                    continue;
-                }
-                let e = (-beta * d2[i * n + j]).exp();
+            for &(_, d) in &rows[i] {
+                let e = (-beta * d).exp();
                 sum += e;
-                sum_dp += e * d2[i * n + j];
+                sum_dp += e * d;
             }
             if sum <= 0.0 {
                 beta /= 2.0;
@@ -106,28 +93,93 @@ pub fn tsne(points: &[&[f32]], cfg: &TsneConfig) -> Vec<[f64; 2]> {
             }
         }
         let mut sum = 0.0f64;
-        for j in 0..n {
-            if j != i {
-                let e = (-beta * d2[i * n + j]).exp();
-                p[i * n + j] = e;
-                sum += e;
-            }
+        for &(j, d) in &rows[i] {
+            let e = (-beta * d).exp();
+            p[i * n + j] = e;
+            sum += e;
         }
         if sum > 0.0 {
-            for j in 0..n {
+            for &(j, _) in &rows[i] {
                 p[i * n + j] /= sum;
             }
         }
     }
+    p
+}
 
-    // --- Symmetrize. ---
+/// Symmetrized joint affinities from the conditional matrix.
+fn symmetrize(p: &[f64], n: usize) -> Vec<f64> {
     let mut pj = vec![0.0f64; n * n];
     for i in 0..n {
         for j in 0..n {
             pj[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
         }
     }
+    pj
+}
 
+/// Embed `points` (rows of equal dimension) into 2-D.
+///
+/// Returns one `[x, y]` pair per input row.
+///
+/// # Panics
+/// Panics if fewer than 4 points are given or rows are ragged.
+pub fn tsne(points: &[&[f32]], cfg: &TsneConfig) -> Vec<[f64; 2]> {
+    let n = points.len();
+    assert!(n >= 4, "t-SNE needs at least 4 points");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged rows");
+
+    // Dense affinity rows: every j ≠ i, ascending.
+    let rows: Vec<Vec<(usize, f64)>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (j, pair_d2(points[i], points[j])))
+                .collect()
+        })
+        .collect();
+    let p = conditional_p(n, cfg.perplexity, &rows);
+    descend(points, &symmetrize(&p, n), cfg)
+}
+
+/// [`tsne`] restricted to each point's neighbor list: the conditional
+/// affinities P(j|i) are computed only over the listed neighbors (the
+/// dense algorithm's tail affinities are ≈ 0 for well-chosen lists), so
+/// the O(n²·d) distance/calibration stage shrinks to O(n·k·d). The 2-D
+/// descent itself is unchanged — the Student-t repulsion is global either
+/// way. With complete lists (`k = n − 1`) the output equals [`tsne`]'s
+/// bit-for-bit.
+///
+/// # Panics
+/// Panics like [`tsne`], and if the list count differs from `points`.
+pub fn tsne_with_neighbors(
+    points: &[&[f32]],
+    nbrs: &crate::neighbors::NeighborLists,
+    cfg: &TsneConfig,
+) -> Vec<[f64; 2]> {
+    let n = points.len();
+    assert!(n >= 4, "t-SNE needs at least 4 points");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged rows");
+    assert_eq!(n, nbrs.len(), "neighbor lists must cover every point");
+
+    // Sparse affinity rows: the point's neighbors, already ascending.
+    let rows: Vec<Vec<(usize, f64)>> = (0..n)
+        .map(|i| {
+            nbrs.ids(i)
+                .iter()
+                .map(|&j| (j as usize, pair_d2(points[i], points[j as usize])))
+                .collect()
+        })
+        .collect();
+    let p = conditional_p(n, cfg.perplexity, &rows);
+    descend(points, &symmetrize(&p, n), cfg)
+}
+
+/// Gradient descent on the 2-D embedding given symmetrized affinities.
+fn descend(points: &[&[f32]], pj: &[f64], cfg: &TsneConfig) -> Vec<[f64; 2]> {
+    let n = points.len();
     // --- Initialize with PCA (top-2 components), tiny scale. ---
     let mut y = pca2(points, cfg.seed);
     let scale = 1e-4
@@ -363,6 +415,60 @@ mod tests {
             cx += v[0];
         }
         assert!((cx / y.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_neighbor_lists_reproduce_dense_tsne_bitwise() {
+        let (pts, _) = blobs(4, 3);
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let nbrs = crate::neighbors::exact_knn(&rows, rows.len() - 1);
+        let cfg = TsneConfig {
+            iterations: 60,
+            ..Default::default()
+        };
+        let dense = tsne(&rows, &cfg);
+        let sparse = tsne_with_neighbors(&rows, &nbrs, &cfg);
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert_eq!(d[0].to_bits(), s[0].to_bits());
+            assert_eq!(d[1].to_bits(), s[1].to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_neighbor_lists_keep_blobs_separated() {
+        let (pts, labels) = blobs(10, 4);
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let nbrs = crate::neighbors::exact_knn(&rows, 12);
+        let y = tsne_with_neighbors(
+            &rows,
+            &nbrs,
+            &TsneConfig {
+                iterations: 300,
+                ..Default::default()
+            },
+        );
+        let dist =
+            |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let (mut ni, mut nx) = (0usize, 0usize);
+        for i in 0..y.len() {
+            for j in (i + 1)..y.len() {
+                if labels[i] == labels[j] {
+                    intra += dist(y[i], y[j]);
+                    ni += 1;
+                } else {
+                    inter += dist(y[i], y[j]);
+                    nx += 1;
+                }
+            }
+        }
+        intra /= ni as f64;
+        inter /= nx as f64;
+        assert!(
+            inter > 2.0 * intra,
+            "inter {inter} should dwarf intra {intra}"
+        );
     }
 
     #[test]

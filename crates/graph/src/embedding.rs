@@ -47,6 +47,12 @@ impl NodeEmbeddings {
         self.dim
     }
 
+    /// The flat row-major `|V| × d` buffer backing the table.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
     /// The embedding of node `n`.
     #[inline]
     pub fn get(&self, n: NodeId) -> &[f32] {

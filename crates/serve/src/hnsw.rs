@@ -1,0 +1,500 @@
+//! A pure-Rust HNSW-style layered proximity graph (Malkov & Yashunin,
+//! "Efficient and robust approximate nearest neighbor search using
+//! Hierarchical Navigable Small World graphs").
+//!
+//! Differences from the paper's reference implementation, chosen for this
+//! workspace's determinism contract:
+//!
+//! - **Per-node layer assignment is a hash of `(seed, id)`**, not a draw
+//!   from a shared RNG stream. A node lands on the same layers no matter
+//!   when it is inserted, so insert order perturbs only the *edges* — the
+//!   basis of the insert-order-tolerance property test.
+//! - Candidate ordering uses the same total order as the exact index
+//!   ([`neighbor_cmp`]: score descending, id ascending), so builds and
+//!   searches are fully deterministic for a fixed `(source, config)`.
+//! - Neighbor selection is the paper's *heuristic* selection (Algorithm 4)
+//!   with backfill: a candidate is linked only if it is closer to the
+//!   anchor than to every link already kept, then the best rejected
+//!   candidates top the list back up to the degree cap. Plain top-M links
+//!   saturate inside one cluster on clustered data and strand late
+//!   inserts with zero in-degree — unreachable at any beam width.
+//!   Scores come through the same `metric_score` the exact index uses.
+
+use crate::index::{
+    metric_score, neighbor_cmp, EmbeddingIndex, Metric, Neighbor, TopK, VectorSource,
+};
+use transn_nn::kernels;
+
+/// HNSW build/search parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HnswConfig {
+    /// Max out-degree on layers above 0 (layer 0 allows `2·m`).
+    pub m: usize,
+    /// Beam width while inserting.
+    pub ef_construction: usize,
+    /// Default beam width while searching (raise for recall, lower for
+    /// speed; must be ≥ k for meaningful top-k).
+    pub ef_search: usize,
+    /// Keys the per-node layer assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 0x485E_5751,
+        }
+    }
+}
+
+/// SplitMix64 — the workspace's stateless mixing hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The layered graph: per node, one adjacency list per layer it occupies.
+pub struct HnswIndex {
+    /// `links[node][layer]` = neighbor ids on that layer.
+    links: Vec<Vec<Vec<u32>>>,
+    /// Copied vectors, row-major (owning them keeps search cache-friendly
+    /// and frees the index from the source's lifetime).
+    data: Vec<f32>,
+    dim: usize,
+    /// Per-row norms (cosine only).
+    norms: Vec<f32>,
+    metric: Metric,
+    entry: u32,
+    max_layer: usize,
+    cfg: HnswConfig,
+}
+
+impl HnswIndex {
+    /// Build over `source`, inserting nodes in id order.
+    pub fn build<S: VectorSource>(source: &S, metric: Metric, cfg: HnswConfig) -> HnswIndex {
+        let order: Vec<u32> = (0..source.len() as u32).collect();
+        Self::build_with_order(source, metric, cfg, &order)
+    }
+
+    /// Build inserting nodes in the given order (every id exactly once).
+    /// Exposed so tests can show recall is insert-order tolerant.
+    pub fn build_with_order<S: VectorSource>(
+        source: &S,
+        metric: Metric,
+        cfg: HnswConfig,
+        order: &[u32],
+    ) -> HnswIndex {
+        let n = source.len();
+        assert_eq!(order.len(), n, "order must cover every node exactly once");
+        let dim = source.dim();
+        let mut data = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            data.extend_from_slice(source.vector(i));
+        }
+        let norms = match metric {
+            Metric::Dot => Vec::new(),
+            Metric::Cosine => (0..n)
+                .map(|i| {
+                    kernels::dot(&data[i * dim..(i + 1) * dim], &data[i * dim..(i + 1) * dim])
+                        .sqrt()
+                })
+                .collect(),
+        };
+        let mut index = HnswIndex {
+            links: (0..n)
+                .map(|id| vec![Vec::new(); index_level(cfg.seed, id as u32, cfg.m) + 1])
+                .collect(),
+            data,
+            dim,
+            norms,
+            metric,
+            entry: 0,
+            max_layer: 0,
+            cfg,
+        };
+        let mut first = true;
+        for &id in order {
+            index.insert(id, first);
+            first = false;
+        }
+        index
+    }
+
+    #[inline]
+    fn row(&self, id: u32) -> &[f32] {
+        &self.data[id as usize * self.dim..(id as usize + 1) * self.dim]
+    }
+
+    #[inline]
+    fn row_norm(&self, id: u32) -> f32 {
+        match self.metric {
+            Metric::Dot => 0.0,
+            Metric::Cosine => self.norms[id as usize],
+        }
+    }
+
+    #[inline]
+    fn score(&self, query: &[f32], q_norm: f32, id: u32) -> f32 {
+        metric_score(
+            kernels::dot(query, self.row(id)),
+            self.metric,
+            q_norm,
+            self.row_norm(id),
+        )
+    }
+
+    fn q_norm(&self, query: &[f32]) -> f32 {
+        match self.metric {
+            Metric::Dot => 0.0,
+            Metric::Cosine => kernels::dot(query, query).sqrt(),
+        }
+    }
+
+    /// Node's topmost layer.
+    fn level(&self, id: u32) -> usize {
+        self.links[id as usize].len() - 1
+    }
+
+    fn max_degree(&self, layer: usize) -> usize {
+        if layer == 0 {
+            2 * self.cfg.m
+        } else {
+            self.cfg.m
+        }
+    }
+
+    /// Greedy single-step descent on one layer: repeatedly hop to the best
+    /// neighbor until no neighbor improves the score.
+    fn greedy(&self, query: &[f32], q_norm: f32, mut cur: u32, layer: usize) -> u32 {
+        let mut cur_score = self.score(query, q_norm, cur);
+        loop {
+            let mut improved = false;
+            for &nb in &self.links[cur as usize][layer] {
+                let s = self.score(query, q_norm, nb);
+                if neighbor_cmp(
+                    &Neighbor { id: nb, score: s },
+                    &Neighbor {
+                        id: cur,
+                        score: cur_score,
+                    },
+                ) == std::cmp::Ordering::Less
+                {
+                    cur = nb;
+                    cur_score = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Beam search on one layer from `entries`, returning up to `ef`
+    /// best-first candidates.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        q_norm: f32,
+        entries: &[u32],
+        ef: usize,
+        layer: usize,
+    ) -> Vec<Neighbor> {
+        let mut visited = vec![false; self.links.len()];
+        // Frontier ordered best-first via sorted Vec used as a stack of
+        // the best unexpanded candidate (binary-heap order on Reverse of
+        // neighbor_cmp); n is bounded by ef·degree so this stays cheap.
+        let mut frontier: std::collections::BinaryHeap<FrontierEntry> =
+            std::collections::BinaryHeap::new();
+        let mut best = TopK::new(ef);
+        for &e in entries {
+            if visited[e as usize] {
+                continue;
+            }
+            visited[e as usize] = true;
+            let s = self.score(query, q_norm, e);
+            let nb = Neighbor { id: e, score: s };
+            frontier.push(FrontierEntry(nb));
+            best.push(nb);
+        }
+        while let Some(FrontierEntry(cand)) = frontier.pop() {
+            if let Some(bar) = best.threshold() {
+                // Best unexpanded is already worse than the worst kept
+                // result: the beam has converged.
+                if neighbor_cmp(&cand, &bar) == std::cmp::Ordering::Greater {
+                    break;
+                }
+            }
+            for &nb in &self.links[cand.id as usize][layer] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                let s = self.score(query, q_norm, nb);
+                let cand = Neighbor { id: nb, score: s };
+                let keep = match best.threshold() {
+                    None => true,
+                    Some(bar) => neighbor_cmp(&cand, &bar) == std::cmp::Ordering::Less,
+                };
+                if keep {
+                    frontier.push(FrontierEntry(cand));
+                    best.push(cand);
+                }
+            }
+        }
+        best.into_sorted()
+    }
+
+    fn insert(&mut self, id: u32, first: bool) {
+        let node_level = self.level(id);
+        if first {
+            self.entry = id;
+            self.max_layer = node_level;
+            return;
+        }
+        let query = self.row(id).to_vec();
+        let q_norm = self.row_norm(id);
+        let mut cur = self.entry;
+        // Descend greedily through layers above the node's level.
+        for layer in ((node_level + 1)..=self.max_layer).rev() {
+            cur = self.greedy(&query, q_norm, cur, layer);
+        }
+        // Beam-search each layer the node occupies, linking top-M.
+        let mut entries = vec![cur];
+        for layer in (0..=node_level.min(self.max_layer)).rev() {
+            let found =
+                self.search_layer(&query, q_norm, &entries, self.cfg.ef_construction, layer);
+            let chosen = self.select_diverse(&found, self.cfg.m);
+            for &nb in &chosen {
+                self.links[id as usize][layer].push(nb);
+                self.links[nb as usize][layer].push(id);
+                self.prune(nb, layer);
+            }
+            entries = found.iter().map(|c| c.id).collect();
+            if entries.is_empty() {
+                entries = vec![cur];
+            }
+        }
+        if node_level > self.max_layer {
+            self.max_layer = node_level;
+            self.entry = id;
+        }
+    }
+
+    /// Re-select a node's links on one layer when its degree exceeds the
+    /// cap: keep the top-max_degree by score relative to the node.
+    fn prune(&mut self, id: u32, layer: usize) {
+        let cap = self.max_degree(layer);
+        if self.links[id as usize][layer].len() <= cap {
+            return;
+        }
+        let query = self.row(id).to_vec();
+        let q_norm = self.row_norm(id);
+        let mut scored: Vec<Neighbor> = self.links[id as usize][layer]
+            .iter()
+            .map(|&nb| Neighbor {
+                id: nb,
+                score: self.score(&query, q_norm, nb),
+            })
+            .collect();
+        scored.sort_by(neighbor_cmp);
+        self.links[id as usize][layer] = self.select_diverse(&scored, cap);
+    }
+
+    /// Heuristic neighbor selection (paper Algorithm 4): walk `candidates`
+    /// best-first (scores are relative to the anchor they will link to)
+    /// and keep one only if it scores better against the anchor than
+    /// against every neighbor kept so far, then backfill with the best
+    /// rejected candidates so the degree cap is still met.
+    fn select_diverse(&self, candidates: &[Neighbor], cap: usize) -> Vec<u32> {
+        let mut kept: Vec<u32> = Vec::with_capacity(cap);
+        let mut rejected: Vec<u32> = Vec::new();
+        for c in candidates {
+            if kept.len() == cap {
+                break;
+            }
+            let c_row = self.row(c.id);
+            let c_norm = self.row_norm(c.id);
+            let covered = kept.iter().any(|&s| {
+                let s_to_c = metric_score(
+                    kernels::dot(c_row, self.row(s)),
+                    self.metric,
+                    c_norm,
+                    self.row_norm(s),
+                );
+                s_to_c > c.score
+            });
+            if covered {
+                rejected.push(c.id);
+            } else {
+                kept.push(c.id);
+            }
+        }
+        kept.extend(rejected.into_iter().take(cap - kept.len()));
+        kept
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &HnswConfig {
+        &self.cfg
+    }
+
+    /// Top-k with an explicit beam width (`ef ≥ k` recommended).
+    pub fn top_k_ef(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        exclude: Option<u32>,
+    ) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if self.links.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let q_norm = self.q_norm(query);
+        let mut cur = self.entry;
+        for layer in (1..=self.max_layer).rev() {
+            cur = self.greedy(query, q_norm, cur, layer);
+        }
+        // Over-fetch by one so an excluded id cannot shrink the result.
+        let ef = ef.max(k + 1);
+        let mut found = self.search_layer(query, q_norm, &[cur], ef, 0);
+        if let Some(ex) = exclude {
+            found.retain(|c| c.id != ex);
+        }
+        found.truncate(k);
+        found
+    }
+}
+
+/// Frontier ordering: pops the *best* candidate first (max-heap on the
+/// reversed [`neighbor_cmp`]).
+struct FrontierEntry(Neighbor);
+
+impl PartialEq for FrontierEntry {
+    fn eq(&self, other: &Self) -> bool {
+        neighbor_cmp(&self.0, &other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for FrontierEntry {}
+impl PartialOrd for FrontierEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FrontierEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        neighbor_cmp(&other.0, &self.0)
+    }
+}
+
+impl EmbeddingIndex for HnswIndex {
+    fn top_k(&self, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Neighbor> {
+        self.top_k_ef(query, k, self.cfg.ef_search, exclude)
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Deterministic per-node top layer: geometric with ratio `1/m`, drawn
+/// from `splitmix64(seed ^ id)` — insert-order independent by design.
+fn index_level(seed: u64, id: u32, m: usize) -> usize {
+    let h = splitmix64(seed ^ ((id as u64) << 1 | 1));
+    // Map to (0, 1]; ln(u)/ln(1/m) gives the geometric layer draw.
+    let u = ((h >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    let mult = 1.0 / (m.max(2) as f64).ln();
+    ((-u.ln() * mult) as usize).min(24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{brute_force_reference, recall_at_k};
+    use transn_graph::NodeEmbeddings;
+
+    /// Deterministic clustered points: `clusters` centers far apart, hash
+    /// jitter around each. RNG-free so the test never depends on any
+    /// random stream's exact behaviour.
+    pub(crate) fn clustered(n: usize, dim: usize, clusters: usize) -> NodeEmbeddings {
+        let mut data = vec![0.0f32; n * dim];
+        for i in 0..n {
+            let c = i % clusters;
+            for j in 0..dim {
+                let center = if j % clusters == c { 10.0 } else { 0.0 };
+                let h = splitmix64((i as u64) << 32 | j as u64);
+                let jitter = (h % 2000) as f32 / 1000.0 - 1.0;
+                data[i * dim + j] = center + jitter;
+            }
+        }
+        NodeEmbeddings::from_flat(n, dim, data)
+    }
+
+    #[test]
+    fn levels_are_mostly_zero_and_bounded() {
+        let mut zero = 0;
+        for id in 0..1000u32 {
+            let l = index_level(7, id, 16);
+            assert!(l <= 24);
+            if l == 0 {
+                zero += 1;
+            }
+        }
+        // Geometric with ratio 1/16: ~93.75% at layer 0.
+        assert!(zero > 850, "{zero}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let emb = clustered(200, 8, 4);
+        let cfg = HnswConfig::default();
+        let a = HnswIndex::build(&emb, Metric::Cosine, cfg);
+        let b = HnswIndex::build(&emb, Metric::Cosine, cfg);
+        for q in [0usize, 50, 199] {
+            assert_eq!(
+                a.top_k(emb.vector(q), 10, Some(q as u32)),
+                b.top_k(emb.vector(q), 10, Some(q as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn recall_on_clustered_points_is_high() {
+        let emb = clustered(600, 16, 4);
+        for metric in [Metric::Cosine, Metric::Dot] {
+            let index = HnswIndex::build(&emb, metric, HnswConfig::default());
+            let mut recall = 0.0;
+            let queries = 40;
+            for q in 0..queries {
+                let qid = (q * 13) % 600;
+                let approx = index.top_k(emb.vector(qid), 10, Some(qid as u32));
+                let exact =
+                    brute_force_reference(&emb, metric, emb.vector(qid), 10, Some(qid as u32));
+                recall += recall_at_k(&approx, &exact);
+            }
+            recall /= queries as f64;
+            assert!(recall >= 0.95, "{metric:?} recall {recall}");
+        }
+    }
+
+    #[test]
+    fn singleton_and_tiny_indexes_answer() {
+        let emb = clustered(3, 4, 2);
+        let index = HnswIndex::build(&emb, Metric::Dot, HnswConfig::default());
+        let res = index.top_k(emb.vector(0), 5, Some(0));
+        assert_eq!(res.len(), 2);
+        let one = clustered(1, 4, 1);
+        let index = HnswIndex::build(&one, Metric::Dot, HnswConfig::default());
+        assert_eq!(index.top_k(one.vector(0), 5, Some(0)).len(), 0);
+    }
+}

@@ -1,0 +1,612 @@
+//! The versioned binary embedding store: write once, `mmap` forever.
+//!
+//! # Format (v1, all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------------
+//!      0     8  magic "TRNSEMB\0"
+//!      8     4  version            u32 (currently 1)
+//!     12     4  dim                u32 (embedding dimension, ≥ 1)
+//!     16     8  count              u64 (number of node rows)
+//!     24     8  payload_off        u64 (= 64: payload starts after header)
+//!     32     8  type_table_off     u64 (= payload_off + count·stride)
+//!     40     8  type_table_len     u64 (bytes; 0 = absent, else 4·count)
+//!     48     8  checksum           u64 (FNV-1a64 over payload + type table)
+//!     56     8  reserved           must be zero
+//!     64     …  payload: count rows, each dim f32 (LE) zero-padded to
+//!               stride = ceil(4·dim / 8) · 8 bytes (8-byte row alignment)
+//!      …     …  type table: count u32 (LE) node-type ids, if present
+//! ```
+//!
+//! The 8-byte row stride means every row starts at an 8-byte boundary of
+//! the mapping, so on little-endian targets a row is readable as `&[f32]`
+//! **zero-copy** — no parsing, no allocation, no per-row work at load time.
+//! When `dim · 4` is already a multiple of 8 (every even `dim`) the rows
+//! are contiguous and the whole payload doubles as one `|V| × d` matrix
+//! for the blocked GEMM query path ([`EmbStore::rows_contiguous`]).
+//!
+//! Loading validates the header *before* trusting any field: length checks
+//! precede every read, so a truncated or hostile file produces a typed
+//! [`ServeError`] — never a panic and never an out-of-bounds access of the
+//! mapping.
+
+use crate::error::ServeError;
+use std::io::Write;
+use std::path::Path;
+use transn_graph::{NodeEmbeddings, NodeId};
+
+/// First 8 bytes of every store file.
+pub const MAGIC: [u8; 8] = *b"TRNSEMB\0";
+/// Format version written (and the only one read) by this build.
+pub const VERSION: u32 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 64;
+
+/// Row stride in bytes: `dim` f32s rounded up to an 8-byte boundary.
+pub fn row_stride(dim: usize) -> usize {
+    (dim * 4).div_ceil(8) * 8
+}
+
+/// FNV-1a64 over a byte stream (the workspace's fingerprint hash).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The decoded fixed-size header of a store file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreHeader {
+    /// Format version.
+    pub version: u32,
+    /// Embedding dimension.
+    pub dim: u32,
+    /// Number of node rows.
+    pub count: u64,
+    /// Byte offset of the payload (64 in v1).
+    pub payload_off: u64,
+    /// Byte offset of the type table.
+    pub type_table_off: u64,
+    /// Type table length in bytes (0 = absent).
+    pub type_table_len: u64,
+    /// FNV-1a64 over payload + type table.
+    pub checksum: u64,
+}
+
+impl StoreHeader {
+    /// Encode to the fixed 64-byte wire form.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut h = [0u8; HEADER_LEN];
+        h[0..8].copy_from_slice(&MAGIC);
+        h[8..12].copy_from_slice(&self.version.to_le_bytes());
+        h[12..16].copy_from_slice(&self.dim.to_le_bytes());
+        h[16..24].copy_from_slice(&self.count.to_le_bytes());
+        h[24..32].copy_from_slice(&self.payload_off.to_le_bytes());
+        h[32..40].copy_from_slice(&self.type_table_off.to_le_bytes());
+        h[40..48].copy_from_slice(&self.type_table_len.to_le_bytes());
+        h[48..56].copy_from_slice(&self.checksum.to_le_bytes());
+        h
+    }
+
+    /// Decode and structurally validate a 64-byte header.
+    ///
+    /// Checks magic, version, and internal consistency of dim/count/offsets
+    /// — but not the checksum (that needs the body; see [`EmbStore::open`]).
+    pub fn decode(h: &[u8; HEADER_LEN]) -> Result<StoreHeader, ServeError> {
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&h[0..8]);
+        if magic != MAGIC {
+            return Err(ServeError::BadMagic { found: magic });
+        }
+        let le32 = |at: usize| u32::from_le_bytes(h[at..at + 4].try_into().unwrap());
+        let le64 = |at: usize| u64::from_le_bytes(h[at..at + 8].try_into().unwrap());
+        let version = le32(8);
+        if version != VERSION {
+            return Err(ServeError::UnsupportedVersion { found: version });
+        }
+        let header = StoreHeader {
+            version,
+            dim: le32(12),
+            count: le64(16),
+            payload_off: le64(24),
+            type_table_off: le64(32),
+            type_table_len: le64(40),
+            checksum: le64(48),
+        };
+        let mismatch = |detail: String| ServeError::DimCountMismatch {
+            dim: header.dim,
+            count: header.count,
+            detail,
+        };
+        if header.dim == 0 {
+            return Err(mismatch("dim must be at least 1".into()));
+        }
+        if header.payload_off != HEADER_LEN as u64 {
+            return Err(mismatch(format!(
+                "payload_off {} != header size {HEADER_LEN}",
+                header.payload_off
+            )));
+        }
+        let stride = row_stride(header.dim as usize) as u64;
+        let payload_len = header
+            .count
+            .checked_mul(stride)
+            .ok_or_else(|| mismatch("count·stride overflows u64".into()))?;
+        let want_table_off = header.payload_off + payload_len;
+        if header.type_table_off != want_table_off {
+            return Err(mismatch(format!(
+                "type_table_off {} != payload_off + count·stride = {want_table_off}",
+                header.type_table_off
+            )));
+        }
+        if header.type_table_len != 0 && header.type_table_len != 4 * header.count {
+            return Err(mismatch(format!(
+                "type_table_len {} is neither 0 nor 4·count = {}",
+                header.type_table_len,
+                4 * header.count
+            )));
+        }
+        Ok(header)
+    }
+
+    /// Total file size this header describes.
+    pub fn file_len(&self) -> u64 {
+        self.type_table_off + self.type_table_len
+    }
+}
+
+/// Read-only bytes backing a store: a private file mapping on Unix, a
+/// heap buffer elsewhere (and as fallback). The heap buffer is allocated
+/// as `u64`s so both backings give the 8-byte base alignment the row
+/// layout is designed around.
+enum Backing {
+    #[cfg(unix)]
+    Mmap {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+    Heap {
+        buf: Vec<u64>,
+        len: usize,
+    },
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE and never mutated; sharing
+// immutable bytes across threads is sound.
+unsafe impl Send for Backing {}
+unsafe impl Sync for Backing {}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            // SAFETY: ptr/len come from a successful mmap of exactly `len`
+            // bytes that stays mapped until Drop.
+            Backing::Mmap { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, *len)
+            },
+            Backing::Heap { buf, len } => {
+                // SAFETY: `buf` owns at least `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mmap { ptr, len } = self {
+            // SAFETY: exactly one munmap for the one successful mmap.
+            unsafe {
+                sys::munmap(*ptr, *len);
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+#[cfg(unix)]
+fn map_file(file: &std::fs::File, len: usize) -> Option<Backing> {
+    use std::os::unix::io::AsRawFd;
+    if len == 0 {
+        return None;
+    }
+    // SAFETY: fd is open for the duration of the call; a failed map
+    // returns MAP_FAILED which we reject, falling back to a heap read.
+    let ptr = unsafe {
+        sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        )
+    };
+    if ptr.is_null() || ptr as isize == -1 {
+        return None;
+    }
+    Some(Backing::Mmap { ptr, len })
+}
+
+fn read_heap(path: &Path, len: usize) -> Result<Backing, ServeError> {
+    let bytes = std::fs::read(path)?;
+    debug_assert_eq!(bytes.len(), len);
+    let mut buf = vec![0u64; len.div_ceil(8)];
+    // SAFETY: the u64 buffer spans at least `len` bytes.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), buf.as_mut_ptr() as *mut u8, bytes.len());
+    }
+    Ok(Backing::Heap {
+        buf,
+        len: bytes.len(),
+    })
+}
+
+/// A loaded embedding store: validated header plus zero-copy row access
+/// into the backing bytes.
+pub struct EmbStore {
+    header: StoreHeader,
+    backing: Backing,
+    /// Rows decoded once at load time on big-endian targets, where the
+    /// on-disk LE payload cannot be viewed as native `f32` directly.
+    #[cfg(not(target_endian = "little"))]
+    decoded: Vec<f32>,
+}
+
+impl EmbStore {
+    /// Serialize an embedding table (plus optional per-node type ids) in
+    /// the v1 format.
+    ///
+    /// # Panics
+    /// Panics if `types` is given with a length other than the node count,
+    /// or if `emb.dim() == 0`.
+    pub fn write(
+        emb: &NodeEmbeddings,
+        types: Option<&[u32]>,
+        mut out: impl Write,
+    ) -> std::io::Result<()> {
+        assert!(emb.dim() > 0, "cannot store zero-dimensional embeddings");
+        if let Some(t) = types {
+            assert_eq!(t.len(), emb.num_nodes(), "type table length mismatch");
+        }
+        let dim = emb.dim();
+        let stride = row_stride(dim);
+        let mut body = Vec::with_capacity(emb.num_nodes() * stride + 4 * emb.num_nodes());
+        let mut row_buf = vec![0u8; stride];
+        for n in 0..emb.num_nodes() {
+            row_buf[dim * 4..].fill(0);
+            for (chunk, &v) in row_buf.chunks_exact_mut(4).zip(emb.get(NodeId(n as u32))) {
+                chunk.copy_from_slice(&v.to_le_bytes());
+            }
+            body.extend_from_slice(&row_buf);
+        }
+        let type_table_off = (HEADER_LEN + body.len()) as u64;
+        if let Some(t) = types {
+            for &ty in t {
+                body.extend_from_slice(&ty.to_le_bytes());
+            }
+        }
+        let header = StoreHeader {
+            version: VERSION,
+            dim: dim as u32,
+            count: emb.num_nodes() as u64,
+            payload_off: HEADER_LEN as u64,
+            type_table_off,
+            type_table_len: types.map_or(0, |t| 4 * t.len() as u64),
+            checksum: fnv1a64(&body),
+        };
+        out.write_all(&header.encode())?;
+        out.write_all(&body)?;
+        out.flush()
+    }
+
+    /// [`EmbStore::write`] to a file path.
+    pub fn write_file(
+        emb: &NodeEmbeddings,
+        types: Option<&[u32]>,
+        path: impl AsRef<Path>,
+    ) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        Self::write(emb, types, std::io::BufWriter::new(file))
+    }
+
+    /// Load a store: map (or read) the file, validate the header against
+    /// the actual file length, and verify the checksum.
+    pub fn open(path: impl AsRef<Path>) -> Result<EmbStore, ServeError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN as u64 {
+            return Err(ServeError::Truncated {
+                expected: HEADER_LEN as u64,
+                actual: file_len,
+            });
+        }
+        let backing = {
+            #[cfg(unix)]
+            {
+                match map_file(&file, file_len as usize) {
+                    Some(b) => b,
+                    None => read_heap(path, file_len as usize)?,
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                read_heap(path, file_len as usize)?
+            }
+        };
+        drop(file);
+        let bytes = backing.bytes();
+        let header = StoreHeader::decode(bytes[..HEADER_LEN].try_into().unwrap())?;
+        let need = header.file_len();
+        if need > file_len {
+            return Err(ServeError::Truncated {
+                expected: need,
+                actual: file_len,
+            });
+        }
+        let body = &bytes[HEADER_LEN..need as usize];
+        let actual = fnv1a64(body);
+        if actual != header.checksum {
+            return Err(ServeError::ChecksumMismatch {
+                expected: header.checksum,
+                actual,
+            });
+        }
+        #[cfg(not(target_endian = "little"))]
+        let decoded = {
+            let stride = row_stride(header.dim as usize);
+            let mut rows = Vec::with_capacity(header.count as usize * header.dim as usize);
+            for n in 0..header.count as usize {
+                let at = HEADER_LEN + n * stride;
+                for c in bytes[at..at + header.dim as usize * 4].chunks_exact(4) {
+                    rows.push(f32::from_le_bytes(c.try_into().unwrap()));
+                }
+            }
+            rows
+        };
+        Ok(EmbStore {
+            header,
+            backing,
+            #[cfg(not(target_endian = "little"))]
+            decoded,
+        })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &StoreHeader {
+        &self.header
+    }
+
+    /// Number of node rows.
+    pub fn num_nodes(&self) -> usize {
+        self.header.count as usize
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.header.dim as usize
+    }
+
+    /// The embedding of node `n`, zero-copy from the mapping.
+    ///
+    /// # Panics
+    /// Panics if `n >= num_nodes()`.
+    #[inline]
+    pub fn row(&self, n: usize) -> &[f32] {
+        assert!(n < self.num_nodes(), "row {n} out of range");
+        #[cfg(target_endian = "little")]
+        {
+            let stride = row_stride(self.dim());
+            let at = HEADER_LEN + n * stride;
+            let bytes = &self.backing.bytes()[at..at + self.dim() * 4];
+            // SAFETY: the slice is 8-byte aligned (8-aligned base + 64-byte
+            // header + 8-byte stride), in-bounds (validated at open), and
+            // on little-endian targets the LE payload *is* native f32.
+            unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f32, self.dim()) }
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            &self.decoded[n * self.dim()..(n + 1) * self.dim()]
+        }
+    }
+
+    /// The whole payload as one contiguous `|V| × d` matrix, when the row
+    /// stride carries no padding (every even `dim`). This is the input the
+    /// blocked GEMM query path consumes directly.
+    pub fn rows_contiguous(&self) -> Option<&[f32]> {
+        if self.dim() * 4 != row_stride(self.dim()) || self.num_nodes() == 0 {
+            return None;
+        }
+        #[cfg(target_endian = "little")]
+        {
+            let bytes =
+                &self.backing.bytes()[HEADER_LEN..HEADER_LEN + self.num_nodes() * self.dim() * 4];
+            // SAFETY: same alignment/bounds/endianness argument as `row`.
+            Some(unsafe {
+                std::slice::from_raw_parts(
+                    bytes.as_ptr() as *const f32,
+                    self.num_nodes() * self.dim(),
+                )
+            })
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            Some(&self.decoded)
+        }
+    }
+
+    /// The type id of node `n`, if the store carries a type table.
+    pub fn node_type(&self, n: usize) -> Option<u32> {
+        if self.header.type_table_len == 0 || n >= self.num_nodes() {
+            return None;
+        }
+        let at = self.header.type_table_off as usize + 4 * n;
+        let bytes = self.backing.bytes();
+        Some(u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()))
+    }
+
+    /// Copy the store back into an owned [`NodeEmbeddings`] table.
+    pub fn to_embeddings(&self) -> NodeEmbeddings {
+        let mut data = Vec::with_capacity(self.num_nodes() * self.dim());
+        for n in 0..self.num_nodes() {
+            data.extend_from_slice(self.row(n));
+        }
+        NodeEmbeddings::from_flat(self.num_nodes(), self.dim(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, dim: usize) -> NodeEmbeddings {
+        let data: Vec<f32> = (0..n * dim).map(|i| i as f32 * 0.25 - 1.0).collect();
+        NodeEmbeddings::from_flat(n, dim, data)
+    }
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("transn-store-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn stride_is_eight_byte_aligned() {
+        assert_eq!(row_stride(1), 8);
+        assert_eq!(row_stride(2), 8);
+        assert_eq!(row_stride(3), 16);
+        assert_eq!(row_stride(64), 256);
+        for d in 1..100 {
+            assert_eq!(row_stride(d) % 8, 0);
+            assert!(row_stride(d) >= 4 * d);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows_and_types() {
+        for dim in [3usize, 8] {
+            let emb = toy(7, dim);
+            let types: Vec<u32> = (0..7).map(|i| i % 3).collect();
+            let path = temp(&format!("roundtrip-{dim}"));
+            EmbStore::write_file(&emb, Some(&types), &path).unwrap();
+            let store = EmbStore::open(&path).unwrap();
+            assert_eq!(store.num_nodes(), 7);
+            assert_eq!(store.dim(), dim);
+            for (n, &ty) in types.iter().enumerate() {
+                assert_eq!(store.row(n), emb.get(NodeId(n as u32)));
+                assert_eq!(store.node_type(n), Some(ty));
+            }
+            assert_eq!(store.to_embeddings(), emb);
+            // Contiguity only without row padding.
+            assert_eq!(store.rows_contiguous().is_some(), dim % 2 == 0);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn missing_type_table_reads_as_none() {
+        let path = temp("no-types");
+        EmbStore::write_file(&toy(4, 4), None, &path).unwrap();
+        let store = EmbStore::open(&path).unwrap();
+        assert_eq!(store.node_type(0), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_decode_rejects_each_corruption() {
+        let emb = toy(5, 4);
+        let mut buf = Vec::new();
+        EmbStore::write(&emb, None, &mut buf).unwrap();
+        let good: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+        assert!(StoreHeader::decode(&good).is_ok());
+
+        let mut bad = good;
+        bad[0] = b'X';
+        assert!(matches!(
+            StoreHeader::decode(&bad),
+            Err(ServeError::BadMagic { .. })
+        ));
+
+        let mut bad = good;
+        bad[8] = 9;
+        assert!(matches!(
+            StoreHeader::decode(&bad),
+            Err(ServeError::UnsupportedVersion { found: 9 })
+        ));
+
+        let mut bad = good;
+        bad[12..16].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            StoreHeader::decode(&bad),
+            Err(ServeError::DimCountMismatch { .. })
+        ));
+
+        let mut bad = good;
+        bad[16..24].copy_from_slice(&99u64.to_le_bytes());
+        assert!(matches!(
+            StoreHeader::decode(&bad),
+            Err(ServeError::DimCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_typed_not_a_panic() {
+        let path = temp("trunc");
+        EmbStore::write_file(&toy(6, 4), None, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for keep in [0usize, 10, HEADER_LEN, full.len() - 1] {
+            std::fs::write(&path, &full[..keep]).unwrap();
+            match EmbStore::open(&path) {
+                Err(ServeError::Truncated { .. }) => {}
+                Err(other) => panic!("keep {keep}: expected Truncated, got {other:?}"),
+                Ok(_) => panic!("keep {keep}: expected Truncated, got Ok"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let path = temp("cksum");
+        EmbStore::write_file(&toy(6, 4), None, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 5] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            EmbStore::open(&path),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        assert!(matches!(
+            EmbStore::open(temp("does-not-exist")),
+            Err(ServeError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,88 @@
+//! The committed golden store fixture, read byte-for-byte.
+//!
+//! `golden/store_v1_16node.bin` is a 16-node, dim-3 store (row stride 16,
+//! so each row carries 4 padding bytes) with node `i` component `j` equal
+//! to `i + j·0.25` (exact in f32) and type table `i % 4`. The test pins
+//! the v1 wire format: every header field at its documented offset, the
+//! padded little-endian payload, the trailing type table — and checks that
+//! [`EmbStore::write`] reproduces the committed file exactly, so any
+//! accidental format change breaks loudly.
+
+use transn_graph::{NodeEmbeddings, NodeId};
+use transn_serve::store::row_stride;
+use transn_serve::{EmbStore, HEADER_LEN, MAGIC, VERSION};
+
+const GOLDEN: &[u8] = include_bytes!("golden/store_v1_16node.bin");
+
+fn golden_table() -> (NodeEmbeddings, Vec<u32>) {
+    let mut emb = NodeEmbeddings::zeros(16, 3);
+    for i in 0..16u32 {
+        let row: Vec<f32> = (0..3).map(|j| i as f32 + j as f32 * 0.25).collect();
+        emb.set(NodeId(i), &row);
+    }
+    let types: Vec<u32> = (0..16).map(|i| i % 4).collect();
+    (emb, types)
+}
+
+#[test]
+fn header_fields_sit_at_documented_offsets() {
+    assert_eq!(GOLDEN.len(), 384);
+    assert_eq!(&GOLDEN[0..8], &MAGIC);
+    assert_eq!(
+        u32::from_le_bytes(GOLDEN[8..12].try_into().unwrap()),
+        VERSION
+    );
+    assert_eq!(u32::from_le_bytes(GOLDEN[12..16].try_into().unwrap()), 3); // dim
+    assert_eq!(u64::from_le_bytes(GOLDEN[16..24].try_into().unwrap()), 16); // count
+    assert_eq!(
+        u64::from_le_bytes(GOLDEN[24..32].try_into().unwrap()),
+        HEADER_LEN as u64
+    ); // payload_off
+    assert_eq!(
+        u64::from_le_bytes(GOLDEN[32..40].try_into().unwrap()),
+        (HEADER_LEN + 16 * row_stride(3)) as u64
+    ); // type_table_off
+    assert_eq!(u64::from_le_bytes(GOLDEN[40..48].try_into().unwrap()), 64); // type_table_len
+    assert_eq!(&GOLDEN[56..64], &[0u8; 8]); // reserved
+}
+
+#[test]
+fn payload_is_padded_little_endian_rows() {
+    assert_eq!(row_stride(3), 16, "dim 3 must pad 12 data bytes to 16");
+    for i in 0..16usize {
+        let row = &GOLDEN[HEADER_LEN + i * 16..HEADER_LEN + (i + 1) * 16];
+        for j in 0..3usize {
+            let v = f32::from_le_bytes(row[j * 4..(j + 1) * 4].try_into().unwrap());
+            assert_eq!(v, i as f32 + j as f32 * 0.25, "node {i} component {j}");
+        }
+        assert_eq!(&row[12..16], &[0u8; 4], "node {i} padding");
+    }
+    for i in 0..16usize {
+        let off = 320 + i * 4;
+        let ty = u32::from_le_bytes(GOLDEN[off..off + 4].try_into().unwrap());
+        assert_eq!(ty, i as u32 % 4, "node {i} type");
+    }
+}
+
+#[test]
+fn writer_reproduces_the_golden_file_byte_for_byte() {
+    let (emb, types) = golden_table();
+    let mut out = Vec::new();
+    EmbStore::write(&emb, Some(&types), &mut out).unwrap();
+    assert_eq!(out, GOLDEN, "EmbStore::write drifted from the v1 format");
+}
+
+#[test]
+fn golden_file_loads_with_exact_rows_and_types() {
+    let path = std::env::temp_dir().join(format!("transn-golden-{}.bin", std::process::id()));
+    std::fs::write(&path, GOLDEN).unwrap();
+    let store = EmbStore::open(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(store.num_nodes(), 16);
+    assert_eq!(store.dim(), 3);
+    let (emb, types) = golden_table();
+    for (i, &ty) in types.iter().enumerate() {
+        assert_eq!(store.row(i), emb.get(NodeId(i as u32)), "node {i}");
+        assert_eq!(store.node_type(i), Some(ty), "node {i} type");
+    }
+}

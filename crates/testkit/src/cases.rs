@@ -12,6 +12,8 @@
 //! | sgns    | noise-from-corpus, strict-threads {1,2,4,8}, hogwild1 | `Bitwise` |
 //! | sgns    | hs-vs-sgns-trend                        | `Bitwise` flags|
 //! | core    | core-strict-threads                     | `Bitwise`      |
+//! | serve   | serve-store-roundtrip, serve-brute-vs-naive, serve-query-threads, serve-link-scores | `Bitwise` |
+//! | serve   | serve-hnsw-recall                       | `Bitwise` flags|
 
 use crate::conformance::{Conformance, Ctx, Match};
 use crate::fixture;
@@ -25,7 +27,7 @@ use transn_walks::{parallel_generate, WalkCorpus};
 
 /// All registered conformance cases, in registry order.
 pub fn registry() -> Vec<Box<dyn Conformance>> {
-    vec![
+    let mut cases: Vec<Box<dyn Conformance>> = vec![
         Box::new(KernelDot),
         Box::new(KernelSqdist),
         Box::new(KernelAxpy),
@@ -46,7 +48,9 @@ pub fn registry() -> Vec<Box<dyn Conformance>> {
         Box::new(SgnsHogwild1VsStrict),
         Box::new(HsVsSgnsTrend),
         Box::new(CoreStrictThreads),
-    ]
+    ];
+    cases.extend(crate::serve_cases::cases());
+    cases
 }
 
 /// Vector lengths exercised by the 1-D kernel cases: below, at, and past

@@ -13,6 +13,11 @@
 //!   other row may become non-finite, the poisoned row is never touched),
 //!   and a learning-rate spike must keep every table finite epoch by
 //!   epoch.
+//! - [`StoreFault`]: hostile serving-layer store files — truncation,
+//!   wrong magic, unsupported version, corrupted checksum, inconsistent
+//!   dim/count geometry. [`transn_serve::EmbStore::open`] must return the
+//!   matching typed [`transn_serve::ServeError`]; it may never panic or
+//!   read out of bounds, however short the file.
 //!
 //! Which line or row is hit is drawn from the plan's seed, so every
 //! failure is replayable from a `(case, seed)` pair.
@@ -21,6 +26,7 @@ use crate::fixture;
 use crate::invariants::check_finite;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use transn_graph::{read_edge_list, GraphError};
+use transn_serve::{EmbStore, ServeError};
 use transn_sgns::{NoiseTable, SgnsConfig, SgnsModel};
 
 /// Edge-list input faults.
@@ -82,6 +88,32 @@ impl NumericFault {
         NumericFault::NanRow,
         NumericFault::InfRow,
         NumericFault::LrSpike,
+    ];
+}
+
+/// Serving-layer binary store faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreFault {
+    /// File cut off at a random point (possibly mid-header).
+    Truncated,
+    /// A flipped byte in the magic string.
+    BadMagic,
+    /// Version field bumped past what this build reads.
+    BadVersion,
+    /// A flipped payload byte, leaving the header checksum stale.
+    BadChecksum,
+    /// Header dim altered so the section offsets no longer cohere.
+    DimCountMismatch,
+}
+
+impl StoreFault {
+    /// Every store fault, in taxonomy order.
+    pub const ALL: [StoreFault; 5] = [
+        StoreFault::Truncated,
+        StoreFault::BadMagic,
+        StoreFault::BadVersion,
+        StoreFault::BadChecksum,
+        StoreFault::DimCountMismatch,
     ];
 }
 
@@ -228,6 +260,73 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// Corrupt a freshly written embedding store with `fault` and demand
+    /// [`EmbStore::open`] returns the matching typed [`ServeError`] —
+    /// never a panic, never an out-of-bounds read.
+    pub fn check_store(&self, fault: StoreFault) -> Result<(), String> {
+        let mut rng = self.rng(fault as u64 + 0x570E);
+        let (n, dim) = (12usize, 5usize);
+        let data: Vec<f32> = (0..n * dim)
+            .map(|_| rng.random_range(-1.0..1.0f32))
+            .collect();
+        let emb = transn_graph::NodeEmbeddings::from_flat(n, dim, data);
+        let types: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let mut bytes = Vec::new();
+        EmbStore::write(&emb, Some(&types), &mut bytes)
+            .map_err(|e| format!("writing the clean store failed: {e}"))?;
+
+        match fault {
+            StoreFault::Truncated => {
+                let keep = rng.random_range(0..bytes.len());
+                bytes.truncate(keep);
+            }
+            StoreFault::BadMagic => bytes[rng.random_range(0..8)] ^= 0xFF,
+            StoreFault::BadVersion => bytes[8..12].copy_from_slice(&99u32.to_le_bytes()),
+            StoreFault::BadChecksum => {
+                let i = 64 + rng.random_range(0..bytes.len() - 64);
+                bytes[i] ^= 0x01;
+            }
+            StoreFault::DimCountMismatch => {
+                // Grow dim past the next stride boundary: the row stride
+                // no longer matches the type-table offset the header
+                // claims. (dim+1 alone can keep the same padded stride.)
+                bytes[12..16].copy_from_slice(&(dim as u32 + 3).to_le_bytes());
+            }
+        }
+
+        let path = std::env::temp_dir().join(format!(
+            "transn-testkit-store-{fault:?}-{}-{}",
+            self.seed,
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes).map_err(|e| format!("writing temp store: {e}"))?;
+        let result = EmbStore::open(&path);
+        std::fs::remove_file(&path).ok();
+        let err = match result {
+            Err(e) => e,
+            Ok(_) => return Err(format!("fault {fault:?} was accepted by the loader")),
+        };
+        let ok = matches!(
+            (fault, &err),
+            (StoreFault::Truncated, ServeError::Truncated { .. })
+                | (StoreFault::BadMagic, ServeError::BadMagic { .. })
+                | (
+                    StoreFault::BadVersion,
+                    ServeError::UnsupportedVersion { .. }
+                )
+                | (StoreFault::BadChecksum, ServeError::ChecksumMismatch { .. })
+                | (
+                    StoreFault::DimCountMismatch,
+                    ServeError::DimCountMismatch { .. }
+                )
+        );
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("fault {fault:?}: wrong error type: {err}"))
+        }
+    }
+
     /// Run one numeric fault through SGNS training and check containment.
     pub fn check_numeric(&self, fault: NumericFault) -> Result<(), String> {
         match fault {
@@ -317,6 +416,7 @@ pub struct FaultCase {
 enum FaultKind {
     Io(IoFault),
     Numeric(NumericFault),
+    Store(StoreFault),
 }
 
 impl FaultCase {
@@ -326,6 +426,7 @@ impl FaultCase {
         match self.kind {
             FaultKind::Io(f) => plan.check_io(f),
             FaultKind::Numeric(f) => plan.check_numeric(f),
+            FaultKind::Store(f) => plan.check_store(f),
         }
     }
 }
@@ -353,6 +454,15 @@ pub fn registry() -> Vec<FaultCase> {
             NumericFault::LrSpike => "num-lr-spike",
         }
     }
+    fn store_name(f: StoreFault) -> &'static str {
+        match f {
+            StoreFault::Truncated => "store-truncated",
+            StoreFault::BadMagic => "store-bad-magic",
+            StoreFault::BadVersion => "store-bad-version",
+            StoreFault::BadChecksum => "store-bad-checksum",
+            StoreFault::DimCountMismatch => "store-dim-count-mismatch",
+        }
+    }
     IoFault::ALL
         .into_iter()
         .map(|f| FaultCase {
@@ -362,6 +472,10 @@ pub fn registry() -> Vec<FaultCase> {
         .chain(NumericFault::ALL.into_iter().map(|f| FaultCase {
             name: num_name(f),
             kind: FaultKind::Numeric(f),
+        }))
+        .chain(StoreFault::ALL.into_iter().map(|f| FaultCase {
+            name: store_name(f),
+            kind: FaultKind::Store(f),
         }))
         .collect()
 }

@@ -34,11 +34,12 @@ pub mod conformance;
 pub mod fault;
 pub mod fixture;
 pub mod invariants;
+mod serve_cases;
 
 pub use conformance::{
     run_case, shrink_failure, CaseFailure, Conformance, Ctx, Match, Mismatch, MAX_SCALE,
 };
-pub use fault::{FaultCase, FaultPlan, IoFault, NumericFault};
+pub use fault::{FaultCase, FaultPlan, IoFault, NumericFault, StoreFault};
 pub use invariants::{
     check_corpus_offsets, check_csr, check_finite, check_prob_simplex, InvariantViolation,
 };

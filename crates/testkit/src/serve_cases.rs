@@ -1,0 +1,280 @@
+//! Conformance cases for the serving layer (DESIGN.md §12): the mmap
+//! store's write→load roundtrip, the blocked brute-force index against its
+//! naive reference, the HNSW index against brute force, thread-count
+//! invariance of batched queries, and link scoring against a from-scratch
+//! metric reimplementation.
+//!
+//! All cases are [`Match::Bitwise`]: the serving layer's determinism
+//! contract is exact, not approximate — even the HNSW case emits hard 0/1
+//! recall flags rather than a tolerance-smeared score.
+
+use crate::conformance::{Conformance, Ctx, Match};
+use rand::Rng;
+use transn_graph::NodeEmbeddings;
+use transn_nn::kernels;
+use transn_serve::{
+    batch_top_k, brute_force_reference, recall_at_k, BruteForceIndex, EmbStore, EmbeddingIndex,
+    HnswConfig, HnswIndex, Metric, Neighbor,
+};
+use transn_sgns::Parallelism;
+
+/// The serving-layer conformance cases, in registry order.
+pub(crate) fn cases() -> Vec<Box<dyn Conformance>> {
+    vec![
+        Box::new(StoreRoundtrip),
+        Box::new(BruteVsNaive),
+        Box::new(HnswRecall),
+        Box::new(QueryThreads),
+        Box::new(LinkScores),
+    ]
+}
+
+/// A random embedding table: irregular values, odd dim at scale 0 to
+/// exercise row padding, even dims later for the contiguous GEMM path.
+fn random_table(ctx: &mut Ctx, n: usize, dim: usize) -> NodeEmbeddings {
+    let data: Vec<f32> = (0..n * dim)
+        .map(|_| ctx.rng().random_range(-1.0..1.0f32))
+        .collect();
+    NodeEmbeddings::from_flat(n, dim, data)
+}
+
+/// `(n, dim)` pairs a case runs at: below/above the 256-row scoring block,
+/// odd and even dims.
+fn table_shapes(ctx: &Ctx) -> [(usize, usize); 2] {
+    [(ctx.scaled(40), 5), (ctx.scaled(300), 8)]
+}
+
+fn emit_neighbors(ctx: &mut Ctx, results: &[Neighbor]) {
+    ctx.emit_len(results.len());
+    for r in results {
+        ctx.emit_bits(r.id);
+        ctx.emit(r.score);
+    }
+}
+
+/// Write→load roundtrip: a table serialized to the v1 format and loaded
+/// back (mmap or heap fallback) must reproduce every row and type id
+/// bit-for-bit. The reference emits the in-memory table directly.
+struct StoreRoundtrip;
+impl Conformance for StoreRoundtrip {
+    fn name(&self) -> &'static str {
+        "serve-store-roundtrip"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        for (shape, (n, dim)) in table_shapes(ctx).into_iter().enumerate() {
+            let emb = random_table(ctx, n, dim);
+            let types: Vec<u32> = (0..n as u32).map(|i| i % 4).collect();
+            let path = std::env::temp_dir().join(format!(
+                "transn-testkit-roundtrip-{}-{}-{shape}-{}",
+                ctx.seed(),
+                ctx.scale(),
+                std::process::id()
+            ));
+            EmbStore::write_file(&emb, Some(&types), &path).expect("write store");
+            let store = EmbStore::open(&path).expect("open store");
+            std::fs::remove_file(&path).ok();
+            ctx.emit_len(store.num_nodes());
+            ctx.emit_len(store.dim());
+            for i in 0..store.num_nodes() {
+                ctx.emit_all(store.row(i));
+                ctx.emit_bits(store.node_type(i).expect("type table present"));
+            }
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        for (n, dim) in table_shapes(ctx) {
+            let emb = random_table(ctx, n, dim);
+            ctx.emit_len(n);
+            ctx.emit_len(dim);
+            for i in 0..n {
+                ctx.emit_all(emb.get(transn_graph::NodeId(i as u32)));
+                ctx.emit_bits(i as u32 % 4);
+            }
+        }
+    }
+}
+
+/// The blocked GEMM top-k against the one-dot-per-row sorted reference,
+/// both metrics, k = 10, query node excluded.
+struct BruteVsNaive;
+impl Conformance for BruteVsNaive {
+    fn name(&self) -> &'static str {
+        "serve-brute-vs-naive"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        for (n, dim) in table_shapes(ctx) {
+            let emb = random_table(ctx, n, dim);
+            for metric in [Metric::Dot, Metric::Cosine] {
+                let index = BruteForceIndex::new(&emb, metric);
+                for qid in [0usize, n / 2, n - 1] {
+                    let q = emb.get(transn_graph::NodeId(qid as u32)).to_vec();
+                    emit_neighbors(ctx, &index.top_k(&q, 10, Some(qid as u32)));
+                }
+            }
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        for (n, dim) in table_shapes(ctx) {
+            let emb = random_table(ctx, n, dim);
+            for metric in [Metric::Dot, Metric::Cosine] {
+                for qid in [0usize, n / 2, n - 1] {
+                    let q = emb.get(transn_graph::NodeId(qid as u32)).to_vec();
+                    emit_neighbors(
+                        ctx,
+                        &brute_force_reference(&emb, metric, &q, 10, Some(qid as u32)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Clustered points for the recall case: `clusters` well-separated
+/// centers, per-coordinate noise from the case RNG.
+fn clustered(ctx: &mut Ctx, n: usize, dim: usize, clusters: usize) -> NodeEmbeddings {
+    let mut data = vec![0.0f32; n * dim];
+    for i in 0..n {
+        let c = i % clusters;
+        for j in 0..dim {
+            let center = if j % clusters == c { 10.0 } else { 0.0 };
+            data[i * dim + j] = center + ctx.rng().random_range(-1.0..1.0f32);
+        }
+    }
+    NodeEmbeddings::from_flat(n, dim, data)
+}
+
+/// HNSW vs exact brute force: mean recall@10 over 25 queries must reach
+/// the acceptance floor 0.95 on seeded clustered data, for both metrics.
+/// Emitted as hard 0/1 flags so the case stays `Bitwise`.
+struct HnswRecall;
+impl Conformance for HnswRecall {
+    fn name(&self) -> &'static str {
+        "serve-hnsw-recall"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let n = ctx.scaled(300);
+        for metric in [Metric::Dot, Metric::Cosine] {
+            let emb = clustered(ctx, n, 16, 4);
+            let index = HnswIndex::build(&emb, metric, HnswConfig::default());
+            let queries = 25;
+            let mut recall = 0.0;
+            for q in 0..queries {
+                let qid = (q * 13) % n;
+                let query = emb.get(transn_graph::NodeId(qid as u32));
+                let approx = index.top_k(query, 10, Some(qid as u32));
+                let exact = brute_force_reference(&emb, metric, query, 10, Some(qid as u32));
+                recall += recall_at_k(&approx, &exact);
+            }
+            recall /= queries as f64;
+            ctx.emit(if recall >= 0.95 { 1.0 } else { 0.0 });
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        // Consume the same RNG stream, then assert the flags.
+        let n = ctx.scaled(300);
+        for _ in [Metric::Dot, Metric::Cosine] {
+            let _ = clustered(ctx, n, 16, 4);
+            ctx.emit(1.0);
+        }
+    }
+}
+
+/// Batched queries at thread counts {2, 4, 8}, strict and hogwild, must
+/// be byte-identical to the serial answer: sharding only partitions work.
+struct QueryThreads;
+impl Conformance for QueryThreads {
+    fn name(&self) -> &'static str {
+        "serve-query-threads"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        self.run(ctx, &[2, 4, 8]);
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        self.run(ctx, &[1, 1, 1]);
+    }
+}
+
+impl QueryThreads {
+    fn run(&self, ctx: &mut Ctx, thread_plan: &[usize]) {
+        let (n, dim) = (ctx.scaled(120), 6);
+        let emb = random_table(ctx, n, dim);
+        let index = BruteForceIndex::new(&emb, Metric::Cosine);
+        let ids: Vec<u32> = (0..17).map(|i| (i * 7) % n as u32).collect();
+        let queries: Vec<&[f32]> = ids
+            .iter()
+            .map(|&i| emb.get(transn_graph::NodeId(i)))
+            .collect();
+        let exclude: Vec<Option<u32>> = ids.iter().map(|&i| Some(i)).collect();
+        for &threads in thread_plan {
+            for par in [Parallelism::strict(threads), Parallelism::hogwild(threads)] {
+                for result in batch_top_k(&index, &queries, 5, &exclude, par) {
+                    emit_neighbors(ctx, &result);
+                }
+            }
+        }
+    }
+}
+
+/// Link scoring through the index vs a from-scratch reimplementation of
+/// the metric formulas (dot; cosine with zero-vector → 0) on raw kernel
+/// dots — the definition the serving layer must match bit-for-bit.
+struct LinkScores;
+impl Conformance for LinkScores {
+    fn name(&self) -> &'static str {
+        "serve-link-scores"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (n, dim) = (ctx.scaled(50), 7);
+        let emb = random_table(ctx, n, dim);
+        let pairs: Vec<(usize, usize)> = (0..20)
+            .map(|_| (ctx.rng().random_range(0..n), ctx.rng().random_range(0..n)))
+            .collect();
+        for metric in [Metric::Dot, Metric::Cosine] {
+            let index = BruteForceIndex::new(&emb, metric);
+            for &(u, v) in &pairs {
+                ctx.emit(index.link_score(u, v));
+            }
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (n, dim) = (ctx.scaled(50), 7);
+        let emb = random_table(ctx, n, dim);
+        let pairs: Vec<(usize, usize)> = (0..20)
+            .map(|_| (ctx.rng().random_range(0..n), ctx.rng().random_range(0..n)))
+            .collect();
+        let row = |i: usize| emb.get(transn_graph::NodeId(i as u32));
+        for metric in [Metric::Dot, Metric::Cosine] {
+            for &(u, v) in &pairs {
+                let raw = kernels::dot(row(u), row(v));
+                let score = match metric {
+                    Metric::Dot => raw,
+                    Metric::Cosine => {
+                        let denom = kernels::dot(row(u), row(u)).sqrt()
+                            * kernels::dot(row(v), row(v)).sqrt();
+                        if denom == 0.0 {
+                            0.0
+                        } else {
+                            raw / denom
+                        }
+                    }
+                };
+                ctx.emit(score);
+            }
+        }
+    }
+}
