@@ -13,8 +13,11 @@ use crate::method::EmbeddingMethod;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_graph::{HetNet, NodeEmbeddings};
-use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel, TrainScratch};
-use transn_walks::{Node2VecWalker, WalkConfig, WalkCorpus};
+use transn_sgns::{
+    train_epoch_episodic, EpisodicState, NoiseMode, NoiseTable, Parallelism, SgnsConfig, SgnsModel,
+    TrainScratch,
+};
+use transn_walks::{EpisodeConfig, Node2VecWalker, WalkConfig, WalkCorpus};
 
 /// MVE configuration.
 #[derive(Clone, Copy, Debug)]
@@ -35,6 +38,9 @@ pub struct Mve {
     pub negatives: usize,
     /// Thread count and determinism policy for the per-view SGNS passes.
     pub parallelism: Parallelism,
+    /// Episodic pipeline (DESIGN.md §13) for the per-view SGNS passes;
+    /// disabled trains the classic whole-corpus schedule.
+    pub episode: EpisodeConfig,
 }
 
 impl Default for Mve {
@@ -48,6 +54,7 @@ impl Default for Mve {
             reg: 0.5,
             negatives: 5,
             parallelism: Parallelism::default(),
+            episode: EpisodeConfig::default(),
         }
     }
 }
@@ -74,9 +81,11 @@ impl EmbeddingMethod for Mve {
         }
 
         let mut center = NodeEmbeddings::zeros(n, dim);
-        // One flat arena + SGNS workspace reused across all epochs/views.
+        // One flat arena + SGNS workspace reused across all epochs/views;
+        // the episodic path keeps its arenas in one shared state instead.
         let mut corpus = WalkCorpus::new();
         let mut ws = TrainScratch::default();
+        let mut episodic = EpisodicState::new(self.episode.episodes_in_flight);
         for epoch in 0..self.epochs {
             // 1. One SGNS pass per view on weight-proportional walks.
             for (vi, model) in models.iter_mut() {
@@ -88,11 +97,6 @@ impl EmbeddingMethod for Mve {
                     ..WalkConfig::default()
                 };
                 let walker = Node2VecWalker::deepwalk(view.adj(), walk_cfg);
-                walker.generate_into(self.walks_per_node, &mut corpus);
-                if corpus.is_empty() {
-                    continue;
-                }
-                let noise = NoiseTable::from_corpus(&corpus, view.num_nodes());
                 let cfg = SgnsConfig {
                     dim,
                     negatives: self.negatives,
@@ -101,7 +105,34 @@ impl EmbeddingMethod for Mve {
                     window: self.window,
                     seed: seed ^ (epoch as u64 + 7),
                     parallelism: self.parallelism,
+                    episode: self.episode,
                 };
+                if self.episode.enabled() {
+                    let tasks = walker.walk_tasks();
+                    train_epoch_episodic(
+                        model,
+                        view.num_nodes(),
+                        tasks.len(),
+                        |_| self.walks_per_node,
+                        |range, arena| {
+                            walker.generate_task_range_into(
+                                &tasks,
+                                range,
+                                self.walks_per_node,
+                                arena,
+                            )
+                        },
+                        &cfg,
+                        NoiseMode::Global,
+                        &mut episodic,
+                    );
+                    continue;
+                }
+                walker.generate_into(self.walks_per_node, &mut corpus);
+                if corpus.is_empty() {
+                    continue;
+                }
+                let noise = NoiseTable::from_corpus(&corpus, view.num_nodes());
                 model.train_corpus_ws(&corpus, &noise, &cfg, &mut ws);
             }
 
@@ -201,6 +232,28 @@ mod tests {
             let norm: f32 = emb.get(node).iter().map(|x| x * x).sum();
             assert!(norm > 0.0, "node {node}");
         }
+    }
+
+    #[test]
+    fn episodic_strict_invariant_to_episode_size() {
+        let net = two_views();
+        let run = |episode_walks: usize| {
+            let mve = Mve {
+                walks_per_node: 3,
+                walk_length: 8,
+                epochs: 2,
+                parallelism: Parallelism::strict(2),
+                episode: EpisodeConfig {
+                    episode_walks,
+                    episodes_in_flight: 2,
+                },
+                ..Default::default()
+            };
+            mve.embed(&net, 9)
+        };
+        let reference = run(1_000_000);
+        assert_eq!(run(5), reference);
+        assert_eq!(run(1), reference);
     }
 
     #[test]

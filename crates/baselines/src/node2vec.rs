@@ -5,8 +5,11 @@ use crate::method::EmbeddingMethod;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_graph::{HetNet, NodeEmbeddings};
-use transn_sgns::{NoiseTable, Parallelism, SgnsConfig, SgnsModel, TrainScratch};
-use transn_walks::{Node2VecWalker, WalkConfig};
+use transn_sgns::{
+    train_epoch_episodic, EpisodicState, NoiseMode, NoiseTable, Parallelism, SgnsConfig, SgnsModel,
+    TrainScratch,
+};
+use transn_walks::{EpisodeConfig, Node2VecWalker, WalkConfig};
 
 /// Node2Vec configuration.
 #[derive(Clone, Copy, Debug)]
@@ -29,6 +32,9 @@ pub struct Node2Vec {
     pub negatives: usize,
     /// Thread count and determinism policy for the SGNS pass.
     pub parallelism: Parallelism,
+    /// Episodic pipeline (DESIGN.md §13); disabled trains the classic
+    /// whole-corpus schedule.
+    pub episode: EpisodeConfig,
 }
 
 impl Default for Node2Vec {
@@ -43,6 +49,7 @@ impl Default for Node2Vec {
             epochs: 2,
             negatives: 5,
             parallelism: Parallelism::default(),
+            episode: EpisodeConfig::default(),
         }
     }
 }
@@ -76,25 +83,47 @@ impl EmbeddingMethod for Node2Vec {
             ..WalkConfig::default()
         };
         let walker = Node2VecWalker::new(net.global_adj(), self.p, self.q, walk_cfg);
-        let corpus = walker.generate(self.walks_per_node);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
         let mut model = SgnsModel::new(n, self.dim, &mut rng);
+        let sgns_cfg = |epoch: u64| SgnsConfig {
+            dim: self.dim,
+            negatives: self.negatives,
+            lr0: 0.025,
+            min_lr_frac: 1e-3,
+            window: self.window,
+            seed: seed ^ (epoch + 1),
+            parallelism: self.parallelism,
+            episode: self.episode,
+        };
+        if self.episode.enabled() {
+            // Episodic pipeline: walk generation double-buffered against
+            // training, ~`episodes_in_flight` episode arenas resident.
+            let tasks = walker.walk_tasks();
+            let mut state = EpisodicState::new(self.episode.episodes_in_flight);
+            for epoch in 0..self.epochs {
+                train_epoch_episodic(
+                    &mut model,
+                    n,
+                    tasks.len(),
+                    |_| self.walks_per_node,
+                    |range, arena| {
+                        walker.generate_task_range_into(&tasks, range, self.walks_per_node, arena)
+                    },
+                    &sgns_cfg(epoch as u64),
+                    NoiseMode::Global,
+                    &mut state,
+                );
+            }
+            return NodeEmbeddings::from_flat(n, self.dim, model.input_table().to_vec());
+        }
+        let corpus = walker.generate(self.walks_per_node);
         if corpus.is_empty() {
             return NodeEmbeddings::from_flat(n, self.dim, model.input_table().to_vec());
         }
         let noise = NoiseTable::from_corpus(&corpus, n);
         let mut ws = TrainScratch::default();
         for epoch in 0..self.epochs {
-            let cfg = SgnsConfig {
-                dim: self.dim,
-                negatives: self.negatives,
-                lr0: 0.025,
-                min_lr_frac: 1e-3,
-                window: self.window,
-                seed: seed ^ (epoch as u64 + 1),
-                parallelism: self.parallelism,
-            };
-            model.train_corpus_ws(&corpus, &noise, &cfg, &mut ws);
+            model.train_corpus_ws(&corpus, &noise, &sgns_cfg(epoch as u64), &mut ws);
         }
         NodeEmbeddings::from_flat(n, self.dim, model.input_table().to_vec())
     }
@@ -157,6 +186,29 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(n2v.embed(&net, 5), n2v.embed(&net, 5));
+    }
+
+    #[test]
+    fn episodic_strict_invariant_to_episode_size() {
+        let net = two_cliques();
+        let run = |episode_walks: usize| {
+            let n2v = Node2Vec {
+                walks_per_node: 3,
+                walk_length: 10,
+                epochs: 2,
+                parallelism: Parallelism::strict(2),
+                episode: EpisodeConfig {
+                    episode_walks,
+                    episodes_in_flight: 2,
+                },
+                ..Default::default()
+            };
+            n2v.embed(&net, 5)
+        };
+        // One giant episode is the stream-schedule monolithic reference.
+        let reference = run(1_000_000);
+        assert_eq!(run(4), reference);
+        assert_eq!(run(1), reference);
     }
 
     #[test]

@@ -569,6 +569,7 @@ fn main() {
         window: 2,
         seed: 99,
         parallelism: par,
+        episode: transn_walks::EpisodeConfig::default(),
     };
     let mut ws = TrainScratch::default();
     let train = |corpus: &WalkCorpus, par: Parallelism, ws: &mut TrainScratch| {

@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use transn::{Parallelism, TransN, TransNConfig, Variant};
+use transn::{EpisodeConfig, Parallelism, TransN, TransNConfig, Variant};
 use transn_eval::{auc_for_embeddings, classification_scores, ClassifyProtocol, LinkPredSplit};
 use transn_graph::io;
 use transn_graph::{NodeEmbeddings, NodeId};
@@ -9,10 +9,10 @@ use transn_graph::{NodeEmbeddings, NodeId};
 const USAGE: &str = "usage:
   transn generate <aminer|blog|app-daily|app-weekly> --out DIR [--seed N] [--tiny]
   transn train --net FILE --out FILE [--dim N] [--iterations N] [--seed N] [--variant NAME]
-               [--threads N] [--strict-determinism]
+               [--threads N] [--strict-determinism] [--episode-walks N] [--episodes-in-flight N]
   transn classify --embeddings FILE --labels FILE [--repeats N]
   transn linkpred --net FILE [--dim N] [--remove FRAC] [--seed N] [--threads N]
-                  [--strict-determinism]
+                  [--strict-determinism] [--episode-walks N] [--episodes-in-flight N]
   transn stats --net FILE [--labels FILE]
   transn neighbors --embeddings FILE --node ID [--top K]
   transn serve-build --embeddings FILE --out FILE
@@ -97,6 +97,20 @@ fn parse_parallelism(args: &Args) -> Result<Parallelism, String> {
     })
 }
 
+/// `--episode-walks N` and `--episodes-in-flight N` → the episodic
+/// pipeline config (DESIGN.md §13). `--episode-walks 0` (the default)
+/// keeps the monolithic schedule.
+fn parse_episode(args: &Args) -> Result<EpisodeConfig, String> {
+    let episode = EpisodeConfig {
+        episode_walks: args.get_parse("episode-walks", 0)?,
+        episodes_in_flight: args.get_parse("episodes-in-flight", 2)?,
+    };
+    episode
+        .validate()
+        .map_err(|e| format!("--episodes-in-flight: {e}"))?;
+    Ok(episode)
+}
+
 fn train(args: &Args) -> Result<(), String> {
     // Validate arguments before touching the filesystem, so a bad flag is
     // reported as itself rather than masked by an I/O error.
@@ -105,6 +119,7 @@ fn train(args: &Args) -> Result<(), String> {
         dim: args.get_parse("dim", 64)?,
         iterations: args.get_parse("iterations", 5)?,
         parallelism: parse_parallelism(args)?,
+        episode: parse_episode(args)?,
         ..TransNConfig::default()
     }
     .with_seed(args.get_parse("seed", 1234u64)?);
@@ -158,6 +173,7 @@ fn linkpred(args: &Args) -> Result<(), String> {
     let cfg = TransNConfig {
         dim: args.get_parse("dim", 64)?,
         parallelism: parse_parallelism(args)?,
+        episode: parse_episode(args)?,
         ..TransNConfig::default()
     }
     .with_seed(seed);
@@ -324,6 +340,24 @@ mod tests {
         );
         assert!(parse_parallelism(&parse("train --threads 0")).is_err());
         assert!(parse_parallelism(&parse("train --threads banana")).is_err());
+    }
+
+    #[test]
+    fn episode_flags() {
+        let parse =
+            |s: &str| Args::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>());
+        let defaults = parse_episode(&parse("train")).unwrap();
+        assert_eq!(defaults.episode_walks, 0);
+        assert_eq!(defaults.episodes_in_flight, 2);
+        assert!(!defaults.enabled());
+        let ep = parse_episode(&parse("train --episode-walks 4096")).unwrap();
+        assert_eq!(ep.episode_walks, 4096);
+        assert!(ep.enabled());
+        let ep = parse_episode(&parse("train --episodes-in-flight 3")).unwrap();
+        assert_eq!(ep.episodes_in_flight, 3);
+        let err = parse_episode(&parse("train --episodes-in-flight 0")).unwrap_err();
+        assert!(err.contains("--episodes-in-flight"), "{err}");
+        assert!(parse_episode(&parse("train --episode-walks banana")).is_err());
     }
 
     #[test]

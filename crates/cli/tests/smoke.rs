@@ -192,6 +192,76 @@ fn strict_determinism_survives_thread_count_changes() {
     );
 }
 
+#[test]
+fn episodic_training_is_byte_identical_to_monolithic_episode() {
+    let scratch = Scratch::new("episodic");
+    let dir = scratch.path("");
+    let out = transn(&["generate", "aminer", "--tiny", "--out", &dir, "--seed", "9"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let net = scratch.path("network.tsv");
+    // One giant episode (the whole corpus resident at once — the
+    // monolithic run of the stream schedule) against small, pipelined
+    // episodes: under --strict-determinism the embeddings must match byte
+    // for byte at any episode size and thread count (DESIGN.md §13).
+    let mut embs = Vec::new();
+    for (name, episode_walks, in_flight, threads) in [
+        ("mono", "1000000000", "1", "1"),
+        ("ep64", "64", "2", "2"),
+        ("ep7", "7", "3", "4"),
+    ] {
+        let emb = scratch.path(&format!("emb-{name}.tsv"));
+        let out = transn(&[
+            "train",
+            "--net",
+            &net,
+            "--out",
+            &emb,
+            "--dim",
+            "8",
+            "--iterations",
+            "1",
+            "--seed",
+            "13",
+            "--threads",
+            threads,
+            "--strict-determinism",
+            "--episode-walks",
+            episode_walks,
+            "--episodes-in-flight",
+            in_flight,
+        ]);
+        assert!(out.status.success(), "{name}: {}", stderr(&out));
+        embs.push(fs::read(&emb).unwrap());
+    }
+    assert!(
+        embs[1] == embs[0],
+        "--episode-walks 64 must be byte-identical to the single-episode run"
+    );
+    assert!(
+        embs[2] == embs[0],
+        "--episode-walks 7 must be byte-identical to the single-episode run"
+    );
+}
+
+#[test]
+fn zero_episodes_in_flight_is_rejected() {
+    let out = transn(&[
+        "train",
+        "--net",
+        "x.tsv",
+        "--out",
+        "y.tsv",
+        "--episodes-in-flight",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--episodes-in-flight"),
+        "{}",
+        stderr(&out)
+    );
+}
+
 /// A tiny embedding TSV for the serving-layer tests: 20 nodes in 4-D,
 /// deterministic irregular values.
 fn write_toy_embeddings(path: &str) {

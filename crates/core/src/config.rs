@@ -3,7 +3,7 @@
 use crate::ablation::Variant;
 use transn_nn::LossKind;
 use transn_sgns::Parallelism;
-use transn_walks::WalkConfig;
+use transn_walks::{EpisodeConfig, WalkConfig};
 
 /// Full configuration of the TransN training loop (Algorithm 1).
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +51,10 @@ pub struct TransNConfig {
     /// Thread count and determinism policy for sharded skip-gram training
     /// (see DESIGN.md, "Threading & determinism model").
     pub parallelism: Parallelism,
+    /// Episodic pipeline: split each walk epoch into bounded episodes and
+    /// double-buffer generation against training (DESIGN.md §13). Disabled
+    /// (`episode_walks = 0`) trains the legacy monolithic schedule.
+    pub episode: EpisodeConfig,
 }
 
 impl Default for TransNConfig {
@@ -79,6 +83,7 @@ impl Default for TransNConfig {
             variant: Variant::Full,
             seed: 1234,
             parallelism: Parallelism::default(),
+            episode: EpisodeConfig::default(),
         }
     }
 }
@@ -103,6 +108,7 @@ impl TransNConfig {
             variant: Variant::Full,
             seed: 1234,
             parallelism: Parallelism::default(),
+            episode: EpisodeConfig::default(),
         }
     }
 
@@ -124,6 +130,7 @@ impl TransNConfig {
             variant: Variant::Full,
             seed: 7,
             parallelism: Parallelism::default(),
+            episode: EpisodeConfig::default(),
         }
     }
 
@@ -160,6 +167,7 @@ impl TransNConfig {
         if self.parallelism.threads == 0 {
             return Err("parallelism.threads must be at least 1".into());
         }
+        self.episode.validate()?;
         Ok(())
     }
 }
@@ -196,6 +204,9 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = TransNConfig::for_tests();
         c.parallelism.threads = 0;
+        assert!(c.validate().is_err());
+        let mut c = TransNConfig::for_tests();
+        c.episode.episodes_in_flight = 0;
         assert!(c.validate().is_err());
     }
 

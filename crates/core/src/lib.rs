@@ -52,3 +52,4 @@ pub use config::TransNConfig;
 pub use cross_view::EmbSlot;
 pub use trainer::{TrainStats, TransN};
 pub use transn_sgns::{Determinism, Parallelism};
+pub use transn_walks::EpisodeConfig;

@@ -5,7 +5,10 @@ use crate::config::TransNConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_graph::View;
-use transn_sgns::{window_for_view, NoiseTable, SgnsConfig, SgnsModel, TrainScratch};
+use transn_sgns::{
+    train_epoch_episodic, window_for_view, EpisodicState, NoiseMode, NoiseTable, SgnsConfig,
+    SgnsModel, TrainScratch,
+};
 use transn_walks::{CorrelatedWalker, SimpleWalker, WalkConfig, WalkCorpus};
 
 /// One view of the network together with its view-specific embedding model
@@ -20,9 +23,19 @@ pub struct SingleView {
     window: usize,
     /// Reusable flat walk arena: cleared and refilled every iteration, so
     /// warmed iterations regenerate the corpus without heap allocation.
+    /// Only the monolithic schedule touches it — the episodic path keeps
+    /// its arenas inside `episodic`.
     corpus: WalkCorpus,
     /// Reusable SGNS training workspace (shard pre-pass + pair scratch).
     scratch: TrainScratch,
+    /// Persistent episodic pipeline state (episode plan, arena pool, noise
+    /// accumulator); unused when `cfg.episode` is disabled.
+    episodic: EpisodicState,
+    /// Cached correlated-walk task list `(start, walks)`; built lazily,
+    /// reused across iterations (it depends only on view degrees).
+    biased_tasks: Vec<(u32, usize)>,
+    /// Cached simple-walk task list (one task per walk of the budget).
+    simple_tasks: Vec<u32>,
 }
 
 impl SingleView {
@@ -37,12 +50,24 @@ impl SingleView {
             window,
             corpus: WalkCorpus::new(),
             scratch: TrainScratch::default(),
+            episodic: EpisodicState::new(cfg.episode.episodes_in_flight),
+            biased_tasks: Vec::new(),
+            simple_tasks: Vec::new(),
         }
     }
 
     /// The Definition-6 context window of this view.
     pub fn window(&self) -> usize {
         self.window
+    }
+
+    /// Highest resident walk-corpus bytes this view has held: the episodic
+    /// arena-pool high-water mark, or the monolithic arena reservation when
+    /// the pipeline is disabled (DESIGN.md §13).
+    pub fn peak_corpus_bytes(&self) -> usize {
+        self.episodic
+            .peak_corpus_bytes()
+            .max(self.corpus.heap_bytes())
     }
 
     /// One iteration of the single-view algorithm (Algorithm 1 lines 3–7):
@@ -57,6 +82,19 @@ impl SingleView {
             seed: cfg.walk.seed ^ ((iteration as u64 + 1) * 0x9E37_79B9),
             ..cfg.walk
         };
+        let sgns_cfg = SgnsConfig {
+            dim: cfg.dim,
+            negatives: cfg.negatives,
+            lr0: cfg.lr_single,
+            min_lr_frac: 1e-3,
+            window: self.window,
+            seed: cfg.seed ^ (iteration as u64 + 99),
+            parallelism: cfg.parallelism,
+            episode: cfg.episode,
+        };
+        if cfg.episode.enabled() {
+            return self.train_iteration_episodic(cfg, walk_cfg, &sgns_cfg);
+        }
         if cfg.variant.uses_biased_walks() {
             CorrelatedWalker::new(&self.view, walk_cfg).generate_into(&mut self.corpus)
         } else {
@@ -68,17 +106,55 @@ impl SingleView {
             return 0.0;
         }
         let noise = NoiseTable::from_corpus(&self.corpus, self.view.num_nodes());
-        let sgns_cfg = SgnsConfig {
-            dim: cfg.dim,
-            negatives: cfg.negatives,
-            lr0: cfg.lr_single,
-            min_lr_frac: 1e-3,
-            window: self.window,
-            seed: cfg.seed ^ (iteration as u64 + 99),
-            parallelism: cfg.parallelism,
-        };
         self.model
             .train_corpus_ws(&self.corpus, &noise, &sgns_cfg, &mut self.scratch)
+    }
+
+    /// Episodic variant of the single-view pass (DESIGN.md §13): the walk
+    /// epoch is cut into `cfg.episode.episode_walks`-sized episodes and
+    /// pipelined through the view's double-buffered arena pool. Global
+    /// noise mode keeps the noise distribution and lr schedule exact, so
+    /// Strict runs are bit-identical for any episode size.
+    fn train_iteration_episodic(
+        &mut self,
+        cfg: &TransNConfig,
+        walk_cfg: WalkConfig,
+        sgns_cfg: &SgnsConfig,
+    ) -> f32 {
+        let num_nodes = self.view.num_nodes();
+        if cfg.variant.uses_biased_walks() {
+            let walker = CorrelatedWalker::new(&self.view, walk_cfg);
+            if self.biased_tasks.is_empty() {
+                self.biased_tasks = walker.degree_tasks();
+            }
+            let tasks = &self.biased_tasks;
+            train_epoch_episodic(
+                &mut self.model,
+                num_nodes,
+                tasks.len(),
+                |i| tasks[i].1,
+                |range, arena| walker.generate_task_range_into(tasks, range, arena),
+                sgns_cfg,
+                NoiseMode::Global,
+                &mut self.episodic,
+            )
+        } else {
+            let walker = SimpleWalker::new(&self.view, walk_cfg);
+            if self.simple_tasks.is_empty() {
+                self.simple_tasks = walker.walk_tasks();
+            }
+            let tasks = &self.simple_tasks;
+            train_epoch_episodic(
+                &mut self.model,
+                num_nodes,
+                tasks.len(),
+                |_| 1,
+                |range, arena| walker.generate_task_range_into(tasks, range, arena),
+                sgns_cfg,
+                NoiseMode::Global,
+                &mut self.episodic,
+            )
+        }
     }
 }
 
@@ -166,6 +242,39 @@ mod tests {
             cos(e0, e1),
             cos(e0, e4)
         );
+    }
+
+    #[test]
+    fn episodic_pass_is_invariant_to_episode_size() {
+        let net = ratings_net();
+        let views = net.views();
+        let run = |episode_walks: usize, in_flight: usize, threads: usize| {
+            let mut cfg = TransNConfig::for_tests();
+            cfg.episode.episode_walks = episode_walks;
+            cfg.episode.episodes_in_flight = in_flight;
+            cfg.parallelism = transn_sgns::Parallelism::strict(threads);
+            let mut sv = SingleView::new(views[0].clone(), &cfg, 0);
+            for it in 0..3 {
+                let loss = sv.train_iteration(&cfg, it);
+                assert!(loss.is_finite());
+            }
+            assert!(sv.peak_corpus_bytes() > 0);
+            sv.model
+                .input_table()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        // One giant episode (everything resident) is the monolithic
+        // reference of the stream schedule.
+        let reference = run(1_000_000, 1, 1);
+        for (episode_walks, in_flight, threads) in [(1, 1, 1), (4, 2, 2), (9, 3, 4)] {
+            assert_eq!(
+                run(episode_walks, in_flight, threads),
+                reference,
+                "episode_walks={episode_walks} in_flight={in_flight} threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,11 @@ pub struct TrainStats {
     pub single_losses: Vec<Vec<f32>>,
     /// `cross_losses[iter][pair]`: mean translation+reconstruction loss.
     pub cross_losses: Vec<Vec<f32>>,
+    /// Highest resident walk-corpus bytes held by any single view over the
+    /// whole run — the episodic bounded-memory metric (DESIGN.md §13).
+    /// Under the pipeline this stays at ~`episodes_in_flight` episode
+    /// arenas per view no matter how large the walk corpus is.
+    pub peak_corpus_bytes: usize,
 }
 
 /// The TransN trainer: owns the views, their embedding models, and the
@@ -83,23 +88,40 @@ impl<'a> TransN<'a> {
     }
 
     /// Run Algorithm 1 and return the fused embeddings.
+    ///
+    /// With `cfg.episode` enabled each single-view pass streams its walk
+    /// epoch through the double-buffered episodic pipeline (DESIGN.md §13):
+    /// the view trains episode `N` while a producer thread generates
+    /// episode `N + 1`, so resident corpus memory stays at
+    /// ~`episodes_in_flight` episode arenas per view instead of the full
+    /// corpus. The cross-view pass stays per-iteration — it samples paths
+    /// from the *network* (not the walk corpus), so episodes don't apply.
     pub fn train(self) -> NodeEmbeddings {
         self.train_with_stats().0
     }
 
-    /// Run Algorithm 1, also returning per-iteration loss traces.
+    /// Run Algorithm 1, also returning per-iteration loss traces and the
+    /// peak resident corpus footprint.
     pub fn train_with_stats(mut self) -> (NodeEmbeddings, TrainStats) {
         let mut stats = TrainStats::default();
         for iter in 0..self.cfg.iterations {
             stats.single_losses.push(self.single_view_pass(iter));
             stats.cross_losses.push(self.cross_view_pass(iter));
         }
+        stats.peak_corpus_bytes = self
+            .views
+            .iter()
+            .map(SingleView::peak_corpus_bytes)
+            .max()
+            .unwrap_or(0);
         let emb = fuse(self.net, &self.views, self.cfg.dim);
         (emb, stats)
     }
 
     /// Lines 3–7: one single-view iteration per view, in parallel (views
-    /// own disjoint models, so this is safely data-race-free).
+    /// own disjoint models, so this is safely data-race-free). Under the
+    /// episodic pipeline each view additionally runs its own producer
+    /// thread, overlapping walk generation with training.
     fn single_view_pass(&mut self, iter: usize) -> Vec<f32> {
         let cfg = &self.cfg;
         let mut losses = vec![0.0f32; self.views.len()];
@@ -337,6 +359,58 @@ mod tests {
                 assert!(l.is_finite());
             }
         }
+    }
+
+    #[test]
+    fn episodic_strict_is_invariant_to_episode_size_and_threads() {
+        use transn_sgns::Parallelism;
+        let net = blog_like_toy();
+        let run = |episode_walks: usize, in_flight: usize, threads: usize| {
+            let mut cfg = TransNConfig::for_tests();
+            cfg.episode.episode_walks = episode_walks;
+            cfg.episode.episodes_in_flight = in_flight;
+            cfg.parallelism = Parallelism::strict(threads);
+            TransN::new(&net, cfg).train()
+        };
+        // One giant episode = the monolithic reference of the stream
+        // schedule (every walk resident at once).
+        let reference = run(1_000_000, 1, 1);
+        for (episode_walks, in_flight, threads) in [(1, 1, 1), (3, 2, 2), (8, 2, 4), (16, 3, 8)] {
+            assert_eq!(
+                run(episode_walks, in_flight, threads),
+                reference,
+                "episode_walks={episode_walks} in_flight={in_flight} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn episodic_hogwild_trains_sane_embeddings_and_reports_peak_memory() {
+        use transn_sgns::Parallelism;
+        let net = blog_like_toy();
+        let mut cfg = TransNConfig::for_tests();
+        cfg.episode.episode_walks = 4;
+        cfg.episode.episodes_in_flight = 2;
+        cfg.parallelism = Parallelism::hogwild(4);
+        let (emb, stats) = TransN::new(&net, cfg).train_with_stats();
+        assert_eq!(emb.num_nodes(), net.num_nodes());
+        for n in net.nodes() {
+            let norm: f32 = emb.get(n).iter().map(|x| x * x).sum();
+            assert!(norm > 0.0, "node {n} has a zero embedding");
+        }
+        assert!(stats.peak_corpus_bytes > 0);
+        for row in &stats.single_losses {
+            for &l in row {
+                assert!(l.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn monolithic_stats_report_corpus_footprint() {
+        let net = blog_like_toy();
+        let (_, stats) = TransN::new(&net, TransNConfig::for_tests()).train_with_stats();
+        assert!(stats.peak_corpus_bytes > 0);
     }
 
     #[test]

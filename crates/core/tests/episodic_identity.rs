@@ -1,0 +1,60 @@
+//! Release-grade episodic bit-identity sweep (ISSUE 7).
+//!
+//! The episodic pipeline's contract (DESIGN.md §13): under Strict
+//! determinism, training with bounded episodes is **bit-identical** to the
+//! monolithic stream-schedule run — one giant episode holding the whole
+//! corpus — for every episode size, every `episodes_in_flight`, and every
+//! thread count. The in-crate unit tests pin this on toy inputs; this
+//! integration test sweeps a synthetic BLOG-shaped network large enough
+//! for multi-episode plans in every view, and CI runs it in `--release`
+//! so the optimizer (vectorized f32 math, inlined RNG) is covered too.
+
+use transn::{EpisodeConfig, Parallelism, TransN, TransNConfig};
+use transn_graph::NodeId;
+use transn_synth::{blog_like, BlogConfig};
+
+/// FNV-1a 64 over the bit patterns of every fused embedding coordinate.
+fn fingerprint(episode: EpisodeConfig, threads: usize) -> u64 {
+    let ds = blog_like(&BlogConfig::tiny(), 11);
+    let mut cfg = TransNConfig::for_tests();
+    cfg.iterations = 2;
+    cfg.parallelism = Parallelism::strict(threads);
+    cfg.walk.threads = threads;
+    cfg.episode = episode;
+    let emb = TransN::new(&ds.net, cfg).train();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for n in 0..ds.net.num_nodes() as u32 {
+        for &v in emb.get(NodeId(n)) {
+            h ^= v.to_bits() as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+#[test]
+fn strict_episodic_is_bit_identical_across_episode_sizes_and_threads() {
+    // One giant episode, serial, single arena: the monolithic reference.
+    let reference = fingerprint(
+        EpisodeConfig {
+            episode_walks: usize::MAX,
+            episodes_in_flight: 1,
+        },
+        1,
+    );
+    for episode_walks in [1usize, 16, 256] {
+        for in_flight in [1usize, 2, 3] {
+            for threads in [1usize, 2, 4] {
+                let episode = EpisodeConfig {
+                    episode_walks,
+                    episodes_in_flight: in_flight,
+                };
+                assert_eq!(
+                    fingerprint(episode, threads),
+                    reference,
+                    "episode_walks={episode_walks} in_flight={in_flight} threads={threads}"
+                );
+            }
+        }
+    }
+}

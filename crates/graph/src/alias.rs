@@ -5,6 +5,16 @@
 //! (§III-A: "nodes with higher degrees are more likely to be sampled") and
 //! for per-node neighbour sampling on homo-views where only `π₁` applies.
 
+/// Reusable workspace for [`AliasTable::rebuild`]: holds the scaled
+/// probabilities and the small/large worklists so a table that is rebuilt
+/// every episode performs no heap allocation once warmed.
+#[derive(Clone, Debug, Default)]
+pub struct AliasScratch {
+    scaled: Vec<f64>,
+    small: Vec<u32>,
+    large: Vec<u32>,
+}
+
 /// Precomputed alias table over `n` outcomes.
 #[derive(Clone, Debug)]
 pub struct AliasTable {
@@ -19,6 +29,22 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative or non-finite
     /// value, or sums to zero.
     pub fn new(weights: &[f32]) -> Self {
+        let mut table = AliasTable {
+            prob: Vec::new(),
+            alias: Vec::new(),
+        };
+        table.rebuild(weights, &mut AliasScratch::default());
+        table
+    }
+
+    /// Rebuild this table in place from new weights, reusing both the
+    /// table's own buffers and the caller's [`AliasScratch`]. Equivalent
+    /// to `*self = AliasTable::new(weights)` but allocation-free once the
+    /// buffers have reached the support size.
+    ///
+    /// # Panics
+    /// Same contract as [`AliasTable::new`].
+    pub fn rebuild(&mut self, weights: &[f32], scratch: &mut AliasScratch) {
         assert!(!weights.is_empty(), "alias table over empty support");
         let mut total = 0.0f64;
         for &w in weights {
@@ -29,14 +55,19 @@ impl AliasTable {
 
         let n = weights.len();
         // Scaled probabilities: mean 1.
-        let mut scaled: Vec<f64> = weights
-            .iter()
-            .map(|&w| w as f64 * n as f64 / total)
-            .collect();
-        let mut prob = vec![0.0f32; n];
-        let mut alias = vec![0u32; n];
-        let mut small: Vec<u32> = Vec::new();
-        let mut large: Vec<u32> = Vec::new();
+        let scaled = &mut scratch.scaled;
+        scaled.clear();
+        scaled.extend(weights.iter().map(|&w| w as f64 * n as f64 / total));
+        self.prob.clear();
+        self.prob.resize(n, 0.0);
+        self.alias.clear();
+        self.alias.resize(n, 0);
+        let prob = &mut self.prob;
+        let alias = &mut self.alias;
+        let small = &mut scratch.small;
+        let large = &mut scratch.large;
+        small.clear();
+        large.clear();
         for (i, &s) in scaled.iter().enumerate() {
             if s < 1.0 {
                 small.push(i as u32);
@@ -54,14 +85,13 @@ impl AliasTable {
                 small.push(l);
             }
         }
-        for &l in &large {
+        for &l in large.iter() {
             prob[l as usize] = 1.0;
         }
-        for &s in &small {
+        for &s in small.iter() {
             // Can only be left over through floating-point round-off.
             prob[s as usize] = 1.0;
         }
-        AliasTable { prob, alias }
     }
 
     /// Number of outcomes.
@@ -150,5 +180,27 @@ mod tests {
     #[should_panic(expected = "bad alias weight")]
     fn negative_weight_panics() {
         let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_construction() {
+        let mut table = AliasTable::new(&[1.0]);
+        let mut scratch = AliasScratch::default();
+        for weights in [
+            vec![1.0f32, 2.0, 7.0],
+            vec![0.0, 1.0, 0.0, 3.0],
+            vec![5.0],
+            vec![1.0; 97],
+        ] {
+            table.rebuild(&weights, &mut scratch);
+            let fresh = AliasTable::new(&weights);
+            assert_eq!(table.prob, fresh.prob);
+            assert_eq!(table.alias, fresh.alias);
+            let mut a = StdRng::seed_from_u64(11);
+            let mut b = StdRng::seed_from_u64(11);
+            for _ in 0..200 {
+                assert_eq!(table.sample(&mut a), fresh.sample(&mut b));
+            }
+        }
     }
 }

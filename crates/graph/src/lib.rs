@@ -58,7 +58,7 @@ pub mod stats;
 pub mod subview;
 pub mod view;
 
-pub use alias::AliasTable;
+pub use alias::{AliasScratch, AliasTable};
 pub use builder::HetNetBuilder;
 pub use csr::Csr;
 pub use embedding::NodeEmbeddings;

@@ -26,11 +26,15 @@ pub mod hsoftmax;
 pub mod negative;
 pub mod sgns;
 pub mod sigmoid;
+pub mod stream;
 pub mod sync;
 
 pub use context::{context_pairs, window_for_view};
 pub use hsoftmax::HsModel;
-pub use negative::NoiseTable;
+pub use negative::{NoiseAccumulator, NoiseScratch, NoiseTable};
 pub use sgns::{train_pair_views, SgnsConfig, SgnsModel, TrainScratch};
 pub use sigmoid::fast_sigmoid;
+pub use stream::{
+    train_corpus_stream, train_episode_stream, train_epoch_episodic, EpisodicState, NoiseMode,
+};
 pub use sync::{run_shards, Determinism, Parallelism, RacyTable};

@@ -2,9 +2,84 @@
 //! the word2vec convention \[27\] adopted by every walk-based method the
 //! paper compares.
 
+use crate::context::count_pairs;
 use rand::Rng;
-use transn_graph::AliasTable;
+use transn_graph::{AliasScratch, AliasTable};
 use transn_walks::WalkCorpus;
+
+/// Reusable workspace for [`NoiseTable::rebuild_from_frequencies`]: the
+/// 3/4-power weight buffer plus the alias-construction worklists, so a
+/// noise table rebuilt once per episode allocates nothing once warmed.
+#[derive(Clone, Debug, Default)]
+pub struct NoiseScratch {
+    weights: Vec<f32>,
+    alias: AliasScratch,
+}
+
+/// Incremental frequency merge across walk episodes.
+///
+/// The episodic pipeline never holds the whole corpus, so the unigram
+/// counts behind the noise distribution are **folded** episode by episode:
+/// each episode's [`WalkCorpus::node_frequencies_into`] lands in a scratch
+/// vector and is added (associative `u64` addition, so the fold order
+/// cannot change the result) into the running totals. Walk and
+/// center–context pair counts are accumulated alongside so the trainer
+/// knows the exact learning-rate schedule denominator without a second
+/// pass over the data.
+#[derive(Clone, Debug, Default)]
+pub struct NoiseAccumulator {
+    freqs: Vec<u64>,
+    episode_freqs: Vec<u64>,
+    walks: u64,
+    pairs: u64,
+    tokens: u64,
+}
+
+impl NoiseAccumulator {
+    /// Reset to all-zero counts over `num_nodes` ids. Keeps capacity.
+    pub fn reset(&mut self, num_nodes: usize) {
+        self.freqs.clear();
+        self.freqs.resize(num_nodes, 0);
+        self.walks = 0;
+        self.pairs = 0;
+        self.tokens = 0;
+    }
+
+    /// Fold one episode's counts into the running totals. `window` is the
+    /// trainer's context window (for the exact pair count).
+    pub fn fold(&mut self, corpus: &WalkCorpus, window: usize) {
+        corpus.node_frequencies_into(self.freqs.len(), &mut self.episode_freqs);
+        for (total, &ep) in self.freqs.iter_mut().zip(self.episode_freqs.iter()) {
+            *total += ep;
+        }
+        self.walks += corpus.len() as u64;
+        self.tokens += corpus.total_tokens() as u64;
+        for w in 0..corpus.len() {
+            self.pairs += count_pairs(corpus.walk(w).len(), window) as u64;
+        }
+    }
+
+    /// Running per-node occurrence totals.
+    pub fn frequencies(&self) -> &[u64] {
+        &self.freqs
+    }
+
+    /// Walks folded so far.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Center–context pairs folded so far (exact, per the fold window).
+    pub fn pairs(&self) -> u64 {
+        self.pairs
+    }
+
+    /// Token occurrences folded so far; zero means the frequency vector is
+    /// all-zero and no noise table can be built yet.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+}
 
 /// Alias-sampled noise table over node ids.
 #[derive(Clone, Debug)]
@@ -43,6 +118,24 @@ impl NoiseTable {
             freqs[t as usize] += 1;
         }
         Self::from_frequencies(&freqs)
+    }
+
+    /// Rebuild this table in place from new occurrence counts, reusing the
+    /// caller's [`NoiseScratch`]. Bit-identical to
+    /// [`from_frequencies`](NoiseTable::from_frequencies) over the same
+    /// counts, but allocation-free once the scratch and the table's own
+    /// buffers have reached the support size — the streaming episodic mode
+    /// calls this once per episode as the accumulated counts grow.
+    ///
+    /// # Panics
+    /// Panics if all frequencies are zero.
+    pub fn rebuild_from_frequencies(&mut self, freqs: &[u64], scratch: &mut NoiseScratch) {
+        scratch.weights.clear();
+        scratch
+            .weights
+            .extend(freqs.iter().map(|&f| (f as f32).powf(0.75)));
+        self.table.rebuild(&scratch.weights, &mut scratch.alias);
+        self.support = freqs.len();
     }
 
     /// Number of ids covered (including zero-frequency ones).
@@ -133,5 +226,41 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         // Only node 0 has mass; exclusion must give up and return it.
         assert_eq!(t.sample_excluding(0, &mut rng), 0);
+    }
+
+    #[test]
+    fn accumulator_fold_matches_monolithic_counts() {
+        let a = WalkCorpus::from_walks(vec![vec![0u32, 1, 1, 2], vec![2, 0, 2]]);
+        let b = WalkCorpus::from_walks(vec![vec![3u32, 0], vec![1, 2, 3, 0, 1]]);
+        let mut whole = WalkCorpus::new();
+        whole.extend_from_arena(&a);
+        whole.extend_from_arena(&b);
+
+        let mut acc = NoiseAccumulator::default();
+        acc.reset(4);
+        acc.fold(&a, 2);
+        acc.fold(&b, 2);
+        assert_eq!(acc.frequencies(), whole.node_frequencies(4).as_slice());
+        assert_eq!(acc.walks(), 4);
+        let expect_pairs: u64 = (0..whole.len())
+            .map(|w| count_pairs(whole.walk(w).len(), 2) as u64)
+            .sum();
+        assert_eq!(acc.pairs(), expect_pairs);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_table_bitwise() {
+        let mut t = NoiseTable::from_frequencies(&[1, 1]);
+        let mut scratch = NoiseScratch::default();
+        for freqs in [vec![16u64, 1], vec![5, 0, 5], vec![3; 40]] {
+            t.rebuild_from_frequencies(&freqs, &mut scratch);
+            let fresh = NoiseTable::from_frequencies(&freqs);
+            assert_eq!(t.len(), fresh.len());
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            for _ in 0..500 {
+                assert_eq!(t.sample(&mut a), fresh.sample(&mut b));
+            }
+        }
     }
 }

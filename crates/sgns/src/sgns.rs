@@ -13,7 +13,7 @@ use crate::sync::{run_shards, Parallelism, RacyTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transn_nn::kernels;
-use transn_walks::WalkCorpus;
+use transn_walks::{EpisodeConfig, WalkCorpus};
 
 /// Fixed logical shard count for corpus partitioning. Walk `w` belongs to
 /// shard `w % num_shards` where `num_shards = min(LOGICAL_SHARDS, walks)`.
@@ -21,11 +21,11 @@ use transn_walks::WalkCorpus;
 /// decomposition — and with it every per-shard RNG stream and
 /// learning-rate schedule — is identical no matter how many workers run,
 /// which is what makes `Determinism::Strict` thread-count invariant.
-const LOGICAL_SHARDS: usize = 64;
+pub(crate) const LOGICAL_SHARDS: usize = 64;
 
 /// Per-shard seed mixing constant (2⁶⁴/φ, the same splitmix-style odd
 /// multiplier `transn_walks::parallel_generate` uses for per-task seeds).
-const SHARD_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const SHARD_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// SGNS hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +45,9 @@ pub struct SgnsConfig {
     pub seed: u64,
     /// Thread count and determinism policy for sharded corpus training.
     pub parallelism: Parallelism,
+    /// Episodic pipeline configuration ([`crate::stream`]); disabled by
+    /// default, in which case the monolithic-corpus trainers run.
+    pub episode: EpisodeConfig,
 }
 
 impl Default for SgnsConfig {
@@ -57,7 +60,22 @@ impl Default for SgnsConfig {
             window: 2,
             seed: 17,
             parallelism: Parallelism::default(),
+            episode: EpisodeConfig::default(),
         }
+    }
+}
+
+impl SgnsConfig {
+    /// Validate the hyper-parameters (including the episodic pipeline
+    /// settings); returns a human-readable message on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 {
+            return Err("dim must be at least 1".to_string());
+        }
+        if self.window == 0 {
+            return Err("window must be at least 1".to_string());
+        }
+        self.episode.validate()
     }
 }
 
@@ -121,6 +139,12 @@ impl SgnsModel {
     /// wrapping in a [`crate::RacyTable`] shared view).
     pub fn input_table_mut(&mut self) -> &mut [f32] {
         &mut self.input
+    }
+
+    /// Both tables mutably at once (input, output) — the stream trainer
+    /// wraps each in a [`crate::RacyTable`] view.
+    pub(crate) fn tables_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.input, &mut self.output)
     }
 
     /// Train one positive pair plus `negatives` noise pairs, updating the
@@ -262,8 +286,12 @@ impl SgnsModel {
 /// warmed epochs perform zero heap allocations.
 #[derive(Clone, Debug, Default)]
 pub struct TrainScratch {
-    shard_pairs: Vec<usize>,
-    pair_scratch: Vec<f32>,
+    pub(crate) shard_pairs: Vec<usize>,
+    pub(crate) pair_scratch: Vec<f32>,
+    /// Per-walk global pair-index starts, used by the stream-schedule
+    /// trainer ([`crate::stream`]) so the lr decay is keyed by corpus-wide
+    /// pair position regardless of episode decomposition.
+    pub(crate) pair_starts: Vec<u64>,
 }
 
 /// Train the walks of shard `s` (walks `s`, `s + num_shards`, …) against
@@ -431,6 +459,7 @@ mod tests {
             window: 2,
             seed: 9,
             parallelism: Parallelism::default(),
+            episode: EpisodeConfig::default(),
         };
         let mut model = SgnsModel::new(n, cfg.dim, &mut StdRng::seed_from_u64(1));
         for _ in 0..3 {

@@ -8,7 +8,7 @@
 //! keywords) — is preserved: friendships and keyword usage are driven by
 //! the same planted interest groups.
 
-use crate::common::{popularity_weights, weighted_pick, EdgeSink};
+use crate::common::{popularity_weights, prefix_sums, weighted_pick_prefix, EdgeSink};
 use crate::dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,6 +38,15 @@ pub struct BlogConfig {
     pub uk_fidelity: f64,
     /// Keyword-relevance (KK) fidelity.
     pub kk_fidelity: f64,
+    /// Maximum keyword-usage multiplicity: each UK edge's weight is drawn
+    /// uniformly from `1..=uk_max_uses`. The paper's BLOG UK edges are
+    /// usage *counts*, so values > 1 are the faithful setting; they also
+    /// give the UK view a non-degenerate weight range, which is what
+    /// activates the correlated walker's Eq. (4) π₂ term (Δ > 0). At the
+    /// default of 1 every edge stays unit-weighted and **no extra RNG
+    /// draws happen**, so all pre-existing configurations generate
+    /// byte-identical networks.
+    pub uk_max_uses: u32,
     /// Fraction of user labels flipped to a random class (annotation
     /// noise; see DESIGN.md §3 — BLOG's self-declared interest labels are
     /// the noisiest of the paper's datasets, which is why its absolute F1
@@ -59,7 +68,27 @@ impl BlogConfig {
             uu_fidelity: 0.45,
             uk_fidelity: 0.75,
             kk_fidelity: 0.8,
+            uk_max_uses: 1,
             label_noise: 0.55,
+        }
+    }
+
+    /// Out-of-core pipeline benchmark scale (ISSUE 7): ~10× the nodes of
+    /// the walk-layer bench graph (`walks_snapshot`'s 40k users), which
+    /// together with 10× longer walks puts ~100× the walk tokens of that
+    /// bench through the episodic pipeline — the regime where a
+    /// monolithic corpus is hundreds of megabytes and bounded episodes
+    /// matter. The UK view is paper-dense (≈ 8 keywords per user — BLOG
+    /// is the paper's *dense* network) and its edges carry usage counts
+    /// (`uk_max_uses` 8), so the walks exercise the full correlated-step
+    /// π₁·π₂ neighbor scan rather than the unit-weight alias shortcut.
+    pub fn pipeline_scale() -> Self {
+        BlogConfig {
+            users: 400_000,
+            keywords: 40_000,
+            keywords_per_user: 8.0,
+            uk_max_uses: 8,
+            ..BlogConfig::tiny()
         }
     }
 
@@ -75,6 +104,7 @@ impl BlogConfig {
             uu_fidelity: 0.7,
             uk_fidelity: 0.8,
             kk_fidelity: 0.8,
+            uk_max_uses: 1,
             label_noise: 0.0,
         }
     }
@@ -114,18 +144,27 @@ pub fn blog_like(cfg: &BlogConfig, seed: u64) -> Dataset {
         group_kw_id[g].push(k);
     }
 
+    // O(log n) CDF tables for the edge loops — bit-identical picks to the
+    // linear scan (see `common::weighted_pick_prefix`), but the 100×-scale
+    // pipeline config draws millions of edges over 10^5-entry weight
+    // arrays, where the O(n)-per-draw scan is hours of setup.
+    let user_cdf = prefix_sums(&user_pop);
+    let kw_cdf = prefix_sums(&kw_pop);
+    let group_user_cdf: Vec<Vec<f64>> = group_user_w.iter().map(|w| prefix_sums(w)).collect();
+    let group_kw_cdf: Vec<Vec<f64>> = group_kw_w.iter().map(|w| prefix_sums(w)).collect();
+
     let mut sink = EdgeSink::new();
 
     // UU friendships: half the per-user budget as each edge serves two
     // endpoints.
     let uu_target = (cfg.users as f64 * cfg.friends_per_user / 2.0) as usize;
     while sink.len() < uu_target {
-        let u = weighted_pick(&user_pop, &mut rng);
+        let u = weighted_pick_prefix(&user_cdf, &mut rng);
         let g = user_group[u];
         let v = if rng.random::<f64>() < cfg.uu_fidelity && group_user_id[g].len() > 1 {
-            group_user_id[g][weighted_pick(&group_user_w[g], &mut rng)]
+            group_user_id[g][weighted_pick_prefix(&group_user_cdf[g], &mut rng)]
         } else {
-            weighted_pick(&user_pop, &mut rng)
+            weighted_pick_prefix(&user_cdf, &mut rng)
         };
         sink.add(&mut b, users[u], users[v], e_uu, 1.0).unwrap();
     }
@@ -134,14 +173,19 @@ pub fn blog_like(cfg: &BlogConfig, seed: u64) -> Dataset {
     let uu_edges = sink.len();
     let uk_target = (cfg.users as f64 * cfg.keywords_per_user) as usize;
     while sink.len() - uu_edges < uk_target {
-        let u = weighted_pick(&user_pop, &mut rng);
+        let u = weighted_pick_prefix(&user_cdf, &mut rng);
         let g = user_group[u];
         let k = if rng.random::<f64>() < cfg.uk_fidelity && !group_kw_id[g].is_empty() {
-            group_kw_id[g][weighted_pick(&group_kw_w[g], &mut rng)]
+            group_kw_id[g][weighted_pick_prefix(&group_kw_cdf[g], &mut rng)]
         } else {
-            weighted_pick(&kw_pop, &mut rng)
+            weighted_pick_prefix(&kw_cdf, &mut rng)
         };
-        sink.add(&mut b, users[u], keywords[k], e_uk, 1.0).unwrap();
+        let uses = if cfg.uk_max_uses > 1 {
+            rng.random_range(1..=cfg.uk_max_uses) as f32
+        } else {
+            1.0
+        };
+        sink.add(&mut b, users[u], keywords[k], e_uk, uses).unwrap();
     }
 
     // KK keyword relevance.
@@ -151,12 +195,12 @@ pub fn blog_like(cfg: &BlogConfig, seed: u64) -> Dataset {
     let kk_target = kk_target.min(cfg.keywords * (cfg.keywords - 1) / 2);
     let mut stale = 0usize;
     while sink.len() - prev < kk_target && stale < 50_000 {
-        let k = weighted_pick(&kw_pop, &mut rng);
+        let k = weighted_pick_prefix(&kw_cdf, &mut rng);
         let g = kw_group[k];
         let k2 = if rng.random::<f64>() < cfg.kk_fidelity && group_kw_id[g].len() > 1 {
-            group_kw_id[g][weighted_pick(&group_kw_w[g], &mut rng)]
+            group_kw_id[g][weighted_pick_prefix(&group_kw_cdf[g], &mut rng)]
         } else {
-            weighted_pick(&kw_pop, &mut rng)
+            weighted_pick_prefix(&kw_cdf, &mut rng)
         };
         if !sink
             .add(&mut b, keywords[k], keywords[k2], e_kk, 1.0)

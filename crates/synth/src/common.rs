@@ -18,8 +18,10 @@ pub fn popularity_weights<R: Rng + ?Sized>(n: usize, alpha: f64, rng: &mut R) ->
     w
 }
 
-/// Sample an index proportionally to `weights` (linear scan; generators are
-/// not hot paths).
+/// Sample an index proportionally to `weights` (linear scan; fine for
+/// one-off draws and small arrays — edge loops over large node sets should
+/// precompute [`prefix_sums`] once and use [`weighted_pick_prefix`], which
+/// returns bit-identical picks in O(log n)).
 pub fn weighted_pick<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
     let total: f64 = weights.iter().sum();
     debug_assert!(total > 0.0);
@@ -32,6 +34,35 @@ pub fn weighted_pick<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
         }
     }
     weights.len() - 1
+}
+
+/// Left-to-right running sums of `weights`: `p[i] = w[0] + … + w[i]`.
+/// The identical accumulation order [`weighted_pick`] uses, so the partial
+/// sums (and therefore every pick) match the linear scan bit for bit.
+pub fn prefix_sums(weights: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0f64;
+    weights
+        .iter()
+        .map(|&w| {
+            acc += w;
+            acc
+        })
+        .collect()
+}
+
+/// [`weighted_pick`] over precomputed [`prefix_sums`]: draws the same
+/// single uniform and inverts the same CDF by binary search, so for a given
+/// RNG state it returns exactly the index the linear scan would — it just
+/// stops being O(n) per draw, which is what makes the 100×-scale synthetic
+/// generators (millions of edge draws over hundreds of thousands of
+/// candidates) tractable.
+pub fn weighted_pick_prefix<R: Rng + ?Sized>(prefix: &[f64], rng: &mut R) -> usize {
+    let total = *prefix.last().expect("non-empty weights");
+    debug_assert!(total > 0.0);
+    let x = rng.random::<f64>() * total;
+    // First index whose running sum exceeds x — `x < acc` in scan terms.
+    let i = prefix.partition_point(|&p| p <= x);
+    i.min(prefix.len() - 1)
 }
 
 /// One standard-normal sample (Box–Muller, no spare caching — generators
@@ -133,6 +164,33 @@ mod tests {
         assert_eq!(counts[1], 0);
         let ratio = counts[2] as f64 / counts[0] as f64;
         assert!((ratio - 3.0).abs() < 0.3, "{ratio}");
+    }
+
+    #[test]
+    fn prefix_pick_matches_linear_scan_bitwise() {
+        // Same seed → two RNGs in lockstep; every draw must select the
+        // identical index, including skewed and tied weights.
+        let mut rng = StdRng::seed_from_u64(7);
+        let weights: Vec<f64> = (0..257)
+            .map(|i| {
+                if i % 5 == 0 {
+                    0.25
+                } else {
+                    1.0 / (i + 1) as f64
+                }
+            })
+            .collect();
+        let prefix = prefix_sums(&weights);
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            assert_eq!(
+                weighted_pick(&weights, &mut a),
+                weighted_pick_prefix(&prefix, &mut b)
+            );
+        }
+        // Degenerate single-entry table.
+        assert_eq!(weighted_pick_prefix(&prefix_sums(&[3.0]), &mut rng), 0);
     }
 
     #[test]

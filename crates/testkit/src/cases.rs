@@ -9,9 +9,11 @@
 //! | nn      | ws-feedforward, ws-translator-{f,b}     | `Bitwise`      |
 //! | nn      | loss-eval-into                          | `Bitwise`      |
 //! | walks   | corpus-flat-vs-nested, parallel-generate| `Bitwise`      |
+//! | walks   | corpus-episode-extend                   | `Bitwise`      |
 //! | sgns    | noise-from-corpus, strict-threads {1,2,4,8}, hogwild1 | `Bitwise` |
+//! | sgns    | sgns-episodic-vs-monolithic             | `Bitwise`      |
 //! | sgns    | hs-vs-sgns-trend                        | `Bitwise` flags|
-//! | core    | core-strict-threads                     | `Bitwise`      |
+//! | core    | core-strict-threads, core-episodic-strict | `Bitwise`    |
 //! | serve   | serve-store-roundtrip, serve-brute-vs-naive, serve-query-threads, serve-link-scores | `Bitwise` |
 //! | serve   | serve-hnsw-recall                       | `Bitwise` flags|
 
@@ -19,11 +21,14 @@ use crate::conformance::{Conformance, Ctx, Match};
 use crate::fixture;
 use crate::invariants::{check_corpus_offsets, check_finite, check_prob_simplex};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::ops::Range;
 use transn::{Parallelism, TransN, TransNConfig};
 use transn_nn::kernels;
 use transn_nn::{FeedForward, LossKind, Matrix, Translator, Workspace};
-use transn_sgns::{NoiseTable, SgnsConfig, SgnsModel};
-use transn_walks::{parallel_generate, WalkCorpus};
+use transn_sgns::{
+    train_epoch_episodic, EpisodicState, NoiseMode, NoiseTable, SgnsConfig, SgnsModel,
+};
+use transn_walks::{parallel_generate, parallel_generate_offset_into, EpisodeConfig, WalkCorpus};
 
 /// All registered conformance cases, in registry order.
 pub fn registry() -> Vec<Box<dyn Conformance>> {
@@ -43,11 +48,14 @@ pub fn registry() -> Vec<Box<dyn Conformance>> {
         Box::new(LossEvalInto),
         Box::new(CorpusFlatVsNested),
         Box::new(CorpusParallelGenerate),
+        Box::new(CorpusEpisodeExtend),
         Box::new(NoiseFromCorpus),
         Box::new(SgnsStrictThreads),
         Box::new(SgnsHogwild1VsStrict),
+        Box::new(SgnsEpisodicVsMonolithic),
         Box::new(HsVsSgnsTrend),
         Box::new(CoreStrictThreads),
+        Box::new(CoreEpisodicStrict),
     ];
     cases.extend(crate::serve_cases::cases());
     cases
@@ -559,6 +567,68 @@ impl Conformance for CorpusParallelGenerate {
     }
 }
 
+/// The episode generator for [`CorpusEpisodeExtend`] and
+/// [`SgnsEpisodicVsMonolithic`]: task `i` of the full list emits one
+/// RNG-dependent walk, seeded by its global index.
+fn generate_episode(
+    tasks: &[u32],
+    range: Range<usize>,
+    threads: usize,
+    seed: u64,
+    nodes: u32,
+    out: &mut WalkCorpus,
+) {
+    parallel_generate_offset_into(out, &tasks[range.clone()], range.start, threads, seed, {
+        |&t, rng, out| {
+            out.push_with(|walk| {
+                let len = rng.random_range(2..=7);
+                walk.push(t % nodes);
+                for _ in 1..len {
+                    walk.push(rng.random_range(0..nodes));
+                }
+            });
+        }
+    });
+}
+
+struct CorpusEpisodeExtend;
+impl Conformance for CorpusEpisodeExtend {
+    fn name(&self) -> &'static str {
+        "corpus-episode-extend"
+    }
+    fn tolerance(&self) -> Match {
+        // Episode slices seeded by global task index, stitched with
+        // `extend_from_arena`, are the monolithic generation bit for bit.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let nodes = 16u32;
+        let tasks: Vec<u32> = (0..ctx.scaled(37) as u32).collect();
+        for (chunk, threads) in [(1usize, 1usize), (5, 2), (16, 4), (64, 8)] {
+            let mut stitched = WalkCorpus::new();
+            let mut arena = WalkCorpus::new();
+            let mut base = 0usize;
+            while base < tasks.len() {
+                let hi = (base + chunk).min(tasks.len());
+                generate_episode(&tasks, base..hi, threads, ctx.seed(), nodes, &mut arena);
+                stitched.extend_from_arena(&arena);
+                base = hi;
+            }
+            check_corpus_offsets("stitched episodic corpus", &stitched).unwrap();
+            emit_corpus(ctx, &stitched, nodes);
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let nodes = 16u32;
+        let tasks: Vec<u32> = (0..ctx.scaled(37) as u32).collect();
+        let mut mono = WalkCorpus::new();
+        generate_episode(&tasks, 0..tasks.len(), 1, ctx.seed(), nodes, &mut mono);
+        for _ in 0..4 {
+            emit_corpus(ctx, &mono, nodes);
+        }
+    }
+}
+
 struct NoiseFromCorpus;
 impl Conformance for NoiseFromCorpus {
     fn name(&self) -> &'static str {
@@ -678,6 +748,67 @@ impl Conformance for SgnsHogwild1VsStrict {
     }
 }
 
+/// Run one episodic epoch for [`SgnsEpisodicVsMonolithic`] and emit the
+/// loss plus the resulting input table.
+fn episodic_train_emit(ctx: &mut Ctx, episode_walks: usize, in_flight: usize, threads: usize) {
+    let nodes = 24u32;
+    let tasks: Vec<u32> = (0..70 + ctx.scaled(10) as u32).collect();
+    let dim = 8 + 4 * ctx.scale() as usize;
+    let cfg = SgnsConfig {
+        dim,
+        negatives: 3,
+        window: 2,
+        seed: ctx.seed() ^ 0xE915,
+        parallelism: Parallelism::strict(threads),
+        episode: EpisodeConfig {
+            episode_walks,
+            episodes_in_flight: in_flight,
+        },
+        ..SgnsConfig::default()
+    };
+    let mut model = SgnsModel::new(nodes as usize, dim, ctx.rng());
+    let mut state = EpisodicState::new(in_flight);
+    let seed = ctx.seed();
+    let loss = train_epoch_episodic(
+        &mut model,
+        nodes as usize,
+        tasks.len(),
+        |_| 1,
+        |range, arena| generate_episode(&tasks, range, threads, seed, nodes, arena),
+        &cfg,
+        NoiseMode::Global,
+        &mut state,
+    );
+    check_finite("episodic sgns input table", model.input_table()).unwrap();
+    ctx.emit(loss);
+    ctx.emit_all(model.input_table());
+}
+
+struct SgnsEpisodicVsMonolithic;
+impl Conformance for SgnsEpisodicVsMonolithic {
+    fn name(&self) -> &'static str {
+        "sgns-episodic-vs-monolithic"
+    }
+    fn tolerance(&self) -> Match {
+        // The stream schedule is episode-decomposable: Strict episodic
+        // training is bit-identical to the single-episode (monolithic)
+        // run at any episode size, arenas in flight, and thread count
+        // (DESIGN.md §13).
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        for (episode_walks, in_flight, threads) in [(1, 1, 1), (7, 2, 2), (16, 2, 4), (32, 3, 8)] {
+            episodic_train_emit(ctx, episode_walks, in_flight, threads);
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        // episode_walks = 0: one episode spanning the whole task list.
+        for _ in 0..4 {
+            episodic_train_emit(ctx, 0, 1, 1);
+        }
+    }
+}
+
 /// A structured ring corpus: co-occurrence actually predicts adjacency,
 /// so both softmax estimators must drive their loss down.
 fn ring_corpus(nodes: u32, walks: usize, len: usize) -> WalkCorpus {
@@ -766,6 +897,58 @@ impl Conformance for CoreStrictThreads {
         for _ in [2, 4] {
             core_train_emit(ctx, 1);
         }
+    }
+}
+
+struct CoreEpisodicStrict;
+impl Conformance for CoreEpisodicStrict {
+    fn name(&self) -> &'static str {
+        "core-episodic-strict"
+    }
+    fn tolerance(&self) -> Match {
+        // End-to-end TransN under the episodic pipeline: Strict runs are
+        // bit-identical to the single-episode reference at any episode
+        // size and thread count.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        for (episode_walks, in_flight, threads) in [(3, 2, 2), (8, 2, 4)] {
+            core_episodic_emit(ctx, episode_walks, in_flight, threads);
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        for _ in 0..2 {
+            // One giant episode, serial: the monolithic stream-schedule run.
+            core_episodic_emit(ctx, 1_000_000, 1, 1);
+        }
+    }
+}
+
+fn core_episodic_emit(ctx: &mut Ctx, episode_walks: usize, in_flight: usize, threads: usize) {
+    let net = fixture::two_type_net(8, 5, ctx.seed());
+    let mut cfg = TransNConfig {
+        dim: 8,
+        iterations: 1,
+        encoders: 1,
+        cross_len: 4,
+        cross_paths: 10,
+        parallelism: Parallelism::strict(threads),
+        episode: EpisodeConfig {
+            episode_walks,
+            episodes_in_flight: in_flight,
+        },
+        ..TransNConfig::default()
+    }
+    .with_seed(ctx.seed());
+    cfg.walk.length = 10;
+    cfg.walk.min_walks_per_node = 2;
+    cfg.walk.max_walks_per_node = 4;
+    cfg.walk.threads = threads;
+    let emb = TransN::new(&net, cfg).train();
+    for n in 0..emb.num_nodes() {
+        let row = emb.get(transn_graph::NodeId(n as u32));
+        check_finite("transn episodic embedding row", row).unwrap();
+        ctx.emit_all(row);
     }
 }
 

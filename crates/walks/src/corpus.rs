@@ -171,6 +171,15 @@ impl WalkCorpus {
     /// Merge another corpus into this one (walks keep their order:
     /// `self`'s walks first, then `other`'s).
     pub fn extend(&mut self, other: &WalkCorpus) {
+        self.extend_from_arena(other);
+    }
+
+    /// Bulk arena merge: one `memcpy` of `other`'s token arena plus a
+    /// rebased copy of its offsets — never re-derives per-walk slices.
+    /// This is the episode handoff path: concatenating episode arenas in
+    /// episode order replays the exact walk order of a monolithic
+    /// generation.
+    pub fn extend_from_arena(&mut self, other: &WalkCorpus) {
         let base = self.tokens.len() as u32;
         self.tokens.extend_from_slice(&other.tokens);
         if let Some((_, rest)) = other.offsets.split_first() {
@@ -179,6 +188,18 @@ impl WalkCorpus {
             }
             self.offsets.extend(rest.iter().map(|&o| base + o));
         }
+    }
+
+    /// Shrink reserved capacity down to `token_budget` tokens (never below
+    /// the current contents). [`WalkCorpus::clear`] deliberately keeps the
+    /// high-water capacity so steady-state regeneration is allocation-free;
+    /// this is the escape hatch for the opposite hazard — a one-off giant
+    /// episode must not pin its peak allocation forever. The offsets bound
+    /// is derived as `token_budget / 2 + 1`: the walk-length<2 drop rule
+    /// means at most one stored walk per two tokens.
+    pub fn shrink_to(&mut self, token_budget: usize) {
+        self.tokens.shrink_to(token_budget);
+        self.offsets.shrink_to(token_budget / 2 + 1);
     }
 }
 
@@ -216,14 +237,37 @@ pub fn parallel_generate_into<T, F>(
     T: Sync,
     F: Fn(&T, &mut StdRng, &mut WalkCorpus) + Sync,
 {
+    parallel_generate_offset_into(out, tasks, 0, threads, seed, gen);
+}
+
+/// [`parallel_generate_into`] over an episode slice of a larger task list:
+/// `tasks` are positions `base_idx..base_idx + tasks.len()` of the full
+/// list, and each task's RNG is seeded by its **global** index
+/// (`seed ⊕ (base_idx + i) · φ64`). Generating contiguous episode slices
+/// and concatenating the arenas in episode order is therefore bit-identical
+/// to one monolithic [`parallel_generate_into`] over the full task list —
+/// for any thread count *and* any episode size.
+pub fn parallel_generate_offset_into<T, F>(
+    out: &mut WalkCorpus,
+    tasks: &[T],
+    base_idx: usize,
+    threads: usize,
+    seed: u64,
+    gen: F,
+) where
+    T: Sync,
+    F: Fn(&T, &mut StdRng, &mut WalkCorpus) + Sync,
+{
     out.clear();
     let threads = threads.max(1);
     if tasks.is_empty() {
         return;
     }
 
-    // Per-task RNG stream, identical in every execution mode.
-    let task_rng = |idx: usize| StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(SEED_MIX));
+    // Per-task RNG stream keyed by global task index, identical in every
+    // execution mode and for every episode decomposition.
+    let task_rng =
+        |idx: usize| StdRng::seed_from_u64(seed ^ ((base_idx + idx) as u64).wrapping_mul(SEED_MIX));
 
     if threads == 1 || tasks.len() == 1 {
         for (idx, task) in tasks.iter().enumerate() {
@@ -388,6 +432,84 @@ mod tests {
             bytes,
             "regeneration must not grow the arena"
         );
+    }
+
+    #[test]
+    fn extend_from_arena_equals_walk_by_walk_push() {
+        let a = WalkCorpus::from_walks(vec![vec![0, 1], vec![2, 3, 4]]);
+        let b = WalkCorpus::from_walks(vec![vec![5, 6, 7], vec![8, 9]]);
+        // Bulk path.
+        let mut bulk = a.clone();
+        bulk.extend_from_arena(&b);
+        // Reference: re-derive every walk slice and push it.
+        let mut slow = a.clone();
+        for w in b.iter() {
+            slow.push(w);
+        }
+        assert_eq!(bulk, slow);
+        // Into an empty corpus too.
+        let mut bulk = WalkCorpus::new();
+        bulk.extend_from_arena(&b);
+        assert_eq!(bulk, b);
+    }
+
+    #[test]
+    fn shrink_to_releases_high_water_but_clear_does_not() {
+        // A "giant episode" fills the arena...
+        let mut c = WalkCorpus::new();
+        for i in 0..1000u32 {
+            c.push(&[i, i + 1, i + 2, i + 3]);
+        }
+        let high_water = c.heap_bytes();
+        // ...clear keeps the peak capacity pinned (steady-state contract)...
+        c.clear();
+        assert_eq!(c.heap_bytes(), high_water);
+        // ...and shrink_to is the guard that releases it.
+        c.shrink_to(64);
+        assert!(
+            c.heap_bytes() <= (64 + 64 / 2 + 1) * 4,
+            "heap_bytes {} after shrink_to(64)",
+            c.heap_bytes()
+        );
+        // shrink_to never drops live contents.
+        for i in 0..50u32 {
+            c.push(&[i, i + 1, i + 2]);
+        }
+        c.shrink_to(0);
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.walk(49), &[49, 50, 51]);
+        assert!(c.heap_bytes() >= c.total_tokens() * 4);
+    }
+
+    #[test]
+    fn offset_generation_concatenates_to_monolithic() {
+        use rand::Rng;
+        let tasks: Vec<u32> = (0..53).collect();
+        let gen = |&t: &u32, rng: &mut StdRng, out: &mut WalkCorpus| {
+            let len = rng.random_range(2..6usize);
+            out.push_with(|buf| {
+                buf.push(t);
+                for _ in 1..len {
+                    buf.push(rng.random_range(0..100u32));
+                }
+            });
+        };
+        let monolithic = parallel_generate(&tasks, 4, 77, gen);
+        // Uneven episode slices, varying thread counts per episode.
+        for chunk in [1usize, 7, 20, 53] {
+            let mut episodic = WalkCorpus::new();
+            let mut arena = WalkCorpus::new();
+            let mut base = 0;
+            let mut threads = 1;
+            while base < tasks.len() {
+                let hi = (base + chunk).min(tasks.len());
+                parallel_generate_offset_into(&mut arena, &tasks[base..hi], base, threads, 77, gen);
+                episodic.extend_from_arena(&arena);
+                base = hi;
+                threads = threads % 4 + 1;
+            }
+            assert_eq!(episodic, monolithic, "chunk {chunk}");
+        }
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //!   `Δ = 0` or on homo-views the walk falls back to `π₁` alone (Eq. 4).
 
 use crate::config::WalkConfig;
-use crate::corpus::{parallel_generate_into, WalkCorpus};
+use crate::corpus::{parallel_generate_offset_into, WalkCorpus};
 use rand::Rng;
+use std::ops::Range;
 use transn_graph::{View, ViewKind};
 
 /// Walker over a single view (or paired-subview) of a heterogeneous
@@ -138,9 +139,23 @@ impl<'a> CorrelatedWalker<'a> {
     /// Run prebuilt `(start, n_walks)` tasks into a caller-owned corpus —
     /// the allocation-free core of both `generate*` entry points.
     pub fn generate_tasks_into(&self, tasks: &[(u32, usize)], out: &mut WalkCorpus) {
-        parallel_generate_into(
+        self.generate_task_range_into(tasks, 0..tasks.len(), out);
+    }
+
+    /// Episodic variant of [`CorrelatedWalker::generate_tasks_into`]: run
+    /// only tasks `range` of the full list, each RNG seeded by its
+    /// **global** task index, so concatenating episode ranges in order is
+    /// bit-identical to one monolithic generation (DESIGN.md §13).
+    pub fn generate_task_range_into(
+        &self,
+        tasks: &[(u32, usize)],
+        range: Range<usize>,
+        out: &mut WalkCorpus,
+    ) {
+        parallel_generate_offset_into(
             out,
-            tasks,
+            &tasks[range.clone()],
+            range.start,
             self.cfg.threads,
             self.cfg.seed,
             |&(n, k), rng, out| {
@@ -315,6 +330,26 @@ mod tests {
         let a = CorrelatedWalker::new(&views[0], cfg).generate();
         let b = CorrelatedWalker::new(&views[0], cfg).generate();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn episode_ranges_concatenate_to_monolithic() {
+        let net = figure4();
+        let views = net.views();
+        let w = CorrelatedWalker::new(&views[0], WalkConfig::for_tests());
+        let tasks = w.degree_tasks();
+        let mut mono = WalkCorpus::new();
+        w.generate_tasks_into(&tasks, &mut mono);
+        let mut episodic = WalkCorpus::new();
+        let mut arena = WalkCorpus::new();
+        let mut base = 0;
+        while base < tasks.len() {
+            let hi = (base + 2).min(tasks.len());
+            w.generate_task_range_into(&tasks, base..hi, &mut arena);
+            episodic.extend_from_arena(&arena);
+            base = hi;
+        }
+        assert_eq!(episodic, mono);
     }
 
     #[test]

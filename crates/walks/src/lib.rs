@@ -21,19 +21,28 @@
 //!   thread count). Every engine exposes `walk_into`/`generate_into`
 //!   kernels so a warmed generate→train epoch loop performs no heap
 //!   allocation.
+//! - [`episode`]: bounded-memory episodic generation — a double-buffered
+//!   [`EpisodeBuffer`] circulating reusable arenas between a producer
+//!   thread (generating episode N+1) and the training consumer (episode
+//!   N), with global-task-index seeding so the episode decomposition never
+//!   changes the corpus.
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod corpus;
 pub mod correlated;
+pub mod episode;
 pub mod metapath;
 pub mod node2vec;
 pub mod simple;
 
 pub use config::WalkConfig;
-pub use corpus::{parallel_generate, parallel_generate_into, WalkCorpus};
+pub use corpus::{
+    parallel_generate, parallel_generate_into, parallel_generate_offset_into, WalkCorpus,
+};
 pub use correlated::CorrelatedWalker;
+pub use episode::{plan_episodes_into, EpisodeBuffer, EpisodeConfig};
 pub use metapath::MetapathWalker;
 pub use node2vec::Node2VecWalker;
 pub use simple::SimpleWalker;

@@ -6,8 +6,9 @@
 //! first and last types of the pattern must coincide, as in \[8\]).
 
 use crate::config::WalkConfig;
-use crate::corpus::{parallel_generate_into, WalkCorpus};
+use crate::corpus::{parallel_generate_offset_into, WalkCorpus};
 use rand::Rng;
+use std::ops::Range;
 use transn_graph::{HetNet, NodeId, NodeTypeId};
 
 /// Walker constrained to a cyclic meta-path over the whole network.
@@ -128,10 +129,32 @@ impl<'a> MetapathWalker<'a> {
     /// [`MetapathWalker::generate`] into a caller-owned corpus (cleared
     /// first, capacity retained across epochs).
     pub fn generate_into(&self, walks_per_node: usize, out: &mut WalkCorpus) {
-        let starts: Vec<NodeId> = self.net.nodes_of_type(self.pattern[0]).collect();
-        parallel_generate_into(
+        let starts = self.walk_tasks();
+        self.generate_task_range_into(&starts, 0..starts.len(), walks_per_node, out);
+    }
+
+    /// The per-start task list: every node of the pattern's head type,
+    /// each starting `walks_per_node` walks. Build once and reuse across
+    /// epochs / episode ranges.
+    pub fn walk_tasks(&self) -> Vec<NodeId> {
+        self.net.nodes_of_type(self.pattern[0]).collect()
+    }
+
+    /// Episodic generation: run only tasks `range` of the full list, each
+    /// RNG seeded by its **global** task index, so concatenating episode
+    /// ranges in order is bit-identical to one monolithic generation
+    /// (DESIGN.md §13).
+    pub fn generate_task_range_into(
+        &self,
+        tasks: &[NodeId],
+        range: Range<usize>,
+        walks_per_node: usize,
+        out: &mut WalkCorpus,
+    ) {
+        parallel_generate_offset_into(
             out,
-            &starts,
+            &tasks[range.clone()],
+            range.start,
             self.cfg.threads,
             self.cfg.seed,
             |&n, rng, out| {

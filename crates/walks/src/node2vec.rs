@@ -3,8 +3,9 @@
 //! \[33\] (weight-proportional steps).
 
 use crate::config::WalkConfig;
-use crate::corpus::{parallel_generate_into, WalkCorpus};
+use crate::corpus::{parallel_generate_offset_into, WalkCorpus};
 use rand::Rng;
+use std::ops::Range;
 use transn_graph::Csr;
 
 /// Node2Vec walker over an arbitrary CSR adjacency (global node ids).
@@ -106,12 +107,34 @@ impl<'a> Node2VecWalker<'a> {
     /// [`Node2VecWalker::generate`] into a caller-owned corpus (cleared
     /// first, capacity retained across epochs).
     pub fn generate_into(&self, walks_per_node: usize, out: &mut WalkCorpus) {
-        let tasks: Vec<u32> = (0..self.adj.num_nodes() as u32)
+        let tasks = self.walk_tasks();
+        self.generate_task_range_into(&tasks, 0..tasks.len(), walks_per_node, out);
+    }
+
+    /// The per-start task list: every non-isolated node, each starting
+    /// `walks_per_node` walks. Build once and reuse across epochs /
+    /// episode ranges.
+    pub fn walk_tasks(&self) -> Vec<u32> {
+        (0..self.adj.num_nodes() as u32)
             .filter(|&n| self.adj.degree(n as usize) > 0)
-            .collect();
-        parallel_generate_into(
+            .collect()
+    }
+
+    /// Episodic generation: run only tasks `range` of the full list, each
+    /// RNG seeded by its **global** task index, so concatenating episode
+    /// ranges in order is bit-identical to one monolithic generation
+    /// (DESIGN.md §13).
+    pub fn generate_task_range_into(
+        &self,
+        tasks: &[u32],
+        range: Range<usize>,
+        walks_per_node: usize,
+        out: &mut WalkCorpus,
+    ) {
+        parallel_generate_offset_into(
             out,
-            &tasks,
+            &tasks[range.clone()],
+            range.start,
             self.cfg.threads,
             self.cfg.seed,
             |&n, rng, out| {
@@ -191,6 +214,21 @@ mod tests {
         for walk in corpus.iter() {
             assert_ne!(walk[0], 2);
         }
+    }
+
+    #[test]
+    fn episode_ranges_concatenate_to_monolithic() {
+        let adj = lollipop();
+        let w = Node2VecWalker::deepwalk(&adj, WalkConfig::for_tests());
+        let mono = w.generate(3);
+        let tasks = w.walk_tasks();
+        let mut episodic = WalkCorpus::new();
+        let mut arena = WalkCorpus::new();
+        for i in 0..tasks.len() {
+            w.generate_task_range_into(&tasks, i..i + 1, 3, &mut arena);
+            episodic.extend_from_arena(&arena);
+        }
+        assert_eq!(episodic, mono);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! selected, and simple random walks neglect the weights of edges".
 
 use crate::config::WalkConfig;
-use crate::corpus::{parallel_generate_into, WalkCorpus};
+use crate::corpus::{parallel_generate_offset_into, WalkCorpus};
 use rand::Rng;
+use std::ops::Range;
 use transn_graph::View;
 
 /// Uniform (weight-blind) walker over a view.
@@ -88,14 +89,28 @@ impl<'a> SimpleWalker<'a> {
     /// task owns one RNG stream from which it draws a uniform start node
     /// and then the walk itself.
     pub fn generate_tasks_into(&self, tasks: &[u32], out: &mut WalkCorpus) {
+        self.generate_task_range_into(tasks, 0..tasks.len(), out);
+    }
+
+    /// Episodic variant of [`SimpleWalker::generate_tasks_into`]: run only
+    /// tasks `range` of the full list, each RNG seeded by its **global**
+    /// task index, so concatenating episode ranges in order is
+    /// bit-identical to one monolithic generation (DESIGN.md §13).
+    pub fn generate_task_range_into(
+        &self,
+        tasks: &[u32],
+        range: Range<usize>,
+        out: &mut WalkCorpus,
+    ) {
         let n = self.view.num_nodes() as u32;
         if n == 0 {
             out.clear();
             return;
         }
-        parallel_generate_into(
+        parallel_generate_offset_into(
             out,
-            tasks,
+            &tasks[range.clone()],
+            range.start,
             self.cfg.threads,
             self.cfg.seed,
             |_, rng, out| {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Record the perf trajectory in-repo: run the self-timing snapshot binaries
 # and write BENCH_kernels.json (ISSUE 3, kernel layer), BENCH_walks.json
-# (ISSUE 4, flat walk-corpus arena), and BENCH_serve.json (ISSUE 6,
-# serving layer) at the repo root.
+# (ISSUE 4, flat walk-corpus arena), BENCH_serve.json (ISSUE 6, serving
+# layer), and BENCH_pipeline.json (ISSUE 7, episodic training pipeline at
+# the 100× out-of-core scale — the slow one, ~tens of minutes) at the repo
+# root.
 #
 # The JSON comes from self-timing binaries (plain Instant-based timing, no
 # criterion dependency), so it works in offline environments where the
@@ -15,14 +17,16 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_kernels.json}"
 WALKS_OUT="${2:-BENCH_walks.json}"
 SERVE_OUT="${3:-BENCH_serve.json}"
+PIPELINE_OUT="${4:-BENCH_pipeline.json}"
 
 cargo run --release -p transn-bench --bin kernel_snapshot -- "$OUT"
 cargo run --release -p transn-bench --bin walks_snapshot -- "$WALKS_OUT"
 cargo run --release -p transn-bench --bin query_snapshot -- "$SERVE_OUT"
+cargo run --release -p transn-bench --bin pipeline_snapshot -- "$PIPELINE_OUT"
 
 # Best-effort criterion pass (quick mode); harmless no-op with the offline
 # criterion stub, which runs each closure once without timing.
 cargo bench -p transn-bench --bench matrix -- --quick 2>/dev/null || true
 cargo bench -p transn-bench --bench walks -- --quick 2>/dev/null || true
 
-echo "snapshots written to $OUT, $WALKS_OUT, and $SERVE_OUT"
+echo "snapshots written to $OUT, $WALKS_OUT, $SERVE_OUT, and $PIPELINE_OUT"
