@@ -251,17 +251,17 @@ impl ArcTypes {
 }
 
 fn build_arc_types(net: &HetNet) -> ArcTypes {
-    // Mirror the CSR construction: arcs sorted by (src, dst). Duplicate
-    // (src, dst) pairs (parallel edges of different types) get arbitrary
-    // but deterministic order — matching Csr::from_undirected's stable
-    // sort by (src, dst).
+    // Mirror the CSR construction: arcs stably sorted by (src, dst).
+    // Duplicate (src, dst) pairs (parallel edges of different types) keep
+    // input order — matching Csr::from_undirected's counting-sort build,
+    // which preserves input order for equal keys.
     let n = net.num_nodes();
     let mut arcs: Vec<(u32, u32, u32)> = Vec::with_capacity(net.num_edges() * 2);
     for e in net.edges() {
         arcs.push((e.u.0, e.v.0, e.etype.0));
         arcs.push((e.v.0, e.u.0, e.etype.0));
     }
-    arcs.sort_unstable_by_key(|a| (a.0, a.1));
+    arcs.sort_by_key(|a| (a.0, a.1));
     let mut offsets = vec![0u32; n + 1];
     for &(src, _, _) in &arcs {
         offsets[src as usize + 1] += 1;

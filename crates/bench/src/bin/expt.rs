@@ -1,5 +1,5 @@
 //! Experiment driver: regenerates every table and figure of the TransN
-//! paper's evaluation section.
+//! paper's evaluation section, and runs ad-hoc config matrices.
 //!
 //! ```text
 //! cargo run --release -p transn-bench --bin expt -- <experiment> [--smoke]
@@ -12,16 +12,47 @@
 //!   fig6      t-SNE case study (Figure 6)
 //!   scaling   Theorem 1 empirical scaling
 //!   all       everything above, in order
+//!   matrix    unified {method × dataset × scale × threads} sweep
+//!             (own flags; run `expt matrix --help` for the axis values)
 //! ```
 //!
 //! `--smoke` runs on tiny datasets with tiny budgets (seconds, for CI);
-//! the default is the full experiment scale of DESIGN.md §3.
+//! the default is the full experiment scale of DESIGN.md §3. `matrix`
+//! validates every flag before generating anything and writes one
+//! comparable report to `target/expt/matrix.json`.
 
 use transn_bench::experiments;
-use transn_bench::ExperimentScale;
+use transn_bench::{matrix, ExperimentScale};
+
+fn run_matrix(args: &[String]) -> ! {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{}", matrix::USAGE);
+        std::process::exit(0);
+    }
+    // Parse + validate everything up front: a bad axis value must fail
+    // here, before any dataset generation or file I/O.
+    let cfg = match matrix::parse_args(args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", matrix::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let report = matrix::run(&cfg);
+    println!("{}", matrix::render(&report));
+    transn_bench::report::write_json("matrix", &report);
+    if !report.strict_digests_consistent {
+        eprintln!("error: strict determinism violated across the thread axis");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("matrix") {
+        run_matrix(&args[1..]);
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if smoke {
         ExperimentScale::Smoke
@@ -59,7 +90,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of: table2 table3 table4 \
-                 table5 fig6 scaling all (optionally --smoke)"
+                 table5 fig6 scaling all matrix (optionally --smoke)"
             );
             std::process::exit(2);
         }

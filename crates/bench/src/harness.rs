@@ -3,7 +3,7 @@
 
 use transn::{TransN, TransNConfig, Variant};
 use transn_baselines::{EmbeddingMethod, Hin2Vec, Line, Metapath2Vec, Mve, Node2Vec, Rgcn, SimplE};
-use transn_graph::{HetNet, NodeEmbeddings};
+use transn_graph::{HetNet, NodeEmbeddings, Parallelism};
 use transn_synth::Dataset;
 use transn_walks::WalkConfig;
 
@@ -70,6 +70,23 @@ impl MethodSpec {
         scale: ExperimentScale,
         seed: u64,
     ) -> NodeEmbeddings {
+        self.embed_with(ds, net, scale, seed, Parallelism::single())
+    }
+
+    /// [`MethodSpec::embed`] with an explicit thread policy.
+    ///
+    /// TransN threads `par` through its sharded trainer and walk
+    /// generation; the baselines are single-threaded reference
+    /// implementations and ignore it (their output never varies with the
+    /// thread axis, trivially satisfying the matrix's determinism check).
+    pub fn embed_with(
+        &self,
+        ds: &Dataset,
+        net: &HetNet,
+        scale: ExperimentScale,
+        seed: u64,
+        par: Parallelism,
+    ) -> NodeEmbeddings {
         let smoke = scale == ExperimentScale::Smoke;
         match self {
             MethodSpec::Line => Line {
@@ -124,7 +141,9 @@ impl MethodSpec {
             }
             .embed(net, seed),
             MethodSpec::TransN(variant) => {
-                let cfg = transn_config(scale).with_variant(*variant).with_seed(seed);
+                let mut cfg = transn_config(scale).with_variant(*variant).with_seed(seed);
+                cfg.parallelism = par;
+                cfg.walk.threads = par.threads.max(1);
                 TransN::new(net, cfg).train()
             }
         }

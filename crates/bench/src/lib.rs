@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod matrix;
 pub mod paper;
 pub mod report;
 

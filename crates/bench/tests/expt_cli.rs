@@ -1,0 +1,130 @@
+//! End-to-end smoke tests for the `expt` binary's matrix mode: argv
+//! parsing, exit codes, validate-before-I/O, and the strict-determinism
+//! byte-identity of the thread axis.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// A per-test scratch directory used as the binary's working directory, so
+/// `target/expt/` artifacts land (or provably don't land) inside it.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("transn-expt-{name}-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn expt_in(dir: &Scratch, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_expt"))
+        .current_dir(&dir.0)
+        .args(args)
+        .output()
+        .expect("spawn expt binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_experiment_usage_mentions_matrix() {
+    let scratch = Scratch::new("usage");
+    let out = expt_in(&scratch, &["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("matrix"), "{}", stderr(&out));
+}
+
+#[test]
+fn matrix_help_prints_every_axis_flag() {
+    let scratch = Scratch::new("help");
+    let out = expt_in(&scratch, &["matrix", "--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let err = stderr(&out);
+    for flag in [
+        "--methods",
+        "--datasets",
+        "--scales",
+        "--threads",
+        "--tasks",
+    ] {
+        assert!(err.contains(flag), "usage must mention {flag}: {err}");
+    }
+}
+
+#[test]
+fn invalid_matrix_values_fail_before_any_io() {
+    for (name, args, needle) in [
+        ("method", vec!["matrix", "--methods", "bogus"], "bogus"),
+        ("threads", vec!["matrix", "--threads", "0"], "--threads"),
+        ("missing", vec!["matrix", "--datasets"], "requires a value"),
+        ("flag", vec!["matrix", "--frobnicate", "x"], "unknown flag"),
+    ] {
+        let scratch = Scratch::new(&format!("invalid-{name}"));
+        let out = expt_in(&scratch, &args);
+        assert_eq!(out.status.code(), Some(2), "{name}: {}", stderr(&out));
+        let err = stderr(&out);
+        assert!(err.contains("error:"), "{name}: {err}");
+        assert!(err.contains(needle), "{name}: {err}");
+        assert!(err.contains("usage:"), "{name}: {err}");
+        // Validation must run before dataset generation or artifact I/O:
+        // nothing may have been written under the working directory.
+        assert!(
+            !scratch.0.join("target").exists(),
+            "{name}: invalid flags must not create artifacts"
+        );
+    }
+}
+
+#[test]
+fn matrix_strict_thread_axis_is_byte_identical() {
+    let scratch = Scratch::new("strict");
+    let out = expt_in(
+        &scratch,
+        &[
+            "matrix",
+            "--methods",
+            "transn",
+            "--datasets",
+            "aminer",
+            "--scales",
+            "smoke",
+            "--threads",
+            "1,2,4",
+            "--tasks",
+            "cls",
+            "--seed",
+            "5",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = fs::read_to_string(scratch.0.join("target/expt/matrix.json"))
+        .expect("matrix.json artifact");
+    assert!(
+        json.contains("\"strict_digests_consistent\": true"),
+        "{json}"
+    );
+    // All three thread counts must hash to the same embedding bytes.
+    let digests: Vec<&str> = json
+        .match_indices("\"emb_digest\"")
+        .map(|(i, _)| {
+            let rest = &json[i..];
+            let start = rest.find(": \"").unwrap() + 3;
+            &rest[start..start + 16]
+        })
+        .collect();
+    assert_eq!(digests.len(), 3, "{json}");
+    assert!(
+        digests.iter().all(|d| d == &digests[0]),
+        "thread axis digests differ: {digests:?}"
+    );
+}

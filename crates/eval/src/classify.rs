@@ -81,10 +81,13 @@ pub fn classification_scores(
         let model = LogisticRegression::fit(&train_x, &train_y, classes, &lr_cfg);
 
         let truth: Vec<u32> = test_idx.iter().map(|&i| labeled[i].1).collect();
-        let pred: Vec<u32> = test_idx
+        // One X·Wᵀ GEMM over the whole test side; element-wise
+        // bit-identical to per-row `model.predict`.
+        let test_x: Vec<&[f32]> = test_idx
             .iter()
-            .map(|&i| model.predict(embeddings.get(labeled[i].0)))
+            .map(|&i| embeddings.get(labeled[i].0))
             .collect();
+        let pred: Vec<u32> = model.predict_batch(&test_x);
         let f = f1_scores(&truth, &pred, classes);
         macro_sum += f.macro_f1;
         micro_sum += f.micro_f1;

@@ -29,8 +29,8 @@ pub mod silhouette;
 pub mod tsne;
 
 pub use classify::{classification_scores, ClassifyProtocol, F1Scores};
-pub use linkpred::{auc_for_embeddings, LinkPredSplit};
-pub use logreg::LogisticRegression;
+pub use linkpred::{auc_for_embeddings, auc_for_embeddings_with, LinkPredSplit};
+pub use logreg::{LogRegConfig, LogisticRegression};
 pub use metrics::{auc, f1_scores};
 pub use neighbors::{exact_knn, silhouette_score_with_neighbors, NeighborLists};
 pub use silhouette::silhouette_score;

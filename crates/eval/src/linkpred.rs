@@ -6,7 +6,7 @@
 use crate::metrics::auc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use transn_graph::{HetNet, HetNetBuilder, NodeEmbeddings, NodeId};
+use transn_graph::{par_chunks_mut, HetNet, HetNetBuilder, NodeEmbeddings, NodeId, Parallelism};
 
 /// A link-prediction split: the residual training network plus the
 /// positive (removed edges) and negative (non-adjacent pairs) test sets.
@@ -82,20 +82,41 @@ impl LinkPredSplit {
     }
 }
 
+/// Fixed chunk count for parallel pair scoring — independent of the
+/// thread count, so the score vectors are identical for any
+/// [`Parallelism`].
+const SCORE_CHUNKS: usize = 64;
+
 /// Score the split with inner products of the given embeddings and return
 /// the AUC.
 pub fn auc_for_embeddings(split: &LinkPredSplit, emb: &NodeEmbeddings) -> f64 {
-    let pos: Vec<f32> = split
-        .positives
-        .iter()
-        .map(|&(u, v)| emb.dot(u, v))
-        .collect();
-    let neg: Vec<f32> = split
-        .negatives
-        .iter()
-        .map(|&(u, v)| emb.dot(u, v))
-        .collect();
+    auc_for_embeddings_with(split, emb, Parallelism::single())
+}
+
+/// [`auc_for_embeddings`] with the candidate pairs scored over a worker
+/// pool. Each score depends only on its own pair, so the result is
+/// bit-identical for every `par`.
+pub fn auc_for_embeddings_with(
+    split: &LinkPredSplit,
+    emb: &NodeEmbeddings,
+    par: Parallelism,
+) -> f64 {
+    let pos = score_pairs(&split.positives, emb, par);
+    let neg = score_pairs(&split.negatives, emb, par);
     auc(&pos, &neg)
+}
+
+/// Inner-product scores for `pairs`, filled in parallel over fixed
+/// contiguous chunks (element-independent ⇒ thread-count-invariant).
+fn score_pairs(pairs: &[(NodeId, NodeId)], emb: &NodeEmbeddings, par: Parallelism) -> Vec<f32> {
+    let mut scores = vec![0.0f32; pairs.len()];
+    par_chunks_mut(&mut scores, SCORE_CHUNKS, par, |_, start, chunk| {
+        for (k, s) in chunk.iter_mut().enumerate() {
+            let (u, v) = pairs[start + k];
+            *s = emb.dot(u, v);
+        }
+    });
+    scores
 }
 
 #[cfg(test)]
@@ -166,6 +187,36 @@ mod tests {
         }
         let a = auc_for_embeddings(&split, &emb);
         assert!((a - 0.5).abs() < 0.25, "AUC {a}");
+    }
+
+    #[test]
+    fn parallel_scoring_matches_serial_bitwise() {
+        let n = 80;
+        let net = ring(n);
+        let split = LinkPredSplit::new(&net, 0.4, 8);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut emb = NodeEmbeddings::zeros(n, 16);
+        for i in 0..n {
+            let row: Vec<f32> = (0..16).map(|_| rng.random_range(-1.0..1.0)).collect();
+            emb.set(NodeId::from_index(i), &row);
+        }
+        let serial = score_pairs(&split.positives, &emb, Parallelism::single());
+        for par in [
+            Parallelism::hogwild(2),
+            Parallelism::strict(4),
+            Parallelism::hogwild(8),
+        ] {
+            let threaded = score_pairs(&split.positives, &emb, par);
+            assert_eq!(
+                threaded.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{par:?}"
+            );
+            assert_eq!(
+                auc_for_embeddings_with(&split, &emb, par),
+                auc_for_embeddings(&split, &emb)
+            );
+        }
     }
 
     #[test]

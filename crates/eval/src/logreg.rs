@@ -5,9 +5,26 @@
 //! same model family, same `C = 1` regularization default, and enough
 //! optimizer budget to converge on the small feature matrices produced by
 //! the protocols in this crate.
+//!
+//! # Batched GEMM path
+//!
+//! [`LogisticRegression::fit`] packs the feature rows into one row-major
+//! `n×d` matrix and drives each iteration through
+//! [`kernels::gemm_tb`] (logits `X·Wᵀ`) and [`kernels::gemm_ta`]
+//! (gradient `Eᵀ·X`) over fixed-size minibatch chunks, instead of a
+//! per-sample scalar loop. Chunk boundaries depend only on
+//! [`LogRegConfig::batch`] — never on the thread count — and per-chunk
+//! partial gradients are folded **in chunk order**, so the fit is
+//! bit-identical for every [`Parallelism`]. With a single chunk
+//! (`batch >= n`) the accumulation order degenerates to the per-sample
+//! sequential order of [`LogisticRegression::fit_scalar`], making the two
+//! paths bit-identical; with several chunks they differ only in
+//! float-association round-off (the conformance suite pins them together
+//! under a relative tolerance).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use transn_graph::{run_shards_build, Parallelism};
 use transn_nn::kernels;
 
 /// A trained softmax classifier: `W ∈ R^{C×d}`, `b ∈ R^C`.
@@ -31,6 +48,13 @@ pub struct LogRegConfig {
     pub lr: f32,
     /// Init/shuffle seed.
     pub seed: u64,
+    /// Rows per GEMM minibatch chunk. Fixes the logical gradient
+    /// decomposition (and therefore the floating-point fold order)
+    /// independently of the thread count.
+    pub batch: usize,
+    /// Worker pool for per-chunk gradient computation. Any value yields
+    /// bit-identical fits; more threads only overlap chunk GEMMs.
+    pub par: Parallelism,
 }
 
 impl Default for LogRegConfig {
@@ -40,12 +64,15 @@ impl Default for LogRegConfig {
             iterations: 400,
             lr: 0.1,
             seed: 0,
+            batch: 256,
+            par: Parallelism::single(),
         }
     }
 }
 
 impl LogisticRegression {
-    /// Fit on rows `x[i]` (all of equal length) with class labels `y[i]`.
+    /// Fit on rows `x[i]` (all of equal length) with class labels `y[i]`
+    /// via the minibatched GEMM path (see the module docs).
     ///
     /// # Panics
     /// Panics if `x` is empty, rows have unequal lengths, or a label is
@@ -61,6 +88,14 @@ impl LogisticRegression {
         );
 
         let n = x.len();
+        // Pack once: row-major n×d. All iteration GEMMs slice into this.
+        let mut packed = Vec::with_capacity(n * dim);
+        for row in x {
+            packed.extend_from_slice(row);
+        }
+        let batch = cfg.batch.max(1);
+        let num_chunks = n.div_ceil(batch);
+
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut w: Vec<f32> = (0..classes * dim)
             .map(|_| rng.random_range(-0.01..0.01))
@@ -74,18 +109,42 @@ impl LogisticRegression {
         let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
         let lambda = 1.0 / cfg.c / n as f32;
 
-        let mut probs = vec![0.0f32; classes];
         let mut gw = vec![0.0f32; w.len()];
         let mut gb = vec![0.0f32; classes];
         for t in 1..=cfg.iterations {
+            // Per-chunk partial gradients, computed independently (any
+            // thread count) and folded below in chunk order.
+            let partials = run_shards_build(num_chunks, cfg.par, |chunk| {
+                let lo = chunk * batch;
+                let hi = (lo + batch).min(n);
+                let nb = hi - lo;
+                let xc = &packed[lo * dim..hi * dim];
+                // probs ← softmax(Xc·Wᵀ + b) row-wise, then err in place.
+                let mut err = vec![0.0f32; nb * classes];
+                kernels::gemm_tb(xc, &w, &mut err, nb, dim, classes);
+                let mut gb_c = vec![0.0f32; classes];
+                for (r, row) in err.chunks_exact_mut(classes).enumerate() {
+                    softmax_rowmax_in_place(row, &b);
+                    let label = y[lo + r];
+                    row[label as usize] -= 1.0;
+                    for (g, &e) in gb_c.iter_mut().zip(row.iter()) {
+                        *g += e;
+                    }
+                }
+                // gw_c ← Eᵀ·Xc: sequential over rows, the same per-sample
+                // order as the scalar path within this chunk.
+                let mut gw_c = vec![0.0f32; classes * dim];
+                kernels::gemm_ta(&err, xc, &mut gw_c, nb, classes, dim);
+                (gw_c, gb_c)
+            });
             gw.fill(0.0);
             gb.fill(0.0);
-            for (row, &label) in x.iter().zip(y) {
-                softmax_logits(&w, &b, row, dim, &mut probs);
-                for c in 0..classes {
-                    let err = probs[c] - f32::from(c as u32 == label);
-                    gb[c] += err;
-                    kernels::axpy(&mut gw[c * dim..(c + 1) * dim], err, row);
+            for (gw_c, gb_c) in &partials {
+                for (g, &p) in gw.iter_mut().zip(gw_c) {
+                    *g += p;
+                }
+                for (g, &p) in gb.iter_mut().zip(gb_c) {
+                    *g += p;
                 }
             }
             let inv_n = 1.0 / n as f32;
@@ -115,17 +174,106 @@ impl LogisticRegression {
         LogisticRegression { classes, dim, w, b }
     }
 
-    /// Predicted class of one feature row.
+    /// Per-sample scalar reference fit: the pre-GEMM implementation, kept
+    /// as the conformance baseline for [`LogisticRegression::fit`].
+    /// Bit-identical to `fit` when `cfg.batch >= x.len()`.
+    ///
+    /// # Panics
+    /// Same contract as [`LogisticRegression::fit`].
+    pub fn fit_scalar(x: &[&[f32]], y: &[u32], classes: usize, cfg: &LogRegConfig) -> Self {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len());
+        let dim = x[0].len();
+        assert!(x.iter().all(|r| r.len() == dim), "ragged feature rows");
+        assert!(
+            y.iter().all(|&c| (c as usize) < classes),
+            "label out of range"
+        );
+
+        let n = x.len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut w: Vec<f32> = (0..classes * dim)
+            .map(|_| rng.random_range(-0.01..0.01))
+            .collect();
+        let mut b = vec![0.0f32; classes];
+        let mut mw = vec![0.0f32; w.len()];
+        let mut vw = vec![0.0f32; w.len()];
+        let mut mb = vec![0.0f32; classes];
+        let mut vb = vec![0.0f32; classes];
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let lambda = 1.0 / cfg.c / n as f32;
+
+        let mut probs = vec![0.0f32; classes];
+        let mut gw = vec![0.0f32; w.len()];
+        let mut gb = vec![0.0f32; classes];
+        for t in 1..=cfg.iterations {
+            gw.fill(0.0);
+            gb.fill(0.0);
+            for (row, &label) in x.iter().zip(y) {
+                softmax_logits(&w, &b, row, dim, &mut probs);
+                for c in 0..classes {
+                    let err = probs[c] - f32::from(c as u32 == label);
+                    gb[c] += err;
+                    kernels::axpy(&mut gw[c * dim..(c + 1) * dim], err, row);
+                }
+            }
+            let inv_n = 1.0 / n as f32;
+            for g in gw.iter_mut() {
+                *g *= inv_n;
+            }
+            for g in gb.iter_mut() {
+                *g *= inv_n;
+            }
+            for (g, &wv) in gw.iter_mut().zip(&w) {
+                *g += lambda * wv;
+            }
+            let bc1 = 1.0 - b1.powi(t as i32);
+            let bc2 = 1.0 - b2.powi(t as i32);
+            for i in 0..w.len() {
+                mw[i] = b1 * mw[i] + (1.0 - b1) * gw[i];
+                vw[i] = b2 * vw[i] + (1.0 - b2) * gw[i] * gw[i];
+                w[i] -= cfg.lr * (mw[i] / bc1) / ((vw[i] / bc2).sqrt() + eps);
+            }
+            for i in 0..classes {
+                mb[i] = b1 * mb[i] + (1.0 - b1) * gb[i];
+                vb[i] = b2 * vb[i] + (1.0 - b2) * gb[i] * gb[i];
+                b[i] -= cfg.lr * (mb[i] / bc1) / ((vb[i] / bc2).sqrt() + eps);
+            }
+        }
+        LogisticRegression { classes, dim, w, b }
+    }
+
+    /// The trained weight matrix, row-major `C×d`.
+    pub fn weights(&self) -> &[f32] {
+        &self.w
+    }
+
+    /// The trained per-class biases, length `C`.
+    pub fn biases(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Predicted class of one feature row: the argmax of the raw logits
+    /// `W·x + b`. Softmax is strictly increasing, so this is the same
+    /// class as the argmax of [`Self::predict_proba`] — classification
+    /// never needs the `exp` calls, and skipping them is part of the
+    /// batched-eval speedup.
+    ///
+    /// Each logit is a single sequential-order accumulation over `d`
+    /// (the [`kernels::gemm`] element order), keeping this bit-identical
+    /// to [`Self::predict_batch`].
     pub fn predict(&self, x: &[f32]) -> u32 {
         assert_eq!(x.len(), self.dim);
-        let mut probs = vec![0.0f32; self.classes];
-        softmax_logits(&self.w, &self.b, x, self.dim, &mut probs);
-        probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i as u32)
-            .unwrap()
+        let mut logits = vec![0.0f32; self.classes];
+        for (c, z) in logits.iter_mut().enumerate() {
+            let w_row = &self.w[c * self.dim..(c + 1) * self.dim];
+            let mut acc = 0.0f32;
+            for (&wv, &xv) in w_row.iter().zip(x) {
+                acc += wv * xv;
+            }
+            *z = acc + self.b[c];
+        }
+        argmax(&logits)
     }
 
     /// Class probabilities of one feature row.
@@ -135,29 +283,114 @@ impl LogisticRegression {
         probs
     }
 
+    /// Class probabilities of many rows in one `X·Wᵀ` GEMM: returns a
+    /// row-major `n×classes` matrix. Row `i` is bit-identical to
+    /// `predict_proba(x[i])` (same dot kernel, same row-max softmax).
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from the training dimension.
+    pub fn predict_proba_batch(&self, x: &[&[f32]]) -> Vec<f32> {
+        assert!(x.iter().all(|r| r.len() == self.dim), "ragged feature rows");
+        let n = x.len();
+        let mut packed = Vec::with_capacity(n * self.dim);
+        for row in x {
+            packed.extend_from_slice(row);
+        }
+        let mut probs = vec![0.0f32; n * self.classes];
+        kernels::gemm_tb(&packed, &self.w, &mut probs, n, self.dim, self.classes);
+        for row in probs.chunks_exact_mut(self.classes) {
+            softmax_rowmax_in_place(row, &self.b);
+        }
+        probs
+    }
+
+    /// Predicted classes of many rows in one `X·(Wᵀ)` GEMM, argmaxed over
+    /// the raw logits with no softmax (see [`Self::predict`]). `W` is
+    /// transposed once to `d×C` and the batch runs through
+    /// [`kernels::gemm_rows`] straight over the scattered row slices — no
+    /// pack copy — with the whole `C`-wide logit row accumulated in
+    /// registers per `d`-step. Element `i` is bit-identical to
+    /// `predict(x[i])`: both accumulate each logit in the same sequential
+    /// `d`-order and add the bias after the reduction.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from the training dimension.
+    pub fn predict_batch(&self, x: &[&[f32]]) -> Vec<u32> {
+        assert!(x.iter().all(|r| r.len() == self.dim), "ragged feature rows");
+        let mut w_t = vec![0.0f32; self.dim * self.classes];
+        for c in 0..self.classes {
+            for k in 0..self.dim {
+                w_t[k * self.classes + c] = self.w[c * self.dim + k];
+            }
+        }
+        let mut logits = vec![0.0f32; x.len() * self.classes];
+        kernels::gemm_rows(x, &w_t, &mut logits, self.dim, self.classes);
+        logits
+            .chunks_exact_mut(self.classes)
+            .map(|row| {
+                for (z, &bias) in row.iter_mut().zip(&self.b) {
+                    *z += bias;
+                }
+                argmax(row)
+            })
+            .collect()
+    }
+
     /// Number of classes.
     pub fn num_classes(&self) -> usize {
         self.classes
     }
 }
 
+/// Index of the first maximal element (strict `>` scan — branch-light
+/// enough for the per-row hot loop of [`LogisticRegression::predict_batch`]).
+fn argmax(vals: &[f32]) -> u32 {
+    let mut best = vals[0];
+    let mut idx = 0u32;
+    for (i, &v) in vals.iter().enumerate().skip(1) {
+        if v > best {
+            best = v;
+            idx = i as u32;
+        }
+    }
+    idx
+}
+
 /// `probs ← softmax(W·x + b)`, numerically stable; one 8-lane
 /// [`kernels::dot`] per class row.
 fn softmax_logits(w: &[f32], b: &[f32], x: &[f32], dim: usize, probs: &mut [f32]) {
     let classes = probs.len();
-    let mut mx = f32::NEG_INFINITY;
     for c in 0..classes {
-        let z = b[c] + kernels::dot(&w[c * dim..(c + 1) * dim], x);
-        probs[c] = z;
+        probs[c] = b[c] + kernels::dot(&w[c * dim..(c + 1) * dim], x);
+    }
+    softmax_from_logits(probs);
+}
+
+/// `row ← softmax(row + b)` for one pre-GEMM logit row. Adding the bias
+/// after the dot is bit-identical to seeding the dot with it (float `+`
+/// commutes), so the batched path reproduces [`softmax_logits`] exactly.
+fn softmax_rowmax_in_place(row: &mut [f32], b: &[f32]) {
+    for (z, &bias) in row.iter_mut().zip(b) {
+        *z += bias;
+    }
+    softmax_from_logits(row);
+}
+
+/// In-place stable softmax: subtract the row max before `exp` so the
+/// largest exponent is 0 — logits up to ±1e4 (far beyond anything the
+/// optimizer produces) stay finite instead of overflowing `exp`.
+fn softmax_from_logits(row: &mut [f32]) {
+    let mut mx = f32::NEG_INFINITY;
+    for &z in row.iter() {
         mx = mx.max(z);
     }
     let mut sum = 0.0f32;
-    for p in probs.iter_mut() {
+    for p in row.iter_mut() {
         *p = (*p - mx).exp();
         sum += *p;
     }
     let inv = 1.0 / sum;
-    for p in probs.iter_mut() {
+    for p in row.iter_mut() {
         *p *= inv;
     }
 }
@@ -165,6 +398,7 @@ fn softmax_logits(w: &[f32], b: &[f32], x: &[f32], dim: usize, probs: &mut [f32]
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     /// Linearly-separable 3-class blobs.
     fn blobs(n_per: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<u32>) {
@@ -234,6 +468,78 @@ mod tests {
     }
 
     #[test]
+    fn gemm_fit_matches_scalar_bitwise_with_single_chunk() {
+        let (xs, ys) = blobs(25, 6);
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let cfg = LogRegConfig {
+            iterations: 60,
+            batch: rows.len(),
+            ..Default::default()
+        };
+        let gemm = LogisticRegression::fit(&rows, &ys, 3, &cfg);
+        let scalar = LogisticRegression::fit_scalar(&rows, &ys, 3, &cfg);
+        assert_eq!(
+            gemm.w.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scalar.w.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            gemm.b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scalar.b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts_and_close_to_scalar() {
+        let (xs, ys) = blobs(30, 7);
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let base = LogRegConfig {
+            iterations: 40,
+            batch: 16,
+            ..Default::default()
+        };
+        let serial = LogisticRegression::fit(&rows, &ys, 3, &base);
+        for par in [
+            Parallelism::hogwild(2),
+            Parallelism::strict(4),
+            Parallelism::hogwild(8),
+        ] {
+            let cfg = LogRegConfig { par, ..base };
+            let threaded = LogisticRegression::fit(&rows, &ys, 3, &cfg);
+            assert_eq!(
+                threaded.w.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                serial.w.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{par:?}"
+            );
+        }
+        // Different chunking changes only float association: the scalar
+        // reference must agree to a tight relative tolerance.
+        let scalar = LogisticRegression::fit_scalar(&rows, &ys, 3, &base);
+        for (a, b) in serial.w.iter().zip(&scalar.w) {
+            assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batch_predictions_match_single_row_bitwise() {
+        let (xs, ys) = blobs(20, 3);
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let model = LogisticRegression::fit(&rows, &ys, 3, &LogRegConfig::default());
+        let probs = model.predict_proba_batch(&rows);
+        let preds = model.predict_batch(&rows);
+        for (i, row) in rows.iter().enumerate() {
+            let single = model.predict_proba(row);
+            assert_eq!(
+                probs[i * 3..(i + 1) * 3]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                single.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(preds[i], model.predict(row));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "label out of range")]
     fn bad_labels_rejected() {
         let xs = [vec![0.0f32, 1.0]];
@@ -246,5 +552,27 @@ mod tests {
     fn empty_input_rejected() {
         let rows: Vec<&[f32]> = Vec::new();
         let _ = LogisticRegression::fit(&rows, &[], 3, &LogRegConfig::default());
+    }
+
+    proptest! {
+        /// Row-max subtraction keeps softmax finite and on the simplex for
+        /// logits anywhere in ±1e4 — both the scalar and batched paths.
+        #[test]
+        fn softmax_is_finite_simplex_for_extreme_logits(
+            logits in proptest::collection::vec(-1e4f32..1e4, 1..8)
+        ) {
+            let mut row = logits.clone();
+            softmax_from_logits(&mut row);
+            prop_assert!(row.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+
+            // Batched entry point: bias folded in, then the same softmax.
+            let mut via_bias = vec![0.0f32; logits.len()];
+            softmax_rowmax_in_place(&mut via_bias, &logits);
+            prop_assert!(via_bias.iter().all(|p| p.is_finite()));
+            let sum2: f32 = via_bias.iter().sum();
+            prop_assert!((sum2 - 1.0).abs() < 1e-4, "sum {sum2}");
+        }
     }
 }

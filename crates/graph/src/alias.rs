@@ -4,6 +4,53 @@
 //! Used by the walk engines for degree-biased start-node selection
 //! (§III-A: "nodes with higher degrees are more likely to be sampled") and
 //! for per-node neighbour sampling on homo-views where only `π₁` applies.
+//!
+//! [`build_batch_with`] builds a family of tables (one per node/arc)
+//! sharded over contiguous index ranges: each table's construction is
+//! independent, each shard reuses one [`AliasScratch`], and shards are
+//! concatenated in index order, so the batch is bit-identical for any
+//! thread count.
+
+use crate::par::{run_shards_build, Parallelism};
+
+/// Fixed shard count for [`build_batch_with`] — independent of the thread
+/// count (tables are independent anyway; the fixed split just keeps the
+/// scratch-reuse pattern stable).
+const BATCH_SHARDS: usize = 64;
+
+/// Build `count` alias tables — table `i` over `weights_of(i)` — sharded
+/// over contiguous index ranges with one reused [`AliasScratch`] per
+/// shard. Returns tables in index order; bit-identical for every `par`.
+///
+/// # Panics
+/// Panics (inside the worker) under the same contract as
+/// [`AliasTable::new`] for any index.
+pub fn build_batch_with<W, F>(count: usize, weights_of: F, par: Parallelism) -> Vec<AliasTable>
+where
+    W: AsRef<[f32]>,
+    F: Fn(usize) -> W + Sync,
+{
+    let shards = BATCH_SHARDS.min(count.max(1));
+    let per_shard = run_shards_build(shards, par, |s| {
+        let (lo, hi) = (s * count / shards, (s + 1) * count / shards);
+        let mut scratch = AliasScratch::default();
+        let mut out = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let mut table = AliasTable {
+                prob: Vec::new(),
+                alias: Vec::new(),
+            };
+            table.rebuild(weights_of(i).as_ref(), &mut scratch);
+            out.push(table);
+        }
+        out
+    });
+    let mut tables = Vec::with_capacity(count);
+    for shard in per_shard {
+        tables.extend(shard);
+    }
+    tables
+}
 
 /// Reusable workspace for [`AliasTable::rebuild`]: holds the scaled
 /// probabilities and the small/large worklists so a table that is rebuilt
@@ -54,10 +101,13 @@ impl AliasTable {
         assert!(total > 0.0, "alias weights sum to zero");
 
         let n = weights.len();
-        // Scaled probabilities: mean 1.
+        // Scaled probabilities: mean 1. The scale factor is divided once
+        // and multiplied per element — an f64 divide per weight would
+        // dominate the batch-build hot loop.
+        let scale = n as f64 / total;
         let scaled = &mut scratch.scaled;
         scaled.clear();
-        scaled.extend(weights.iter().map(|&w| w as f64 * n as f64 / total));
+        scaled.extend(weights.iter().map(|&w| w as f64 * scale));
         self.prob.clear();
         self.prob.resize(n, 0.0);
         self.alias.clear();
@@ -113,6 +163,24 @@ impl AliasTable {
         } else {
             self.alias[i]
         }
+    }
+
+    /// The acceptance probabilities, one per outcome (conformance and
+    /// size accounting; not needed for sampling).
+    pub fn probs(&self) -> &[f32] {
+        &self.prob
+    }
+
+    /// The alias outcomes aligned with [`AliasTable::probs`].
+    pub fn aliases(&self) -> &[u32] {
+        &self.alias
+    }
+
+    /// Payload bytes held by this table — 8 per outcome (one `f32`
+    /// probability + one `u32` alias). The size unit the bounded-memory
+    /// second-order walk tables budget against.
+    pub fn heap_bytes(&self) -> usize {
+        self.prob.len() * std::mem::size_of::<f32>() + self.alias.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -180,6 +248,36 @@ mod tests {
     #[should_panic(expected = "bad alias weight")]
     fn negative_weight_panics() {
         let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn batch_build_matches_serial_across_thread_counts() {
+        use crate::par::Parallelism;
+        let weight_rows: Vec<Vec<f32>> = (0..193)
+            .map(|i| {
+                (0..(i % 17 + 1))
+                    .map(|j| (i * 31 + j * 7 + 1) as f32 * 0.5)
+                    .collect()
+            })
+            .collect();
+        let serial: Vec<AliasTable> = weight_rows.iter().map(|w| AliasTable::new(w)).collect();
+        for par in [
+            Parallelism::single(),
+            Parallelism::hogwild(2),
+            Parallelism::strict(4),
+            Parallelism::hogwild(8),
+        ] {
+            let batch = build_batch_with(weight_rows.len(), |i| &weight_rows[i], par);
+            assert_eq!(batch.len(), serial.len(), "{par:?}");
+            for (b, s) in batch.iter().zip(&serial) {
+                assert_eq!(
+                    b.probs().iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    s.probs().iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    "{par:?}"
+                );
+                assert_eq!(b.aliases(), s.aliases(), "{par:?}");
+            }
+        }
     }
 
     #[test]

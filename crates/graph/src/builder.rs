@@ -4,6 +4,7 @@ use crate::csr::Csr;
 use crate::error::GraphError;
 use crate::ids::{EdgeTypeId, NodeId, NodeTypeId};
 use crate::network::{Edge, HetNet};
+use crate::par::Parallelism;
 use crate::schema::Schema;
 
 /// Incremental builder for a [`HetNet`].
@@ -128,11 +129,20 @@ impl HetNetBuilder {
     /// Fails with [`GraphError::NotHeterogeneous`] if
     /// `|C_V| + |C_E| <= 1` (Definition 1).
     pub fn build(self) -> Result<HetNet, GraphError> {
+        self.build_with(Parallelism::single())
+    }
+
+    /// [`HetNetBuilder::build`] with an explicit thread policy for the
+    /// global adjacency construction. The built network is bit-identical
+    /// for every `par` ([`Csr::from_directed_pairs_with`]'s fixed-shard
+    /// counting sort); threads change wall-clock only.
+    pub fn build_with(self, par: Parallelism) -> Result<HetNet, GraphError> {
         if self.schema.num_node_types() + self.schema.num_edge_types() <= 1 {
             return Err(GraphError::NotHeterogeneous);
         }
         let n = self.node_types.len();
-        let adj = Csr::from_undirected(n, self.edges.iter().map(|e| (e.u.0, e.v.0, e.weight)));
+        let adj =
+            Csr::from_undirected_with(n, self.edges.iter().map(|e| (e.u.0, e.v.0, e.weight)), par);
         Ok(HetNet {
             schema: self.schema,
             node_types: self.node_types,

@@ -6,8 +6,67 @@
 //! prefix-sum so weighted neighbour sampling is O(log δ) without any
 //! auxiliary table (the walk engines additionally build
 //! [`crate::AliasTable`]s for O(1) sampling where profitable).
+//!
+//! Construction is a sharded counting sort ([`Csr::from_directed_pairs_with`])
+//! whose decomposition is **fixed** (64 input chunks × 64 source-id buckets,
+//! independent of the thread count), so the built arrays are bit-identical
+//! for any [`Parallelism`] — parallelism changes wall-clock only. Arcs that
+//! tie on `(src, dst)` (parallel edges) keep their input order, i.e. the
+//! whole build behaves like one stable sort by `(src, dst)`.
 
+use crate::par::{run_shards_build, Parallelism};
 use serde::{Deserialize, Serialize};
+
+/// Fixed number of input chunks the arc array is split into for the
+/// counting phase. Independent of the thread count so the scatter layout —
+/// and therefore the built CSR — never depends on parallelism.
+const BUILD_CHUNKS: usize = 64;
+
+/// Fixed number of contiguous source-id ranges the scatter groups arcs
+/// into; each bucket is sorted independently (and in parallel).
+const BUILD_BUCKETS: usize = 64;
+
+/// Digit width of the per-bucket LSD radix sort over neighbour ids
+/// (build phase 3). 2^11 counters (8 KiB) stay L1-resident while one
+/// pass covers graphs up to 2048 nodes; buckets smaller than the
+/// counter array skip the radix and sort per-node runs directly.
+const RADIX_BITS: usize = 11;
+const RADIX: usize = 1 << RADIX_BITS;
+
+/// Raw shared output slice for the scatter phases: workers write disjoint
+/// index sets computed from the (chunk, bucket) histogram, so no two
+/// threads ever touch the same slot.
+struct SharedOut<T>(*mut T);
+
+unsafe impl<T: Send> Send for SharedOut<T> {}
+unsafe impl<T: Send> Sync for SharedOut<T> {}
+
+impl<T> SharedOut<T> {
+    fn new(v: &mut [T]) -> Self {
+        SharedOut(v.as_mut_ptr())
+    }
+
+    /// Write `val` to slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and no other thread may read or write slot
+    /// `i` while this call is in flight (the counting-scatter offsets
+    /// guarantee disjointness).
+    #[inline(always)]
+    unsafe fn write(&self, i: usize, val: T) {
+        *self.0.add(i) = val;
+    }
+
+    /// Mutable sub-slice `[start, start + len)`.
+    ///
+    /// # Safety
+    /// The range must be in bounds and disjoint from every range any other
+    /// thread holds.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
 
 /// Weighted CSR adjacency over `n` nodes indexed `0..n`.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -26,41 +85,236 @@ impl Csr {
     /// Build from an undirected edge list over `n` nodes. Every `(u, v, w)`
     /// contributes entries to both `u`'s and `v`'s neighbour lists.
     pub fn from_undirected(n: usize, edges: impl IntoIterator<Item = (u32, u32, f32)>) -> Self {
+        Self::from_undirected_with(n, edges, Parallelism::single())
+    }
+
+    /// [`Csr::from_undirected`] with an explicit thread policy. Bit-identical
+    /// output for every `par` (see [`Csr::from_directed_pairs_with`]).
+    pub fn from_undirected_with(
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32, f32)>,
+        par: Parallelism,
+    ) -> Self {
         let mut pairs: Vec<(u32, u32, f32)> = Vec::new();
         for (u, v, w) in edges {
             debug_assert!(u < n as u32 && v < n as u32, "edge endpoint out of range");
             pairs.push((u, v, w));
             pairs.push((v, u, w));
         }
-        Self::from_directed_pairs(n, pairs)
+        Self::from_directed_pairs_with(n, pairs, par)
     }
 
     /// Build from explicit directed arcs (each `(src, dst, w)` appears only
     /// in `src`'s list).
-    pub fn from_directed_pairs(n: usize, mut arcs: Vec<(u32, u32, f32)>) -> Self {
-        arcs.sort_unstable_by_key(|a| (a.0, a.1));
-        let mut offsets = vec![0u32; n + 1];
-        for &(src, _, _) in &arcs {
-            offsets[src as usize + 1] += 1;
+    pub fn from_directed_pairs(n: usize, arcs: Vec<(u32, u32, f32)>) -> Self {
+        Self::from_directed_pairs_with(n, arcs, Parallelism::single())
+    }
+
+    /// [`Csr::from_directed_pairs`] with an explicit thread policy.
+    ///
+    /// Sharded counting sort over a **fixed** decomposition
+    /// ([`BUILD_CHUNKS`] input chunks × [`BUILD_BUCKETS`] source-id
+    /// buckets):
+    ///
+    /// 1. per-chunk histograms of arcs per bucket (parallel over chunks);
+    /// 2. exclusive scan of the `(chunk, bucket)` matrix → every chunk's
+    ///    scatter base per bucket, so the scatter writes disjoint slots in
+    ///    an order determined solely by the input (parallel over chunks);
+    /// 3. per-bucket counting scatter by source node (stable, so arrival
+    ///    order survives) + tiny per-node stable sorts by `dst` +
+    ///    neighbour/weight/prefix emission into the bucket's final range
+    ///    (parallel over buckets);
+    /// 4. one cheap serial scan for the per-node offsets.
+    ///
+    /// Because the decomposition never depends on `par`, the result is
+    /// bit-identical for any thread count — including `threads == 1`,
+    /// which runs the same phases sequentially. Ties on `(src, dst)` keep
+    /// input order (the scatter preserves it and the bucket sort is
+    /// stable), so the build is equivalent to one stable sort of the arc
+    /// array by `(src, dst)`.
+    pub fn from_directed_pairs_with(
+        n: usize,
+        arcs: Vec<(u32, u32, f32)>,
+        par: Parallelism,
+    ) -> Self {
+        let m = arcs.len();
+        if n == 0 || m == 0 {
+            return Csr {
+                offsets: vec![0u32; n + 1],
+                neighbors: Vec::new(),
+                weights: Vec::new(),
+                weight_prefix: Vec::new(),
+            };
         }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
-        }
-        let mut neighbors = Vec::with_capacity(arcs.len());
-        let mut weights = Vec::with_capacity(arcs.len());
-        for &(_, dst, w) in &arcs {
-            neighbors.push(dst);
-            weights.push(w);
-        }
-        let mut weight_prefix = Vec::with_capacity(weights.len());
-        for i in 0..n {
-            let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
-            let mut acc = 0.0f32;
-            for &w in &weights[s..e] {
-                acc += w;
-                weight_prefix.push(acc);
+        let num_buckets = BUILD_BUCKETS.min(n);
+        let bucket_width = n.div_ceil(num_buckets);
+        let num_chunks = BUILD_CHUNKS.min(m);
+        let chunk_range = |c: usize| (c * m / num_chunks)..((c + 1) * m / num_chunks);
+        let bucket_of = |src: u32| src as usize / bucket_width;
+
+        // Phase 1: per-(chunk, bucket) arc counts.
+        let hist: Vec<Vec<u32>> = run_shards_build(num_chunks, par, |c| {
+            let mut counts = vec![0u32; num_buckets];
+            for &(src, _, _) in &arcs[chunk_range(c)] {
+                debug_assert!((src as usize) < n, "arc source out of range");
+                counts[bucket_of(src)] += 1;
             }
+            counts
+        });
+
+        // Exclusive scan in (bucket, chunk) order: bucket b's final range
+        // starts at bucket_start[b]; within it, chunk c's arcs land after
+        // every lower chunk's, preserving input order for equal keys.
+        let mut bucket_start = vec![0usize; num_buckets + 1];
+        for b in 0..num_buckets {
+            let total: usize = hist.iter().map(|h| h[b] as usize).sum();
+            bucket_start[b + 1] = bucket_start[b] + total;
         }
+        let scatter_base: Vec<Vec<usize>> = {
+            let mut cursor = bucket_start[..num_buckets].to_vec();
+            hist.iter()
+                .map(|h| {
+                    let base = cursor.clone();
+                    for (b, &c) in h.iter().enumerate() {
+                        cursor[b] += c as usize;
+                    }
+                    base
+                })
+                .collect()
+        };
+
+        // Phase 2: scatter arcs into bucket-major order (disjoint slots).
+        let mut scattered: Vec<(u32, u32, f32)> = vec![(0, 0, 0.0); m];
+        {
+            let out = SharedOut::new(&mut scattered);
+            run_shards_build(num_chunks, par, |c| {
+                let mut cursor = scatter_base[c].clone();
+                for &arc in &arcs[chunk_range(c)] {
+                    let b = bucket_of(arc.0);
+                    // SAFETY: cursor[b] walks chunk c's reserved sub-range
+                    // of bucket b, disjoint from every other chunk's.
+                    unsafe { out.write(cursor[b], arc) };
+                    cursor[b] += 1;
+                }
+            });
+        }
+        drop(arcs);
+
+        // Phase 3: per-bucket grouping + emission. Bucket b owns the
+        // contiguous arc range [bucket_start[b], bucket_start[b+1]) in the
+        // final arrays and the contiguous node range
+        // [b·width, min(n, (b+1)·width)) in `counts`. Instead of one
+        // comparison sort of the whole bucket, arcs are LSD-radix-sorted
+        // by `dst` (stable digit scatters) and then counting-scattered by
+        // source (also stable); the composition equals one stable sort of
+        // the bucket by `(src, dst)`. Small buckets skip the radix passes
+        // and sort each node's tiny run directly — same stable order, but
+        // without zeroing digit histograms that outnumber the arcs.
+        let mut neighbors = vec![0u32; m];
+        let mut weights = vec![0.0f32; m];
+        let mut weight_prefix = vec![0.0f32; m];
+        let mut counts = vec![0u32; n];
+        {
+            let scattered_out = SharedOut::new(&mut scattered);
+            let nbr_out = SharedOut::new(&mut neighbors);
+            let w_out = SharedOut::new(&mut weights);
+            let wp_out = SharedOut::new(&mut weight_prefix);
+            let cnt_out = SharedOut::new(&mut counts);
+            run_shards_build(num_buckets, par, |b| {
+                let (s, e) = (bucket_start[b], bucket_start[b + 1]);
+                // SAFETY: bucket ranges are disjoint across workers.
+                let bucket = unsafe { scattered_out.slice_mut(s, e - s) };
+                // Both bounds clamp to `n`: when `bucket_width` rounds up,
+                // trailing buckets are empty and start past the last node.
+                let node_lo = (b * bucket_width).min(n);
+                let node_hi = ((b + 1) * bucket_width).min(n);
+                let width = node_hi - node_lo;
+                // Per-node segment starts within this bucket.
+                let mut starts = vec![0u32; width + 1];
+                for &(src, _, _) in bucket.iter() {
+                    starts[src as usize - node_lo + 1] += 1;
+                }
+                for i in 0..width {
+                    starts[i + 1] += starts[i];
+                }
+                let mut grouped: Vec<(u32, u32, f32)> = vec![(0, 0, 0.0); bucket.len()];
+                let mut cur: &mut [(u32, u32, f32)] = bucket;
+                let mut alt: &mut [(u32, u32, f32)] = &mut grouped;
+                let sort_runs = cur.len() < RADIX;
+                if !sort_runs {
+                    // 11-bit LSD radix over `dst`: enough digit passes to
+                    // cover the largest possible neighbour id, each a
+                    // stable counting scatter between the two buffers.
+                    let max_dst = (n - 1) as u32;
+                    let mut passes = 1;
+                    while (max_dst >> (RADIX_BITS * passes)) > 0 {
+                        passes += 1;
+                    }
+                    let mut hist = vec![0u32; RADIX];
+                    for p in 0..passes {
+                        let shift = RADIX_BITS * p;
+                        hist.fill(0);
+                        for &(_, dst, _) in cur.iter() {
+                            hist[(dst >> shift) as usize & (RADIX - 1)] += 1;
+                        }
+                        let mut acc = 0u32;
+                        for h in hist.iter_mut() {
+                            let c = *h;
+                            *h = acc;
+                            acc += c;
+                        }
+                        for &arc in cur.iter() {
+                            let d = (arc.1 >> shift) as usize & (RADIX - 1);
+                            alt[hist[d] as usize] = arc;
+                            hist[d] += 1;
+                        }
+                        std::mem::swap(&mut cur, &mut alt);
+                    }
+                }
+                // Stable scatter into node-grouped order.
+                let mut cursor: Vec<u32> = starts[..width].to_vec();
+                for &arc in cur.iter() {
+                    let i = arc.0 as usize - node_lo;
+                    alt[cursor[i] as usize] = arc;
+                    cursor[i] += 1;
+                }
+                // Per-node emission (plus the tiny run sorts on the
+                // non-radix path).
+                for i in 0..width {
+                    let (ls, le) = (starts[i] as usize, starts[i + 1] as usize);
+                    if ls == le {
+                        continue;
+                    }
+                    let run = &mut alt[ls..le];
+                    if sort_runs {
+                        run.sort_by_key(|a| a.1);
+                    }
+                    let mut acc = 0.0f32;
+                    for (k, &(_, dst, w)) in run.iter().enumerate() {
+                        acc += w;
+                        // SAFETY: slot s + ls + k lies inside this
+                        // bucket's range; node node_lo + i lies inside
+                        // this bucket's node range.
+                        unsafe {
+                            nbr_out.write(s + ls + k, dst);
+                            w_out.write(s + ls + k, w);
+                            wp_out.write(s + ls + k, acc);
+                        }
+                    }
+                    unsafe { cnt_out.write(node_lo + i, (le - ls) as u32) };
+                }
+            });
+        }
+        drop(scattered);
+
+        // Phase 4: per-node offsets (serial O(n) scan; bucket-major arc
+        // order equals node-major order because buckets are contiguous
+        // source ranges).
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        debug_assert_eq!(offsets[n] as usize, m);
         Csr {
             offsets,
             neighbors,
@@ -123,6 +377,14 @@ impl Csr {
             .binary_search(&j)
             .ok()
             .map(|k| self.weights[s + k])
+    }
+
+    /// Position of the arc `i → j` in the flat arc arrays (the key the
+    /// second-order walk tables are indexed by), if present.
+    #[inline]
+    pub fn arc_index(&self, i: usize, j: u32) -> Option<usize> {
+        let (s, _) = self.range(i);
+        self.neighbors(i).binary_search(&j).ok().map(|k| s + k)
     }
 
     /// Sample a neighbour of `i` proportionally to edge weight, using the
@@ -232,6 +494,110 @@ mod tests {
         let c = path3();
         assert_eq!(c.weight_min_max(1), Some((1.0, 3.0)));
         assert_eq!(c.weight_min_max(0), Some((1.0, 1.0)));
+    }
+
+    #[test]
+    fn build_is_bit_identical_across_thread_counts_and_matches_stable_sort() {
+        use crate::par::Parallelism;
+        // Pseudo-random arc soup with deliberate (src, dst) ties carrying
+        // distinct weights, so tie order is observable.
+        let mut arcs: Vec<(u32, u32, f32)> = Vec::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for k in 0..5_000u32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let src = (state >> 33) as u32 % 700;
+            let dst = (state >> 11) as u32 % 700;
+            arcs.push((src, dst, k as f32 + 0.5));
+            if k % 7 == 0 {
+                // Parallel arc: same endpoints, distinguishable weight.
+                arcs.push((src, dst, k as f32 + 1000.5));
+            }
+        }
+        // Reference: one stable sort by (src, dst) over the input order.
+        let mut sorted = arcs.clone();
+        sorted.sort_by_key(|a| (a.0, a.1));
+        let reference = {
+            let mut offsets = vec![0u32; 701];
+            for &(s, _, _) in &sorted {
+                offsets[s as usize + 1] += 1;
+            }
+            for i in 0..700 {
+                offsets[i + 1] += offsets[i];
+            }
+            let neighbors: Vec<u32> = sorted.iter().map(|a| a.1).collect();
+            let weights: Vec<f32> = sorted.iter().map(|a| a.2).collect();
+            (offsets, neighbors, weights)
+        };
+        for par in [
+            Parallelism::single(),
+            Parallelism::hogwild(2),
+            Parallelism::strict(4),
+            Parallelism::hogwild(8),
+        ] {
+            let c = Csr::from_directed_pairs_with(700, arcs.clone(), par);
+            assert_eq!(c.offsets, reference.0, "{par:?}");
+            assert_eq!(c.neighbors, reference.1, "{par:?}");
+            assert_eq!(
+                c.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                reference.2.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                "{par:?}"
+            );
+            // Prefix sums restart per node and accumulate in arc order.
+            for i in 0..700 {
+                let mut acc = 0.0f32;
+                let (s, e) = c.range(i);
+                for (k, &w) in c.weights[s..e].iter().enumerate() {
+                    acc += w;
+                    assert_eq!(c.weight_prefix[s + k].to_bits(), acc.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn radix_path_matches_stable_sort() {
+        use crate::par::Parallelism;
+        // Big enough that every bucket crosses the RADIX cutoff (200k arcs
+        // over 64 buckets ≈ 3.1k per bucket) and dst needs two digit
+        // passes (5000 > 2^11), with (src, dst) ties to observe stability.
+        let n = 5_000u32;
+        let mut arcs: Vec<(u32, u32, f32)> = Vec::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for k in 0..200_000u32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let src = (state >> 33) as u32 % n;
+            let dst = (state >> 11) as u32 % n;
+            arcs.push((src, dst, k as f32 + 0.5));
+            if k % 13 == 0 {
+                arcs.push((src, dst, k as f32 + 1000.5));
+            }
+        }
+        let mut sorted = arcs.clone();
+        sorted.sort_by_key(|a| (a.0, a.1));
+        for par in [Parallelism::single(), Parallelism::strict(4)] {
+            let c = Csr::from_directed_pairs_with(n as usize, arcs.clone(), par);
+            let mut got = Vec::with_capacity(sorted.len());
+            for i in 0..n as usize {
+                let (s, e) = c.range(i);
+                for k in s..e {
+                    got.push((i as u32, c.neighbors[k], c.weights[k]));
+                }
+            }
+            assert_eq!(
+                got.iter()
+                    .map(|a| (a.0, a.1, a.2.to_bits()))
+                    .collect::<Vec<_>>(),
+                sorted
+                    .iter()
+                    .map(|a| (a.0, a.1, a.2.to_bits()))
+                    .collect::<Vec<_>>(),
+                "{par:?}"
+            );
+        }
     }
 
     #[test]

@@ -53,12 +53,13 @@ pub mod ids;
 pub mod io;
 pub mod labels;
 pub mod network;
+pub mod par;
 pub mod schema;
 pub mod stats;
 pub mod subview;
 pub mod view;
 
-pub use alias::{AliasScratch, AliasTable};
+pub use alias::{build_batch_with, AliasScratch, AliasTable};
 pub use builder::HetNetBuilder;
 pub use csr::Csr;
 pub use embedding::NodeEmbeddings;
@@ -67,6 +68,7 @@ pub use ids::{EdgeTypeId, NodeId, NodeTypeId};
 pub use io::{read_edge_list, read_labels, write_edge_list, write_labels};
 pub use labels::Labels;
 pub use network::{Edge, HetNet};
+pub use par::{par_chunks_mut, run_shards, run_shards_build, Determinism, Parallelism, RacyTable};
 pub use schema::Schema;
 pub use stats::NetworkStats;
 pub use subview::PairedSubview;

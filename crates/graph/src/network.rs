@@ -2,6 +2,7 @@
 
 use crate::csr::Csr;
 use crate::ids::{EdgeTypeId, NodeId, NodeTypeId};
+use crate::par::Parallelism;
 use crate::schema::Schema;
 use crate::view::{View, ViewPair};
 use serde::{Deserialize, Serialize};
@@ -119,8 +120,15 @@ impl HetNet {
     /// still returned (empty), preserving the indexing; they are skipped by
     /// [`HetNet::view_pairs`].
     pub fn views(&self) -> Vec<View> {
+        self.views_with(Parallelism::single())
+    }
+
+    /// [`HetNet::views`] with an explicit thread policy: each view's local
+    /// CSR is built by the sharded counting sort, so large views stop
+    /// serializing setup. Bit-identical output for every `par`.
+    pub fn views_with(&self, par: Parallelism) -> Vec<View> {
         (0..self.schema.num_edge_types())
-            .map(|i| View::from_network(self, EdgeTypeId::from_index(i)))
+            .map(|i| View::from_network_with(self, EdgeTypeId::from_index(i), par))
             .collect()
     }
 

@@ -4,6 +4,7 @@
 use crate::csr::Csr;
 use crate::ids::{EdgeTypeId, NodeId, NodeTypeId};
 use crate::network::HetNet;
+use crate::par::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Whether a view contains one node type or two (Definition 4).
@@ -43,6 +44,12 @@ pub struct View {
 impl View {
     /// Extract the view of edge type `etype` from `net` (Definition 2).
     pub fn from_network(net: &HetNet, etype: EdgeTypeId) -> Self {
+        Self::from_network_with(net, etype, Parallelism::single())
+    }
+
+    /// [`View::from_network`] with an explicit thread policy for the local
+    /// CSR construction (bit-identical output for every `par`).
+    pub fn from_network_with(net: &HetNet, etype: EdgeTypeId, par: Parallelism) -> Self {
         let mut globals: Vec<NodeId> = Vec::new();
         for e in net.edges().iter().filter(|e| e.etype == etype) {
             globals.push(e.u);
@@ -58,7 +65,7 @@ impl View {
             edges.push((local_of(e.u), local_of(e.v), e.weight));
         }
         let num_edges = edges.len();
-        let adj = Csr::from_undirected(globals.len(), edges);
+        let adj = Csr::from_undirected_with(globals.len(), edges, par);
         let node_types: Vec<NodeTypeId> = globals.iter().map(|&g| net.node_type(g)).collect();
         let kind = if net.schema().is_homo(etype) {
             ViewKind::Homo

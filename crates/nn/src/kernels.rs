@@ -195,26 +195,150 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize)
     assert_eq!(out.len(), n * m, "gemm out shape mismatch");
     out.fill(0.0);
     for i in 0..n {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * m..(i + 1) * m];
-        let mut quads = a_row.chunks_exact(4);
+        gemm_row(
+            &a[i * k..(i + 1) * k],
+            b,
+            &mut out[i * m..(i + 1) * m],
+            k,
+            m,
+        );
+    }
+}
+
+/// One row of the [`gemm`] microkernel: `out_row ← out_row + a_row·B`.
+#[inline]
+fn gemm_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, m: usize) {
+    let mut quads = a_row.chunks_exact(4);
+    let mut p = 0usize;
+    for q in quads.by_ref() {
+        let b0 = &b[p * m..(p + 1) * m];
+        let b1 = &b[(p + 1) * m..(p + 2) * m];
+        let b2 = &b[(p + 2) * m..(p + 3) * m];
+        let b3 = &b[(p + 3) * m..(p + 4) * m];
+        let (q0, q1, q2, q3) = (q[0], q[1], q[2], q[3]);
+        for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            *o = *o + q0 * v0 + q1 * v1 + q2 * v2 + q3 * v3;
+        }
+        p += 4;
+    }
+    for (&av, pp) in quads.remainder().iter().zip(p..k) {
+        let b_row = &b[pp * m..(pp + 1) * m];
+        axpy(out_row, av, b_row);
+    }
+}
+
+/// [`gemm`] over scattered `A` rows: `out[i] ← a_rows[i]·B` for row-major
+/// `B (k×m)` and `out (n×m)`, where each `a_rows[i]` is its own length-`k`
+/// slice. Bit-identical to packing the rows into one `n×k` matrix and
+/// calling [`gemm`] — every output element accumulates in the same
+/// left-to-right quad order — but skips the pack copy entirely, which
+/// matters when the rows are gathered from a large embedding table (the
+/// batched-eval hot path).
+///
+/// Rows are processed four at a time with the reduction step innermost
+/// per row: the four rows' accumulation chains are independent, so the
+/// core can overlap them and the narrow-`m` case (a handful of classes)
+/// is no longer bound by the latency of one serial add chain. The
+/// interleaving never reorders any single element's reduction.
+///
+/// # Panics
+/// Panics if a slice length does not match its shape.
+pub fn gemm_rows(a_rows: &[&[f32]], b: &[f32], out: &mut [f32], k: usize, m: usize) {
+    assert!(
+        a_rows.iter().all(|r| r.len() == k),
+        "gemm_rows A shape mismatch"
+    );
+    assert_eq!(b.len(), k * m, "gemm B shape mismatch");
+    assert_eq!(out.len(), a_rows.len() * m, "gemm out shape mismatch");
+    // Narrow-B fast path (a handful of classes): monomorphized per width
+    // so the whole output row is a register-resident stack array across
+    // the entire `k` reduction — no per-step output loads/stores.
+    match m {
+        1 => return gemm_rows_narrow::<1>(a_rows, b, out, k),
+        2 => return gemm_rows_narrow::<2>(a_rows, b, out, k),
+        3 => return gemm_rows_narrow::<3>(a_rows, b, out, k),
+        4 => return gemm_rows_narrow::<4>(a_rows, b, out, k),
+        5 => return gemm_rows_narrow::<5>(a_rows, b, out, k),
+        6 => return gemm_rows_narrow::<6>(a_rows, b, out, k),
+        7 => return gemm_rows_narrow::<7>(a_rows, b, out, k),
+        8 => return gemm_rows_narrow::<8>(a_rows, b, out, k),
+        _ => {}
+    }
+    out.fill(0.0);
+    let mut blocks = a_rows.chunks_exact(4);
+    let mut outs = out.chunks_exact_mut(4 * m);
+    for (rb, ob) in blocks.by_ref().zip(outs.by_ref()) {
         let mut p = 0usize;
-        for q in quads.by_ref() {
+        while p + 4 <= k {
             let b0 = &b[p * m..(p + 1) * m];
             let b1 = &b[(p + 1) * m..(p + 2) * m];
             let b2 = &b[(p + 2) * m..(p + 3) * m];
             let b3 = &b[(p + 3) * m..(p + 4) * m];
-            let (q0, q1, q2, q3) = (q[0], q[1], q[2], q[3]);
-            for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-            {
-                *o = *o + q0 * v0 + q1 * v1 + q2 * v2 + q3 * v3;
+            for (a_row, out_row) in rb.iter().zip(ob.chunks_exact_mut(m)) {
+                let (q0, q1, q2, q3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o = *o + q0 * v0 + q1 * v1 + q2 * v2 + q3 * v3;
+                }
             }
             p += 4;
         }
-        for (&av, pp) in quads.remainder().iter().zip(p..k) {
+        for pp in p..k {
             let b_row = &b[pp * m..(pp + 1) * m];
-            axpy(out_row, av, b_row);
+            for (a_row, out_row) in rb.iter().zip(ob.chunks_exact_mut(m)) {
+                axpy(out_row, a_row[pp], b_row);
+            }
         }
+    }
+    for (a_row, out_row) in blocks
+        .remainder()
+        .iter()
+        .zip(outs.into_remainder().chunks_exact_mut(m))
+    {
+        gemm_row(a_row, b, out_row, k, m);
+    }
+}
+
+/// [`gemm_rows`] for compile-time width `M ≤ 8`: four rows per block,
+/// each row's `M`-wide accumulator a fully-unrolled stack array, one
+/// scalar reduction step per `k`. The per-element accumulation order is
+/// the plain sequential `k` order — the same bits as [`gemm_ref`] and as
+/// the quad loop in [`gemm`] (whose left-to-right quad sum is that same
+/// order).
+fn gemm_rows_narrow<const M: usize>(a_rows: &[&[f32]], b: &[f32], out: &mut [f32], k: usize) {
+    debug_assert_eq!(b.len(), k * M);
+    let mut blocks = a_rows.chunks_exact(4);
+    let mut outs = out.chunks_exact_mut(4 * M);
+    for (rb, ob) in blocks.by_ref().zip(outs.by_ref()) {
+        let (r0, r1, r2, r3) = (rb[0], rb[1], rb[2], rb[3]);
+        let mut acc = [[0.0f32; M]; 4];
+        for (p, b_row) in b.chunks_exact(M).enumerate() {
+            let b_row: &[f32; M] = b_row.try_into().unwrap();
+            let av = [r0[p], r1[p], r2[p], r3[p]];
+            for (acc_row, &a) in acc.iter_mut().zip(&av) {
+                for (o, &bv) in acc_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
+                }
+            }
+        }
+        for (acc_row, out_row) in acc.iter().zip(ob.chunks_exact_mut(M)) {
+            out_row.copy_from_slice(acc_row);
+        }
+    }
+    for (a_row, out_row) in blocks
+        .remainder()
+        .iter()
+        .zip(outs.into_remainder().chunks_exact_mut(M))
+    {
+        let mut acc = [0.0f32; M];
+        for (p, b_row) in b.chunks_exact(M).enumerate() {
+            let av = a_row[p];
+            for (o, &bv) in acc.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+        out_row.copy_from_slice(&acc);
     }
 }
 
@@ -413,6 +537,31 @@ mod tests {
             let mut o2 = vec![1.0f32; n * m];
             gemm(&a, &b, &mut o1, n, k, m);
             gemm_ref(&a, &b, &mut o2, n, k, m);
+            for (x, y) in o1.iter().zip(&o2) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({n},{k},{m})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_rows_matches_packed_gemm_bits() {
+        // n values straddle the 4-row block: remainder-only, one block,
+        // block + remainder.
+        for (n, k, m) in [
+            (1usize, 1usize, 1usize),
+            (2, 3, 4),
+            (4, 9, 5),
+            (3, 8, 7),
+            (6, 9, 3),
+            (9, 130, 8),
+        ] {
+            let a = seq(n * k, -1.0);
+            let b = seq(k * m, 0.2);
+            let rows: Vec<&[f32]> = a.chunks_exact(k).collect();
+            let mut o1 = vec![0.0f32; n * m];
+            let mut o2 = vec![1.0f32; n * m];
+            gemm_rows(&rows, &b, &mut o1, k, m);
+            gemm(&a, &b, &mut o2, n, k, m);
             for (x, y) in o1.iter().zip(&o2) {
                 assert_eq!(x.to_bits(), y.to_bits(), "({n},{k},{m})");
             }

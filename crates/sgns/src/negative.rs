@@ -3,9 +3,15 @@
 //! paper compares.
 
 use crate::context::count_pairs;
+use crate::sync::Parallelism;
 use rand::Rng;
-use transn_graph::{AliasScratch, AliasTable};
+use std::sync::atomic::{AtomicU64, Ordering};
+use transn_graph::{par_chunks_mut, run_shards_build, AliasScratch, AliasTable};
 use transn_walks::WalkCorpus;
+
+/// Chunk count for the parallel 3/4-power weight fill — each element is
+/// computed independently, so any chunking is bit-identical.
+const POW_CHUNKS: usize = 64;
 
 /// Reusable workspace for [`NoiseTable::rebuild_from_frequencies`]: the
 /// 3/4-power weight buffer plus the alias-construction worklists, so a
@@ -97,7 +103,22 @@ impl NoiseTable {
     /// # Panics
     /// Panics if all frequencies are zero.
     pub fn from_frequencies(freqs: &[u64]) -> Self {
-        let weights: Vec<f32> = freqs.iter().map(|&f| (f as f32).powf(0.75)).collect();
+        Self::from_frequencies_with(freqs, Parallelism::single())
+    }
+
+    /// [`from_frequencies`](NoiseTable::from_frequencies) with an explicit
+    /// thread policy. The 3/4-power weight fill — the `powf`-dominated
+    /// bulk of the build — runs over disjoint chunks (each element is
+    /// independent, so the filled vector is bit-identical for every
+    /// `par`); the Vose worklist pass stays serial (O(n) adds, no
+    /// transcendental math). Bit-identical to the serial build.
+    pub fn from_frequencies_with(freqs: &[u64], par: Parallelism) -> Self {
+        let mut weights = vec![0.0f32; freqs.len()];
+        par_chunks_mut(&mut weights, POW_CHUNKS, par, |_, start, chunk| {
+            for (j, w) in chunk.iter_mut().enumerate() {
+                *w = (freqs[start + j] as f32).powf(0.75);
+            }
+        });
         NoiseTable {
             table: AliasTable::new(&weights),
             support: freqs.len(),
@@ -113,11 +134,37 @@ impl NoiseTable {
     /// # Panics
     /// Panics if all frequencies are zero (e.g. an empty corpus).
     pub fn from_corpus(corpus: &WalkCorpus, num_nodes: usize) -> Self {
-        let mut freqs = vec![0u64; num_nodes];
-        for &t in corpus.tokens() {
-            freqs[t as usize] += 1;
+        Self::from_corpus_with(corpus, num_nodes, Parallelism::single())
+    }
+
+    /// [`from_corpus`](NoiseTable::from_corpus) with an explicit thread
+    /// policy. Token counting folds disjoint chunks of the flat arena into
+    /// a shared `AtomicU64` histogram — integer addition is associative
+    /// and commutative, so the counts (and therefore the table) are
+    /// bit-identical for every `par` — then the 3/4-power fill runs
+    /// chunk-parallel ([`from_frequencies_with`]
+    /// (NoiseTable::from_frequencies_with)).
+    pub fn from_corpus_with(corpus: &WalkCorpus, num_nodes: usize, par: Parallelism) -> Self {
+        let tokens = corpus.tokens();
+        let threads = par.build_threads(tokens.len());
+        if threads <= 1 {
+            let mut freqs = vec![0u64; num_nodes];
+            for &t in tokens {
+                freqs[t as usize] += 1;
+            }
+            return Self::from_frequencies_with(&freqs, par);
         }
-        Self::from_frequencies(&freqs)
+        let counts: Vec<AtomicU64> = (0..num_nodes).map(|_| AtomicU64::new(0)).collect();
+        let m = tokens.len();
+        let chunks = (threads * 4).min(m);
+        run_shards_build(chunks, par, |c| {
+            let (s, e) = (c * m / chunks, (c + 1) * m / chunks);
+            for &t in &tokens[s..e] {
+                counts[t as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let freqs: Vec<u64> = counts.into_iter().map(|c| c.into_inner()).collect();
+        Self::from_frequencies_with(&freqs, par)
     }
 
     /// Rebuild this table in place from new occurrence counts, reusing the
@@ -136,6 +183,11 @@ impl NoiseTable {
             .extend(freqs.iter().map(|&f| (f as f32).powf(0.75)));
         self.table.rebuild(&scratch.weights, &mut scratch.alias);
         self.support = freqs.len();
+    }
+
+    /// The underlying alias table (conformance signature emission).
+    pub fn alias_table(&self) -> &AliasTable {
+        &self.table
     }
 
     /// Number of ids covered (including zero-frequency ones).
@@ -246,6 +298,42 @@ mod tests {
             .map(|w| count_pairs(whole.walk(w).len(), 2) as u64)
             .sum();
         assert_eq!(acc.pairs(), expect_pairs);
+    }
+
+    #[test]
+    fn parallel_builds_are_bit_identical_across_thread_counts() {
+        // A corpus large enough to exercise many count chunks.
+        let walks: Vec<Vec<u32>> = (0..200)
+            .map(|w| (0..50).map(|i| ((w * 37 + i * 11) % 300) as u32).collect())
+            .collect();
+        let corpus = WalkCorpus::from_walks(walks);
+        let serial = NoiseTable::from_corpus(&corpus, 300);
+        for par in [
+            Parallelism::hogwild(2),
+            Parallelism::strict(4),
+            Parallelism::hogwild(8),
+        ] {
+            let t = NoiseTable::from_corpus_with(&corpus, 300, par);
+            assert_eq!(
+                t.alias_table()
+                    .probs()
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect::<Vec<_>>(),
+                serial
+                    .alias_table()
+                    .probs()
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect::<Vec<_>>(),
+                "{par:?}"
+            );
+            assert_eq!(
+                t.alias_table().aliases(),
+                serial.alias_table().aliases(),
+                "{par:?}"
+            );
+        }
     }
 
     #[test]

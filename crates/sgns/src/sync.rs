@@ -1,275 +1,20 @@
 //! Sharded-parallel execution primitives for the trainers.
 //!
-//! A corpus is partitioned into a **fixed number of logical shards**,
+//! The core types ([`Parallelism`], [`Determinism`], [`RacyTable`],
+//! [`run_shards`]) now live in [`transn_graph::par`] so the graph layer's
+//! own build paths (parallel CSR construction, batch alias-table builds)
+//! can shard themselves without inverting the workspace dependency graph.
+//! This module re-exports them unchanged — every existing
+//! `transn_sgns::{Parallelism, …}` import keeps working — and remains the
+//! documented home of the *trainer-side* contract:
+//!
+//! A corpus is partitioned into a fixed number of logical shards,
 //! independent of the thread count: shard `s` owns walks `s`,
-//! `s + num_shards`, … — the same `task i % threads` ownership convention
-//! as `transn_walks::parallel_generate` — and draws its noise samples from
-//! its own seeded RNG stream. Because the shard decomposition and the
-//! per-shard streams never depend on `threads`, the *work* is identical at
-//! any thread count; only the interleaving of table updates varies.
-//!
-//! Two execution modes interpret that decomposition:
-//!
-//! * [`Determinism::Hogwild`] trains shards concurrently with lock-free
-//!   updates to the shared tables ([`RacyTable`]), the classic Hogwild
-//!   scheme: sparse-ish SGD tolerates racy read-modify-write updates and
-//!   converges to statistically equivalent solutions. Results are
-//!   **bit-nondeterministic** for `threads > 1` (update interleaving is
-//!   scheduler-dependent) but deterministic for `threads == 1`.
-//! * [`Determinism::Strict`] applies shards serially in shard order, so a
-//!   fixed seed gives **bit-identical** results regardless of the
-//!   configured thread count — and identical to Hogwild at `threads == 1`,
-//!   which runs the very same serial loop.
+//! `s + num_shards`, … and draws its noise samples from its own seeded RNG
+//! stream. [`Determinism::Hogwild`] trains shards concurrently with
+//! lock-free [`RacyTable`] updates (bit-nondeterministic for
+//! `threads > 1`); [`Determinism::Strict`] applies shards serially in
+//! shard order, so a fixed seed gives bit-identical results regardless of
+//! the configured thread count.
 
-use std::sync::atomic::{AtomicU32, Ordering};
-
-/// How sharded training applies its updates.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum Determinism {
-    /// Lock-free concurrent shard training (Hogwild). Fastest; results
-    /// depend on thread interleaving when `threads > 1`.
-    #[default]
-    Hogwild,
-    /// Serialize shard application in shard order: fixed-seed runs are
-    /// bit-identical no matter how many threads are configured (the
-    /// thread pool is simply not used). Opt-in reproducibility at the
-    /// cost of parallel speedup.
-    Strict,
-}
-
-/// Thread-count and determinism policy threaded through every walk-based
-/// trainer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Parallelism {
-    /// Worker threads for Hogwild shard training (ignored under
-    /// [`Determinism::Strict`]). Clamped to at least 1.
-    pub threads: usize,
-    /// Update-application policy.
-    pub determinism: Determinism,
-}
-
-impl Default for Parallelism {
-    /// Single-threaded, Hogwild policy — bit-deterministic (one thread
-    /// runs shards in shard order, which is exactly the Strict schedule).
-    fn default() -> Self {
-        Parallelism {
-            threads: 1,
-            determinism: Determinism::Hogwild,
-        }
-    }
-}
-
-impl Parallelism {
-    /// Single-threaded (the default).
-    pub fn single() -> Self {
-        Parallelism::default()
-    }
-
-    /// Hogwild over `threads` workers.
-    pub fn hogwild(threads: usize) -> Self {
-        Parallelism {
-            threads,
-            determinism: Determinism::Hogwild,
-        }
-    }
-
-    /// Strict determinism (serial shard application; `threads` recorded
-    /// but unused).
-    pub fn strict(threads: usize) -> Self {
-        Parallelism {
-            threads,
-            determinism: Determinism::Strict,
-        }
-    }
-
-    /// True when shard execution is serial in shard order — Strict mode,
-    /// one thread, or at most one shard — and results are therefore
-    /// bit-deterministic.
-    pub fn is_sequential(&self, num_shards: usize) -> bool {
-        self.determinism == Determinism::Strict || self.threads <= 1 || num_shards <= 1
-    }
-}
-
-/// A lock-free shared view of an `f32` table for Hogwild updates.
-///
-/// Reinterprets `&mut [f32]` as `&[AtomicU32]` (identical size, alignment,
-/// and bit validity) and performs all access as `Relaxed` bit-cast
-/// loads/stores. Concurrent read-modify-write sequences may lose updates —
-/// that is the *intended* Hogwild semantics — but, unlike racing on plain
-/// `f32`s, every access is an atomic operation, so there is no undefined
-/// behavior and every read observes some previously-stored bit pattern.
-/// On x86-64 and aarch64 a `Relaxed` 32-bit load/store compiles to a plain
-/// `mov`/`ldr`, so the serial path pays nothing for going through this
-/// view.
-pub struct RacyTable<'a> {
-    words: &'a [AtomicU32],
-}
-
-impl<'a> RacyTable<'a> {
-    /// Wrap a mutable table. The exclusive borrow guarantees no plain
-    /// `&[f32]`/`&mut [f32]` access can race with the atomic accesses for
-    /// the lifetime of the view.
-    pub fn new(data: &'a mut [f32]) -> Self {
-        // SAFETY: f32 and AtomicU32 both have size 4 and alignment 4, and
-        // any 32-bit pattern is valid for both. The source is an exclusive
-        // borrow, so reinterpreting it as a slice of atomics cannot alias
-        // non-atomic accesses.
-        let words = unsafe {
-            std::slice::from_raw_parts(data.as_mut_ptr() as *const AtomicU32, data.len())
-        };
-        RacyTable { words }
-    }
-
-    /// Number of `f32` slots.
-    pub fn len(&self) -> usize {
-        self.words.len()
-    }
-
-    /// True when the table has no slots.
-    pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
-    }
-
-    /// Read slot `i`.
-    #[inline(always)]
-    pub fn load(&self, i: usize) -> f32 {
-        f32::from_bits(self.words[i].load(Ordering::Relaxed))
-    }
-
-    /// Write slot `i`.
-    #[inline(always)]
-    pub fn store(&self, i: usize, v: f32) {
-        self.words[i].store(v.to_bits(), Ordering::Relaxed);
-    }
-
-    /// `slot[i] += delta` as a racy load-modify-store (not a CAS loop:
-    /// lost updates are acceptable under Hogwild).
-    #[inline(always)]
-    pub fn add(&self, i: usize, delta: f32) {
-        self.store(i, self.load(i) + delta);
-    }
-
-    /// Copy `dst.len()` consecutive slots starting at `start` into `dst`.
-    ///
-    /// Row-granularity companion to [`RacyTable::load`]: the trainers
-    /// gather an embedding row into plain scratch once per pair so the
-    /// arithmetic can run through the slice kernels in `transn_nn::kernels`
-    /// (DESIGN.md §9). Under Hogwild this snapshots the row — concurrent
-    /// writes landing mid-gather are simply not observed, which is the
-    /// same staleness Hogwild already tolerates per element.
-    #[inline]
-    pub fn gather_into(&self, start: usize, dst: &mut [f32]) {
-        for (j, d) in dst.iter_mut().enumerate() {
-            *d = self.load(start + j);
-        }
-    }
-
-    /// Write `src` into consecutive slots starting at `start`.
-    #[inline]
-    pub fn scatter(&self, start: usize, src: &[f32]) {
-        for (j, &v) in src.iter().enumerate() {
-            self.store(start + j, v);
-        }
-    }
-
-    /// `slots[start..start+src.len()] += s·src` as racy element-wise
-    /// read-modify-write (lost updates acceptable under Hogwild).
-    #[inline]
-    pub fn add_scaled(&self, start: usize, s: f32, src: &[f32]) {
-        for (j, &v) in src.iter().enumerate() {
-            self.add(start + j, s * v);
-        }
-    }
-}
-
-/// Run `worker(shard)` for every shard in `0..num_shards`, returning the
-/// per-shard results **in shard order**.
-///
-/// Sequential cases ([`Parallelism::is_sequential`]) run the plain ordered
-/// loop. Otherwise thread `t` of `min(threads, num_shards)` workers owns
-/// shards `t, t + threads, …` (the `parallel_generate` convention) and the
-/// results are re-sorted by shard index afterwards, so the *returned
-/// values* are ordered identically in every mode — only table-update
-/// interleaving differs.
-pub fn run_shards<T, F>(num_shards: usize, par: Parallelism, worker: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if par.is_sequential(num_shards) {
-        return (0..num_shards).map(worker).collect();
-    }
-    let threads = par.threads.min(num_shards);
-    let mut indexed: Vec<(usize, T)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let worker = &worker;
-                scope.spawn(move |_| {
-                    let mut out = Vec::new();
-                    let mut s = t;
-                    while s < num_shards {
-                        out.push((s, worker(s)));
-                        s += threads;
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("shard worker panicked"))
-            .collect()
-    })
-    .expect("shard scope failed");
-    indexed.sort_by_key(|&(s, _)| s);
-    indexed.into_iter().map(|(_, v)| v).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn racy_table_round_trips_through_bits() {
-        let mut data = vec![0.0f32; 8];
-        {
-            let view = RacyTable::new(&mut data);
-            view.store(3, -1.25);
-            view.add(3, 0.25);
-            assert_eq!(view.load(3), -1.0);
-            assert_eq!(view.len(), 8);
-        }
-        assert_eq!(data[3], -1.0);
-    }
-
-    #[test]
-    fn run_shards_returns_results_in_shard_order() {
-        for par in [
-            Parallelism::single(),
-            Parallelism::hogwild(4),
-            Parallelism::strict(4),
-        ] {
-            let out = run_shards(17, par, |s| s * 10);
-            assert_eq!(out, (0..17).map(|s| s * 10).collect::<Vec<_>>(), "{par:?}");
-        }
-    }
-
-    #[test]
-    fn hogwild_threads_share_a_table() {
-        let mut data = vec![0.0f32; 64];
-        let view = RacyTable::new(&mut data);
-        // Disjoint slots per shard → no races, exact expected result.
-        run_shards(64, Parallelism::hogwild(4), |s| view.store(s, s as f32));
-        for (i, w) in (0..64).enumerate() {
-            assert_eq!(view.load(i), w as f32);
-        }
-    }
-
-    #[test]
-    fn sequential_modes_detected() {
-        assert!(Parallelism::single().is_sequential(100));
-        assert!(Parallelism::strict(8).is_sequential(100));
-        assert!(Parallelism::hogwild(8).is_sequential(1));
-        assert!(!Parallelism::hogwild(8).is_sequential(100));
-    }
-}
+pub use transn_graph::par::{run_shards, run_shards_build, Determinism, Parallelism, RacyTable};

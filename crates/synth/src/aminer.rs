@@ -6,7 +6,7 @@
 //! topic label. The planted structure ties all four views to the topic
 //! communities so multi-view transfer carries signal.
 
-use crate::common::{popularity_weights, weighted_pick, EdgeSink};
+use crate::common::{popularity_weights, prefix_sums, weighted_pick_prefix, EdgeSink};
 use crate::dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,6 +60,21 @@ impl AminerConfig {
             pp_fidelity: 0.35,
             pv_fidelity: 0.45,
             label_noise: 0.05,
+        }
+    }
+
+    /// The paper-scale schema multiplied by `factor` (structure knobs
+    /// unchanged): the scale axis of the unified bench harness. At
+    /// `factor` ≈ 200 the academic network crosses a million nodes while
+    /// the O(log n) CDF draws keep generation linear-ish in the edge
+    /// count.
+    pub fn scaled(factor: usize) -> Self {
+        let f = factor.max(1);
+        AminerConfig {
+            authors: 2_161 * f,
+            papers: 2_555 * f,
+            venues: 58 * f,
+            ..AminerConfig::full()
         }
     }
 
@@ -124,6 +139,15 @@ pub fn aminer_like(cfg: &AminerConfig, seed: u64) -> Dataset {
         topic_paper_id[t].push(p);
     }
 
+    // O(log n) CDF tables for the edge loops — bit-identical picks to the
+    // linear scan (see `common::weighted_pick_prefix`); at `scaled`
+    // factors the draws run over 10^5–10^6-entry weight arrays where the
+    // O(n)-per-draw scan would dominate generation.
+    let author_cdf = prefix_sums(&author_pop);
+    let paper_cdf = prefix_sums(&paper_pop);
+    let topic_author_cdf: Vec<Vec<f64>> = topic_author_w.iter().map(|w| prefix_sums(w)).collect();
+    let topic_paper_cdf: Vec<Vec<f64>> = topic_paper_w.iter().map(|w| prefix_sums(w)).collect();
+
     let mut sink = EdgeSink::new();
 
     // AP (authorship) + AA (co-authorship among a paper's authors).
@@ -133,9 +157,9 @@ pub fn aminer_like(cfg: &AminerConfig, seed: u64) -> Dataset {
         let mut team: Vec<usize> = Vec::with_capacity(k);
         for _ in 0..k {
             let a = if rng.random::<f64>() < cfg.ap_fidelity && !topic_author_id[topic].is_empty() {
-                topic_author_id[topic][weighted_pick(&topic_author_w[topic], &mut rng)]
+                topic_author_id[topic][weighted_pick_prefix(&topic_author_cdf[topic], &mut rng)]
             } else {
-                weighted_pick(&author_pop, &mut rng)
+                weighted_pick_prefix(&author_cdf, &mut rng)
             };
             if !team.contains(&a) {
                 team.push(a);
@@ -157,9 +181,9 @@ pub fn aminer_like(cfg: &AminerConfig, seed: u64) -> Dataset {
         let n_cites = sample_count(cfg.citations_per_paper, &mut rng);
         for _ in 0..n_cites {
             let q = if rng.random::<f64>() < cfg.pp_fidelity && topic_paper_id[topic].len() > 1 {
-                topic_paper_id[topic][weighted_pick(&topic_paper_w[topic], &mut rng)]
+                topic_paper_id[topic][weighted_pick_prefix(&topic_paper_cdf[topic], &mut rng)]
             } else {
-                weighted_pick(&paper_pop, &mut rng)
+                weighted_pick_prefix(&paper_cdf, &mut rng)
             };
             sink.add(&mut b, papers[p], papers[q], e_pp, 1.0).unwrap();
         }

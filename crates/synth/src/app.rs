@@ -16,7 +16,7 @@
 //!    keyword" (§IV-B2) — implemented by giving the AK view an independent
 //!    keyword-affinity noise source.
 
-use crate::common::{lognormal, popularity_weights, weighted_pick, EdgeSink};
+use crate::common::{lognormal, popularity_weights, prefix_sums, weighted_pick_prefix, EdgeSink};
 use crate::dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -87,6 +87,19 @@ impl AppConfig {
         }
     }
 
+    /// App-Daily multiplied by `factor` (structure knobs unchanged): the
+    /// scale axis of the unified bench harness. The store is
+    /// applet-dominated, so `factor` ≈ 100 crosses a million nodes.
+    pub fn scaled(factor: usize) -> Self {
+        let f = factor.max(1);
+        AppConfig {
+            applets: 7_398 * f,
+            users: 826 * f,
+            keywords: 1_396 * f,
+            ..AppConfig::daily()
+        }
+    }
+
     /// Tiny daily variant for tests.
     pub fn daily_tiny() -> Self {
         AppConfig {
@@ -154,6 +167,14 @@ pub fn app_like(cfg: &AppConfig, seed: u64) -> Dataset {
         cat_kw_id[c].push(k);
     }
 
+    // O(log n) CDF tables for the edge loops — bit-identical picks to the
+    // linear scan (see `common::weighted_pick_prefix`); the `scaled`
+    // store draws millions of edges over 10^5–10^6-entry weight arrays.
+    let applet_cdf = prefix_sums(&applet_pop);
+    let kw_cdf = prefix_sums(&kw_pop);
+    let cat_applet_cdf: Vec<Vec<f64>> = cat_applet_w.iter().map(|w| prefix_sums(w)).collect();
+    let cat_kw_cdf: Vec<Vec<f64>> = cat_kw_w.iter().map(|w| prefix_sums(w)).collect();
+
     let mut sink = EdgeSink::new();
 
     // AU: usage time (log-normal). Matching tastes get longer sessions,
@@ -165,11 +186,11 @@ pub fn app_like(cfg: &AppConfig, seed: u64) -> Dataset {
         let (a, matched) =
             if rng.random::<f64>() < cfg.usage_fidelity && !cat_applet_id[taste].is_empty() {
                 (
-                    cat_applet_id[taste][weighted_pick(&cat_applet_w[taste], &mut rng)],
+                    cat_applet_id[taste][weighted_pick_prefix(&cat_applet_cdf[taste], &mut rng)],
                     true,
                 )
             } else {
-                (weighted_pick(&applet_pop, &mut rng), false)
+                (weighted_pick_prefix(&applet_cdf, &mut rng), false)
             };
         let mu = if matched { 3.0 } else { 1.2 };
         let w = lognormal(&mut rng, mu, 0.8, 600.0);
@@ -181,16 +202,16 @@ pub fn app_like(cfg: &AppConfig, seed: u64) -> Dataset {
     let au_edges = sink.len();
     let ak_target = (cfg.applets as f64 * cfg.keywords_per_applet) as usize;
     while sink.len() - au_edges < ak_target {
-        let a = weighted_pick(&applet_pop, &mut rng);
+        let a = weighted_pick_prefix(&applet_cdf, &mut rng);
         let cat = applet_cat[a];
         let (k, matched) =
             if rng.random::<f64>() < cfg.keyword_fidelity && !cat_kw_id[cat].is_empty() {
                 (
-                    cat_kw_id[cat][weighted_pick(&cat_kw_w[cat], &mut rng)],
+                    cat_kw_id[cat][weighted_pick_prefix(&cat_kw_cdf[cat], &mut rng)],
                     true,
                 )
             } else {
-                (weighted_pick(&kw_pop, &mut rng), false)
+                (weighted_pick_prefix(&kw_cdf, &mut rng), false)
             };
         let mu = if matched { 2.0 } else { 0.8 };
         let w = lognormal(&mut rng, mu, 0.7, 300.0).round().max(1.0);

@@ -1,0 +1,359 @@
+//! Commerce/recommendation network — the million-node scale scenario.
+//!
+//! Unlike the four Table-II analogues, this generator has no counterpart
+//! in the paper: it exists to exercise the scale path (ROADMAP's
+//! million-node item) on a schema *wider* than anything in the paper —
+//! four node types and four edge types — so the setup stage builds more
+//! views, more alias families, and a larger global CSR per node than the
+//! two/three-type networks do.
+//!
+//! Schema: users buy items (UI, quantity-weighted), items co-occur in
+//! baskets (II "also-bought"), every item sits in exactly one catalog
+//! category (IC) and carries one brand (IB). Items are labeled with their
+//! market *segment* (a coarse grouping of categories), planted through
+//! all four views: users have a preferred segment driving UI, co-purchase
+//! stays intra-segment with its own fidelity, and brands are
+//! segment-aligned. Every preset generates in O(E log n) thanks to the
+//! precomputed CDF tables of [`crate::common::weighted_pick_prefix`].
+
+use crate::common::{lognormal, popularity_weights, prefix_sums, weighted_pick_prefix, EdgeSink};
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transn_graph::{HetNetBuilder, Labels};
+
+/// Size and structure knobs of the commerce generator.
+#[derive(Clone, Copy, Debug)]
+pub struct CommerceConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Number of catalog categories.
+    pub categories: usize,
+    /// Number of brands.
+    pub brands: usize,
+    /// Market segments = label classes (categories and brands are
+    /// partitioned across segments round-robin).
+    pub segments: usize,
+    /// Mean UI (purchase) edges per user.
+    pub purchases_per_user: f64,
+    /// Mean II (also-bought) edges per item.
+    pub cobuys_per_item: f64,
+    /// Probability a purchase follows the user's preferred segment.
+    pub ui_fidelity: f64,
+    /// Probability a co-purchase stays within the item's segment.
+    pub ii_fidelity: f64,
+    /// Probability an item's brand matches its segment.
+    pub ib_fidelity: f64,
+    /// Fraction of item labels flipped to a random segment.
+    pub label_noise: f64,
+}
+
+impl CommerceConfig {
+    /// Dev-tier store: ≈ 43k nodes — the smallest scale the harness
+    /// times, sized to run in seconds even in debug builds.
+    pub fn dev() -> Self {
+        CommerceConfig {
+            users: 30_000,
+            items: 12_000,
+            categories: 400,
+            brands: 800,
+            segments: 8,
+            purchases_per_user: 3.0,
+            cobuys_per_item: 1.5,
+            ui_fidelity: 0.7,
+            ii_fidelity: 0.6,
+            ib_fidelity: 0.8,
+            label_noise: 0.1,
+        }
+    }
+
+    /// Mid-tier store: ≈ 430k nodes, the PR 7 pipeline scale.
+    pub fn mid() -> Self {
+        CommerceConfig {
+            users: 300_000,
+            items: 120_000,
+            categories: 4_000,
+            brands: 8_000,
+            ..CommerceConfig::dev()
+        }
+    }
+
+    /// Million-node store: ≈ 1.0M nodes, ~3M edges — the ROADMAP's
+    /// million-node pipeline scenario.
+    pub fn million() -> Self {
+        CommerceConfig {
+            users: 700_000,
+            items: 280_000,
+            categories: 7_000,
+            brands: 14_000,
+            ..CommerceConfig::dev()
+        }
+    }
+
+    /// XL store: ≈ 4.0M nodes — the top of the harness's scale axis
+    /// (setup-phase timing; the full pipeline runs at
+    /// [`CommerceConfig::million`]).
+    pub fn xl() -> Self {
+        CommerceConfig {
+            users: 2_800_000,
+            items: 1_120_000,
+            categories: 28_000,
+            brands: 56_000,
+            ..CommerceConfig::dev()
+        }
+    }
+
+    /// Tiny store for tests.
+    pub fn tiny() -> Self {
+        CommerceConfig {
+            users: 120,
+            items: 80,
+            categories: 16,
+            brands: 12,
+            segments: 4,
+            purchases_per_user: 4.0,
+            cobuys_per_item: 2.0,
+            ui_fidelity: 0.8,
+            ii_fidelity: 0.7,
+            ib_fidelity: 0.9,
+            label_noise: 0.0,
+        }
+    }
+
+    /// Total node count of this configuration.
+    pub fn num_nodes(&self) -> usize {
+        self.users + self.items + self.categories + self.brands
+    }
+}
+
+/// Generate the commerce dataset.
+pub fn commerce_like(cfg: &CommerceConfig, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = HetNetBuilder::new();
+    let t_user = b.add_node_type("user");
+    let t_item = b.add_node_type("item");
+    let t_cat = b.add_node_type("category");
+    let t_brand = b.add_node_type("brand");
+    let e_ui = b.add_edge_type("UI", t_user, t_item);
+    let e_ii = b.add_edge_type("II", t_item, t_item);
+    let e_ic = b.add_edge_type("IC", t_item, t_cat);
+    let e_ib = b.add_edge_type("IB", t_item, t_brand);
+
+    let users = b.add_nodes(t_user, cfg.users);
+    let items = b.add_nodes(t_item, cfg.items);
+    let cats = b.add_nodes(t_cat, cfg.categories);
+    let brands = b.add_nodes(t_brand, cfg.brands);
+
+    // Segment structure: categories and brands are partitioned
+    // round-robin; every item draws a category and inherits its segment;
+    // users prefer one segment.
+    let cat_segment: Vec<usize> = (0..cfg.categories).map(|c| c % cfg.segments).collect();
+    let brand_segment: Vec<usize> = (0..cfg.brands).map(|b| b % cfg.segments).collect();
+    let item_cat: Vec<usize> = (0..cfg.items)
+        .map(|_| rng.random_range(0..cfg.categories))
+        .collect();
+    let item_segment: Vec<usize> = item_cat.iter().map(|&c| cat_segment[c]).collect();
+    let user_segment: Vec<usize> = (0..cfg.users)
+        .map(|_| rng.random_range(0..cfg.segments))
+        .collect();
+
+    // Heavy-tailed item popularity, with per-segment views for the
+    // fidelity-conditional draws.
+    let item_pop = popularity_weights(cfg.items, 0.9, &mut rng);
+    let mut seg_item_w: Vec<Vec<f64>> = vec![Vec::new(); cfg.segments];
+    let mut seg_item_id: Vec<Vec<usize>> = vec![Vec::new(); cfg.segments];
+    for (i, &s) in item_segment.iter().enumerate() {
+        seg_item_w[s].push(item_pop[i]);
+        seg_item_id[s].push(i);
+    }
+    let item_cdf = prefix_sums(&item_pop);
+    let seg_item_cdf: Vec<Vec<f64>> = seg_item_w.iter().map(|w| prefix_sums(w)).collect();
+
+    // Brand pools per segment for the IB draws.
+    let seg_brand_id: Vec<Vec<usize>> = (0..cfg.segments)
+        .map(|s| {
+            (0..cfg.brands)
+                .filter(|&b| brand_segment[b] == s)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut sink = EdgeSink::new();
+
+    // UI purchases: quantity-weighted, segment-preferential.
+    let ui_target = (cfg.users as f64 * cfg.purchases_per_user) as usize;
+    while sink.len() < ui_target {
+        let u = rng.random_range(0..cfg.users);
+        let seg = user_segment[u];
+        let (i, matched) = if rng.random::<f64>() < cfg.ui_fidelity && !seg_item_id[seg].is_empty()
+        {
+            (
+                seg_item_id[seg][weighted_pick_prefix(&seg_item_cdf[seg], &mut rng)],
+                true,
+            )
+        } else {
+            (weighted_pick_prefix(&item_cdf, &mut rng), false)
+        };
+        let mu = if matched { 1.4 } else { 0.4 };
+        let qty = lognormal(&mut rng, mu, 0.6, 40.0).round().max(1.0);
+        sink.add(&mut b, users[u], items[i], e_ui, qty).unwrap();
+    }
+
+    // II also-bought: popularity-weighted with intra-segment preference.
+    let ui_edges = sink.len();
+    let ii_target = (cfg.items as f64 * cfg.cobuys_per_item / 2.0) as usize;
+    let mut stale = 0usize;
+    while sink.len() - ui_edges < ii_target && stale < 50_000 {
+        let i = weighted_pick_prefix(&item_cdf, &mut rng);
+        let seg = item_segment[i];
+        let j = if rng.random::<f64>() < cfg.ii_fidelity && seg_item_id[seg].len() > 1 {
+            seg_item_id[seg][weighted_pick_prefix(&seg_item_cdf[seg], &mut rng)]
+        } else {
+            weighted_pick_prefix(&item_cdf, &mut rng)
+        };
+        if !sink.add(&mut b, items[i], items[j], e_ii, 1.0).unwrap() {
+            stale += 1;
+        } else {
+            stale = 0;
+        }
+    }
+
+    // IC: exactly one category per item (its planted one). IB: one brand,
+    // segment-aligned with probability `ib_fidelity`.
+    for (i, &c) in item_cat.iter().enumerate() {
+        sink.add(&mut b, items[i], cats[c], e_ic, 1.0).unwrap();
+        let seg = item_segment[i];
+        let brand = if rng.random::<f64>() < cfg.ib_fidelity && !seg_brand_id[seg].is_empty() {
+            seg_brand_id[seg][rng.random_range(0..seg_brand_id[seg].len())]
+        } else {
+            rng.random_range(0..cfg.brands)
+        };
+        sink.add(&mut b, items[i], brands[brand], e_ib, 1.0)
+            .unwrap();
+    }
+
+    let num_nodes = b.num_nodes();
+    let net = b.build().expect("generator produced an invalid network");
+
+    let mut labels = Labels::new(num_nodes);
+    for s in 0..cfg.segments {
+        labels.add_class(format!("segment-{s}"));
+    }
+    for (i, &s) in item_segment.iter().enumerate() {
+        let observed = if rng.random::<f64>() < cfg.label_noise {
+            rng.random_range(0..cfg.segments) as u32
+        } else {
+            s as u32
+        };
+        labels.set(items[i], observed);
+    }
+
+    Dataset {
+        name: "Commerce".into(),
+        net,
+        labels,
+        metapath: vec!["user", "item", "category", "item", "user"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_node_types_and_four_views() {
+        let d = commerce_like(&CommerceConfig::tiny(), 1);
+        let s = d.net.schema();
+        assert_eq!(s.num_node_types(), 4);
+        assert_eq!(s.num_edge_types(), 4);
+        use transn_graph::ViewKind;
+        let views = d.net.views();
+        assert_eq!(views[0].kind(), ViewKind::Heter); // UI
+        assert_eq!(views[1].kind(), ViewKind::Homo); // II
+        assert_eq!(views[2].kind(), ViewKind::Heter); // IC
+        assert_eq!(views[3].kind(), ViewKind::Heter); // IB
+    }
+
+    #[test]
+    fn every_item_labeled_and_only_items() {
+        let d = commerce_like(&CommerceConfig::tiny(), 2);
+        let item = d.net.schema().node_type_by_name("item").unwrap();
+        for i in d.net.nodes_of_type(item) {
+            assert!(d.labels.get(i).is_some());
+        }
+        let user = d.net.schema().node_type_by_name("user").unwrap();
+        for u in d.net.nodes_of_type(user) {
+            assert!(d.labels.get(u).is_none());
+        }
+    }
+
+    #[test]
+    fn every_item_has_category_and_brand() {
+        let d = commerce_like(&CommerceConfig::tiny(), 3);
+        let (ic, ib) = (
+            d.net.schema().edge_type_by_name("IC").unwrap(),
+            d.net.schema().edge_type_by_name("IB").unwrap(),
+        );
+        let n_ic = d.net.edges().iter().filter(|e| e.etype == ic).count();
+        let n_ib = d.net.edges().iter().filter(|e| e.etype == ib).count();
+        assert_eq!(n_ic, 80);
+        assert_eq!(n_ib, 80);
+    }
+
+    #[test]
+    fn purchases_are_quantity_weighted() {
+        let d = commerce_like(&CommerceConfig::tiny(), 4);
+        let ui = d.net.schema().edge_type_by_name("UI").unwrap();
+        let distinct: std::collections::HashSet<u32> = d
+            .net
+            .edges()
+            .iter()
+            .filter(|e| e.etype == ui)
+            .map(|e| e.weight.to_bits())
+            .collect();
+        assert!(
+            distinct.len() > 3,
+            "got {} distinct weights",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn purchases_prefer_user_segment() {
+        let d = commerce_like(&CommerceConfig::dev(), 5);
+        // Structural check through labels: co-purchased items share a
+        // segment more often than the 1/segments chance level.
+        let ii = d.net.schema().edge_type_by_name("II").unwrap();
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for e in d.net.edges().iter().filter(|e| e.etype == ii) {
+            if let (Some(a), Some(b)) = (d.labels.get(e.u), d.labels.get(e.v)) {
+                total += 1;
+                if a == b {
+                    same += 1;
+                }
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(frac > 0.3, "same-segment co-purchase rate {frac}");
+    }
+
+    #[test]
+    fn preset_node_counts() {
+        assert!((40_000..60_000).contains(&CommerceConfig::dev().num_nodes()));
+        assert!((400_000..500_000).contains(&CommerceConfig::mid().num_nodes()));
+        assert!(CommerceConfig::million().num_nodes() >= 1_000_000);
+        assert!(CommerceConfig::xl().num_nodes() >= 4_000_000);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = commerce_like(&CommerceConfig::tiny(), 8);
+        let b = commerce_like(&CommerceConfig::tiny(), 8);
+        assert_eq!(a.net.edges(), b.net.edges());
+        let c = commerce_like(&CommerceConfig::tiny(), 9);
+        assert_ne!(a.net.edges(), c.net.edges());
+    }
+}

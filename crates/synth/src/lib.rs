@@ -19,12 +19,14 @@
 pub mod aminer;
 pub mod app;
 pub mod blog;
+pub mod commerce;
 pub mod common;
 pub mod dataset;
 
 pub use aminer::{aminer_like, AminerConfig};
 pub use app::{app_like, AppConfig};
 pub use blog::{blog_like, BlogConfig};
+pub use commerce::{commerce_like, CommerceConfig};
 pub use dataset::Dataset;
 
 /// Build all four datasets at experiment scale (Table II analogues).

@@ -14,6 +14,9 @@
 //! | sgns    | sgns-episodic-vs-monolithic             | `Bitwise`      |
 //! | sgns    | hs-vs-sgns-trend                        | `Bitwise` flags|
 //! | core    | core-strict-threads, core-episodic-strict | `Bitwise`    |
+//! | graph   | csr-build-threads, alias-build-threads, noise-build-threads (each vs the serial path, threads {1,2,4,8}) | `Bitwise` |
+//! | eval    | logreg-gemm-fit                         | `Rel(1e-3)`    |
+//! | eval    | logreg-batch-predict                    | `Bitwise`      |
 //! | serve   | serve-store-roundtrip, serve-brute-vs-naive, serve-query-threads, serve-link-scores | `Bitwise` |
 //! | serve   | serve-hnsw-recall                       | `Bitwise` flags|
 
@@ -23,6 +26,8 @@ use crate::invariants::{check_corpus_offsets, check_finite, check_prob_simplex};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::ops::Range;
 use transn::{Parallelism, TransN, TransNConfig};
+use transn_eval::{LogRegConfig, LogisticRegression};
+use transn_graph::{build_batch_with, AliasTable, Csr};
 use transn_nn::kernels;
 use transn_nn::{FeedForward, LossKind, Matrix, Translator, Workspace};
 use transn_sgns::{
@@ -56,6 +61,11 @@ pub fn registry() -> Vec<Box<dyn Conformance>> {
         Box::new(HsVsSgnsTrend),
         Box::new(CoreStrictThreads),
         Box::new(CoreEpisodicStrict),
+        Box::new(CsrBuildThreads),
+        Box::new(AliasBuildThreads),
+        Box::new(NoiseBuildThreads),
+        Box::new(LogregGemmFit),
+        Box::new(LogregBatchPredict),
     ];
     cases.extend(crate::serve_cases::cases());
     cases
@@ -973,6 +983,257 @@ fn core_train_emit(ctx: &mut Ctx, threads: usize) {
         let row = emb.get(transn_graph::NodeId(n as u32));
         check_finite("transn embedding row", row).unwrap();
         ctx.emit_all(row);
+    }
+}
+
+// ───────────────── parallel preprocessing (ISSUE 8) ─────────────────
+
+/// Thread counts the parallel-build cases sweep. `1` is included because
+/// `strict(1)` must also reproduce the serial reference exactly.
+const BUILD_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Shared random directed-arc fixture for the graph build cases.
+fn build_arcs(ctx: &mut Ctx) -> (usize, Vec<(u32, u32, f32)>) {
+    let n = 120usize;
+    let m = ctx.scaled(700);
+    let arcs = (0..m)
+        .map(|_| {
+            let src = ctx.rng().random_range(0..n as u32);
+            let dst = ctx.rng().random_range(0..n as u32);
+            let w = ctx.rng().random_range(0.1..2.0f32);
+            (src, dst, w)
+        })
+        .collect();
+    (n, arcs)
+}
+
+fn emit_csr(ctx: &mut Ctx, csr: &Csr) {
+    for i in 0..csr.num_nodes() {
+        ctx.emit_len(csr.degree(i));
+        for &j in csr.neighbors(i) {
+            ctx.emit(j as f32);
+        }
+        ctx.emit_all(csr.weights(i));
+        ctx.emit(csr.weight_sum(i));
+    }
+}
+
+struct CsrBuildThreads;
+impl Conformance for CsrBuildThreads {
+    fn name(&self) -> &'static str {
+        "csr-build-threads"
+    }
+    fn tolerance(&self) -> Match {
+        // The sharded counting build is defined to equal one stable sort
+        // by `(src, dst)` for every thread count — no float reductions.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (n, arcs) = build_arcs(ctx);
+        for t in BUILD_THREADS {
+            let csr = Csr::from_directed_pairs_with(n, arcs.clone(), Parallelism::strict(t));
+            emit_csr(ctx, &csr);
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (n, arcs) = build_arcs(ctx);
+        let csr = Csr::from_directed_pairs(n, arcs);
+        for _ in BUILD_THREADS {
+            emit_csr(ctx, &csr);
+        }
+    }
+}
+
+/// Shared random weight-row fixture for the alias batch case.
+fn alias_rows(ctx: &mut Ctx) -> Vec<Vec<f32>> {
+    (0..ctx.scaled(80))
+        .map(|_| {
+            let deg = ctx.rng().random_range(1..=16usize);
+            (0..deg)
+                .map(|_| ctx.rng().random_range(0.1..4.0f32))
+                .collect()
+        })
+        .collect()
+}
+
+fn emit_alias(ctx: &mut Ctx, probs: &[f32], aliases: &[u32]) {
+    ctx.emit_all(probs);
+    for &a in aliases {
+        ctx.emit(a as f32);
+    }
+}
+
+struct AliasBuildThreads;
+impl Conformance for AliasBuildThreads {
+    fn name(&self) -> &'static str {
+        "alias-build-threads"
+    }
+    fn tolerance(&self) -> Match {
+        // Each table's construction is independent; sharding only changes
+        // who builds it, never the arithmetic.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let rows = alias_rows(ctx);
+        for t in BUILD_THREADS {
+            let batch = build_batch_with(rows.len(), |i| &rows[i], Parallelism::strict(t));
+            for table in &batch {
+                emit_alias(ctx, table.probs(), table.aliases());
+            }
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let rows = alias_rows(ctx);
+        let serial: Vec<AliasTable> = rows.iter().map(|w| AliasTable::new(w)).collect();
+        for _ in BUILD_THREADS {
+            for table in &serial {
+                emit_alias(ctx, table.probs(), table.aliases());
+            }
+        }
+    }
+}
+
+/// Shared random unigram-frequency fixture for the noise build case.
+fn noise_freqs(ctx: &mut Ctx) -> Vec<u64> {
+    let mut freqs: Vec<u64> = (0..ctx.scaled(300))
+        .map(|_| ctx.rng().random_range(0..50u64))
+        .collect();
+    // Guarantee a non-zero total (a rare all-zero draw would panic).
+    freqs[0] = freqs[0].max(1);
+    freqs
+}
+
+struct NoiseBuildThreads;
+impl Conformance for NoiseBuildThreads {
+    fn name(&self) -> &'static str {
+        "noise-build-threads"
+    }
+    fn tolerance(&self) -> Match {
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let freqs = noise_freqs(ctx);
+        for t in BUILD_THREADS {
+            let noise = NoiseTable::from_frequencies_with(&freqs, Parallelism::strict(t));
+            emit_alias(
+                ctx,
+                noise.alias_table().probs(),
+                noise.alias_table().aliases(),
+            );
+        }
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let freqs = noise_freqs(ctx);
+        let noise = NoiseTable::from_frequencies(&freqs);
+        for _ in BUILD_THREADS {
+            emit_alias(
+                ctx,
+                noise.alias_table().probs(),
+                noise.alias_table().aliases(),
+            );
+        }
+    }
+}
+
+// ───────────────────── batched logreg (ISSUE 8) ─────────────────────
+
+/// Linearly-separable 3-class blobs in 6-d, shared by the logreg cases.
+fn logreg_data(ctx: &mut Ctx) -> (Vec<Vec<f32>>, Vec<u32>) {
+    let per = ctx.scaled(25);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for c in 0..3u32 {
+        for _ in 0..per {
+            let mut row = vec![0.0f32; 6];
+            for (j, v) in row.iter_mut().enumerate() {
+                let center = if j % 3 == c as usize { 2.0 } else { -1.0 };
+                *v = center + ctx.rng().random_range(-0.5..0.5f32);
+            }
+            xs.push(row);
+            ys.push(c);
+        }
+    }
+    (xs, ys)
+}
+
+struct LogregGemmFit;
+impl Conformance for LogregGemmFit {
+    fn name(&self) -> &'static str {
+        "logreg-gemm-fit"
+    }
+    fn tolerance(&self) -> Match {
+        // Chunked GEMM gradients differ from the per-sample fold only in
+        // float association; 40 Adam iterations stay within 1e-3 relative.
+        Match::Rel(1e-3)
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (xs, ys) = logreg_data(ctx);
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let cfg = LogRegConfig {
+            iterations: 40,
+            batch: 16,
+            par: Parallelism::strict(4),
+            seed: ctx.seed(),
+            ..Default::default()
+        };
+        let model = LogisticRegression::fit(&rows, &ys, 3, &cfg);
+        ctx.emit_all(model.weights());
+        ctx.emit_all(model.biases());
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (xs, ys) = logreg_data(ctx);
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let cfg = LogRegConfig {
+            iterations: 40,
+            batch: 16,
+            seed: ctx.seed(),
+            ..Default::default()
+        };
+        let model = LogisticRegression::fit_scalar(&rows, &ys, 3, &cfg);
+        ctx.emit_all(model.weights());
+        ctx.emit_all(model.biases());
+    }
+}
+
+struct LogregBatchPredict;
+impl Conformance for LogregBatchPredict {
+    fn name(&self) -> &'static str {
+        "logreg-batch-predict"
+    }
+    fn tolerance(&self) -> Match {
+        // The batched GEMM eval is defined to be bit-identical to the
+        // per-row predict paths.
+        Match::Bitwise
+    }
+    fn fast(&self, ctx: &mut Ctx) {
+        let (xs, ys) = logreg_data(ctx);
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let cfg = LogRegConfig {
+            iterations: 30,
+            seed: ctx.seed(),
+            ..Default::default()
+        };
+        let model = LogisticRegression::fit(&rows, &ys, 3, &cfg);
+        for p in model.predict_batch(&rows) {
+            ctx.emit(p as f32);
+        }
+        ctx.emit_all(&model.predict_proba_batch(&rows));
+    }
+    fn reference(&self, ctx: &mut Ctx) {
+        let (xs, ys) = logreg_data(ctx);
+        let rows: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let cfg = LogRegConfig {
+            iterations: 30,
+            seed: ctx.seed(),
+            ..Default::default()
+        };
+        let model = LogisticRegression::fit(&rows, &ys, 3, &cfg);
+        for row in &rows {
+            ctx.emit(model.predict(row) as f32);
+        }
+        for row in &rows {
+            ctx.emit_all(&model.predict_proba(row));
+        }
     }
 }
 

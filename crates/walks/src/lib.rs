@@ -44,5 +44,5 @@ pub use corpus::{
 pub use correlated::CorrelatedWalker;
 pub use episode::{plan_episodes_into, EpisodeBuffer, EpisodeConfig};
 pub use metapath::MetapathWalker;
-pub use node2vec::Node2VecWalker;
+pub use node2vec::{Node2VecWalker, SecondOrderTables};
 pub use simple::SimpleWalker;

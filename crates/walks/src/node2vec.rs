@@ -1,12 +1,146 @@
 //! Second-order p/q-biased random walks over the type-blind global
 //! adjacency — the Node2Vec \[13\] baseline. `p = q = 1` recovers DeepWalk
 //! \[33\] (weight-proportional steps).
+//!
+//! Every interior step of the reference walker re-scans the current
+//! node's neighbour list to evaluate the α(prev, next) search bias —
+//! O(δ log δ) per step. [`SecondOrderTables`] precomputes one alias table
+//! per **arc** (prev → cur), turning the step into an O(1) draw. The
+//! precomputed family costs `Σ_arcs δ(dst)` entries (`Σ_v δ(v)²` overall),
+//! which explodes on high-degree graphs, so the build takes an optional
+//! byte budget: arcs are admitted first-fit in arc order until the budget
+//! is spent and the walker falls back to the scan for the rest. The build
+//! is sharded-parallel and bit-identical for any thread count (the
+//! admitted set is decided serially from sizes alone; per-table
+//! construction is independent).
 
 use crate::config::WalkConfig;
 use crate::corpus::{parallel_generate_offset_into, WalkCorpus};
 use rand::Rng;
 use std::ops::Range;
-use transn_graph::Csr;
+use transn_graph::{build_batch_with, Csr, Parallelism};
+
+/// Arc slot without a precomputed table (outside the byte budget).
+const NO_TABLE: u32 = u32::MAX;
+
+/// Precomputed per-arc second-order alias tables.
+///
+/// The table for arc `prev → cur` is built over `cur`'s neighbour list
+/// with weights `w(cur, nb) · α(prev, nb)`; drawing from it consumes RNG
+/// differently than the reference scan (an index draw plus an `f32`
+/// acceptance draw instead of one `f64`), so table-accelerated walks are a
+/// **distinct, opt-in stream** — equally distributed but not bit-equal to
+/// scan walks. For a fixed `(p, q, budget)` the walker is still
+/// bit-deterministic and thread-count-independent, because the admitted
+/// arc set and every table are ([`SecondOrderTables::build_budgeted`]).
+#[derive(Clone, Debug)]
+pub struct SecondOrderTables {
+    /// Arc index → slot in `tables`, or [`NO_TABLE`].
+    arc_slot: Vec<u32>,
+    tables: Vec<AliasTableVec>,
+    table_bytes: usize,
+    covered: usize,
+}
+
+type AliasTableVec = transn_graph::AliasTable;
+
+impl SecondOrderTables {
+    /// Precompute tables for **every** arc (no memory bound). Equivalent
+    /// to [`SecondOrderTables::build_budgeted`] with `budget_bytes: None`.
+    pub fn build(adj: &Csr, p: f32, q: f32, par: Parallelism) -> Self {
+        Self::build_budgeted(adj, p, q, None, par)
+    }
+
+    /// Precompute tables for arcs admitted **first-fit in arc order**
+    /// under `budget_bytes` (8 bytes per outcome: one `f32` probability +
+    /// one `u32` alias). `None` admits everything. The admission pass is a
+    /// serial O(arcs) size scan — no float math, no RNG — so the admitted
+    /// set is a pure function of the adjacency and the budget; table
+    /// construction then fans out over contiguous shards
+    /// ([`build_batch_with`]) and is bit-identical for every `par`.
+    pub fn build_budgeted(
+        adj: &Csr,
+        p: f32,
+        q: f32,
+        budget_bytes: Option<usize>,
+        par: Parallelism,
+    ) -> Self {
+        assert!(p > 0.0 && q > 0.0, "p and q must be positive");
+        let n = adj.num_nodes();
+        let num_arcs = adj.num_arcs();
+        let mut arc_slot = vec![NO_TABLE; num_arcs];
+        // Admission: walk arcs in order, first-fit against the budget.
+        // An arc's table has one outcome per neighbour of its destination.
+        let mut admitted: Vec<(u32, u32)> = Vec::new(); // (prev, cur)
+        let mut spent = 0usize;
+        let budget = budget_bytes.unwrap_or(usize::MAX);
+        let mut arc = 0usize; // arcs are node-major in neighbour order
+        for prev in 0..n {
+            for &cur in adj.neighbors(prev) {
+                let deg = adj.degree(cur as usize);
+                let cost = deg * 8;
+                if deg > 0 && spent + cost <= budget {
+                    // First-fit: an oversized table is skipped but later,
+                    // smaller ones may still be admitted.
+                    spent += cost;
+                    arc_slot[arc] = admitted.len() as u32;
+                    admitted.push((prev as u32, cur));
+                }
+                arc += 1;
+            }
+        }
+        let covered = admitted.len();
+        let tables = build_batch_with(
+            covered,
+            |i| {
+                let (prev, cur) = admitted[i];
+                let nbs = adj.neighbors(cur as usize);
+                let ws = adj.weights(cur as usize);
+                nbs.iter()
+                    .zip(ws)
+                    .map(|(&nb, &w)| {
+                        let alpha = if nb == prev {
+                            1.0 / p
+                        } else if adj.contains(prev as usize, nb) {
+                            1.0
+                        } else {
+                            1.0 / q
+                        };
+                        w * alpha
+                    })
+                    .collect::<Vec<f32>>()
+            },
+            par,
+        );
+        let table_bytes: usize = tables.iter().map(|t| t.heap_bytes()).sum();
+        SecondOrderTables {
+            arc_slot,
+            tables,
+            table_bytes,
+            covered,
+        }
+    }
+
+    /// The table for CSR arc index `arc`, if it was admitted.
+    #[inline]
+    pub fn table(&self, arc: usize) -> Option<&AliasTableVec> {
+        match self.arc_slot[arc] {
+            NO_TABLE => None,
+            slot => Some(&self.tables[slot as usize]),
+        }
+    }
+
+    /// `(covered arcs, total arcs)` — how much of the adjacency has O(1)
+    /// steps.
+    pub fn coverage(&self) -> (usize, usize) {
+        (self.covered, self.arc_slot.len())
+    }
+
+    /// Heap bytes held by the table family (tables plus the arc-slot map).
+    pub fn heap_bytes(&self) -> usize {
+        self.table_bytes + self.arc_slot.capacity() * std::mem::size_of::<u32>()
+    }
+}
 
 /// Node2Vec walker over an arbitrary CSR adjacency (global node ids).
 #[derive(Clone, Copy, Debug)]
@@ -19,18 +153,37 @@ pub struct Node2VecWalker<'a> {
     /// node is scaled by `1/q`.
     pub q: f32,
     cfg: WalkConfig,
+    /// Opt-in precomputed second-order tables (O(1) interior steps).
+    tables: Option<&'a SecondOrderTables>,
 }
 
 impl<'a> Node2VecWalker<'a> {
     /// Walker with the given bias parameters.
     pub fn new(adj: &'a Csr, p: f32, q: f32, cfg: WalkConfig) -> Self {
         assert!(p > 0.0 && q > 0.0, "p and q must be positive");
-        Node2VecWalker { adj, p, q, cfg }
+        Node2VecWalker {
+            adj,
+            p,
+            q,
+            cfg,
+            tables: None,
+        }
     }
 
     /// A DeepWalk-style walker (`p = q = 1`).
     pub fn deepwalk(adj: &'a Csr, cfg: WalkConfig) -> Self {
         Self::new(adj, 1.0, 1.0, cfg)
+    }
+
+    /// Use precomputed second-order tables for interior steps. The tables
+    /// must have been built from the same adjacency with the same `(p, q)`
+    /// — debug-asserted by size. Walks drawn through tables are equally
+    /// distributed but not bit-equal to scan walks (different RNG
+    /// consumption); see [`SecondOrderTables`].
+    pub fn with_tables(mut self, tables: &'a SecondOrderTables) -> Self {
+        debug_assert_eq!(tables.arc_slot.len(), self.adj.num_arcs());
+        self.tables = Some(tables);
+        self
     }
 
     /// One walk from `start`.
@@ -71,6 +224,13 @@ impl<'a> Node2VecWalker<'a> {
         let nbs = self.adj.neighbors(cur as usize);
         if nbs.is_empty() {
             return None;
+        }
+        if let Some(tables) = self.tables {
+            if let Some(arc) = self.adj.arc_index(prev as usize, cur) {
+                if let Some(table) = tables.table(arc) {
+                    return Some(nbs[table.sample(rng) as usize]);
+                }
+            }
         }
         let ws = self.adj.weights(cur as usize);
         let mut total = 0.0f64;
@@ -236,5 +396,100 @@ mod tests {
     fn zero_p_rejected() {
         let adj = lollipop();
         let _ = Node2VecWalker::new(&adj, 0.0, 1.0, WalkConfig::for_tests());
+    }
+
+    /// Empirical step distribution 0 → 1 → ? through precomputed tables.
+    fn step_fracs_tabled(p: f32, q: f32, budget: Option<usize>) -> [f64; 4] {
+        let adj = lollipop();
+        let tables = SecondOrderTables::build_budgeted(&adj, p, q, budget, Parallelism::single());
+        let w = Node2VecWalker::new(&adj, p, q, WalkConfig::for_tests()).with_tables(&tables);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            let next = w.biased_step(0, 1, &mut rng).unwrap();
+            counts[next as usize] += 1;
+        }
+        counts.map(|c| c as f64 / n as f64)
+    }
+
+    #[test]
+    fn tables_reproduce_scan_distribution() {
+        let scan = step_fracs(0.1, 10.0);
+        let tabled = step_fracs_tabled(0.1, 10.0, None);
+        for (s, t) in scan.iter().zip(tabled) {
+            assert!((s - t).abs() < 0.02, "scan {s} vs tabled {t}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_falls_back_to_scan_stream() {
+        // With no admitted tables the walker must consume RNG exactly like
+        // the plain scan — bit-identical walks.
+        let adj = lollipop();
+        let tables =
+            SecondOrderTables::build_budgeted(&adj, 2.0, 0.5, Some(0), Parallelism::single());
+        assert_eq!(tables.coverage().0, 0);
+        let plain = Node2VecWalker::new(&adj, 2.0, 0.5, WalkConfig::for_tests());
+        let tabled = plain.with_tables(&tables);
+        assert_eq!(plain.generate(3), tabled.generate(3));
+    }
+
+    #[test]
+    fn budget_admits_first_fit_and_bounds_bytes() {
+        let adj = lollipop();
+        let full = SecondOrderTables::build(&adj, 1.0, 1.0, Parallelism::single());
+        assert_eq!(full.coverage(), (8, 8)); // every arc covered
+                                             // Budget for only a few outcomes: covered < total, bytes bounded.
+        let budget = 8 * 4; // four outcomes' worth
+        let partial =
+            SecondOrderTables::build_budgeted(&adj, 1.0, 1.0, Some(budget), Parallelism::single());
+        let (covered, total) = partial.coverage();
+        assert!(covered > 0 && covered < total, "covered {covered}/{total}");
+        let table_bytes: usize = (0..total)
+            .filter_map(|a| partial.table(a))
+            .map(|t| t.heap_bytes())
+            .sum();
+        assert!(table_bytes <= budget, "{table_bytes} > {budget}");
+    }
+
+    #[test]
+    fn table_build_is_bit_identical_across_thread_counts() {
+        // A denser graph so shards actually split work.
+        let mut edges = Vec::new();
+        for i in 0u32..60 {
+            for j in (i + 1)..60 {
+                if (i * 7 + j * 13) % 5 == 0 {
+                    edges.push((i, j, ((i + j) % 9 + 1) as f32));
+                }
+            }
+        }
+        let adj = Csr::from_undirected(60, edges);
+        let serial = SecondOrderTables::build(&adj, 0.5, 2.0, Parallelism::single());
+        for par in [
+            Parallelism::hogwild(2),
+            Parallelism::strict(4),
+            Parallelism::hogwild(8),
+        ] {
+            let t = SecondOrderTables::build(&adj, 0.5, 2.0, par);
+            assert_eq!(t.coverage(), serial.coverage(), "{par:?}");
+            for a in 0..adj.num_arcs() {
+                let (x, y) = (t.table(a).unwrap(), serial.table(a).unwrap());
+                assert_eq!(
+                    x.probs().iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    y.probs().iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    "{par:?} arc {a}"
+                );
+                assert_eq!(x.aliases(), y.aliases(), "{par:?} arc {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn tabled_walks_are_deterministic_for_fixed_config() {
+        let adj = lollipop();
+        let tables = SecondOrderTables::build(&adj, 0.25, 4.0, Parallelism::single());
+        let w = Node2VecWalker::new(&adj, 0.25, 4.0, WalkConfig::for_tests()).with_tables(&tables);
+        assert_eq!(w.generate(3), w.generate(3));
     }
 }

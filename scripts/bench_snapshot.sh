@@ -18,15 +18,19 @@ OUT="${1:-BENCH_kernels.json}"
 WALKS_OUT="${2:-BENCH_walks.json}"
 SERVE_OUT="${3:-BENCH_serve.json}"
 PIPELINE_OUT="${4:-BENCH_pipeline.json}"
+SCALE_OUT="${5:-BENCH_scale.json}"
 
 cargo run --release -p transn-bench --bin kernel_snapshot -- "$OUT"
 cargo run --release -p transn-bench --bin walks_snapshot -- "$WALKS_OUT"
 cargo run --release -p transn-bench --bin query_snapshot -- "$SERVE_OUT"
 cargo run --release -p transn-bench --bin pipeline_snapshot -- "$PIPELINE_OUT"
+# ISSUE 8: million-node scale path (setup / logreg-eval / full-pipeline
+# tiers at 40k, 400k, 1M, and 4M nodes — the slowest snapshot by far).
+cargo run --release -p transn-bench --bin scale_snapshot -- "$SCALE_OUT"
 
 # Best-effort criterion pass (quick mode); harmless no-op with the offline
 # criterion stub, which runs each closure once without timing.
 cargo bench -p transn-bench --bench matrix -- --quick 2>/dev/null || true
 cargo bench -p transn-bench --bench walks -- --quick 2>/dev/null || true
 
-echo "snapshots written to $OUT, $WALKS_OUT, $SERVE_OUT, and $PIPELINE_OUT"
+echo "snapshots written to $OUT, $WALKS_OUT, $SERVE_OUT, $PIPELINE_OUT, and $SCALE_OUT"
